@@ -1,0 +1,1 @@
+bench/main.ml: Array Experiments List Logs Logs_fmt Option Printf Prng String Sys Timings Unix

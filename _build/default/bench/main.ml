@@ -1,0 +1,109 @@
+(* The benchmark harness: regenerates every table/figure-equivalent of
+   the paper (E0-E18, F1; see DESIGN.md §4 and EXPERIMENTS.md) and
+   runs the Bechamel timing benches (B0-B7).
+
+   Usage:
+     dune exec bench/main.exe                       # everything, standard scale
+     dune exec bench/main.exe -- --scale quick      # fast smoke run
+     dune exec bench/main.exe -- --only e1,e5,f1    # a subset
+     dune exec bench/main.exe -- --csv results      # also dump CSVs
+     dune exec bench/main.exe -- --skip-timings     # tables only
+     dune exec bench/main.exe -- --verbose          # protocol debug logs *)
+
+type kind =
+  | Table of (Prng.Rng.t -> Experiments.Scale.t -> Experiments.Table.t)
+  | Text of (Prng.Rng.t -> string)
+
+let experiments =
+  [
+    ("e0", "input-graph properties P1-P4 (SI-C)", Table Experiments.Exp_overlay.run_e0);
+    ("e1", "red-group fraction vs n, beta (SII)", Table Experiments.Exp_static.run_e1);
+    ("e2", "search success (Lemma 4 / Thm 3)", Table Experiments.Exp_static.run_e2);
+    ("e3", "cost comparison (Corollary 1)", Table Experiments.Exp_costs.run_e3);
+    ("e4", "paired epochs under churn (SIII)", Table Experiments.Exp_dynamic.run_e4);
+    ("e5", "single-graph ablation (SIII)", Table Experiments.Exp_dynamic.run_e5);
+    ("e6", "PoW bound + uniformity (Lemma 11)", Table Experiments.Exp_pow.run_e6);
+    ("e7", "pre-computation attack (SIV-B)", Table Experiments.Exp_pow.run_e7);
+    ("e8", "string propagation (Lemma 12)", Table Experiments.Exp_strings.run_e8);
+    ("e9", "state costs (Lemma 10)", Table Experiments.Exp_costs.run_e9);
+    ("e10", "group-size sweep knee (SI-D)", Table Experiments.Exp_sweep.run_e10);
+    ("e11", "cuckoo-rule baseline ([47])", Table Experiments.Exp_cuckoo.run_e11);
+    ("e12", "bootstrap pools (Appendix IX)", Table Experiments.Exp_bootstrap.run_e12);
+    ("e13", "variable system size (SIII extension)", Table Experiments.Exp_drift.run_e13);
+    ("e14", "verification ablation (Lemma 10)", Table Experiments.Exp_spam.run_e14);
+    ("e15", "recursive vs iterative search (App. VI)", Table Experiments.Exp_overlay.run_e15);
+    ("e16", "multi-route retries via chord++", Table Experiments.Exp_overlay.run_e16);
+    ("e17", "WAN latency vs group size ([51])", Table Experiments.Exp_latency.run_e17);
+    ("e18", "per-event join/departure cost (fn. 13)", Table Experiments.Exp_events.run_e18);
+    ("e19", "member-level protocol validation", Table Experiments.Exp_protocol.run_e19);
+    ("e20", "epoch recursion: theory vs measurement", Table Experiments.Exp_theory.run_e20);
+    ("f1", "Figure 1 search trace", Text Experiments.Exp_figure1.render);
+  ]
+
+let parse_args () =
+  let scale = ref Experiments.Scale.Standard in
+  let only = ref None in
+  let skip_timings = ref false in
+  let seed = ref 1 in
+  let csv_dir = ref None in
+  let verbose = ref false in
+  let rec go = function
+    | [] -> ()
+    | "--scale" :: v :: rest ->
+        (match Experiments.Scale.of_string v with
+        | Some s -> scale := s
+        | None -> failwith ("unknown scale: " ^ v));
+        go rest
+    | "--only" :: v :: rest ->
+        only := Some (String.split_on_char ',' (String.lowercase_ascii v));
+        go rest
+    | "--seed" :: v :: rest ->
+        seed := int_of_string v;
+        go rest
+    | "--csv" :: dir :: rest ->
+        csv_dir := Some dir;
+        go rest
+    | "--skip-timings" :: rest ->
+        skip_timings := true;
+        go rest
+    | "--verbose" :: rest ->
+        verbose := true;
+        go rest
+    | arg :: _ -> failwith ("unknown argument: " ^ arg)
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  (!scale, !only, !skip_timings, !seed, !csv_dir, !verbose)
+
+let () =
+  let scale, only, skip_timings, seed, csv_dir, verbose = parse_args () in
+  if verbose then begin
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end;
+  let wanted id = match only with None -> true | Some ids -> List.mem id ids in
+  Printf.printf
+    "tinygroups benchmark harness — scale=%s seed=%d\n\
+     (paper: Jaiyeola et al., Tiny Groups Tackle Byzantine Adversaries, IPDPS 2018)\n"
+    (Experiments.Scale.to_string scale)
+    seed;
+  List.iter
+    (fun (id, blurb, kind) ->
+      if wanted id then begin
+        Printf.printf "\n### %s — %s\n%!" (String.uppercase_ascii id) blurb;
+        let t0 = Unix.gettimeofday () in
+        (match kind with
+        | Table run ->
+            let table = run (Prng.Rng.create seed) scale in
+            Experiments.Table.print table;
+            Option.iter
+              (fun dir ->
+                let path = Experiments.Table.save_csv table ~dir ~slug:id in
+                Printf.printf "   [csv: %s]\n" path)
+              csv_dir
+        | Text run -> print_string (run (Prng.Rng.create seed)));
+        Printf.printf "   [%s took %.1fs]\n%!" (String.uppercase_ascii id)
+          (Unix.gettimeofday () -. t0)
+      end)
+    experiments;
+  if (not skip_timings) && (match only with None -> true | Some ids -> List.mem "timings" ids)
+  then Timings.run ()

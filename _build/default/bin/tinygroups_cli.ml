@@ -1,0 +1,154 @@
+(* The `tinygroups` command-line driver: run any experiment table of
+   the reproduction individually. `dune exec bin/tinygroups_cli.exe --
+   <command> [options]`. *)
+
+open Cmdliner
+
+let seed_arg =
+  let doc = "PRNG seed; every run is a pure function of it." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let scale_arg =
+  let doc = "Experiment scale: quick, standard or full." in
+  let parse s =
+    match Experiments.Scale.of_string s with
+    | Some v -> Ok v
+    | None -> Error (`Msg ("unknown scale: " ^ s))
+  in
+  let print fmt s = Format.pp_print_string fmt (Experiments.Scale.to_string s) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Experiments.Scale.Standard
+    & info [ "scale" ] ~docv:"SCALE" ~doc)
+
+let run_table f seed scale =
+  Experiments.Table.print (f (Prng.Rng.create seed) scale)
+
+let experiment_cmd name ~doc f =
+  let term = Term.(const (run_table f) $ seed_arg $ scale_arg) in
+  Cmd.v (Cmd.info name ~doc) term
+
+let figure1_cmd =
+  let run seed = print_string (Experiments.Exp_figure1.render (Prng.Rng.create seed)) in
+  Cmd.v
+    (Cmd.info "figure1" ~doc:"Render the paper's Figure 1 as a search trace.")
+    Term.(const run $ seed_arg)
+
+let epochs_cmd =
+  let doc = "Run the two-graph epoch protocol and print per-epoch health." in
+  let n_arg = Arg.(value & opt int 1024 & info [ "n" ] ~docv:"N" ~doc:"System size.") in
+  let beta_arg =
+    Arg.(value & opt float 0.05 & info [ "beta" ] ~docv:"BETA" ~doc:"Adversary share.")
+  in
+  let epochs_arg =
+    Arg.(value & opt int 6 & info [ "epochs" ] ~docv:"E" ~doc:"Epochs to run.")
+  in
+  let single_arg =
+    Arg.(value & flag & info [ "single" ] ~doc:"Use the naive single-graph ablation.")
+  in
+  let run seed n beta epochs single =
+    let mode = if single then Tinygroups.Epoch.Single else Tinygroups.Epoch.Paired in
+    let rows =
+      Experiments.Exp_dynamic.run_epochs (Prng.Rng.create seed) ~mode ~n ~beta ~epochs
+        ~searches:1000
+    in
+    Printf.printf "%-6s %-6s %-6s %-9s %-9s %s\n" "epoch" "good" "weak" "hijacked"
+      "confused" "success";
+    List.iter
+      (fun (epoch, (c : Tinygroups.Group_graph.census), s) ->
+        Printf.printf "%-6d %-6d %-6d %-9d %-9d %.2f%%\n" epoch c.good c.weak c.hijacked_
+          c.confused_ (100. *. s))
+      rows
+  in
+  Cmd.v
+    (Cmd.info "epochs" ~doc)
+    Term.(const run $ seed_arg $ n_arg $ beta_arg $ epochs_arg $ single_arg)
+
+let all_cmd =
+  let doc = "Run every experiment table (E1-E11 and F1)." in
+  let run seed scale =
+    List.iter
+      (fun f -> run_table f seed scale)
+      [
+        Experiments.Exp_overlay.run_e0;
+        Experiments.Exp_static.run_e1;
+        Experiments.Exp_static.run_e2;
+        Experiments.Exp_costs.run_e3;
+        Experiments.Exp_dynamic.run_e4;
+        Experiments.Exp_dynamic.run_e5;
+        Experiments.Exp_pow.run_e6;
+        Experiments.Exp_pow.run_e7;
+        Experiments.Exp_strings.run_e8;
+        Experiments.Exp_costs.run_e9;
+        Experiments.Exp_sweep.run_e10;
+        Experiments.Exp_cuckoo.run_e11;
+        Experiments.Exp_bootstrap.run_e12;
+        Experiments.Exp_drift.run_e13;
+        Experiments.Exp_spam.run_e14;
+        Experiments.Exp_overlay.run_e15;
+        Experiments.Exp_overlay.run_e16;
+        Experiments.Exp_latency.run_e17;
+        Experiments.Exp_events.run_e18;
+        Experiments.Exp_protocol.run_e19;
+        Experiments.Exp_theory.run_e20;
+      ];
+    print_string (Experiments.Exp_figure1.render (Prng.Rng.create seed))
+  in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ seed_arg $ scale_arg)
+
+let () =
+  let doc =
+    "Reproduction of 'Tiny Groups Tackle Byzantine Adversaries' (Jaiyeola et al., \
+     IPDPS 2018)."
+  in
+  let info = Cmd.info "tinygroups" ~version:"1.0.0" ~doc in
+  let cmds =
+    [
+      experiment_cmd "e0" ~doc:"Input-graph properties P1-P4 per construction."
+        Experiments.Exp_overlay.run_e0;
+      experiment_cmd "e1" ~doc:"Red-group fraction vs n and beta (SII)."
+        Experiments.Exp_static.run_e1;
+      experiment_cmd "e2" ~doc:"Search success rates (Lemma 4 / Theorem 3)."
+        Experiments.Exp_static.run_e2;
+      experiment_cmd "e3" ~doc:"Cost comparison vs log-groups and flat (Corollary 1)."
+        Experiments.Exp_costs.run_e3;
+      experiment_cmd "e4" ~doc:"Paired epochs under full turnover (SIII)."
+        Experiments.Exp_dynamic.run_e4;
+      experiment_cmd "e5" ~doc:"Single-graph ablation (SIII)."
+        Experiments.Exp_dynamic.run_e5;
+      experiment_cmd "e6" ~doc:"PoW ID bound and uniformity (Lemma 11)."
+        Experiments.Exp_pow.run_e6;
+      experiment_cmd "e7" ~doc:"Pre-computation attack (SIV-B)."
+        Experiments.Exp_pow.run_e7;
+      experiment_cmd "e8" ~doc:"Random-string propagation (Lemma 12)."
+        Experiments.Exp_strings.run_e8;
+      experiment_cmd "e9" ~doc:"Per-ID state costs (Lemma 10)."
+        Experiments.Exp_costs.run_e9;
+      experiment_cmd "e10" ~doc:"Group-size sweep: the lnln n knee (SI-D)."
+        Experiments.Exp_sweep.run_e10;
+      experiment_cmd "e11" ~doc:"Cuckoo-rule baseline under join-leave attack ([47])."
+        Experiments.Exp_cuckoo.run_e11;
+      experiment_cmd "e12" ~doc:"Bootstrap pools (Appendix IX)."
+        Experiments.Exp_bootstrap.run_e12;
+      experiment_cmd "e13" ~doc:"Epoch protocol with drifting system size."
+        Experiments.Exp_drift.run_e13;
+      experiment_cmd "e14" ~doc:"Request-verification ablation (Lemma 10)."
+        Experiments.Exp_spam.run_e14;
+      experiment_cmd "e15" ~doc:"Recursive vs iterative search (Appendix VI)."
+        Experiments.Exp_overlay.run_e15;
+      experiment_cmd "e16" ~doc:"Multi-route retries via salted chord++."
+        Experiments.Exp_overlay.run_e16;
+      experiment_cmd "e17" ~doc:"WAN latency of secure routing vs group size ([51])."
+        Experiments.Exp_latency.run_e17;
+      experiment_cmd "e18" ~doc:"Per-event join/departure cost (footnote 13)."
+        Experiments.Exp_events.run_e18;
+      experiment_cmd "e19" ~doc:"Member-level protocol vs the analytic model."
+        Experiments.Exp_protocol.run_e19;
+      experiment_cmd "e20" ~doc:"Epoch recursion: theory vs measured collapse."
+        Experiments.Exp_theory.run_e20;
+      figure1_cmd;
+      epochs_cmd;
+      all_cmd;
+    ]
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

@@ -1,0 +1,1 @@
+examples/adversary_lab.ml: Adversary Agreement Array Hashing Idspace Int64 Interval List Overlay Point Pow Printf Prng Protocol Ring Sim Tinygroups

@@ -1,0 +1,1 @@
+examples/churn_resilience.ml: Experiments List Printf Prng Tinygroups

@@ -1,0 +1,1 @@
+examples/distributed_storage.ml: Adversary Agreement Array Hashing Idspace List Overlay Printf Prng Ring String Tinygroups Workload

@@ -1,0 +1,1 @@
+examples/full_system.ml: Adversary Array Idspace Int64 Kvstore Pow Printf Prng Protocol Randstring Sim Stats Tinygroups Workload

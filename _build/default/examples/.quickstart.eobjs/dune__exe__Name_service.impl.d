@@ -1,0 +1,1 @@
+examples/name_service.ml: Adversary Idspace Kvstore Printf Prng Tinygroups

@@ -1,0 +1,1 @@
+examples/open_computing.ml: Adversary Agreement Array Hashing Idspace Overlay Printf Prng Ring Tinygroups Workload

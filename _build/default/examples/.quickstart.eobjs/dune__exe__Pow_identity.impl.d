@@ -1,0 +1,1 @@
+examples/pow_identity.ml: Experiments Idspace Int64 List Pow Printf Prng Randstring Sim Stats

@@ -1,0 +1,1 @@
+examples/pow_identity.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Adversary Array Estimate Experiments Hashing Idspace List Overlay Point Printf Prng Tinygroups

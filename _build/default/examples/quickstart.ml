@@ -1,0 +1,75 @@
+(* Quickstart: build a Byzantine-resistant overlay with tiny groups
+   and run secure searches through it.
+
+       dune exec examples/quickstart.exe
+
+   Walks the full pipeline on a small system: generate a population
+   with a 5% adversary, wire the Chord input graph, build the group
+   graph, inspect its health, and route a few searches — including
+   one that shows what a red group does to a search path. *)
+
+open Idspace
+
+let () =
+  let rng = Prng.Rng.create 42 in
+  let n = 1024 and beta = 0.05 in
+  Printf.printf "tiny groups quickstart: n = %d IDs, adversary share beta = %.2f\n\n" n beta;
+
+  (* 1. A population: (1 - beta) n good IDs and beta n bad IDs, all
+     uniform on the ring — what proof-of-work enforces (Lemma 11). *)
+  let pop =
+    Adversary.Population.generate rng ~n ~beta ~strategy:Adversary.Placement.Uniform
+  in
+  Printf.printf "population: %d IDs (%d adversarial)\n" (Adversary.Population.n pop)
+    (Adversary.Population.bad_count pop);
+
+  (* 2. The input graph H (P1-P4): Chord here; Debruijn also works. *)
+  let overlay = Overlay.Chord.make (Adversary.Population.ring pop) in
+
+  (* 3. The group graph: one group of ~d2 lnln n members per ID. *)
+  let graph =
+    Tinygroups.Group_graph.build_direct ~params:Tinygroups.Params.default ~population:pop
+      ~overlay ~member_oracle:(Hashing.Oracle.make ~system_key:"quickstart" ~label:"h1")
+  in
+  let c = Tinygroups.Group_graph.census graph in
+  Printf.printf "group graph: %d groups, mean size %.1f (ln n = %.1f, lnln n = %.1f)\n"
+    c.total
+    (Tinygroups.Group_graph.mean_group_size graph)
+    (log (float_of_int n))
+    (Estimate.exact_ln_ln n);
+  Printf.printf "health: %d good, %d weak, %d hijacked\n\n" c.good c.weak c.hijacked_;
+
+  (* 4. Secure searches: all-to-all + majority filtering per hop. *)
+  let leaders = Tinygroups.Group_graph.leaders graph in
+  let successes = ref 0 and total_msgs = ref 0 in
+  let samples = 1000 in
+  for _ = 1 to samples do
+    let src = leaders.(Prng.Rng.int rng (Array.length leaders)) in
+    let key = Point.random rng in
+    let o = Tinygroups.Secure_route.search graph ~failure:`Majority ~src ~key in
+    if Tinygroups.Secure_route.succeeded o then incr successes;
+    total_msgs := !total_msgs + o.Tinygroups.Secure_route.messages
+  done;
+  Printf.printf "searches: %d/%d succeeded; mean cost %.0f messages (D * |G|^2 ~ %.0f)\n\n"
+    !successes samples
+    (float_of_int !total_msgs /. float_of_int samples)
+    (Tinygroups.Secure_route.expected_route_cost graph ~hops:7);
+
+  (* 5. One search in detail. *)
+  let src = leaders.(0) in
+  let key = Point.of_float 0.75 in
+  let o = Tinygroups.Secure_route.search graph ~failure:`Majority ~src ~key in
+  Printf.printf "one search, from %s for key %s:\n" (Point.to_string src)
+    (Point.to_string key);
+  List.iter
+    (fun w ->
+      let grp = Tinygroups.Group_graph.group_of graph w in
+      Printf.printf "  -> G_%s (%d members, %d bad)\n" (Point.to_string w)
+        (Tinygroups.Group.size grp) grp.Tinygroups.Group.bad_members)
+    o.Tinygroups.Secure_route.group_path;
+  (match o.Tinygroups.Secure_route.result with
+  | Ok resp -> Printf.printf "  responsible ID found: %s\n" (Point.to_string resp)
+  | Error red -> Printf.printf "  blocked by red group %s\n" (Point.to_string red));
+
+  (* 6. The figure-1 style trace with a planted red group. *)
+  print_string (Experiments.Exp_figure1.render (Prng.Rng.split rng))

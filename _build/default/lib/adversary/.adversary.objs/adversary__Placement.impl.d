@@ -1,0 +1,1 @@
+lib/adversary/placement.ml: Format Idspace Interval List Point Prng

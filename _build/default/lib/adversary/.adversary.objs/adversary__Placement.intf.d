@@ -1,0 +1,1 @@
+lib/adversary/placement.mli: Format Idspace Interval Point Prng

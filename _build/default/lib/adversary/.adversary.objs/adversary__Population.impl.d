@@ -1,0 +1,1 @@
+lib/adversary/population.ml: Array Idspace List Placement Point Prng Ring Set

@@ -1,0 +1,1 @@
+lib/adversary/population.mli: Idspace Placement Point Prng Ring

@@ -1,0 +1,1 @@
+lib/adversary/strategy.mli: Format

@@ -1,0 +1,30 @@
+open Idspace
+
+type t = Uniform | Cluster of Interval.t | Omit of float
+
+let draw rng strategy ~budget =
+  if budget < 0 then invalid_arg "Placement.draw: negative budget";
+  let draw_distinct sample k =
+    let rec grow acc remaining =
+      if remaining = 0 then acc
+      else begin
+        let p = sample () in
+        if List.exists (Point.equal p) acc then grow acc remaining
+        else grow (p :: acc) (remaining - 1)
+      end
+    in
+    grow [] k
+  in
+  match strategy with
+  | Uniform -> draw_distinct (fun () -> Point.random rng) budget
+  | Cluster arc -> draw_distinct (fun () -> Interval.sample rng arc) budget
+  | Omit p ->
+      if p < 0. || p > 1. then invalid_arg "Placement.draw: omit probability out of [0,1]";
+      List.filter
+        (fun _ -> not (Prng.Rng.bernoulli rng p))
+        (draw_distinct (fun () -> Point.random rng) budget)
+
+let pp fmt = function
+  | Uniform -> Format.fprintf fmt "uniform"
+  | Cluster arc -> Format.fprintf fmt "cluster%a" Interval.pp arc
+  | Omit p -> Format.fprintf fmt "omit(%.2f)" p

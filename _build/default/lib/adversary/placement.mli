@@ -1,0 +1,28 @@
+(** How the adversary positions its IDs on the ring.
+
+    Under the full construction, proof-of-work forces adversarial IDs
+    to be u.a.r. in [0,1) (Lemma 11) — that is {!Uniform}. The other
+    strategies exist to demonstrate {e why} the enforcement matters:
+    {!Cluster} is the attack available when a single hash function
+    assigns IDs (§IV-A, "Why Use Two Hash Functions?"), and {!Omit}
+    is the subset-withholding adversary of Lemma 5. *)
+
+open Idspace
+
+type t =
+  | Uniform
+      (** IDs u.a.r. on the ring — what PoW with two composed hash
+          functions enforces. *)
+  | Cluster of Interval.t
+      (** All bad IDs placed u.a.r. {e within} one arc — the
+          single-hash-function pre-image–selection attack. *)
+  | Omit of float
+      (** Draw u.a.r. but withhold each ID independently with the
+          given probability (Lemma 5's H'): the adversary fields only
+          a subset of its entitled IDs. *)
+
+val draw : Prng.Rng.t -> t -> budget:int -> Point.t list
+(** [draw rng strategy ~budget] places at most [budget] bad IDs
+    ({!Omit} places fewer). Duplicates are redrawn. *)
+
+val pp : Format.formatter -> t -> unit

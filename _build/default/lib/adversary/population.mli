@@ -1,0 +1,46 @@
+(** The labelled ID population: who is good, who is bad.
+
+    A population is the ground truth of one experiment instant — the
+    ring of all IDs together with the adversary's subset. Components
+    never branch on goodness except where the model allows (a bad ID
+    may deviate arbitrarily; a good ID follows the protocol);
+    measurement code uses {!is_bad} to classify outcomes. *)
+
+open Idspace
+
+type t
+
+val make : good:Point.t list -> bad:Point.t list -> t
+(** Requires the two lists to be disjoint and each duplicate-free. *)
+
+val generate :
+  Prng.Rng.t -> n:int -> beta:float -> strategy:Placement.t -> t
+(** [generate rng ~n ~beta ~strategy] creates [ceil (beta * n)] bad
+    IDs by [strategy] and fills up to [n] total with u.a.r. good IDs.
+    This is the §I-C model: at most a [beta] fraction bad. *)
+
+val ring : t -> Ring.t
+(** All present IDs. *)
+
+val n : t -> int
+
+val is_bad : t -> Point.t -> bool
+(** [false] for IDs not in the population. *)
+
+val bad_count : t -> int
+
+val beta_actual : t -> float
+(** Realised bad fraction (can be below the target under
+    {!Placement.Omit}). *)
+
+val good_ids : t -> Point.t array
+val bad_ids : t -> Point.t array
+val all_ids : t -> Point.t array
+
+val add_good : t -> Point.t -> t
+val add_bad : t -> Point.t -> t
+val remove : t -> Point.t -> t
+(** Functional updates for churn; removing an absent ID is a no-op. *)
+
+val random_good : Prng.Rng.t -> t -> Point.t
+(** A uniform good ID; raises [Invalid_argument] if none exist. *)

@@ -1,0 +1,19 @@
+type search_behaviour = Drop | Corrupt | Misroute
+
+type t = {
+  search : search_behaviour;
+  delay_strings : bool;
+  spam_requests : int;
+}
+
+let default = { search = Drop; delay_strings = true; spam_requests = 0 }
+let passive = { search = Drop; delay_strings = false; spam_requests = 0 }
+
+let pp_behaviour fmt = function
+  | Drop -> Format.fprintf fmt "drop"
+  | Corrupt -> Format.fprintf fmt "corrupt"
+  | Misroute -> Format.fprintf fmt "misroute"
+
+let pp fmt t =
+  Format.fprintf fmt "{search=%a; delay_strings=%b; spam=%d}" pp_behaviour t.search
+    t.delay_strings t.spam_requests

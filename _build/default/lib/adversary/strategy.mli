@@ -1,0 +1,34 @@
+(** Behavioural knobs of the single colluding adversary.
+
+    The robustness analysis treats any search touching a red group as
+    failed (§II), so for the headline metrics only the {e existence}
+    of red groups matters. Applications and cost experiments, however,
+    see behaviour: a red group can silently drop a request, corrupt
+    the payload, or misdirect the search to another red group; during
+    string propagation the adversary can withhold small-output strings
+    until the last step of a phase (§IV-B); and it can spam
+    membership/neighbour requests to inflate good IDs' state
+    (Lemma 10's attack). *)
+
+type search_behaviour =
+  | Drop  (** Swallow the request: search times out. *)
+  | Corrupt  (** Answer with corrupted data. *)
+  | Misroute  (** Forward to an adversary-chosen red group. *)
+
+type t = {
+  search : search_behaviour;
+  delay_strings : bool;
+      (** Release record-small random strings only at the end of
+          Phase 2 of the propagation protocol. *)
+  spam_requests : int;
+      (** Number of bogus membership/neighbour requests issued per bad
+          ID per epoch. *)
+}
+
+val default : t
+(** Worst case for availability: [Drop], delayed strings, no spam. *)
+
+val passive : t
+(** A crash-like adversary: drops searches, nothing else. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/agreement/benor.ml: Array Bool Phase_king Prng

@@ -1,0 +1,1 @@
+lib/agreement/benor.mli: Phase_king Prng

@@ -1,0 +1,1 @@
+lib/agreement/commit_reveal.ml: Array Int64 Prng

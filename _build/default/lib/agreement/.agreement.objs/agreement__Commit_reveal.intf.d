@@ -1,0 +1,1 @@
+lib/agreement/commit_reveal.mli: Prng

@@ -1,0 +1,1 @@
+lib/agreement/multivalued.ml: Array Hashtbl Option

@@ -1,0 +1,1 @@
+lib/agreement/phase_king.mli: Prng

@@ -1,0 +1,87 @@
+type outcome = {
+  decisions : bool option array;
+  rounds : int;
+  messages : int;
+}
+
+let tolerates ~g ~t = 5 * t < g
+
+(* What a faulty processor sends for an optional-value broadcast. *)
+let byz_optional rng behaviour ~recipient ~g =
+  match (behaviour : Phase_king.byzantine_behaviour) with
+  | Phase_king.Silent -> None
+  | Phase_king.Random -> Some (Prng.Rng.bool rng)
+  | Phase_king.Equivocate -> Some (recipient >= g / 2)
+  | Phase_king.Collude_against v -> Some (not v)
+
+let run rng ~inputs ~byzantine ~behaviour ~max_rounds =
+  let g = Array.length inputs in
+  if g = 0 then invalid_arg "Benor.run: empty group";
+  if Array.length byzantine <> g then invalid_arg "Benor.run: array length mismatch";
+  let t = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 byzantine in
+  let pref = Array.copy inputs in
+  let decided : bool option array = Array.make g None in
+  let messages = ref 0 in
+  let rounds = ref 0 in
+  (* One broadcast step: returns received.(recipient).(sender). *)
+  let exchange value_of =
+    let received = Array.make_matrix g g None in
+    for i = 0 to g - 1 do
+      for j = 0 to g - 1 do
+        let m =
+          if byzantine.(i) then byz_optional rng behaviour ~recipient:j ~g
+          else value_of i
+        in
+        (match m with Some _ -> incr messages | None -> ());
+        received.(j).(i) <- m
+      done
+    done;
+    received
+  in
+  let count row v =
+    Array.fold_left
+      (fun acc m -> match m with Some x when Bool.equal x v -> acc + 1 | _ -> acc)
+      0 row
+  in
+  let all_good_decided () =
+    let ok = ref true in
+    Array.iteri (fun i b -> if (not b) && decided.(i) = None then ok := false) byzantine;
+    !ok
+  in
+  let super_majority = (g + t) / 2 in
+  while (not (all_good_decided ())) && !rounds < max_rounds do
+    incr rounds;
+    (* Phase 1: report preferences (deciders report their decision). *)
+    let reports =
+      exchange (fun i ->
+          match decided.(i) with Some v -> Some v | None -> Some pref.(i))
+    in
+    let ratify = Array.make g None in
+    for j = 0 to g - 1 do
+      if not byzantine.(j) then begin
+        if count reports.(j) true > super_majority then ratify.(j) <- Some true
+        else if count reports.(j) false > super_majority then ratify.(j) <- Some false
+      end
+    done;
+    (* Phase 2: ratifications. *)
+    let rats =
+      exchange (fun i ->
+          match decided.(i) with Some v -> Some v | None -> ratify.(i))
+    in
+    for j = 0 to g - 1 do
+      if (not byzantine.(j)) && decided.(j) = None then begin
+        let ct = count rats.(j) true and cf = count rats.(j) false in
+        let adopt v cnt =
+          if cnt > super_majority then decided.(j) <- Some v;
+          pref.(j) <- v
+        in
+        if ct >= t + 1 && ct >= cf then adopt true ct
+        else if cf >= t + 1 then adopt false cf
+        else pref.(j) <- Prng.Rng.bool rng
+      end
+    done
+  done;
+  let decisions =
+    Array.init g (fun i -> if byzantine.(i) then None else decided.(i))
+  in
+  { decisions; rounds = !rounds; messages = !messages }

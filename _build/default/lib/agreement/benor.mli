@@ -1,0 +1,37 @@
+(** Ben-Or's randomized Byzantine agreement (1983), synchronous
+    simulation.
+
+    A complement to {!Phase_king}: no king, no phase schedule — each
+    round every processor reports its preference, ratifies a value
+    seen in a super-majority, and falls back to a local coin when the
+    adversary keeps the group split. Tolerates [t < g/5] Byzantine
+    processors; termination is probabilistic (expected constant
+    rounds at the group sizes the construction uses, since one lucky
+    unanimous coin flip finishes).
+
+    Groups could run either protocol; having both lets the test suite
+    cross-validate the agreement layer and the bench compare their
+    costs. *)
+
+type outcome = {
+  decisions : bool option array;
+      (** Per-processor decision; [None] for Byzantine members and
+          for good members that did not decide within the round
+          cap. *)
+  rounds : int;
+  messages : int;
+}
+
+val run :
+  Prng.Rng.t ->
+  inputs:bool array ->
+  byzantine:bool array ->
+  behaviour:Phase_king.byzantine_behaviour ->
+  max_rounds:int ->
+  outcome
+(** Simulate until every good processor has decided or [max_rounds]
+    passes. Guarantees (for [5 t < g]): good deciders agree, and a
+    unanimous good input is decided in the first round. *)
+
+val tolerates : g:int -> t:int -> bool
+(** [5 t < g]. *)

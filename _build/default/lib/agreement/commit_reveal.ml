@@ -1,0 +1,62 @@
+type outcome = {
+  value : int64;
+  messages : int;
+  reconstructed : int;
+  excluded : int;
+}
+
+type byzantine_plan = {
+  withhold_if_output_even : bool;
+}
+
+let parity v = Int64.logand v 1L = 0L
+
+(* One commit(+share)-reveal round; returns the full XOR (all
+   committed values), the honest-only XOR, and whether the coalition
+   aborted its reveals. *)
+let round rng ~good ~bad ~plan =
+  let honest_values = Array.init good (fun _ -> Prng.Rng.bits64 rng) in
+  let bad_values = Array.init bad (fun _ -> Prng.Rng.bits64 rng) in
+  let honest_xor = Array.fold_left Int64.logxor 0L honest_values in
+  let full_xor = Array.fold_left Int64.logxor honest_xor bad_values in
+  let abort = plan.withhold_if_output_even && bad > 0 && parity full_xor in
+  (full_xor, honest_xor, abort)
+
+let run rng ~good ~bad ~plan =
+  if good < 1 then invalid_arg "Commit_reveal.run: need at least one good member";
+  if bad < 0 then invalid_arg "Commit_reveal.run: negative bad count";
+  if bad >= good then invalid_arg "Commit_reveal.run: reconstruction needs a good majority";
+  let total = good + bad in
+  let full_xor, _, abort = round rng ~good ~bad ~plan in
+  (* Commit broadcast + share distribution + reveals. *)
+  let commit_msgs = total * (total - 1) in
+  let share_msgs = total * (total - 1) in
+  let reveal_msgs = (good + if abort then 0 else bad) * (total - 1) in
+  (* Recovery: each withheld value is reconstructed by pooling shares
+     (every good member sends its share of each missing value). *)
+  let reconstructed = if abort then bad else 0 in
+  let recovery_msgs = reconstructed * good in
+  {
+    value = full_xor;
+    messages = commit_msgs + share_msgs + reveal_msgs + recovery_msgs;
+    reconstructed;
+    excluded = (if abort then bad else 0);
+  }
+
+let parity_bias rng ~trials ~good ~bad ~recovery =
+  if trials < 1 then invalid_arg "Commit_reveal.parity_bias";
+  let plan = { withhold_if_output_even = true } in
+  let even = ref 0 in
+  for _ = 1 to trials do
+    let v =
+      if recovery then (run rng ~good ~bad ~plan).value
+      else begin
+        (* Naive variant: withheld reveals are silently dropped, so
+           the coalition's conditional veto stands. *)
+        let full_xor, honest_xor, abort = round rng ~good ~bad ~plan in
+        if abort then honest_xor else full_xor
+      end
+    in
+    if parity v then incr even
+  done;
+  float_of_int !even /. float_of_int trials

@@ -1,0 +1,88 @@
+type 'a outcome = {
+  decisions : 'a option array;
+  rounds : int;
+  messages : int;
+}
+
+let tolerates ~g ~t = 4 * t < g
+
+(* Plurality of the received values: the most frequent value, ties
+   toward the smallest under [compare] for determinism. Returns the
+   winner and its count; [None] when nothing was received. *)
+let plurality row =
+  let tally = Hashtbl.create 8 in
+  Array.iter
+    (function
+      | Some v ->
+          Hashtbl.replace tally v (1 + Option.value ~default:0 (Hashtbl.find_opt tally v))
+      | None -> ())
+    row;
+  Hashtbl.fold
+    (fun v c best ->
+      match best with
+      | Some (bv, bc) when bc > c || (bc = c && compare bv v <= 0) -> best
+      | _ -> Some (v, c))
+    tally None
+
+let run ~inputs ~byzantine ~forge =
+  let g = Array.length inputs in
+  if g = 0 then invalid_arg "Multivalued.run: empty group";
+  if Array.length byzantine <> g then invalid_arg "Multivalued.run: array length mismatch";
+  let t = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 byzantine in
+  let pref = Array.copy inputs in
+  let messages = ref 0 in
+  let rounds = ref 0 in
+  let exchange ~round value_of =
+    incr rounds;
+    let received = Array.make_matrix g g None in
+    for i = 0 to g - 1 do
+      for j = 0 to g - 1 do
+        let m =
+          if byzantine.(i) then forge ~sender:i ~recipient:j ~round
+          else Some (value_of i)
+        in
+        (match m with Some _ -> incr messages | None -> ());
+        received.(j).(i) <- m
+      done
+    done;
+    received
+  in
+  for k = 0 to t do
+    (* Round 1: universal exchange of preferences. *)
+    let received = exchange ~round:(2 * k) (fun i -> pref.(i)) in
+    let maj = Array.make g None in
+    let maj_count = Array.make g 0 in
+    for j = 0 to g - 1 do
+      match plurality received.(j) with
+      | Some (v, c) ->
+          maj.(j) <- Some v;
+          maj_count.(j) <- c
+      | None -> ()
+    done;
+    (* Round 2: the king broadcasts its plurality value. *)
+    let king = k mod g in
+    incr rounds;
+    let king_value = Array.make g None in
+    for j = 0 to g - 1 do
+      let m =
+        if byzantine.(king) then forge ~sender:king ~recipient:j ~round:((2 * k) + 1)
+        else maj.(king)
+      in
+      (match m with Some _ -> incr messages | None -> ());
+      king_value.(j) <- m
+    done;
+    for j = 0 to g - 1 do
+      if not byzantine.(j) then
+        if maj_count.(j) > (g / 2) + t then
+          (match maj.(j) with Some v -> pref.(j) <- v | None -> ())
+        else begin
+          match king_value.(j) with
+          | Some v -> pref.(j) <- v
+          | None -> () (* a silent king leaves the preference alone *)
+        end
+    done
+  done;
+  let decisions =
+    Array.init g (fun i -> if byzantine.(i) then None else Some pref.(i))
+  in
+  { decisions; rounds = !rounds; messages = !messages }

@@ -1,0 +1,34 @@
+(** Multi-valued Byzantine agreement: the phase-king scheme lifted
+    from bits to arbitrary comparable values.
+
+    Group decisions are rarely binary — members agree on a member
+    list, a minimum random string, a stored record. The two-round
+    phase-king structure generalises verbatim: round one takes the
+    plurality of reported values, round two defers to the king unless
+    one's own plurality was overwhelming ([> g/2 + t]). Same fault
+    bound as the binary protocol ([4 t < g]), [t + 1] phases.
+
+    Values are compared with polymorphic equality and must admit
+    hashing (use simple payload types); ties break toward the
+    smallest value under [compare] so the protocol stays
+    deterministic given the message trace. *)
+
+type 'a outcome = {
+  decisions : 'a option array;
+      (** [None] for Byzantine processors. *)
+  rounds : int;
+  messages : int;
+}
+
+val run :
+  inputs:'a array ->
+  byzantine:bool array ->
+  forge:(sender:int -> recipient:int -> round:int -> 'a option) ->
+  'a outcome
+(** [run ~inputs ~byzantine ~forge] — [forge] chooses every Byzantine
+    message per (sender, recipient, round); [None] stays silent.
+    Guarantees for [4 t < g]: agreement among good processors, and
+    validity (a unanimous good input wins). *)
+
+val tolerates : g:int -> t:int -> bool
+(** [4 t < g]. *)

@@ -1,0 +1,100 @@
+type outcome = {
+  decisions : bool option array;
+  rounds : int;
+  messages : int;
+}
+
+type byzantine_behaviour =
+  | Silent
+  | Random
+  | Equivocate
+  | Collude_against of bool
+
+let tolerates ~g ~t = 4 * t < g
+
+(* What faulty processor [i] sends to recipient [j] this round, if
+   anything. [honest] is what the protocol would have it send. *)
+let byz_message rng behaviour ~recipient ~g ~honest:_ =
+  match behaviour with
+  | Silent -> None
+  | Random -> Some (Prng.Rng.bool rng)
+  | Equivocate -> Some (recipient >= g / 2)
+  | Collude_against v -> Some (not v)
+
+let run rng ~inputs ~byzantine ~behaviour =
+  let g = Array.length inputs in
+  if g = 0 then invalid_arg "Phase_king.run: empty group";
+  if Array.length byzantine <> g then invalid_arg "Phase_king.run: array length mismatch";
+  let t = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 byzantine in
+  let pref = Array.copy inputs in
+  let messages = ref 0 in
+  let rounds = ref 0 in
+  (* One all-to-all exchange: sender i sends [value i] (good) or the
+     behaviour's choice (bad); returns the matrix received.(j).(i). *)
+  let exchange value =
+    incr rounds;
+    let received = Array.make_matrix g g None in
+    for i = 0 to g - 1 do
+      for j = 0 to g - 1 do
+        let m =
+          if byzantine.(i) then
+            byz_message rng behaviour ~recipient:j ~g ~honest:(value i)
+          else Some (value i)
+        in
+        (match m with Some _ -> incr messages | None -> ());
+        received.(j).(i) <- m
+      done
+    done;
+    received
+  in
+  for k = 0 to t do
+    (* Round 1: universal exchange of preferences. *)
+    let received = exchange (fun i -> pref.(i)) in
+    let maj = Array.make g false in
+    let maj_count = Array.make g 0 in
+    for j = 0 to g - 1 do
+      let ones = ref 0 and zeros = ref 0 in
+      Array.iter
+        (function
+          | Some true -> incr ones
+          | Some false -> incr zeros
+          | None -> incr zeros (* missing counts as the default value *))
+        received.(j);
+      if !ones > !zeros then begin
+        maj.(j) <- true;
+        maj_count.(j) <- !ones
+      end
+      else begin
+        maj.(j) <- false;
+        maj_count.(j) <- !zeros
+      end
+    done;
+    (* Round 2: the phase king broadcasts its majority value. *)
+    let king = k mod g in
+    incr rounds;
+    let king_value = Array.make g false in
+    for j = 0 to g - 1 do
+      let m =
+        if byzantine.(king) then
+          byz_message rng behaviour ~recipient:j ~g ~honest:maj.(king)
+        else Some maj.(king)
+      in
+      (match m with
+      | Some v ->
+          incr messages;
+          king_value.(j) <- v
+      | None -> king_value.(j) <- false);
+      ()
+    done;
+    (* Update preferences: keep own majority only when it is
+       overwhelming (> g/2 + t), otherwise defer to the king. *)
+    for j = 0 to g - 1 do
+      if not byzantine.(j) then
+        if maj_count.(j) > (g / 2) + t then pref.(j) <- maj.(j)
+        else pref.(j) <- king_value.(j)
+    done
+  done;
+  let decisions =
+    Array.init g (fun i -> if byzantine.(i) then None else Some pref.(i))
+  in
+  { decisions; rounds = !rounds; messages = !messages }

@@ -1,0 +1,54 @@
+(** Synchronous binary Byzantine agreement by the Phase-King
+    algorithm (Berman–Garay–Perry style, two rounds per phase, after
+    Attiya and Welch §5.2.6).
+
+    Groups use Byzantine agreement to "simulate a reliable processor"
+    (paper §I): every group decision — accepting a member, answering
+    a search, choosing a minimum string — is a BA instance among the
+    [Θ(log log n)] members. This implementation tolerates [t < g/4]
+    Byzantine members in [t + 1] phases of two rounds each and
+    [O(t g^2)] messages, which the paper's "sufficiently small β"
+    regime satisfies.
+
+    The simulation is synchronous and adversarial: Byzantine members
+    are driven by a callback that sees the full network state
+    (perfect collusion, full knowledge — §I-C's adversary) and may
+    equivocate arbitrarily per recipient. *)
+
+type outcome = {
+  decisions : bool option array;
+      (** Per-processor decision; [None] for Byzantine members (their
+          output is meaningless). *)
+  rounds : int;  (** Synchronous rounds executed. *)
+  messages : int;  (** Point-to-point messages sent (including by
+                       Byzantine members). *)
+}
+
+type byzantine_behaviour =
+  | Silent  (** Send nothing. *)
+  | Random  (** Independent coin per recipient per round. *)
+  | Equivocate
+      (** Tell the first half of recipients [false] and the rest
+          [true] every round; kings lie the same way. *)
+  | Collude_against of bool
+      (** Push the group away from the given value: always send its
+          negation. *)
+
+val run :
+  Prng.Rng.t ->
+  inputs:bool array ->
+  byzantine:bool array ->
+  behaviour:byzantine_behaviour ->
+  outcome
+(** [run rng ~inputs ~byzantine ~behaviour] executes phase king over
+    [g = Array.length inputs] processors, of which [byzantine.(i)]
+    marks the faulty ones. Arrays must have equal lengths and [g >= 1].
+
+    Guarantees (when [#byzantine < g/4]): all good processors decide
+    the same value (agreement), and if all good inputs agree, that
+    value is decided (validity). These are checked by the test suite,
+    not by this function. *)
+
+val tolerates : g:int -> t:int -> bool
+(** [tolerates ~g ~t] is [4 * t < g], the fault bound of this
+    protocol. *)

@@ -1,0 +1,1 @@
+lib/baseline/cuckoo.ml: Array Hashtbl List Prng

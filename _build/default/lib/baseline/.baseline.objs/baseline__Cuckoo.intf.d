@@ -1,0 +1,1 @@
+lib/baseline/cuckoo.mli: Prng

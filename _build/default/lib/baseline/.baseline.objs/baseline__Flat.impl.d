@@ -1,0 +1,1 @@
+lib/baseline/flat.ml: Adversary Array Idspace List Overlay Point Population Prng

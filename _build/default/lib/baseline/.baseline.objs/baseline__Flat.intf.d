@@ -1,0 +1,1 @@
+lib/baseline/flat.mli: Adversary Overlay Population Prng

@@ -1,0 +1,1 @@
+lib/baseline/logn_groups.ml: Tinygroups

@@ -1,0 +1,1 @@
+lib/baseline/logn_groups.mli: Adversary Hashing Overlay Population Tinygroups

@@ -1,0 +1,31 @@
+open Idspace
+open Adversary
+
+type report = {
+  samples : int;
+  successes : int;
+  success_rate : float;
+  predicted : float;
+  mean_path_len : float;
+}
+
+let search_success rng pop overlay ~samples =
+  if samples <= 0 then invalid_arg "Flat.search_success";
+  let good = Population.good_ids pop in
+  if Array.length good = 0 then invalid_arg "Flat.search_success: no good IDs";
+  let successes = ref 0 and hops = ref 0 in
+  for _ = 1 to samples do
+    let src = good.(Prng.Rng.int rng (Array.length good)) in
+    let key = Point.random rng in
+    let path = overlay.Overlay.Overlay_intf.route ~src ~key in
+    hops := !hops + List.length path;
+    if List.for_all (fun id -> not (Population.is_bad pop id)) path then incr successes
+  done;
+  let mean_path_len = float_of_int !hops /. float_of_int samples in
+  {
+    samples;
+    successes = !successes;
+    success_rate = float_of_int !successes /. float_of_int samples;
+    predicted = (1. -. Population.beta_actual pop) ** mean_path_len;
+    mean_path_len;
+  }

@@ -1,0 +1,27 @@
+(** The no-groups degenerate baseline ("groups of a single ID",
+    paper §I-A).
+
+    Routing runs over the raw input graph among individual IDs; a
+    search fails as soon as its path touches a single bad ID, so the
+    success rate collapses like [(1 - beta)^D]. It trivially yields
+    [(1 - beta) n] reliable processors but no secure routing between
+    them — the paper's argument for why ε-robustness is not free. *)
+
+open Adversary
+
+type report = {
+  samples : int;
+  successes : int;
+  success_rate : float;
+  predicted : float;  (** [(1 - beta)^mean_path_len]. *)
+  mean_path_len : float;
+}
+
+val search_success :
+  Prng.Rng.t ->
+  Population.t ->
+  Overlay.Overlay_intf.t ->
+  samples:int ->
+  report
+(** Sample searches between random good IDs and random keys over the
+    raw overlay; a path through any bad ID fails. *)

@@ -1,0 +1,25 @@
+(** The classical [Theta(log n)]-group baseline.
+
+    Every prior group-based construction the paper cites ([7]–[10],
+    [18], [21], ...) uses groups of [c ln n] members to get a good
+    majority in {e all} groups w.h.p. This baseline runs the very
+    same group-graph machinery with [Log c] sizing, so cost
+    comparisons (Corollary 1 / experiment E3) differ in exactly one
+    variable: the group size. *)
+
+open Adversary
+
+val build :
+  ?c:float ->
+  params:Tinygroups.Params.t ->
+  population:Population.t ->
+  overlay:Overlay.Overlay_intf.t ->
+  member_oracle:Hashing.Oracle.t ->
+  unit ->
+  Tinygroups.Group_graph.t
+(** [build ~c ...] is {!Tinygroups.Group_graph.build_direct} with
+    sizing [Log c] (default [c = 2.0], the scale at which the
+    all-groups-good guarantee holds at the experiment sizes). *)
+
+val group_size : ?c:float -> n:int -> unit -> int
+(** The member-draw count this baseline uses at system size [n]. *)

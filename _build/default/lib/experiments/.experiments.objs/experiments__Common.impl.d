@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Adversary Hashing Overlay Placement Population Prng Tinygroups

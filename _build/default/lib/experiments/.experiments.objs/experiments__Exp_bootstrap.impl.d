@@ -1,0 +1,1 @@
+lib/experiments/exp_bootstrap.ml: Array Common List Printf Prng Scale Table Tinygroups

@@ -1,0 +1,1 @@
+lib/experiments/exp_costs.ml: Baseline Common Idspace List Prng Scale Stats Table Tinygroups

@@ -1,0 +1,1 @@
+lib/experiments/exp_cuckoo.ml: Baseline List Printf Prng Scale Table Tinygroups

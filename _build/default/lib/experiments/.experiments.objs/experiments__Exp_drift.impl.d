@@ -1,0 +1,1 @@
+lib/experiments/exp_drift.ml: Printf Prng Scale Table Tinygroups

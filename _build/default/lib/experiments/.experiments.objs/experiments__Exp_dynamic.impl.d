@@ -1,0 +1,1 @@
+lib/experiments/exp_dynamic.ml: List Printf Prng Scale Table Tinygroups

@@ -1,0 +1,1 @@
+lib/experiments/exp_events.ml: Array Common Hashing Idspace List Prng Scale Sim Table Tinygroups

@@ -1,0 +1,1 @@
+lib/experiments/exp_figure1.ml: Adversary Array Buffer Common Idspace List Point Printf Ring String Tinygroups

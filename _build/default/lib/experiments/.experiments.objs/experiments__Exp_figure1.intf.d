@@ -1,0 +1,1 @@
+lib/experiments/exp_figure1.mli: Prng

@@ -1,0 +1,1 @@
+lib/experiments/exp_latency.ml: Array Common Idspace List Printf Prng Scale Sim Stats Table Tinygroups

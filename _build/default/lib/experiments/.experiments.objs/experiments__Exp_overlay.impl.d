@@ -1,0 +1,1 @@
+lib/experiments/exp_overlay.ml: Adversary Array Common Hashtbl Idspace List Overlay Printf Prng Scale Table Tinygroups

@@ -1,0 +1,1 @@
+lib/experiments/exp_overlay.mli: Prng Scale Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_pow.ml: Idspace Int64 List Pow Prng Scale Sim Stats Table

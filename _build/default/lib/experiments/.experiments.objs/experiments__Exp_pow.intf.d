@@ -1,0 +1,1 @@
+lib/experiments/exp_pow.mli: Prng Scale Table

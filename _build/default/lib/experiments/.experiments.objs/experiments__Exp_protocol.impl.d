@@ -1,0 +1,1 @@
+lib/experiments/exp_protocol.ml: Array Common Idspace List Printf Prng Protocol Scale Sim Stats Table Tinygroups

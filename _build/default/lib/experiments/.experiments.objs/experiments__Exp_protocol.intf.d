@@ -1,0 +1,1 @@
+lib/experiments/exp_protocol.mli: Prng Scale Table

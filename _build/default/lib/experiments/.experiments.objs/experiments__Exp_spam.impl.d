@@ -1,0 +1,1 @@
+lib/experiments/exp_spam.ml: Adversary Array Common Hashing List Overlay Printf Prng Scale Sim Table Tinygroups

@@ -1,0 +1,1 @@
+lib/experiments/exp_spam.mli: Prng Scale Table

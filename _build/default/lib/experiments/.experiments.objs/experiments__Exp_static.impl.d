@@ -1,0 +1,1 @@
+lib/experiments/exp_static.ml: Common Float Format List Prng Scale Stats Table Tinygroups

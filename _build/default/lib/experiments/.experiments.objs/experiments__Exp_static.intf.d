@@ -1,0 +1,1 @@
+lib/experiments/exp_static.mli: Prng Scale Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_strings.ml: Common List Printf Prng Randstring Scale Stats Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_strings.mli: Prng Scale Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_sweep.ml: Common Float Idspace List Printf Prng Scale Table Tinygroups

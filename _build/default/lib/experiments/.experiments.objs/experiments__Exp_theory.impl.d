@@ -1,0 +1,1 @@
+lib/experiments/exp_theory.ml: Array Float List Printf Prng Scale Table Tinygroups

@@ -1,0 +1,1 @@
+lib/experiments/exp_theory.mli: Prng Scale Table

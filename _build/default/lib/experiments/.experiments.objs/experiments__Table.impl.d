@@ -1,0 +1,1 @@
+lib/experiments/table.ml: Buffer Filename List Printf String Sys

@@ -1,0 +1,27 @@
+(** Shared builders for the experiment modules. *)
+
+open Adversary
+
+val build_tiny :
+  Prng.Rng.t ->
+  ?params:Tinygroups.Params.t ->
+  ?overlay:Tinygroups.Epoch.overlay_kind ->
+  n:int ->
+  beta:float ->
+  unit ->
+  Population.t * Tinygroups.Group_graph.t
+(** One freshly generated population and its directly built
+    tiny-group graph (member oracle ["h1"]). *)
+
+val build_sized :
+  Prng.Rng.t ->
+  sizing:Tinygroups.Params.sizing ->
+  n:int ->
+  beta:float ->
+  unit ->
+  Population.t * Tinygroups.Group_graph.t
+(** Same with an explicit sizing rule (baselines and sweeps). *)
+
+val h1 : Hashing.Oracle.t
+(** The deployment's member oracle, shared so graphs are comparable
+    across experiments. *)

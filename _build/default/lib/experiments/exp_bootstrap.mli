@@ -1,0 +1,10 @@
+(** E12: bootstrap groups (Appendix IX).
+
+    A joiner must find a good-majority set of contacts. The paper's
+    recipe: pool the members of [O(log n / log log n)] uniformly
+    random groups — together they hold [O(log n)] IDs with a good
+    majority w.h.p. Sweep the number of pooled groups and measure the
+    pooled size and the good-majority success rate, including with an
+    adversary well above the default. *)
+
+val run_e12 : Prng.Rng.t -> Scale.t -> Table.t

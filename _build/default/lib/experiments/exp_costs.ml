@@ -1,0 +1,108 @@
+let measure_search rng g ~searches =
+  Tinygroups.Robustness.search_success rng g ~failure:`Majority ~samples:searches
+
+let run_e3 rng scale =
+  let table =
+    Table.create
+      ~title:
+        "E3 (Corollary 1): per-operation cost, tiny groups vs log groups vs flat, same \
+         populations"
+      ~columns:
+        [
+          "n";
+          "scheme";
+          "|G|";
+          "group-comm";
+          "route msgs";
+          "success";
+          "comm ratio";
+        ]
+  in
+  let searches = Scale.searches scale in
+  let beta = 0.05 in
+  List.iter
+    (fun n ->
+      let tiny_pop, tiny = Common.build_tiny rng ~n ~beta () in
+      let logn_sizing = Tinygroups.Params.Log 2.0 in
+      let _, logn = Common.build_sized rng ~sizing:logn_sizing ~n ~beta () in
+      let tiny_size = Tinygroups.Group_graph.mean_group_size tiny in
+      let logn_size = Tinygroups.Group_graph.mean_group_size logn in
+      let tiny_comm = tiny_size *. tiny_size in
+      let logn_comm = logn_size *. logn_size in
+      let tiny_r = measure_search (Prng.Rng.split rng) tiny ~searches in
+      let logn_r = measure_search (Prng.Rng.split rng) logn ~searches in
+      let flat_r =
+        Baseline.Flat.search_success (Prng.Rng.split rng) tiny_pop
+          tiny.Tinygroups.Group_graph.overlay ~samples:searches
+      in
+      let row scheme size comm msgs success ratio =
+        Table.add_row table
+          [
+            Table.fint n;
+            scheme;
+            Table.ffloat ~digits:1 size;
+            Table.ffloat ~digits:0 comm;
+            Table.ffloat ~digits:0 msgs;
+            Table.fpct success;
+            ratio;
+          ]
+      in
+      row "tiny (d2 lnln n)" tiny_size tiny_comm tiny_r.mean_messages tiny_r.success_rate "1.0";
+      row "log (2 ln n)" logn_size logn_comm logn_r.mean_messages logn_r.success_rate
+        (Table.ffloat (logn_comm /. tiny_comm));
+      row "flat (|G|=1)" 1. 1. flat_r.mean_path_len flat_r.success_rate
+        (Table.ffloat (1. /. tiny_comm)))
+    (Scale.n_sweep scale);
+  Table.add_note table
+    "group-comm = |G|^2 messages per intra-group operation (cost (i));";
+  Table.add_note table
+    "route msgs = measured all-to-all messages per search (cost (ii));";
+  Table.add_note table
+    "comm ratio = scheme's group-comm cost relative to tiny groups.";
+  table
+
+let run_e9 rng scale =
+  let table =
+    Table.create
+      ~title:
+        "E9 (Lemma 10): per-good-ID state — group memberships and maintained links"
+      ~columns:
+        [
+          "n";
+          "scheme";
+          "member-of mean";
+          "member-of p99";
+          "links mean";
+          "links p99";
+          "lnln n";
+          "ln n";
+        ]
+  in
+  let beta = 0.05 in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun (scheme, sizing) ->
+          let _, g = Common.build_sized rng ~sizing ~n ~beta () in
+          let s = Tinygroups.Robustness.state_costs g in
+          Table.add_row table
+            [
+              Table.fint n;
+              scheme;
+              Table.ffloat ~digits:1 s.per_id_memberships.Stats.Descriptive.mean;
+              Table.ffloat ~digits:0 s.per_id_memberships.Stats.Descriptive.p99;
+              Table.ffloat ~digits:0 s.per_id_links.Stats.Descriptive.mean;
+              Table.ffloat ~digits:0 s.per_id_links.Stats.Descriptive.p99;
+              Table.ffloat ~digits:1 (Idspace.Estimate.exact_ln_ln n);
+              Table.ffloat ~digits:1 (log (float_of_int n));
+            ])
+        [
+          ("tiny", Tinygroups.Params.default.Tinygroups.Params.sizing);
+          ("log", Tinygroups.Params.Log 2.0);
+        ])
+    (Scale.n_sweep scale);
+  Table.add_note table
+    "member-of ~ number of member draws (d2 lnln n vs 2 ln n); links include";
+  Table.add_note table
+    "intra-group plus all-to-all links to every neighbouring group's members.";
+  table

@@ -1,0 +1,16 @@
+(** E3 and E9: the cost claims (paper §I costs (i)-(iii),
+    Corollary 1, Lemma 10).
+
+    E3 compares, at each system size, the three constructions on the
+    same population: tiny groups ([d2 ln ln n]), classical log groups
+    ([c ln n]) and flat/no-groups routing — on group-communication
+    cost ([|G|^2]), secure-routing cost per search (measured
+    messages), and search success. Shape to reproduce: tiny groups
+    pay a [((ln n)/(ln ln n))^2] factor less than log groups while
+    keeping success near 1; flat routing is cheap but insecure.
+
+    E9 audits Lemma 10: per-good-ID group memberships and link
+    state, tiny vs log groups. *)
+
+val run_e3 : Prng.Rng.t -> Scale.t -> Table.t
+val run_e9 : Prng.Rng.t -> Scale.t -> Table.t

@@ -1,0 +1,10 @@
+(** E11: the cuckoo-rule baseline (Sen and Freedman [47]).
+
+    The prior art the paper leans on for motivation: under the
+    join-leave attack, region-based group constructions need {e far}
+    larger groups than [ln ln n]. Sweep group sizes and adversary
+    shares, report rounds survived (capped at the scale's horizon),
+    and contrast with the tiny-group construction's size at the same
+    [n]. *)
+
+val run_e11 : Prng.Rng.t -> Scale.t -> Table.t

@@ -1,0 +1,43 @@
+let run_e13 rng scale =
+  let n = Scale.dynamic_n scale in
+  let epochs = Scale.epochs scale in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E13 (SIII extension): epoch protocol with the population size drifting in \
+            [0.5n, 1.5n], base n=%d, beta=0.05"
+           n)
+      ~columns:[ "epoch"; "n this epoch"; "good"; "hijacked"; "confused"; "search success" ]
+  in
+  let cfg =
+    { (Tinygroups.Epoch.default_config ~n) with Tinygroups.Epoch.size_drift = 0.5 }
+  in
+  let e = Tinygroups.Epoch.init rng cfg in
+  let observe epoch =
+    let g = Tinygroups.Epoch.primary e in
+    let c = Tinygroups.Group_graph.census g in
+    let success =
+      (Tinygroups.Robustness.search_success (Prng.Rng.split rng) g ~failure:`Majority
+         ~samples:(Scale.searches scale / 2))
+        .Tinygroups.Robustness.success_rate
+    in
+    Table.add_row table
+      [
+        Table.fint epoch;
+        Table.fint c.Tinygroups.Group_graph.total;
+        Table.fint c.Tinygroups.Group_graph.good;
+        Table.fint c.Tinygroups.Group_graph.hijacked_;
+        Table.fint c.Tinygroups.Group_graph.confused_;
+        Table.fpct success;
+      ]
+  in
+  observe 0;
+  for epoch = 1 to epochs do
+    Tinygroups.Epoch.advance e;
+    observe epoch
+  done;
+  Table.add_note table
+    "Group sizing comes from each ID's local gap estimate of lnln n, so the";
+  Table.add_note table "construction absorbs constant-factor size changes untouched.";
+  table

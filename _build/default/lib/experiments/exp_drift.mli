@@ -1,0 +1,10 @@
+(** E13: variable system size (paper §III: "our results hold when the
+    system size is Theta(n)").
+
+    Run the paired epoch protocol with each epoch's population drawn
+    from [[n(1-drift), n(1+drift)]] and compare robustness against
+    the fixed-size run. The construction's group-size estimates come
+    from local gap measurements, so nothing needs reconfiguring when
+    n moves. *)
+
+val run_e13 : Prng.Rng.t -> Scale.t -> Table.t

@@ -1,0 +1,26 @@
+(** E4 and E5: the dynamic case (paper §III).
+
+    E4 runs the paired two-graph protocol over full-turnover epochs
+    and reports the per-epoch census and searchability — Theorem 3's
+    claim that ε-robustness persists "over a polynomial number of
+    join and departure events".
+
+    E5 is the ablation §III warns about: rebuilding a single graph
+    from itself. The per-request failure probability is [q_f] instead
+    of [q_f^2], so the red mass compounds epoch over epoch and the
+    graph collapses. Shape to reproduce: E4 flat, E5 runaway. *)
+
+val run_e4 : Prng.Rng.t -> Scale.t -> Table.t
+val run_e5 : Prng.Rng.t -> Scale.t -> Table.t
+
+val run_epochs :
+  Prng.Rng.t ->
+  mode:Tinygroups.Epoch.mode ->
+  n:int ->
+  beta:float ->
+  epochs:int ->
+  searches:int ->
+  (int * Tinygroups.Group_graph.census * float) list
+(** Shared driver: census and measured search success after each
+    epoch (epoch 0 is the initial build). Exposed for the examples
+    and the CLI. *)

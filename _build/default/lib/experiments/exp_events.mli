@@ -1,0 +1,9 @@
+(** E18: per-event join/departure cost (footnote 13: "a join or
+    departure requires updating only poly(log n) links").
+
+    Run a stream of individual joins and departures against live
+    graphs of increasing size and report the per-event search count,
+    message cost and number of affected groups — the shape must stay
+    polylogarithmic in [n]. *)
+
+val run_e18 : Prng.Rng.t -> Scale.t -> Table.t

@@ -1,0 +1,9 @@
+(** F1: Figure 1 — a concrete search in the input graph H and its
+    mirror in the group graph G, rendered as text.
+
+    Builds a small seeded system, routes a search, and draws each hop
+    as an all-to-all exchange between the corresponding groups,
+    marking red groups with a "B" as the figure does. A second trace
+    plants a red group mid-path to show the truncation rule. *)
+
+val render : Prng.Rng.t -> string

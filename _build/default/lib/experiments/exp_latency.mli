@@ -1,0 +1,12 @@
+(** E17: wide-area latency of secure routing vs group size.
+
+    The paper's motivation quotes [51]: even with good-majority
+    maintenance solved, "|G| = 30 incurs significant latency in
+    PlanetLab experiments". With a heavy-tailed WAN latency model,
+    each hop of a secure search waits for a majority quorum of the
+    previous group — a wait that grows with the group size through
+    its order statistics. This experiment sweeps the group size
+    (tiny, classical log, and [51]'s 30) and reports end-to-end
+    search latency. *)
+
+val run_e17 : Prng.Rng.t -> Scale.t -> Table.t

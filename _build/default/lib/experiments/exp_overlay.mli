@@ -1,0 +1,29 @@
+(** E0: substrate validation — the P1-P4 properties of every input
+    graph (paper §I-C).
+
+    The whole analysis is parameterised by the input graph's search
+    length (P1), load balance (P2), degree (P3) and congestion (P4).
+    This table measures all four for each implemented construction —
+    Chord, Chord++ (the low-congestion variant [6]) and
+    distance-halving [39] — so the constants used elsewhere are on
+    the record, and Chord++'s congestion advantage is visible. *)
+
+val run_e0 : Prng.Rng.t -> Scale.t -> Table.t
+
+(** E15: recursive vs iterative search (Appendix VI).
+
+    Same paths, same failure behaviour, different message profile:
+    recursive forwarding costs [sum |G_i| |G_{i+1}|]; iterative
+    round-trips cost [2 |G_src| sum |G_i|]. *)
+
+val run_e15 : Prng.Rng.t -> Scale.t -> Table.t
+
+(** E16: multi-route retries (related work [12], [26], [37]).
+
+    Greedy Chord retries the identical path, so a search blocked by a
+    red group is blocked forever; Chord++ with per-attempt salts
+    walks largely disjoint middle segments, so retries recover most
+    blocked searches. Measured at a beta high enough to produce red
+    groups. *)
+
+val run_e16 : Prng.Rng.t -> Scale.t -> Table.t

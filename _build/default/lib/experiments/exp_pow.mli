@@ -1,0 +1,16 @@
+(** E6 and E7: the proof-of-work guarantees (paper §IV).
+
+    E6 validates Lemma 11: with a [beta] share of the hash power the
+    adversary mints at most [(1+eps) beta/(1-beta) n] identifiers per
+    window, and they are uniform on the ring (chi-square against
+    uniform) — while the broken single-hash scheme lets it cluster
+    every ID inside a chosen arc at the same cost.
+
+    E7 is the pre-computation attack (§IV-B): an adversary that
+    stockpiles IDs for [m] epochs holds a pile [m] times its
+    per-epoch rate, but the rotating global random string expires all
+    but the final window's — without the strings the whole stockpile
+    stays usable. *)
+
+val run_e6 : Prng.Rng.t -> Scale.t -> Table.t
+val run_e7 : Prng.Rng.t -> Scale.t -> Table.t

@@ -1,0 +1,10 @@
+(** E19: the member-level protocol vs the analytic model.
+
+    Runs real message-by-message secure searches (per-member quorum
+    counting, Byzantine silence/collusion, sampled WAN latencies) and
+    cross-validates the analytic layer every other experiment relies
+    on: outcome agreement with {!Tinygroups.Secure_route}, and the
+    measured message count against the [sum |G_i||G_(i+1)|]
+    accounting. *)
+
+val run_e19 : Prng.Rng.t -> Scale.t -> Table.t

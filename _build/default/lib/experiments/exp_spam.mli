@@ -1,0 +1,14 @@
+(** E14: the request-verification ablation (Lemma 10's attack).
+
+    "The adversary may attempt to have many good IDs join as
+    neighbors or members of a bad group... To prevent this attack,
+    any such request must be verified." This experiment quantifies
+    that design choice: bad IDs fire bogus membership requests at
+    good victims, and we compare how many stick (a) with the paper's
+    dual-search verification, (b) with a single-search verification
+    (the single-graph ablation's weaker shield against lookup
+    corruption), and (c) with no verification at all — where every
+    request lands and per-victim state grows linearly with the spam
+    volume. *)
+
+val run_e14 : Prng.Rng.t -> Scale.t -> Table.t

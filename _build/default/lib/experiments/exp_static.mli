@@ -1,0 +1,15 @@
+(** E1 and E2: the static case (paper §II).
+
+    E1 measures the fraction of groups that lose their good majority
+    (and the strict-definition red fraction) against the system size
+    and the adversary's share, next to the exact binomial tail the
+    Chernoff argument of Lemma 7/S2 bounds. Shape to reproduce:
+    decay with [n] (group size grows like [ln ln n]), blow-up
+    with [beta].
+
+    E2 measures Lemma 4 / Theorem 3's searchability: the success rate
+    of a search from a random good group for a random key, per input
+    graph, with the union-bound prediction [1 - D p_f] alongside. *)
+
+val run_e1 : Prng.Rng.t -> Scale.t -> Table.t
+val run_e2 : Prng.Rng.t -> Scale.t -> Table.t

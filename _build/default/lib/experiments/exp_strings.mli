@@ -1,0 +1,9 @@
+(** E8: the global random-string propagation protocol (Lemma 12).
+
+    For each system size, run the three-phase protocol over a freshly
+    built group graph with the delayed-release adversary and report
+    the lemma's three properties: agreement of [s*] with every
+    solution set, [|R| = O(ln n)], and the message complexity
+    [~O(n ln T)] (reported per participant to exhibit flatness). *)
+
+val run_e8 : Prng.Rng.t -> Scale.t -> Table.t

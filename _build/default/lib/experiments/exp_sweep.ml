@@ -1,0 +1,72 @@
+let run_e10 rng scale =
+  let n = match scale with Scale.Quick -> 2048 | Scale.Standard -> 8192 | Scale.Full -> 16384 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E10 (SI-D): group-size sweep at n=%d, beta=0.05 — where do tiny groups stop \
+            working?"
+           n)
+      ~columns:
+        [ "|G|"; "hijacked"; "D * pf"; "search success"; "group-comm"; "landmark" ]
+  in
+  let searches = Scale.searches scale / 2 in
+  let beta = 0.05 in
+  let lnln = Idspace.Estimate.exact_ln_ln n in
+  let ln_n = log (float_of_int n) in
+  let landmarks g =
+    let close a b = Float.abs (a -. b) < 0.75 in
+    if close g (lnln /. log lnln) then "~ lnln n / lnlnln n"
+    else if close g lnln then "~ lnln n"
+    else if close g (5. *. lnln) then "~ d2 lnln n (ours)"
+    else if close g ln_n then "~ ln n"
+    else if close g (2. *. ln_n) then "~ 2 ln n (classical)"
+    else ""
+  in
+  let sizes =
+    let candidates =
+      [
+        2;
+        3;
+        int_of_float (Float.round lnln);
+        5;
+        7;
+        int_of_float (Float.round (5. *. lnln));
+        13;
+        int_of_float (Float.round ln_n);
+        15;
+        int_of_float (Float.round (1.5 *. ln_n));
+        int_of_float (Float.round (2. *. ln_n));
+      ]
+    in
+    List.sort_uniq compare (List.filter (fun g -> g >= 2) candidates)
+  in
+  List.iter
+    (fun size ->
+      let sizing = Tinygroups.Params.Fixed size in
+      let _, g = Common.build_sized rng ~sizing ~n ~beta () in
+      let c = Tinygroups.Group_graph.census g in
+      let pf =
+        float_of_int c.Tinygroups.Group_graph.hijacked_
+        /. float_of_int c.Tinygroups.Group_graph.total
+      in
+      let r =
+        Tinygroups.Robustness.search_success (Prng.Rng.split rng) g ~failure:`Majority
+          ~samples:searches
+      in
+      let union_bound = r.mean_group_hops *. pf in
+      Table.add_row table
+        [
+          Table.fint size;
+          Table.fpct pf;
+          Table.ffloat ~digits:3 union_bound;
+          Table.fpct r.success_rate;
+          Table.fint (size * size);
+          landmarks (float_of_int size);
+        ])
+    sizes;
+  Table.add_note table
+    "The success knee sits between lnln n and d2 lnln n: below it D*pf >= 1 and";
+  Table.add_note table
+    "searches fail; above ln n the quadratic group-comm cost buys nothing more.";
+  table

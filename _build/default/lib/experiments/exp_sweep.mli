@@ -1,0 +1,12 @@
+(** E10: the "can we do better?" sweep (paper §I-D).
+
+    At a fixed system size, sweep the group size from the bare
+    minimum up past [2 ln n] and measure the majority-loss rate and
+    the search failure rate. The paper's intuition: the union bound
+    [D * p_f] drops below 1 — and searches start succeeding — only
+    once [|G|] reaches the [ln ln n] scale; sizes below
+    [~ ln ln n / ln ln ln n] cannot work, sizes above [ln n] waste
+    quadratically. The knee of this curve is the paper's whole
+    point. *)
+
+val run_e10 : Prng.Rng.t -> Scale.t -> Table.t

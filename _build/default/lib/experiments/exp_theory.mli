@@ -1,0 +1,11 @@
+(** E20: the epoch recursion, theory vs measurement.
+
+    {!Tinygroups.Theory} evaluates the paper's analysis as a
+    one-dimensional map for the red fraction. This experiment places
+    its predictions — stable fixed point, basin edge, critical
+    adversary share, minimal group size — next to measured epoch runs
+    just above and just below the predicted threshold: the collapse
+    boundary the theory names should be where the simulation actually
+    falls over. *)
+
+val run_e20 : Prng.Rng.t -> Scale.t -> Table.t

@@ -1,0 +1,30 @@
+(** Experiment sizing presets.
+
+    [Quick] keeps every experiment under a few seconds (CI smoke),
+    [Standard] is the default reported in EXPERIMENTS.md, [Full]
+    approaches the sizes used by the cited prior work (e.g. [47]'s
+    [n = 8192], 10^5 churn events) at the cost of minutes of
+    runtime. *)
+
+type t = Quick | Standard | Full
+
+val of_string : string -> t option
+val to_string : t -> string
+
+val n_sweep : t -> int list
+(** System sizes for the static sweeps. *)
+
+val searches : t -> int
+(** Search samples per configuration. *)
+
+val epochs : t -> int
+(** Epochs for the dynamic experiments. *)
+
+val dynamic_n : t -> int
+(** System size for the dynamic experiments. *)
+
+val trials : t -> int
+(** Independent repetitions to average over. *)
+
+val cuckoo_n : t -> int
+val cuckoo_rounds : t -> int

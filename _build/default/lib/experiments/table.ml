@@ -1,0 +1,64 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list;  (* reversed *)
+  mutable notes : string list;  (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = []; notes = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg "Table.add_row: column count mismatch";
+  t.rows <- row :: t.rows
+
+let add_note t note = t.notes <- note :: t.notes
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.fold_left
+      (fun widths row -> List.map2 (fun w cell -> max w (String.length cell)) widths row)
+      (List.map String.length t.columns)
+      rows
+  in
+  let pad width s = s ^ String.make (width - String.length s) ' ' in
+  let line row = String.concat "  " (List.map2 pad widths row) in
+  let rule = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("\n== " ^ t.title ^ "\n");
+  Buffer.add_string buf (line t.columns ^ "\n");
+  Buffer.add_string buf (rule ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (line row ^ "\n")) rows;
+  List.iter (fun note -> Buffer.add_string buf ("   " ^ note ^ "\n")) (List.rev t.notes);
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let csv_cell s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  let line row = Buffer.add_string buf (String.concat "," (List.map csv_cell row) ^ "\n") in
+  line t.columns;
+  List.iter line (List.rev t.rows);
+  List.iter (fun n -> Buffer.add_string buf ("# " ^ n ^ "\n")) (List.rev t.notes);
+  Buffer.contents buf
+
+let save_csv t ~dir ~slug =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (slug ^ ".csv") in
+  let oc = open_out path in
+  output_string oc (to_csv t);
+  close_out oc;
+  path
+
+let title t = t.title
+
+let fint = string_of_int
+let ffloat ?(digits = 2) x = Printf.sprintf "%.*f" digits x
+let fpct x = Printf.sprintf "%.2f%%" (100. *. x)
+let fsci x = Printf.sprintf "%.2e" x

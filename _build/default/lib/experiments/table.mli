@@ -1,0 +1,41 @@
+(** Fixed-width table rendering for experiment reports.
+
+    Every experiment prints its results as an aligned text table with
+    a caption tying it back to the paper (EXPERIMENTS.md records the
+    same tables). *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+
+val add_row : t -> string list -> unit
+(** Rows must match the column count. *)
+
+val add_note : t -> string -> unit
+(** Free-form footnote printed under the table. *)
+
+val print : t -> unit
+(** Render to stdout. *)
+
+val render : t -> string
+
+val to_csv : t -> string
+(** Comma-separated rendering (header row + data rows; cells with
+    commas or quotes are quoted). Notes are emitted as trailing
+    [# ...] comment lines. *)
+
+val save_csv : t -> dir:string -> slug:string -> string
+(** Write the CSV to [dir/slug.csv] (creating [dir] if needed) and
+    return the path. *)
+
+val title : t -> string
+
+(** Formatting helpers. *)
+
+val fint : int -> string
+val ffloat : ?digits:int -> float -> string
+val fpct : float -> string
+(** A probability as a percentage with two decimals. *)
+
+val fsci : float -> string
+(** Scientific notation with two digits. *)

@@ -1,0 +1,1 @@
+lib/hashing/oracle.ml: Bytes Char Int64 Sha256

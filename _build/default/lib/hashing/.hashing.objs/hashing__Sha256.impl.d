@@ -1,0 +1,1 @@
+lib/hashing/sha256.ml: Array Bytes Char Int32 Int64 String

@@ -1,0 +1,32 @@
+type t = { key : string; label : string }
+
+let u62_mask = Int64.sub (Int64.shift_left 1L 62) 1L
+
+let make ~system_key ~label =
+  (* Bind the label into the HMAC key so families are independent. *)
+  let key = (Sha256.hmac ~key:system_key label :> string) in
+  { key; label }
+
+let label t = t.label
+
+let truncate62 d = Int64.logand (Sha256.prefix_int64 d) u62_mask
+
+let query_string t s = truncate62 (Sha256.hmac ~key:t.key s)
+
+let encode_i64 v =
+  let b = Bytes.create 8 in
+  for i = 0 to 7 do
+    Bytes.set b i (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * (7 - i))) 0xFFL)))
+  done;
+  Bytes.unsafe_to_string b
+
+let query_u62 t v = query_string t (encode_i64 v)
+
+let query_indexed t w i = query_string t (encode_i64 w ^ encode_i64 (Int64.of_int i))
+
+let query_pair t a b = query_string t (encode_i64 a ^ encode_i64 b)
+
+(* Keep only the top 53 bits: they are exactly representable, so the
+   result is always strictly below 1 (a direct 62-bit conversion can
+   round up to 1.0 at the top of the range). *)
+let to_unit_float v = Int64.to_float (Int64.shift_right_logical v 9) *. 0x1p-53

@@ -1,0 +1,43 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch.
+
+    The paper's random-oracle assumption (§I-C) names SHA-2 as the
+    practical instantiation of the hash functions [h], [h1], [h2], [f]
+    and [g]; this module is that instantiation. Pure OCaml, no
+    dependencies; validated against the NIST test vectors in the test
+    suite. *)
+
+type digest = private string
+(** A 32-byte binary digest. *)
+
+val digest_string : string -> digest
+(** [digest_string s] is the SHA-256 digest of [s]. *)
+
+val digest_bytes : bytes -> digest
+(** [digest_bytes b] is the SHA-256 digest of the contents of [b]. *)
+
+val to_hex : digest -> string
+(** Lowercase hexadecimal rendering (64 characters). *)
+
+val to_raw : digest -> string
+(** The 32 raw bytes of the digest. *)
+
+val prefix_int64 : digest -> int64
+(** [prefix_int64 d] is the first 8 bytes of [d] read big-endian; used
+    to map digests into numeric spaces. *)
+
+type ctx
+(** Incremental hashing context. *)
+
+val init : unit -> ctx
+(** Fresh context. *)
+
+val feed_string : ctx -> string -> unit
+(** Absorb more input. *)
+
+val finalize : ctx -> digest
+(** Pad, finish, and return the digest. The context must not be used
+    afterwards. *)
+
+val hmac : key:string -> string -> digest
+(** [hmac ~key msg] is HMAC-SHA256 (RFC 2104); used to derive the
+    independent labelled oracle families. *)

@@ -1,0 +1,1 @@
+lib/idspace/estimate.ml: Float Int64 Point Ring

@@ -1,0 +1,1 @@
+lib/idspace/estimate.mli: Point Ring

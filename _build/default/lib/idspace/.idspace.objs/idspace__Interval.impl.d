@@ -1,0 +1,1 @@
+lib/idspace/interval.ml: Format Int64 List Point Prng

@@ -1,0 +1,1 @@
+lib/idspace/interval.mli: Format Point Prng

@@ -1,0 +1,1 @@
+lib/idspace/point.ml: Format Int64 Prng

@@ -1,0 +1,1 @@
+lib/idspace/point.mli: Format Prng

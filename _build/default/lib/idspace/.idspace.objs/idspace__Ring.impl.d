@@ -1,0 +1,1 @@
+lib/idspace/ring.ml: Array Interval Point Prng Set

@@ -1,0 +1,1 @@
+lib/idspace/ring.mli: Interval Point Prng

@@ -1,0 +1,44 @@
+type t = int64
+
+let modulus = Int64.shift_left 1L 62
+let mask = Int64.sub modulus 1L
+let zero = 0L
+
+let of_u62 v =
+  if v < 0L then invalid_arg "Point.of_u62: negative value";
+  Int64.logand v mask
+
+let to_u62 p = p
+
+let of_float x =
+  if x < 0. || x >= 1. then invalid_arg "Point.of_float: out of [0,1)";
+  Int64.of_float (x *. Int64.to_float modulus)
+
+let to_float p = Int64.to_float p *. 0x1p-62
+
+let random rng = Int64.logand (Prng.Rng.bits64 rng) mask
+
+let equal = Int64.equal
+let compare = Int64.compare
+
+let distance_cw a b = Int64.logand (Int64.sub b a) mask
+
+let distance a b =
+  let d = distance_cw a b in
+  let d' = Int64.sub modulus d in
+  if d <= d' then d else d'
+
+let add_cw p d = Int64.logand (Int64.add p (Int64.logand d mask)) mask
+
+let midpoint_cw a b = add_cw a (Int64.shift_right_logical (distance_cw a b) 1)
+
+let in_cw_range ~from ~until p =
+  if equal from until then true
+  else
+    let arc = distance_cw from until in
+    let d = distance_cw from p in
+    d > 0L && d <= arc
+
+let pp fmt p = Format.fprintf fmt "%.6f" (to_float p)
+
+let to_string p = Format.asprintf "%a" pp p

@@ -1,0 +1,80 @@
+module Pset = Set.Make (struct
+  type t = Point.t
+
+  let compare = Point.compare
+end)
+
+type t = Pset.t
+
+let empty = Pset.empty
+let of_list ps = Pset.of_list ps
+let of_array ps = Pset.of_list (Array.to_list ps)
+let add = Pset.add
+let remove = Pset.remove
+let mem = Pset.mem
+let cardinal = Pset.cardinal
+
+let successor t x =
+  if Pset.is_empty t then None
+  else
+    match Pset.find_first_opt (fun id -> Point.compare id x >= 0) t with
+    | Some id -> Some id
+    | None -> Some (Pset.min_elt t) (* wrap past 1 back to the smallest ID *)
+
+let successor_exn t x =
+  match successor t x with Some id -> id | None -> raise Not_found
+
+let strict_successor t x =
+  if Pset.is_empty t then None
+  else
+    match Pset.find_first_opt (fun id -> Point.compare id x > 0) t with
+    | Some id -> Some id
+    | None -> Some (Pset.min_elt t)
+
+let predecessor t x =
+  if Pset.is_empty t then None
+  else
+    match Pset.find_last_opt (fun id -> Point.compare id x < 0) t with
+    | Some id -> Some id
+    | None -> Some (Pset.max_elt t)
+
+let responsibility t id =
+  if not (Pset.mem id t) then None
+  else
+    match predecessor t id with
+    | None -> None
+    | Some p ->
+        if Point.equal p id then Some Interval.full
+        else Some (Interval.make ~from:p ~until:id)
+
+let to_sorted_array t = Array.of_list (Pset.elements t)
+
+let fold f t init = Pset.fold f t init
+let iter f t = Pset.iter f t
+
+let random_member rng t =
+  let n = Pset.cardinal t in
+  if n = 0 then invalid_arg "Ring.random_member: empty ring";
+  let k = Prng.Rng.int rng n in
+  let found = ref None in
+  let i = ref 0 in
+  (try
+     Pset.iter
+       (fun id ->
+         if !i = k then begin
+           found := Some id;
+           raise Exit
+         end;
+         incr i)
+       t
+   with Exit -> ());
+  match !found with Some id -> id | None -> assert false
+
+let populate rng n =
+  let rec grow acc k =
+    if k = 0 then acc
+    else
+      let p = Point.random rng in
+      if Pset.mem p acc then grow acc k else grow (Pset.add p acc) (k - 1)
+  in
+  grow Pset.empty n

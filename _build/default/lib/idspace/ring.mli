@@ -1,0 +1,58 @@
+(** The population of IDs on the unit ring, with successor queries.
+
+    [suc(x)] — the first ID at or clockwise of a point [x] — is the
+    primitive every construction in the paper builds on: key
+    responsibility (P2), group membership draws [suc(h1(w,i))]
+    (§III-A), and Chord-style finger targets. Backed by a balanced
+    set; all operations are logarithmic. *)
+
+type t
+(** An immutable snapshot of the ID population. *)
+
+val empty : t
+
+val of_list : Point.t list -> t
+val of_array : Point.t array -> t
+
+val add : Point.t -> t -> t
+val remove : Point.t -> t -> t
+val mem : Point.t -> t -> bool
+
+val cardinal : t -> int
+
+val successor : t -> Point.t -> Point.t option
+(** [successor t x] is the first ID encountered at [x] or moving
+    clockwise from [x] (i.e. [suc(x)], which may be [x] itself when
+    [x] is an ID). [None] iff the ring is empty. *)
+
+val successor_exn : t -> Point.t -> Point.t
+(** @raise Not_found when empty. *)
+
+val strict_successor : t -> Point.t -> Point.t option
+(** First ID strictly clockwise of [x]; wraps around. With one ID [p],
+    [strict_successor t p = Some p]. *)
+
+val predecessor : t -> Point.t -> Point.t option
+(** First ID strictly counter-clockwise of [x]; wraps around. *)
+
+val responsibility : t -> Point.t -> Interval.t option
+(** [responsibility t id] is the arc of keys whose successor is [id]
+    (the arc (pred(id), id]); requires [id] to be in the ring.
+    [None] if [id] is absent. With a single ID the arc is the whole
+    ring. *)
+
+val to_sorted_array : t -> Point.t array
+(** All IDs in increasing ring position. *)
+
+val fold : (Point.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Point.t -> unit) -> t -> unit
+
+val random_member : Prng.Rng.t -> t -> Point.t
+(** Uniform member of a non-empty ring. O(n) — intended for test and
+    experiment setup, not inner loops (draw from
+    {!to_sorted_array} when sampling repeatedly). *)
+
+val populate : Prng.Rng.t -> int -> t
+(** [populate rng n] is a ring of [n] independent uniform IDs (the
+    paper's u.a.r. placement). Collisions are redrawn, matching the
+    continuous model where they are measure-zero. *)

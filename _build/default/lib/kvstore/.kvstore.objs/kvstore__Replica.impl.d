@@ -1,0 +1,1 @@
+lib/kvstore/replica.ml: Array Idspace Point Prng

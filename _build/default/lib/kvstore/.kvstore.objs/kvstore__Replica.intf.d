@@ -1,0 +1,1 @@
+lib/kvstore/replica.mli: Idspace Point Prng

@@ -1,0 +1,1 @@
+lib/kvstore/store.ml: Adversary Array Hashing Hashtbl Idspace Option Point Prng Replica Ring String Tinygroups

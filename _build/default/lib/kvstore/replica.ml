@@ -1,0 +1,75 @@
+open Idspace
+
+type version = int
+
+type state =
+  | Missing
+  | Stored of { version : version; value : string }
+
+type t = {
+  members_ : Point.t array;
+  member_bad : bool array;
+  states : state array;
+}
+
+let create ~members ~member_bad =
+  if Array.length members <> Array.length member_bad then
+    invalid_arg "Replica.create: array length mismatch";
+  if Array.length members = 0 then invalid_arg "Replica.create: empty group";
+  {
+    members_ = members;
+    member_bad;
+    states = Array.make (Array.length members) Missing;
+  }
+
+let members t = t.members_
+
+let write t ~version ~value =
+  Array.iteri
+    (fun i bad ->
+      if not bad then
+        match t.states.(i) with
+        | Stored { version = v; _ } when v >= version -> ()
+        | Missing | Stored _ -> t.states.(i) <- Stored { version; value })
+    t.member_bad
+
+let degrade rng t ~loss_rate =
+  if loss_rate < 0. || loss_rate > 1. then invalid_arg "Replica.degrade";
+  Array.iteri
+    (fun i bad ->
+      if (not bad) && Prng.Rng.bernoulli rng loss_rate then t.states.(i) <- Missing)
+    t.member_bad
+
+let read_votes t ~truth_forge =
+  Array.mapi
+    (fun i bad ->
+      if bad then Some (max_int, truth_forge)
+      else
+        match t.states.(i) with
+        | Missing -> None
+        | Stored { version; value } -> Some (version, value))
+    t.member_bad
+
+let repair t ~version ~value =
+  let fixed = ref 0 in
+  Array.iteri
+    (fun i bad ->
+      if not bad then
+        match t.states.(i) with
+        | Stored { version = v; _ } when v >= version -> ()
+        | Missing | Stored _ ->
+            t.states.(i) <- Stored { version; value };
+            incr fixed)
+    t.member_bad;
+  !fixed
+
+let good_fresh t ~version =
+  let count = ref 0 in
+  Array.iteri
+    (fun i bad ->
+      if not bad then
+        match t.states.(i) with
+        | Stored { version = v; _ } when v = version -> incr count
+        | Missing | Stored _ -> ())
+    t.member_bad;
+  !count

@@ -1,0 +1,46 @@
+(** Per-member replica state for one record.
+
+    A record's home group holds one replica per member. Good members
+    store what they were last told; bad members return garbage when
+    asked (their stored state is irrelevant). Versions are
+    last-writer-wins counters assigned by the writing client, so a
+    read can recognise stale good replicas and repair them. *)
+
+open Idspace
+
+type version = int
+
+type state =
+  | Missing  (** Never received the record (joined late, lost it). *)
+  | Stored of { version : version; value : string }
+
+type t
+
+val create : members:Point.t array -> member_bad:bool array -> t
+(** Fresh replica set for a home group; everything starts
+    [Missing]. *)
+
+val members : t -> Point.t array
+
+val write : t -> version:version -> value:string -> unit
+(** Deliver a write to every {e good} member (bad members ignore it;
+    their replies are forged anyway). Stale versions are ignored
+    per-replica (last-writer-wins). *)
+
+val degrade : Prng.Rng.t -> t -> loss_rate:float -> unit
+(** Knock out each good member's replica to [Missing] independently
+    with the given probability — models crashes/expiry between
+    epochs; exercised by read repair. *)
+
+val read_votes : t -> truth_forge:string -> (version * string) option array
+(** What each member answers to a read: good members report their
+    state ([None] when missing), bad members forge
+    [(max_int, truth_forge)] — claiming the newest version, the
+    strongest possible lie. *)
+
+val repair : t -> version:version -> value:string -> int
+(** Bring stale/missing good members up to the given version; returns
+    how many replicas were fixed (the read-repair traffic). *)
+
+val good_fresh : t -> version:version -> int
+(** Good members currently holding exactly this version. *)

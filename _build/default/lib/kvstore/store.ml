@@ -1,0 +1,198 @@
+open Idspace
+
+let tombstone = "\x00<deleted>"
+
+type record = {
+  mutable version : int;  (* latest version ever written *)
+  mutable value : string;  (* latest written value (ground truth) *)
+  mutable replica : Replica.t;  (* live per-member states at the home group *)
+}
+
+type t = {
+  oracle : Hashing.Oracle.t;
+  graph : Tinygroups.Group_graph.t;
+  records : (string, record) Hashtbl.t;
+}
+
+let create ~system_key graph =
+  {
+    oracle = Hashing.Oracle.make ~system_key ~label:"kvstore-keys";
+    graph;
+    records = Hashtbl.create 256;
+  }
+
+let graph t = t.graph
+
+let live t name =
+  match Hashtbl.find_opt t.records name with
+  | Some r when not (String.equal r.value tombstone) -> Some r
+  | Some _ | None -> None
+
+let record_count t =
+  Hashtbl.fold
+    (fun _ r acc -> if String.equal r.value tombstone then acc else acc + 1)
+    t.records 0
+
+let names t =
+  Hashtbl.fold
+    (fun name r acc -> if String.equal r.value tombstone then acc else name :: acc)
+    t.records []
+
+let key_of t name = Point.of_u62 (Hashing.Oracle.query_string t.oracle name)
+
+let ring t = Adversary.Population.ring t.graph.Tinygroups.Group_graph.population
+
+let home t name = Ring.successor_exn (ring t) (key_of t name)
+
+let version_of t name = Option.map (fun r -> r.version) (live t name)
+
+let replica_for t owner =
+  let grp = Tinygroups.Group_graph.group_of t.graph owner in
+  let member_bad =
+    Array.init (Tinygroups.Group.size grp) (fun i -> Tinygroups.Group.member_is_bad grp i)
+  in
+  Replica.create ~members:grp.Tinygroups.Group.members ~member_bad
+
+type write_result =
+  | Stored of { version : int; replicas : int; messages : int }
+  | Write_blocked of { red_group : Point.t }
+
+let write_value _rng t ~client ~name ~value =
+  let key = key_of t name in
+  let o = Tinygroups.Secure_route.search t.graph ~failure:`Majority ~src:client ~key in
+  match o.Tinygroups.Secure_route.result with
+  | Error red -> Write_blocked { red_group = red }
+  | Ok owner ->
+      let record =
+        match Hashtbl.find_opt t.records name with
+        | Some r -> r
+        | None ->
+            let r = { version = 0; value = tombstone; replica = replica_for t owner } in
+            Hashtbl.replace t.records name r;
+            r
+      in
+      let version = record.version + 1 in
+      record.version <- version;
+      record.value <- value;
+      Replica.write record.replica ~version ~value;
+      let size = Array.length (Replica.members record.replica) in
+      let messages = o.Tinygroups.Secure_route.messages + (size * size) in
+      Stored
+        { version; replicas = Replica.good_fresh record.replica ~version; messages }
+
+let put rng t ~client ~name ~value =
+  if String.equal value tombstone then invalid_arg "Store.put: reserved value";
+  write_value rng t ~client ~name ~value
+
+let delete rng t ~client ~name = write_value rng t ~client ~name ~value:tombstone
+
+type read_result =
+  | Found of { value : string; version : int; repaired : int; messages : int }
+  | Recovered of { value : string; version : int; repaired : int; messages : int }
+  | Corrupted of { messages : int }
+  | Not_found of { messages : int }
+  | Read_blocked of { red_group : Point.t }
+
+(* The client's filter over the members' votes: the (version, value)
+   pair backed by a strict majority of the whole group, if any. *)
+let majority_vote votes =
+  let total = Array.length votes in
+  let tally = Hashtbl.create 8 in
+  Array.iter
+    (function
+      | Some pair ->
+          Hashtbl.replace tally pair (1 + Option.value ~default:0 (Hashtbl.find_opt tally pair))
+      | None -> ())
+    votes;
+  Hashtbl.fold
+    (fun pair c best ->
+      if 2 * c > total then
+        match best with Some (_, bc) when bc >= c -> best | _ -> Some (pair, c)
+      else best)
+    tally None
+
+let get rng t ~client ~name =
+  ignore rng;
+  let key = key_of t name in
+  let o = Tinygroups.Secure_route.search t.graph ~failure:`Majority ~src:client ~key in
+  match o.Tinygroups.Secure_route.result with
+  | Error red -> Read_blocked { red_group = red }
+  | Ok owner -> (
+      let base_msgs grp_size = o.Tinygroups.Secure_route.messages + grp_size in
+      match Hashtbl.find_opt t.records name with
+      | None ->
+          let size = Tinygroups.Group.size (Tinygroups.Group_graph.group_of t.graph owner) in
+          Not_found { messages = base_msgs size }
+      | Some record -> (
+          let votes = Replica.read_votes record.replica ~truth_forge:"<forged>" in
+          let size = Array.length votes in
+          let messages = base_msgs size in
+          match majority_vote votes with
+          | Some ((version, value), _) ->
+              (* Read repair: bring lagging good replicas up. *)
+              let repaired = Replica.repair record.replica ~version ~value in
+              let messages = messages + repaired in
+              if String.equal value tombstone then Not_found { messages }
+              else Found { value; version; repaired; messages }
+          | None ->
+              (* No live majority. The home group syncs internally:
+                 possible iff it retains a good majority and at least
+                 one good member still holds the latest version. *)
+              let grp = Tinygroups.Group_graph.group_of t.graph owner in
+              let survivors = Replica.good_fresh record.replica ~version:record.version in
+              if Tinygroups.Group.has_good_majority grp && survivors >= 1 then begin
+                let repaired =
+                  Replica.repair record.replica ~version:record.version ~value:record.value
+                in
+                let messages = messages + (size * size) + repaired in
+                if String.equal record.value tombstone then Not_found { messages }
+                else
+                  Recovered
+                    { value = record.value; version = record.version; repaired; messages }
+              end
+              else Corrupted { messages }))
+
+let degrade rng t ~loss_rate =
+  Hashtbl.iter (fun _ r -> Replica.degrade rng r.replica ~loss_rate) t.records
+
+let rehome t new_graph =
+  let fresh =
+    {
+      oracle = t.oracle;
+      graph = new_graph;
+      records = Hashtbl.create (max 256 (Hashtbl.length t.records));
+    }
+  in
+  Hashtbl.iter
+    (fun name record ->
+      let old_home = Ring.successor_exn (ring t) (key_of t name) in
+      let old_grp = Tinygroups.Group_graph.group_of t.graph old_home in
+      let survivors = Replica.good_fresh record.replica ~version:record.version in
+      let transferable =
+        Tinygroups.Group.has_good_majority old_grp && survivors >= 1
+      in
+      let new_home = Ring.successor_exn (ring fresh) (key_of fresh name) in
+      let replica = replica_for fresh new_home in
+      if transferable then
+        Replica.write replica ~version:record.version ~value:record.value;
+      (* A non-transferable record keeps its name but every good
+         replica is Missing: reads come back Corrupted. *)
+      Hashtbl.replace fresh.records name
+        { version = record.version; value = record.value; replica })
+    t.records;
+  fresh
+
+let coverage rng t ~samples =
+  if record_count t = 0 then invalid_arg "Store.coverage: empty store";
+  if samples <= 0 then invalid_arg "Store.coverage: samples must be positive";
+  let names = Array.of_list (names t) in
+  let goods = Adversary.Population.good_ids t.graph.Tinygroups.Group_graph.population in
+  let ok = ref 0 in
+  for _ = 1 to samples do
+    let name = names.(Prng.Rng.int rng (Array.length names)) in
+    let client = goods.(Prng.Rng.int rng (Array.length goods)) in
+    match get rng t ~client ~name with
+    | Found _ | Recovered _ -> incr ok
+    | Corrupted _ | Not_found _ | Read_blocked _ -> ()
+  done;
+  float_of_int !ok /. float_of_int samples

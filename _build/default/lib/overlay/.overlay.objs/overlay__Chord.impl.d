@@ -1,0 +1,1 @@
+lib/overlay/chord.ml: Hashtbl Idspace Int64 List Overlay_intf Point Ring

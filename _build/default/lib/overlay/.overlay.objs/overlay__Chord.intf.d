@@ -1,0 +1,1 @@
+lib/overlay/chord.mli: Idspace Overlay_intf Point Ring

@@ -1,0 +1,1 @@
+lib/overlay/chord_pp.ml: Chord Idspace Int64 List Overlay_intf Point Prng Ring

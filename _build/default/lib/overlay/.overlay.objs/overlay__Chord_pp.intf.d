@@ -1,0 +1,1 @@
+lib/overlay/chord_pp.mli: Idspace Overlay_intf Ring

@@ -1,0 +1,1 @@
+lib/overlay/overlay_intf.ml: Idspace List Point Ring

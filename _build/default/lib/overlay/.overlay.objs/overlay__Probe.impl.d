@@ -1,0 +1,1 @@
+lib/overlay/probe.ml: Array Hashtbl Idspace Interval List Option Overlay_intf Point Prng Ring

@@ -1,0 +1,1 @@
+lib/overlay/probe.mli: Hashtbl Idspace Overlay_intf Point Prng

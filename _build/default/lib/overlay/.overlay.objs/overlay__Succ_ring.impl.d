@@ -1,0 +1,1 @@
+lib/overlay/succ_ring.ml: Idspace List Overlay_intf Point Ring

@@ -1,0 +1,1 @@
+lib/overlay/succ_ring.mli: Idspace Overlay_intf Ring

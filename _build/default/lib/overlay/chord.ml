@@ -1,0 +1,90 @@
+open Idspace
+
+let fingers ring w =
+  let acc = ref [] in
+  for j = 61 downto 0 do
+    let target = Point.add_cw w (Int64.shift_left 1L j) in
+    let f = Ring.successor_exn ring target in
+    if not (Point.equal f w) then
+      match !acc with
+      | prev :: _ when Point.equal prev f -> ()
+      | _ -> acc := f :: !acc
+  done;
+  (* Collected from high stride to low; consecutive-dedup above removes
+     most duplicates, a final pass removes the rest. *)
+  List.sort_uniq Point.compare !acc
+
+let neighbors_of ring w =
+  let base = fingers ring w in
+  let with_pred =
+    match Ring.predecessor ring w with
+    | Some p when not (Point.equal p w) -> p :: base
+    | _ -> base
+  in
+  List.sort_uniq Point.compare with_pred
+
+let make ring =
+  if Ring.cardinal ring = 0 then invalid_arg "Chord.make: empty ring";
+  let table : (int64, Point.t list) Hashtbl.t = Hashtbl.create 1024 in
+  let neighbors w =
+    let key = Point.to_u62 w in
+    match Hashtbl.find_opt table key with
+    | Some ns -> ns
+    | None ->
+        let ns = neighbors_of ring w in
+        Hashtbl.add table key ns;
+        ns
+  in
+  let n = Ring.cardinal ring in
+  let max_hops =
+    let lg = int_of_float (ceil (log (float_of_int (max 2 n)) /. log 2.)) in
+    (2 * lg) + 8
+  in
+  (* Greedy progress strictly decreases the clockwise distance to the
+     key, so [n] hops is a hard correctness bound; [max_hops] is the
+     expected O(log n) diagnostic. *)
+  let hard_bound = n + 1 in
+  let route ~src ~key =
+    let resp = Ring.successor_exn ring key in
+    if Point.equal src resp then [ src ]
+    else begin
+      let rec go current acc hops =
+        if hops > hard_bound then failwith "Chord.route: hop bound exceeded"
+        else begin
+          let scur =
+            match Ring.strict_successor ring current with
+            | Some s -> s
+            | None -> assert false
+          in
+          if Point.in_cw_range ~from:current ~until:scur key then
+            (* key lands in (current, successor]: successor is
+               responsible; final hop. *)
+            List.rev (scur :: acc)
+          else begin
+            (* Closest preceding finger: the neighbour farthest
+               clockwise that does not reach the key. *)
+            let best =
+              List.fold_left
+                (fun best u ->
+                  let d = Point.distance_cw current u in
+                  if
+                    d > 0L
+                    && Point.in_cw_range ~from:current ~until:key u
+                    && (not (Point.equal u key))
+                    && d < Point.distance_cw current key
+                  then
+                    match best with
+                    | Some (_, bd) when bd >= d -> best
+                    | _ -> Some (u, d)
+                  else best)
+                None (neighbors current)
+            in
+            let next = match best with Some (u, _) -> u | None -> scur in
+            go next (next :: acc) (hops + 1)
+          end
+        end
+      in
+      go src [ src ] 0
+    end
+  in
+  { Overlay_intf.name = "chord"; ring; neighbors; route; max_hops }

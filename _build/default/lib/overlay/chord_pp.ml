@@ -1,0 +1,88 @@
+open Idspace
+
+let make ?(salt = 0) ring =
+  if Ring.cardinal ring = 0 then invalid_arg "Chord_pp.make: empty ring";
+  let base = Chord.make ring in
+  let neighbors = base.Overlay_intf.neighbors in
+  let n = Ring.cardinal ring in
+  let hard_bound = n + 1 in
+  let route ~src ~key =
+    let resp = Ring.successor_exn ring key in
+    if Point.equal src resp then [ src ]
+    else begin
+      (* Per-query deterministic randomness. *)
+      let mix = Prng.Splitmix.mix in
+      let seed =
+        mix
+          (Int64.logxor
+             (Int64.of_int salt)
+             (Int64.logxor (Point.to_u62 src) (mix (Point.to_u62 key))))
+      in
+      let rec go current acc hops =
+        if hops > hard_bound then failwith "Chord_pp.route: hop bound exceeded"
+        else begin
+          let scur =
+            match Ring.strict_successor ring current with
+            | Some s -> s
+            | None -> assert false
+          in
+          if Point.in_cw_range ~from:current ~until:scur key then
+            List.rev (scur :: acc)
+          else begin
+            (* Candidate fingers that land strictly before the key,
+               with their progress. *)
+            let dist_key = Point.distance_cw current key in
+            let candidates =
+              List.filter_map
+                (fun u ->
+                  let d = Point.distance_cw current u in
+                  if
+                    d > 0L
+                    && Point.in_cw_range ~from:current ~until:key u
+                    && (not (Point.equal u key))
+                    && d < dist_key
+                  then Some (u, d)
+                  else None)
+                (neighbors current)
+            in
+            let next =
+              match candidates with
+              | [] -> scur
+              | _ ->
+                  let greedy =
+                    List.fold_left (fun acc (_, d) -> if d > acc then d else acc) 0L
+                      candidates
+                  in
+                  (* Any finger making at least half the greedy
+                     progress is eligible; pick one by the query's
+                     deterministic coin. *)
+                  let eligible =
+                    List.filter
+                      (fun (_, d) -> Int64.mul d 2L >= greedy)
+                      candidates
+                  in
+                  let eligible = List.sort (fun (a, _) (b, _) -> Point.compare a b) eligible in
+                  let k = List.length eligible in
+                  let coin =
+                    mix (Int64.add seed (Int64.of_int (hops * 2654435761)))
+                  in
+                  let idx =
+                    Int64.to_int
+                      (Int64.rem (Int64.logand coin Int64.max_int) (Int64.of_int k))
+                  in
+                  fst (List.nth eligible idx)
+            in
+            go next (next :: acc) (hops + 1)
+          end
+        end
+      in
+      go src [ src ] 0
+    end
+  in
+  {
+    Overlay_intf.name = "chord++";
+    ring;
+    neighbors;
+    route;
+    max_hops = base.Overlay_intf.max_hops * 2;
+  }

@@ -1,0 +1,76 @@
+open Idspace
+
+type path_stats = {
+  searches : int;
+  mean_hops : float;
+  max_hops : int;
+  p99_hops : int;
+}
+
+let random_pair rng members =
+  let src = members.(Prng.Rng.int rng (Array.length members)) in
+  let key = Point.random rng in
+  (src, key)
+
+let path_lengths rng (t : Overlay_intf.t) ~searches =
+  let members = Ring.to_sorted_array t.ring in
+  let lengths = Array.make searches 0 in
+  for i = 0 to searches - 1 do
+    let src, key = random_pair rng members in
+    lengths.(i) <- List.length (t.route ~src ~key)
+  done;
+  Array.sort compare lengths;
+  let total = Array.fold_left ( + ) 0 lengths in
+  {
+    searches;
+    mean_hops = float_of_int total /. float_of_int searches;
+    max_hops = lengths.(searches - 1);
+    p99_hops = lengths.(min (searches - 1) (searches * 99 / 100));
+  }
+
+let load_balance (t : Overlay_intf.t) =
+  let n = Ring.cardinal t.ring in
+  let worst = ref 0. in
+  Ring.iter
+    (fun id ->
+      match Ring.responsibility t.ring id with
+      | Some arc ->
+          let share = Interval.fraction arc *. float_of_int n in
+          if share > !worst then worst := share
+      | None -> ())
+    t.ring;
+  !worst
+
+type degree_stats = { mean : float; max : int; sampled : int }
+
+let degrees rng (t : Overlay_intf.t) ~sample =
+  let members = Ring.to_sorted_array t.ring in
+  let sample = min sample (Array.length members) in
+  let picks = Prng.Rng.sample_without_replacement rng sample (Array.length members) in
+  let total = ref 0 and worst = ref 0 in
+  Array.iter
+    (fun i ->
+      let d = List.length (t.neighbors members.(i)) in
+      total := !total + d;
+      if d > !worst then worst := d)
+    picks;
+  { mean = float_of_int !total /. float_of_int sample; max = !worst; sampled = sample }
+
+let traversal_counts rng (t : Overlay_intf.t) ~searches =
+  let members = Ring.to_sorted_array t.ring in
+  let counts : (Point.t, int) Hashtbl.t = Hashtbl.create 4096 in
+  for _ = 1 to searches do
+    let src, key = random_pair rng members in
+    List.iter
+      (fun id ->
+        let c = Option.value ~default:0 (Hashtbl.find_opt counts id) in
+        Hashtbl.replace counts id (c + 1))
+      (t.route ~src ~key)
+  done;
+  counts
+
+let congestion rng t ~searches =
+  let counts = traversal_counts rng t ~searches in
+  let worst = Hashtbl.fold (fun _ c acc -> max c acc) counts 0 in
+  let n = float_of_int (Ring.cardinal t.Overlay_intf.ring) in
+  float_of_int worst /. float_of_int searches *. n /. log n

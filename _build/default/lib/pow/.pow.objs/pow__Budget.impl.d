@@ -1,0 +1,1 @@
+lib/pow/budget.ml:

@@ -1,0 +1,1 @@
+lib/pow/epoch_clock.mli:

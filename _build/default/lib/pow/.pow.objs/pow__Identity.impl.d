@@ -1,0 +1,1 @@
+lib/pow/identity.ml: Budget Hashing Idspace Int64 Interval List Point Prng Sim

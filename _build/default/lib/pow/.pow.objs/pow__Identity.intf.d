@@ -1,0 +1,1 @@
+lib/pow/identity.mli: Budget Idspace Interval Point Prng Sim

@@ -1,0 +1,77 @@
+open Idspace
+
+type scheme = {
+  f : Hashing.Oracle.t;
+  g : Hashing.Oracle.t;
+  tau : int64;
+}
+
+let make_scheme ~system_key ~epoch_steps =
+  if epoch_steps < 2 then invalid_arg "Identity.make_scheme: epoch too short";
+  let f = Hashing.Oracle.make ~system_key ~label:"f" in
+  let g = Hashing.Oracle.make ~system_key ~label:"g" in
+  (* Success probability per evaluation of 2/T gives an expected T/2
+     evaluations per solution. *)
+  let tau =
+    Int64.div (Hashing.Oracle.u62_mask) (Int64.of_int (epoch_steps / 2))
+  in
+  { f; g; tau }
+
+let tau scheme = scheme.tau
+
+type credential = {
+  id : Point.t;
+  sigma : int64;
+  rand_string : int64;
+}
+
+let attempt scheme ~sigma ~rand_string : credential option =
+  let v = Hashing.Oracle.query_u62 scheme.g (Int64.logxor sigma rand_string) in
+  if v <= scheme.tau then
+    Some { id = Point.of_u62 (Hashing.Oracle.query_u62 scheme.f v); sigma; rand_string }
+  else None
+
+let solve rng scheme ~budget ~rand_string ~metrics =
+  let rec go () =
+    if not (Budget.spend budget 1) then None
+    else begin
+      Sim.Metrics.incr metrics Sim.Metrics.pow_hash_evals;
+      let sigma = Prng.Rng.bits64 rng in
+      match attempt scheme ~sigma ~rand_string with
+      | Some credential -> Some credential
+      | None -> go ()
+    end
+  in
+  go ()
+
+let solve_all rng scheme ~budget ~rand_string ~metrics =
+  let rec go acc =
+    match solve rng scheme ~budget ~rand_string ~metrics with
+    | Some c -> go (c :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
+let verify scheme credential ~known_strings =
+  List.exists (Int64.equal credential.rand_string) known_strings
+  &&
+  let v =
+    Hashing.Oracle.query_u62 scheme.g
+      (Int64.logxor credential.sigma credential.rand_string)
+  in
+  v <= scheme.tau
+  && Point.equal credential.id (Point.of_u62 (Hashing.Oracle.query_u62 scheme.f v))
+
+let solve_single_hash_targeted rng scheme ~budget ~target ~metrics =
+  let rec go () =
+    if not (Budget.spend budget 1) then None
+    else begin
+      Sim.Metrics.incr metrics Sim.Metrics.pow_hash_evals;
+      (* The broken scheme hashes the candidate ID directly, so the
+         adversary samples candidates only inside its target arc. *)
+      let x = Interval.sample rng target in
+      let v = Hashing.Oracle.query_u62 scheme.g (Point.to_u62 x) in
+      if v <= scheme.tau then Some x else go ()
+    end
+  in
+  go ()

@@ -1,0 +1,84 @@
+(** Proof-of-work identifier generation and verification (§IV-A).
+
+    To mint an ID for the next epoch, a participant holding the
+    current global random string [r] draws candidate strings [sigma]
+    and tests [g(sigma XOR r) <= tau]; on success its ID is
+    [f(g(sigma XOR r))]. Both [f] and [g] are random oracles, so:
+
+    - the {e work} is real: each test costs one hash evaluation
+      against a {!Budget.t}, and [tau] calibrates the expected number
+      of evaluations per ID;
+    - the resulting ID is {e uniform} on [0,1) no matter how the
+      solver chose its [sigma]s — the two-hash composition defeats
+      the pre-image–selection attack that breaks the single-hash
+      scheme (also implemented here, as the ablation);
+    - the credential [(sigma, r)] is {e verifiable} and {e expires}
+      with [r].
+
+    The zero-knowledge wrapper the paper cites ([25]) only prevents a
+    verifier from stealing [sigma]; we model verification as an
+    oracle that does not leak (see DESIGN.md). *)
+
+open Idspace
+
+type scheme
+(** The deployment's hash functions [f], [g] and threshold. *)
+
+val make_scheme : system_key:string -> epoch_steps:int -> scheme
+(** Calibrates [tau] so a good participant needs [T/2] evaluations in
+    expectation per ID (§IV-A: "(1 ± eps) T/2 steps"). *)
+
+val tau : scheme -> int64
+(** The puzzle threshold on [g]'s 62-bit output. *)
+
+type credential = {
+  id : Point.t;  (** [f(g(sigma XOR r))]. *)
+  sigma : int64;  (** The solver's witness. *)
+  rand_string : int64;  (** The global random string [r] used. *)
+}
+
+val attempt : scheme -> sigma:int64 -> rand_string:int64 -> credential option
+(** One puzzle test with a caller-chosen witness (no budget
+    accounting) — the primitive adversarial strategies build on. *)
+
+val solve :
+  Prng.Rng.t ->
+  scheme ->
+  budget:Budget.t ->
+  rand_string:int64 ->
+  metrics:Sim.Metrics.t ->
+  credential option
+(** Draw fresh [sigma]s until the puzzle test passes or the budget
+    runs dry; each test costs one evaluation (charged to [metrics]
+    under {!Sim.Metrics.pow_hash_evals} too). *)
+
+val solve_all :
+  Prng.Rng.t ->
+  scheme ->
+  budget:Budget.t ->
+  rand_string:int64 ->
+  metrics:Sim.Metrics.t ->
+  credential list
+(** Keep solving until the budget is exhausted — the adversary's
+    move: one big budget, as many IDs as it can mint (Lemma 11). *)
+
+val verify : scheme -> credential -> known_strings:int64 list -> bool
+(** Full verification: the random string is one the verifier knows
+    (current — anything else has expired), the puzzle inequality
+    holds, and the ID equals [f(g(sigma XOR r))]. *)
+
+(** {2 The single-hash ablation}
+
+    "Why Use Two Hash Functions?" (§IV-A): if any [x] with
+    [g(x) <= tau] {e is} the ID, the adversary confines its search to
+    [x] in a chosen interval and mints clustered IDs at full speed. *)
+
+val solve_single_hash_targeted :
+  Prng.Rng.t ->
+  scheme ->
+  budget:Budget.t ->
+  target:Interval.t ->
+  metrics:Sim.Metrics.t ->
+  Point.t option
+(** Find [x] in [target] with [g(x) <= tau]: a valid ID under the
+    broken scheme, placed wherever the adversary wants. *)

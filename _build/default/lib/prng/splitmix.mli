@@ -1,0 +1,25 @@
+(** SplitMix64: a fast, splittable 64-bit pseudo-random generator.
+
+    Used as the seeding stage for {!Xoshiro} and for cheap derived
+    streams. The implementation follows Steele, Lea and Flood,
+    "Fast splittable pseudorandom number generators" (OOPSLA 2014). *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] makes a fresh generator from a 64-bit seed. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same state as [t]. *)
+
+val next : t -> int64
+(** [next t] advances the state and returns 64 pseudo-random bits. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of the remainder of [t]'s stream. *)
+
+val mix : int64 -> int64
+(** [mix z] is the stateless SplitMix64 finalizer; a good 64-bit
+    integer hash. *)

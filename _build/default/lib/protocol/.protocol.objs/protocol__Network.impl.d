@@ -1,0 +1,1 @@
+lib/protocol/network.ml: Hashtbl Idspace Message Point Prng Sim

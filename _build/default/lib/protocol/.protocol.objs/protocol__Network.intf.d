@@ -1,0 +1,1 @@
+lib/protocol/network.mli: Idspace Message Point Prng Sim

@@ -1,0 +1,1 @@
+lib/protocol/replicated_store.ml: Adversary Array Hashing Hashtbl Idspace List Message Network Option Point Population Prng Secure_search Sim Tinygroups

@@ -1,0 +1,1 @@
+lib/protocol/replicated_store.mli: Idspace Point Prng Secure_search Sim Tinygroups

@@ -1,0 +1,1 @@
+lib/protocol/secure_search.ml: Adversary Array Hashtbl Idspace Int64 List Message Network Overlay Point Population Prng Ring Tinygroups

@@ -1,0 +1,1 @@
+lib/protocol/secure_search.mli: Idspace Point Prng Sim Tinygroups

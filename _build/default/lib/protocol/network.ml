@@ -1,0 +1,27 @@
+open Idspace
+
+type t = {
+  rng : Prng.Rng.t;
+  latency : Sim.Latency.t;
+  engine : Sim.Engine.t;
+  handlers : (int64, t -> now:int -> Message.t -> unit) Hashtbl.t;
+  mutable sent : int;
+}
+
+let create rng ~latency =
+  { rng; latency; engine = Sim.Engine.create (); handlers = Hashtbl.create 1024; sent = 0 }
+
+let register t id handler = Hashtbl.replace t.handlers (Point.to_u62 id) handler
+
+let send t ~to_ message =
+  t.sent <- t.sent + 1;
+  let delay = Sim.Latency.sample t.rng t.latency in
+  Sim.Engine.schedule_after t.engine ~delay (fun () ->
+      match Hashtbl.find_opt t.handlers (Point.to_u62 to_) with
+      | Some handler -> handler t ~now:(Sim.Engine.now t.engine) message
+      | None -> ())
+
+let run ?deadline t = Sim.Engine.run ?until:deadline t.engine
+
+let now t = Sim.Engine.now t.engine
+let messages_sent t = t.sent

@@ -1,0 +1,26 @@
+(** The transport: point-to-point delivery with sampled latency over
+    the discrete-event engine.
+
+    Deterministic given the seed; counts every message. Recipients
+    are registered handlers keyed by ID. *)
+
+open Idspace
+
+type t
+
+val create : Prng.Rng.t -> latency:Sim.Latency.t -> t
+
+val register : t -> Point.t -> (t -> now:int -> Message.t -> unit) -> unit
+(** Install the handler run at each delivery to this ID.
+    Re-registering replaces the handler. *)
+
+val send : t -> to_:Point.t -> Message.t -> unit
+(** Enqueue a delivery after a sampled latency; silently dropped if
+    the recipient never registered (departed nodes). *)
+
+val run : ?deadline:int -> t -> unit
+(** Dispatch until quiescence or past [deadline] (engine steps =
+    milliseconds of the latency model). *)
+
+val now : t -> int
+val messages_sent : t -> int

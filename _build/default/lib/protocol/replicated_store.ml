@@ -1,0 +1,178 @@
+open Idspace
+open Adversary
+
+type t = {
+  rng : Prng.Rng.t;
+  graph : Tinygroups.Group_graph.t;
+  latency : Sim.Latency.t;
+  behaviour : Secure_search.behaviour;
+  oracle : Hashing.Oracle.t;
+  tables : (int64, (string, int * string) Hashtbl.t) Hashtbl.t;
+  mutable next_version : int;
+}
+
+let create rng graph ~latency ~behaviour =
+  {
+    rng;
+    graph;
+    latency;
+    behaviour;
+    oracle = Hashing.Oracle.make ~system_key:"protocol-store" ~label:"keys";
+    tables = Hashtbl.create 1024;
+    next_version = 0;
+  }
+
+type op_stats = { messages : int; latency_ms : int }
+
+let table_of t member =
+  let k = Point.to_u62 member in
+  match Hashtbl.find_opt t.tables k with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 8 in
+      Hashtbl.add t.tables k tbl;
+      tbl
+
+let key_of t name = Point.of_u62 (Hashing.Oracle.query_string t.oracle name)
+
+(* Locate the home group with a real member-level search. Returns the
+   home leader (when the search resolved truthfully) plus the
+   search's cost. *)
+let locate t ~client ~name =
+  let key = key_of t name in
+  let o =
+    Secure_search.run_search (Prng.Rng.split t.rng) t.graph ~latency:t.latency
+      ~behaviour:t.behaviour ~src:client ~key ()
+  in
+  let stats =
+    {
+      messages = o.Secure_search.messages;
+      latency_ms = o.Secure_search.latency_ms;
+    }
+  in
+  match o.Secure_search.result with
+  | `Resolved home -> Ok (home, stats)
+  | `Hijacked _ | `Timeout -> Error stats
+
+type put_result =
+  | Put_ok of { version : int; replicas : int; stats : op_stats }
+  | Put_blocked
+
+let put t ~client ~name ~value =
+  match locate t ~client ~name with
+  | Error _ -> Put_blocked
+  | Ok (home, search_stats) ->
+      t.next_version <- t.next_version + 1;
+      let version = t.next_version in
+      let grp = Tinygroups.Group_graph.group_of t.graph home in
+      let pop = t.graph.Tinygroups.Group_graph.population in
+      let net = Network.create (Prng.Rng.split t.rng) ~latency:t.latency in
+      let stored = ref 0 in
+      let last_delivery = ref 0 in
+      Array.iter
+        (fun m ->
+          Network.register net m (fun _ ~now msg ->
+              match msg with
+              | Message.Store_write w when not (Population.is_bad pop m) ->
+                  (* Good members persist unless the write is stale. *)
+                  let tbl = table_of t m in
+                  (match Hashtbl.find_opt tbl w.Message.wname with
+                  | Some (v, _) when v >= w.Message.wversion -> ()
+                  | Some _ | None ->
+                      Hashtbl.replace tbl w.Message.wname
+                        (w.Message.wversion, w.Message.wvalue);
+                      incr stored);
+                  if now > !last_delivery then last_delivery := now
+              | _ -> ()))
+        grp.Tinygroups.Group.members;
+      Array.iter
+        (fun m ->
+          Network.send net ~to_:m
+            (Message.Store_write { Message.wname = name; wversion = version; wvalue = value }))
+        grp.Tinygroups.Group.members;
+      Network.run net;
+      Put_ok
+        {
+          version;
+          replicas = !stored;
+          stats =
+            {
+              messages = search_stats.messages + Network.messages_sent net;
+              latency_ms = search_stats.latency_ms + !last_delivery;
+            };
+        }
+
+type get_result =
+  | Get_ok of { value : string; version : int; stats : op_stats }
+  | Get_corrupted of op_stats
+  | Get_not_found of op_stats
+  | Get_blocked
+
+let get t ~client ~name =
+  match locate t ~client ~name with
+  | Error _ -> Get_blocked
+  | Ok (home, search_stats) ->
+      let grp = Tinygroups.Group_graph.group_of t.graph home in
+      let pop = t.graph.Tinygroups.Group_graph.population in
+      let net = Network.create (Prng.Rng.split t.rng) ~latency:t.latency in
+      let client_addr = Point.of_u62 1L in
+      let votes = ref [] in
+      let quorum_time = ref 0 in
+      Network.register net client_addr (fun _ ~now msg ->
+          match msg with
+          | Message.Store_vote v ->
+              votes := v :: !votes;
+              (* The client can stop waiting once a majority answered;
+                 record that time. *)
+              if 2 * List.length !votes > Tinygroups.Group.size grp && !quorum_time = 0
+              then quorum_time := now
+          | _ -> ());
+      Array.iter
+        (fun m ->
+          Network.register net m (fun net ~now:_ msg ->
+              match msg with
+              | Message.Store_read r ->
+                  let vstate =
+                    if Population.is_bad pop m then
+                      (* Forge the newest version. *)
+                      Some (max_int, "<forged>")
+                    else Hashtbl.find_opt (table_of t m) r.Message.rname
+                  in
+                  Network.send net ~to_:client_addr
+                    (Message.Store_vote { Message.vname = r.Message.rname; vstate; voter = m })
+              | _ -> ()))
+        grp.Tinygroups.Group.members;
+      Array.iter
+        (fun m -> Network.send net ~to_:m (Message.Store_read { Message.rname = name }))
+        grp.Tinygroups.Group.members;
+      Network.run net;
+      let stats =
+        {
+          messages = search_stats.messages + Network.messages_sent net;
+          latency_ms =
+            search_stats.latency_ms
+            + (if !quorum_time > 0 then !quorum_time else Network.now net);
+        }
+      in
+      (* Majority filter over the whole group size. *)
+      let total = Tinygroups.Group.size grp in
+      let tally = Hashtbl.create 8 in
+      List.iter
+        (fun v ->
+          let key = v.Message.vstate in
+          Hashtbl.replace tally key (1 + Option.value ~default:0 (Hashtbl.find_opt tally key)))
+        !votes;
+      let winner =
+        Hashtbl.fold
+          (fun state c best ->
+            if 2 * c > total then
+              match best with Some (_, bc) when bc >= c -> best | _ -> Some (state, c)
+            else best)
+          tally None
+      in
+      (match winner with
+      | Some (Some (version, value), _) -> Get_ok { value; version; stats }
+      | Some (None, _) -> Get_not_found stats
+      | None -> Get_corrupted stats)
+
+let member_holds t ~member ~name = Hashtbl.find_opt (table_of t member) name

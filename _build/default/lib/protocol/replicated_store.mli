@@ -1,0 +1,46 @@
+(** Replicated storage over the wire.
+
+    {!Kvstore.Store} models replication analytically; this module
+    executes it message by message over {!Network}: a PUT first runs
+    a real member-level secure search to locate the home group, then
+    sends one {!Message.Store_write} to each member (good members
+    persist it, bad members discard); a GET locates the home group
+    the same way, sends {!Message.Store_read}s and majority-filters
+    the returned {!Message.Store_vote}s, with bad members forging the
+    newest version. Latencies are sampled per message, so operations
+    come back with end-to-end wall times as well as message counts.
+
+    Member state is genuinely per member: each ID keeps its own
+    name -> (version, value) table, so partial writes, stale replicas
+    and forged votes are all concrete, not flags. *)
+
+open Idspace
+
+type t
+
+val create :
+  Prng.Rng.t ->
+  Tinygroups.Group_graph.t ->
+  latency:Sim.Latency.t ->
+  behaviour:Secure_search.behaviour ->
+  t
+
+type op_stats = { messages : int; latency_ms : int }
+
+type put_result =
+  | Put_ok of { version : int; replicas : int; stats : op_stats }
+  | Put_blocked
+
+val put : t -> client:Point.t -> name:string -> value:string -> put_result
+(** [client] must be a leader of the graph. *)
+
+type get_result =
+  | Get_ok of { value : string; version : int; stats : op_stats }
+  | Get_corrupted of op_stats
+  | Get_not_found of op_stats
+  | Get_blocked
+
+val get : t -> client:Point.t -> name:string -> get_result
+
+val member_holds : t -> member:Point.t -> name:string -> (int * string) option
+(** Inspect one member's table (tests). *)

@@ -1,0 +1,49 @@
+(** The member-level secure-search protocol, executed for real.
+
+    {!Tinygroups.Secure_route} prices searches analytically from the
+    census; this module runs them message by message over
+    {!Network}: every member of every traversed group receives
+    per-member copies, counts a strict-majority quorum of identical
+    requests before forwarding (the operational majority filter), and
+    the responsible group's members reply directly to the client, who
+    takes the plurality of identical replies. Byzantine members
+    either stay silent or collude on corrupted copies and forged
+    replies — so the protocol exhibits, rather than assumes, the
+    failure modes the paper's analysis prices.
+
+    Experiment E19 uses this to cross-validate the analytic layer:
+    outcome agreement with {!Tinygroups.Secure_route} and measured
+    message counts against the [D |G|^2] accounting. *)
+
+open Idspace
+
+type behaviour =
+  | Silent
+      (** Bad members drop everything: pure availability attack. *)
+  | Colluding
+      (** Bad members forward corrupted copies immediately and flood
+          the client with identical forged replies. *)
+
+type outcome = {
+  result : [ `Resolved of Point.t | `Hijacked of Point.t | `Timeout ];
+      (** What the client concluded: the plurality reply value (which
+          may be the adversary's forgery, [`Hijacked]), or nothing
+          conclusive before the deadline. *)
+  latency_ms : int;
+      (** Time at which the winning reply bucket reached half its
+          final size; the deadline on timeout. *)
+  messages : int;  (** Total point-to-point messages this search caused. *)
+}
+
+val run_search :
+  Prng.Rng.t ->
+  Tinygroups.Group_graph.t ->
+  latency:Sim.Latency.t ->
+  behaviour:behaviour ->
+  src:Point.t ->
+  key:Point.t ->
+  ?deadline:int ->
+  unit ->
+  outcome
+(** Execute one search from the group led by [src] (which must be a
+    leader) for [key]; the deadline defaults to 60_000 ms. *)

@@ -1,0 +1,1 @@
+lib/randstring/bins.ml: Array List

@@ -1,0 +1,1 @@
+lib/randstring/bins.mli:

@@ -1,0 +1,1 @@
+lib/randstring/propagate.ml: Adversary Array Bins Float Group Group_graph Hashtbl Idspace Int List Logs Option Overlay Params Point Population Prng Queue Seq Set Stats Tinygroups

@@ -1,0 +1,1 @@
+lib/randstring/propagate.mli: Prng Stats Tinygroups

@@ -1,0 +1,60 @@
+(** The three-phase global random-string protocol (§IV-B,
+    Appendix VIII), run over a group graph.
+
+    Phase 1: every good ID in the giant component of non-hijacked
+    groups generates candidate strings (one hash evaluation per step)
+    and keeps its minimum-output string. Phase 2 ([d' ln n] rounds):
+    each ID floods its minimum through its group's neighbour links,
+    gated by the bins-and-counters filter; at the end of the phase
+    each ID fixes [s*] — the smallest-output string it has seen —
+    which will sign its next PoW identifier. Phase 3 ([d' ln n]
+    more rounds): forwarding continues but nothing new is generated;
+    this is the slack that re-converges the component after the
+    adversary's last-moment releases.
+
+    The adversary (with its [beta] share of hash power) crafts its
+    own record-quality strings and, when [delay_release] is set,
+    injects each to a single victim at the {e final} round of
+    Phase 2 — the split attack Lemma 12 is about. The lemma's three
+    properties are exactly what {!run} measures:
+    (i) every good ID's [s*] lands in every good ID's solution set,
+    (ii) solution sets have [O(ln n)] strings,
+    (iii) total message cost is [~O(n ln T)]. *)
+
+type config = {
+  d_prime : float;  (** Rounds per phase = [d_prime * ln n]. *)
+  b : float;  (** Bin-count coefficient. *)
+  c0 : float;  (** Bin-counter cap coefficient. *)
+  d0 : float;  (** Solution-set size = [d0 * ln n]. *)
+  delay_release : bool;  (** Adversary withholds until Phase 2's last round. *)
+}
+
+val default_config : config
+(** [d' = 2], [b = 1], [c0 = 2], [d0 = 2], delayed release on. *)
+
+type result = {
+  participants : int;
+      (** Good IDs in the giant component that took part. *)
+  agreement : bool;
+      (** Property (i): every participant's [s*] is in every other
+          participant's solution set. *)
+  agreement_violations : int;
+      (** Number of (holder, verifier) pairs violating (i). *)
+  solution_set_sizes : Stats.Descriptive.summary;
+  min_output : float;
+      (** The globally smallest output in circulation — should be
+          [Theta(1 / (n T))]. *)
+  forwards : int;  (** String-forwarding events (node-to-group sends). *)
+  messages : int;
+      (** Point-to-point message cost: forwards expanded through
+          group-to-group all-to-all exchanges. *)
+  rounds : int;
+}
+
+val run :
+  Prng.Rng.t ->
+  Tinygroups.Group_graph.t ->
+  epoch_steps:int ->
+  config ->
+  result
+(** Execute one epoch's protocol over the given group graph. *)

@@ -1,0 +1,21 @@
+(** A binary min-heap with integer-pair priorities.
+
+    Backs the event queue of {!Engine}. Priorities are
+    [(time, sequence)] pairs so that events at equal times pop in
+    insertion order — deterministic replay is a hard requirement for
+    reproducible experiments. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> time:int -> seq:int -> 'a -> unit
+(** Insert with priority [(time, seq)], ordered lexicographically. *)
+
+val pop : 'a t -> (int * int * 'a) option
+(** Remove and return the minimum as [(time, seq, value)]. *)
+
+val peek : 'a t -> (int * int * 'a) option

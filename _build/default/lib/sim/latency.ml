@@ -1,0 +1,34 @@
+type t =
+  | Constant of int
+  | Uniform of int * int
+  | Lognormal of int * float
+
+let constant ms =
+  if ms < 1 then invalid_arg "Latency.constant: at least 1ms";
+  Constant ms
+
+let uniform ~lo ~hi =
+  if lo < 1 || hi < lo then invalid_arg "Latency.uniform: need 1 <= lo <= hi";
+  Uniform (lo, hi)
+
+let lognormal_like ~median ~sigma =
+  if median < 1 || sigma < 0. then invalid_arg "Latency.lognormal_like";
+  Lognormal (median, sigma)
+
+(* Box-Muller from two uniforms. *)
+let std_normal rng =
+  let u1 = Float.max 1e-12 (Prng.Rng.float rng) in
+  let u2 = Prng.Rng.float rng in
+  sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)
+
+let sample rng = function
+  | Constant ms -> ms
+  | Uniform (lo, hi) -> Prng.Rng.int_in rng lo hi
+  | Lognormal (median, sigma) ->
+      let z = std_normal rng in
+      max 1 (int_of_float (float_of_int median *. exp (sigma *. z)))
+
+let describe = function
+  | Constant ms -> Printf.sprintf "constant %dms" ms
+  | Uniform (lo, hi) -> Printf.sprintf "uniform [%d, %d]ms" lo hi
+  | Lognormal (median, sigma) -> Printf.sprintf "lognormal-like median %dms sigma %.2f" median sigma

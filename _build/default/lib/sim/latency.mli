@@ -1,0 +1,26 @@
+(** Per-message latency models for message-level simulations.
+
+    The paper's motivation cites wide-area deployments where group
+    size visibly costs latency ([51]: "|G| = 30 incurs significant
+    latency in PlanetLab experiments"). The timed-routing experiment
+    (E17) needs a latency distribution per point-to-point message;
+    this module provides the usual suspects. Times are abstract
+    milliseconds as integers. *)
+
+type t
+
+val constant : int -> t
+(** Every message takes exactly this long. *)
+
+val uniform : lo:int -> hi:int -> t
+(** Uniform on the inclusive range. *)
+
+val lognormal_like : median:int -> sigma:float -> t
+(** A heavy-tailed WAN-ish model: [median * exp (sigma * z)] with [z]
+    standard normal; typical internet RTT shapes at
+    [median ~ 40, sigma ~ 0.6]. *)
+
+val sample : Prng.Rng.t -> t -> int
+(** One message delay; always at least 1. *)
+
+val describe : t -> string

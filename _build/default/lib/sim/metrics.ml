@@ -1,0 +1,29 @@
+type t = (string, int ref) Hashtbl.t
+
+let create () = Hashtbl.create 32
+
+let cell t name =
+  match Hashtbl.find_opt t name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t name r;
+      r
+
+let incr t name = Stdlib.incr (cell t name)
+let add t name k = cell t name |> fun r -> r := !r + k
+let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+let reset t = Hashtbl.iter (fun _ r -> r := 0) t
+
+let snapshot t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp fmt t =
+  List.iter (fun (name, v) -> Format.fprintf fmt "%-24s %d@." name v) (snapshot t)
+
+let msg_group_comm = "msg.group_comm"
+let msg_routing = "msg.routing"
+let msg_membership = "msg.membership"
+let msg_propagation = "msg.propagation"
+let pow_hash_evals = "pow.hash_evals"

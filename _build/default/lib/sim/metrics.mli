@@ -1,0 +1,44 @@
+(** Named counters for cost accounting.
+
+    The paper's claims are cost claims — message complexity of group
+    communication, secure routing and string propagation, and per-ID
+    state. Components increment named counters here; experiment
+    harnesses snapshot and reset them around each measured phase. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+
+val get : t -> string -> int
+(** 0 for never-touched counters. *)
+
+val reset : t -> unit
+(** Zero every counter. *)
+
+val snapshot : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** Conventional counter names used across the libraries. *)
+
+val msg_group_comm : string
+(** Intra-group all-to-all messages (group communication, cost (i)). *)
+
+val msg_routing : string
+(** Inter-group all-to-all messages during secure routing
+    (cost (ii)). *)
+
+val msg_membership : string
+(** Messages spent making and verifying group-membership and
+    neighbour requests (§III-A). *)
+
+val msg_propagation : string
+(** Messages of the random-string propagation protocol
+    (Lemma 12). *)
+
+val pow_hash_evals : string
+(** Hash evaluations spent on proof-of-work puzzles (§IV-A). *)

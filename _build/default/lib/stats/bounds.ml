@@ -1,0 +1,56 @@
+let chernoff_upper ~mu ~delta =
+  if mu < 0. || delta <= 0. || delta >= 1. then invalid_arg "Bounds.chernoff_upper";
+  exp (-.(delta *. delta) *. mu /. 3.)
+
+let chernoff_lower ~mu ~delta =
+  if mu < 0. || delta <= 0. || delta >= 1. then invalid_arg "Bounds.chernoff_lower";
+  exp (-.(delta *. delta) *. mu /. 2.)
+
+(* Relative entropy D(a || p) between Bernoulli(a) and Bernoulli(p). *)
+let kl a p =
+  let term x y = if x = 0. then 0. else x *. log (x /. y) in
+  term a p +. term (1. -. a) (1. -. p)
+
+let bad_group_probability ~group_size ~beta =
+  if group_size <= 0 then invalid_arg "Bounds.bad_group_probability";
+  if beta <= 0. then 0.
+  else if beta >= 0.5 then 1.
+  else begin
+    let g = float_of_int group_size in
+    exp (-.g *. kl 0.5 beta)
+  end
+
+let mcdiarmid ~ci ~t =
+  let sum_sq = Array.fold_left (fun acc c -> acc +. (c *. c)) 0. ci in
+  if sum_sq <= 0. then invalid_arg "Bounds.mcdiarmid: zero variation budget";
+  exp (-2. *. t *. t /. sum_sq)
+
+let binomial_tail_ge ~n ~p ~k =
+  if n < 0 || k < 0 then invalid_arg "Bounds.binomial_tail_ge";
+  if k > n then 0.
+  else if p <= 0. then if k = 0 then 1. else 0.
+  else if p >= 1. then 1.
+  else begin
+    (* Sum pmf terms in log space for numeric stability. *)
+    let log_p = log p and log_q = log (1. -. p) in
+    let log_choose =
+      let lgamma_cache = Array.make (n + 2) 0. in
+      for i = 2 to n + 1 do
+        lgamma_cache.(i) <- lgamma_cache.(i - 1) +. log (float_of_int (i - 1))
+      done;
+      fun j -> lgamma_cache.(n + 1) -. lgamma_cache.(j + 1) -. lgamma_cache.(n - j + 1)
+    in
+    let acc = ref 0. in
+    for j = k to n do
+      let lp = log_choose j +. (float_of_int j *. log_p) +. (float_of_int (n - j) *. log_q) in
+      acc := !acc +. exp lp
+    done;
+    Float.min 1. !acc
+  end
+
+let predicted_pf ~n ~k ~c =
+  if n < 3 then 1.
+  else begin
+    let e = k -. c in
+    if e <= 0. then 1. else 1. /. (log (float_of_int n) ** e)
+  end

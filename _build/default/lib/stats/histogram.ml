@@ -1,0 +1,70 @@
+type t = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  mutable total : int;
+}
+
+let create ?(lo = 0.) ?(hi = 1.) ~bins () =
+  if bins < 1 then invalid_arg "Histogram.create: bins >= 1";
+  if lo >= hi then invalid_arg "Histogram.create: lo < hi required";
+  { lo; hi; counts = Array.make bins 0; total = 0 }
+
+let add t x =
+  let bins = Array.length t.counts in
+  let idx =
+    int_of_float (float_of_int bins *. (x -. t.lo) /. (t.hi -. t.lo))
+  in
+  let idx = if idx < 0 then 0 else if idx >= bins then bins - 1 else idx in
+  t.counts.(idx) <- t.counts.(idx) + 1;
+  t.total <- t.total + 1
+
+let add_many t xs = Array.iter (add t) xs
+
+let count t i = t.counts.(i)
+let total t = t.total
+let bins t = Array.length t.counts
+
+let chi_square_uniform t =
+  let b = Array.length t.counts in
+  if t.total = 0 then 0.
+  else begin
+    let expected = float_of_int t.total /. float_of_int b in
+    Array.fold_left
+      (fun acc c ->
+        let d = float_of_int c -. expected in
+        acc +. (d *. d /. expected))
+      0. t.counts
+  end
+
+let chi_square_critical_99 ~dof =
+  if dof < 1 then invalid_arg "Histogram.chi_square_critical_99";
+  (* Wilson–Hilferty: chi2_q ~= dof * (1 - 2/(9 dof) + z_q sqrt(2/(9 dof)))^3,
+     with z_0.99 = 2.326. *)
+  let k = float_of_int dof in
+  let a = 2. /. (9. *. k) in
+  k *. ((1. -. a +. (2.326 *. sqrt a)) ** 3.)
+
+let max_deviation t =
+  let b = Array.length t.counts in
+  if t.total = 0 then 0.
+  else begin
+    let expected = 1. /. float_of_int b in
+    Array.fold_left
+      (fun acc c ->
+        let f = float_of_int c /. float_of_int t.total in
+        Float.max acc (Float.abs (f -. expected)))
+      0. t.counts
+  end
+
+let render t ~width =
+  let b = Array.length t.counts in
+  let peak = Array.fold_left max 1 t.counts in
+  let buf = Buffer.create (b * (width + 16)) in
+  Array.iteri
+    (fun i c ->
+      let lo = t.lo +. ((t.hi -. t.lo) *. float_of_int i /. float_of_int b) in
+      let bar_len = c * width / peak in
+      Buffer.add_string buf (Printf.sprintf "%8.4f | %s %d\n" lo (String.make bar_len '#') c))
+    t.counts;
+  Buffer.contents buf

@@ -1,0 +1,38 @@
+(** Fixed-width histograms for distribution sanity checks.
+
+    Used to test uniformity of adversarial PoW identifiers
+    (Lemma 11: the minted IDs must be u.a.r. on [0,1)) and to render
+    ASCII distribution plots in the experiment reports. *)
+
+type t
+
+val create : ?lo:float -> ?hi:float -> bins:int -> unit -> t
+(** [create ~bins ()] covers [0,1) by default; values outside
+    [lo, hi) are clamped into the end bins. Requires [bins >= 1] and
+    [lo < hi]. *)
+
+val add : t -> float -> unit
+val add_many : t -> float array -> unit
+
+val count : t -> int -> int
+(** Observations in bin [i]. *)
+
+val total : t -> int
+val bins : t -> int
+
+val chi_square_uniform : t -> float
+(** Chi-square statistic against the uniform distribution over the
+    histogram's range; degrees of freedom is [bins - 1]. *)
+
+val chi_square_critical_99 : dof:int -> float
+(** Approximate 99th-percentile critical value of the chi-square
+    distribution with [dof] degrees of freedom (Wilson–Hilferty
+    approximation) — a statistic below this is consistent with
+    uniformity at the 1% level. *)
+
+val max_deviation : t -> float
+(** Max over bins of [|observed/total - expected|] as a fraction;
+    a Kolmogorov-style coarse distance to uniform. *)
+
+val render : t -> width:int -> string
+(** ASCII bar rendering, one line per bin. *)

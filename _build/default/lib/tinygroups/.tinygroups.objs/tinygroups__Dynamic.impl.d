@@ -1,0 +1,1 @@
+lib/tinygroups/dynamic.ml: Adversary Array Estimate Group Group_graph Hashing Hashtbl Idspace Int64 List Logs Membership Overlay Params Point Population Prng Ring Sim

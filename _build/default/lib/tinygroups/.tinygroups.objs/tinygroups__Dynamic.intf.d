@@ -1,0 +1,1 @@
+lib/tinygroups/dynamic.mli: Group_graph Hashing Idspace Membership Point Prng Sim

@@ -1,0 +1,1 @@
+lib/tinygroups/epoch.ml: Adversary Array Estimate Float Group Group_graph Hashing Idspace List Logs Membership Overlay Params Placement Point Population Prng Ring Secure_route Sim

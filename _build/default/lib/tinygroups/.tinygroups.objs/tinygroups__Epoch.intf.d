@@ -1,0 +1,1 @@
+lib/tinygroups/epoch.mli: Adversary Group_graph Idspace Membership Overlay Params Placement Prng Secure_route Sim

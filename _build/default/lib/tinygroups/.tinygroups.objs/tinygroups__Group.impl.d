@@ -1,0 +1,1 @@
+lib/tinygroups/group.ml: Adversary Array Format Idspace List Params Point Population

@@ -1,0 +1,1 @@
+lib/tinygroups/group.mli: Adversary Format Idspace Params Point Population

@@ -1,0 +1,1 @@
+lib/tinygroups/group_graph.ml: Adversary Array Estimate Group Hashing Hashtbl Idspace List Option Overlay Params Point Population Prng Ring

@@ -1,0 +1,1 @@
+lib/tinygroups/group_graph.mli: Adversary Group Hashing Hashtbl Idspace Overlay Params Point Population Prng

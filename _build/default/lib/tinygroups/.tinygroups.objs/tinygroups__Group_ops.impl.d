@@ -1,0 +1,1 @@
+lib/tinygroups/group_ops.ml: Agreement Array Group Group_graph

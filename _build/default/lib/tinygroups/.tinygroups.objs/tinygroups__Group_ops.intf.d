@@ -1,0 +1,1 @@
+lib/tinygroups/group_ops.mli: Group_graph Idspace Point Prng

@@ -1,0 +1,1 @@
+lib/tinygroups/membership.ml: Adversary Array Group Group_graph Idspace Lazy List Option Point Population Prng Ring Secure_route Set Sim

@@ -1,0 +1,1 @@
+lib/tinygroups/membership.mli: Group_graph Idspace Lazy Point Prng Secure_route Sim

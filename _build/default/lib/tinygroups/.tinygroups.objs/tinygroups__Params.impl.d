@@ -1,0 +1,1 @@
+lib/tinygroups/params.ml: Format Idspace

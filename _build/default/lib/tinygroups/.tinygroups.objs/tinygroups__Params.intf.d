@@ -1,0 +1,1 @@
+lib/tinygroups/params.mli: Format

@@ -1,0 +1,1 @@
+lib/tinygroups/quarantine.ml: Array Hashtbl Idspace Option Point Prng

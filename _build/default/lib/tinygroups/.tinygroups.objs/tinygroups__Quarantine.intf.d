@@ -1,0 +1,1 @@
+lib/tinygroups/quarantine.mli: Idspace Point Prng

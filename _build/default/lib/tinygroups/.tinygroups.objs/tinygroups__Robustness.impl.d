@@ -1,0 +1,1 @@
+lib/tinygroups/robustness.ml: Adversary Array Group Group_graph Hashtbl Idspace List Option Overlay Point Population Prng Ring Secure_route Stats

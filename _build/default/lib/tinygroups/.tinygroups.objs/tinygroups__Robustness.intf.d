@@ -1,0 +1,1 @@
+lib/tinygroups/robustness.mli: Group_graph Prng Secure_route Stats

@@ -1,0 +1,1 @@
+lib/tinygroups/secure_route.ml: Group Group_graph Idspace List Overlay Point Stdlib

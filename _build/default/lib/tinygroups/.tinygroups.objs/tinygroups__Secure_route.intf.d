@@ -1,0 +1,1 @@
+lib/tinygroups/secure_route.mli: Group_graph Idspace Point Stdlib

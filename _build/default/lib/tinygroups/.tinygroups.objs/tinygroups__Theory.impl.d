@@ -1,0 +1,1 @@
+lib/tinygroups/theory.ml: Float Params Stats

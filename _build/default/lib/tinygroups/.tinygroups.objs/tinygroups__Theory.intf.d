@@ -1,0 +1,1 @@
+lib/tinygroups/theory.mli:

@@ -1,0 +1,1 @@
+lib/tinygroups/timed_route.ml: Array Group Group_graph List Secure_route Sim

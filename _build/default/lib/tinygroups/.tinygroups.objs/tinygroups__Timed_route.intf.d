@@ -1,0 +1,1 @@
+lib/tinygroups/timed_route.mli: Group_graph Idspace Point Prng Secure_route Sim

@@ -1,0 +1,186 @@
+open Idspace
+open Adversary
+
+let log_src = Logs.Src.create "tinygroups.dynamic" ~doc:"Per-event joins and departures"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type cost = {
+  searches : int;
+  messages : int;
+  affected_groups : int;
+  member_updates : int;
+}
+
+(* Rebuild the same overlay construction over a changed ring. *)
+let rebuild_overlay (ov : Overlay.Overlay_intf.t) ring =
+  match ov.Overlay.Overlay_intf.name with
+  | "chord" -> Overlay.Chord.make ring
+  | "chord++" -> Overlay.Chord_pp.make ring
+  | "debruijn" -> Overlay.Debruijn.make ring
+  | "succ-ring" -> Overlay.Succ_ring.make ring
+  | other -> invalid_arg ("Dynamic: unknown overlay construction " ^ other)
+
+(* Leaders whose finger/successor linking rule touches [id]'s arc:
+   for Chord-style rules, v with v + 2^j in (pred(id), id] for some
+   j, plus id's ring neighbours. The generic filter against the
+   overlay's own neighbour function keeps this sound for any
+   construction (it may under-enumerate for exotic rules; Chord,
+   Chord++ and the successor ring are covered exactly). *)
+let capture_candidates ring ~id =
+  let pred = match Ring.predecessor ring id with Some p -> p | None -> id in
+  let acc = ref [] in
+  let add v = if not (Point.equal v id) then acc := v :: !acc in
+  add pred;
+  (match Ring.strict_successor ring id with Some s -> add s | None -> ());
+  for j = 0 to 61 do
+    let stride = Int64.shift_left 1L j in
+    (* v in (pred - 2^j, id - 2^j]: walk the arc. *)
+    let from = Point.add_cw pred (Int64.sub Point.modulus stride) in
+    let until = Point.add_cw id (Int64.sub Point.modulus stride) in
+    let rec walk v steps =
+      if steps > 8 then () (* arcs hold O(1) IDs in expectation; cap the scan *)
+      else if Point.in_cw_range ~from ~until v then begin
+        add v;
+        match Ring.strict_successor ring v with
+        | Some next when not (Point.equal next v) -> walk next (steps + 1)
+        | _ -> ()
+      end
+    in
+    (match Ring.strict_successor ring from with Some v -> walk v 0 | None -> ())
+  done;
+  List.sort_uniq Point.compare !acc
+
+let captured_by g ~id =
+  let pop = g.Group_graph.population in
+  let ring = Ring.add id (Population.ring pop) in
+  let overlay = rebuild_overlay g.Group_graph.overlay ring in
+  List.filter
+    (fun v ->
+      Ring.mem v (Population.ring pop)
+      && List.exists (Point.equal id) (overlay.Overlay.Overlay_intf.neighbors v))
+    (capture_candidates ring ~id)
+
+let existing_groups g =
+  Array.to_list
+    (Array.map (fun w -> (w, Group_graph.group_of g w)) (Group_graph.leaders g))
+
+let confused_leaders g =
+  Hashtbl.fold (fun k () acc -> Point.of_u62 k :: acc) g.Group_graph.confused []
+
+let join rng metrics g ~old_pair ~member_oracle ~id ~bad =
+  let pop = g.Group_graph.population in
+  if Ring.mem id (Population.ring pop) then invalid_arg "Dynamic.join: ID already present";
+  let params = g.Group_graph.params in
+  let new_pop = if bad then Population.add_bad pop id else Population.add_good pop id in
+  let new_ring = Population.ring new_pop in
+  let new_overlay = rebuild_overlay g.Group_graph.overlay new_ring in
+  let before = Sim.Metrics.get metrics Sim.Metrics.msg_membership in
+  let searches = ref 0 in
+  (* 1. Solicit members for the newcomer's group through the old
+     graphs (each solicitation is up to four routed searches: a dual
+     lookup plus the solicited ID's dual verification). *)
+  let draws =
+    Params.member_draws_estimated params
+      ~ln_ln_estimate:(Estimate.ln_ln_n new_ring id)
+  in
+  let members = ref [] in
+  for i = 1 to draws do
+    let point =
+      Point.of_u62 (Hashing.Oracle.query_indexed member_oracle (Point.to_u62 id) i)
+    in
+    searches := !searches + 4;
+    match Membership.solicit_member (Prng.Rng.split rng) metrics old_pair ~point with
+    | Some m -> members := m :: !members
+    | None -> ()
+  done;
+  let members = if !members = [] then [ id ] else !members in
+  let old_member_pop = Membership.(old_pair.g1.Group_graph.population) in
+  let grp = Group.form params old_member_pop ~leader:id ~members in
+  (* 2. Establish the newcomer's neighbour links. *)
+  let neighbors = new_overlay.Overlay.Overlay_intf.neighbors id in
+  let ok =
+    List.for_all
+      (fun u ->
+        searches := !searches + 4;
+        Membership.establish_neighbor (Prng.Rng.split rng) metrics old_pair ~target:u)
+      neighbors
+  in
+  (* 3. Existing groups that must now link to the newcomer verify the
+     update; a failed verification leaves that group confused. *)
+  let captured = captured_by g ~id in
+  let newly_confused =
+    List.filter
+      (fun _ ->
+        searches := !searches + 4;
+        not (Membership.establish_neighbor (Prng.Rng.split rng) metrics old_pair ~target:id))
+      captured
+  in
+  let confused =
+    (if ok then [] else [ id ]) @ newly_confused @ confused_leaders g
+  in
+  let groups = (id, grp) :: existing_groups g in
+  let g' =
+    Group_graph.assemble ~params ~population:new_pop ~overlay:new_overlay ~groups
+      ~confused:(List.sort_uniq Point.compare confused)
+  in
+  let cost =
+    {
+      searches = !searches;
+      messages = Sim.Metrics.get metrics Sim.Metrics.msg_membership - before;
+      affected_groups = List.length captured;
+      member_updates = Group.size grp;
+    }
+  in
+  Log.debug (fun m ->
+      m "join %a: %d searches, %d msgs, %d captured groups, group size %d" Point.pp id
+        cost.searches cost.messages cost.affected_groups (Group.size grp));
+  (g', cost)
+
+let depart g ~id =
+  let pop = g.Group_graph.population in
+  if not (Ring.mem id (Population.ring pop)) then invalid_arg "Dynamic.depart: unknown ID";
+  let params = g.Group_graph.params in
+  (* Reverse neighbours null their link to the departing group. *)
+  let reverse =
+    List.filter
+      (fun v ->
+        (not (Point.equal v id))
+        && List.exists (Point.equal id) (g.Group_graph.overlay.Overlay.Overlay_intf.neighbors v))
+      (capture_candidates (Population.ring pop) ~id)
+  in
+  let new_pop = Population.remove pop id in
+  let new_ring = Population.ring new_pop in
+  let new_overlay = rebuild_overlay g.Group_graph.overlay new_ring in
+  let n_hint = Population.n new_pop in
+  (* Groups containing the departing ID lose a member. *)
+  let member_updates = ref 0 in
+  let groups =
+    List.filter_map
+      (fun (w, grp) ->
+        if Point.equal w id then None
+        else if Group.contains grp id then begin
+          incr member_updates;
+          match Group.drop_member params ~n_hint grp id with
+          | Some grp' -> Some (w, grp')
+          | None -> Some (w, grp) (* a group never empties below one member *)
+        end
+        else Some (w, grp))
+      (existing_groups g)
+  in
+  let confused =
+    List.filter (fun w -> not (Point.equal w id)) (confused_leaders g)
+  in
+  let g' =
+    Group_graph.assemble ~params ~population:new_pop ~overlay:new_overlay ~groups
+      ~confused
+  in
+  let cost =
+    {
+      searches = 0;
+      messages = 0;
+      affected_groups = List.length reverse;
+      member_updates = !member_updates;
+    }
+  in
+  (g', cost)

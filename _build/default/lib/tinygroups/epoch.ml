@@ -1,0 +1,174 @@
+open Idspace
+open Adversary
+
+let log_src = Logs.Src.create "tinygroups.epoch" ~doc:"Two-graph epoch protocol"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type mode = Paired | Single
+
+type overlay_kind = Chord | Debruijn
+
+type config = {
+  params : Params.t;
+  n : int;
+  overlay : overlay_kind;
+  mode : mode;
+  failure : Secure_route.failure_notion;
+  placement : Placement.t;
+  spam_per_bad : int;
+  size_drift : float;
+}
+
+let default_config ~n =
+  {
+    params = Params.default;
+    n;
+    overlay = Chord;
+    mode = Paired;
+    failure = `Majority;
+    placement = Placement.Uniform;
+    spam_per_bad = 0;
+    size_drift = 0.;
+  }
+
+type t = {
+  config : config;
+  rng : Prng.Rng.t;
+  metrics_ : Sim.Metrics.t;
+  h1 : Hashing.Oracle.t;
+  h2 : Hashing.Oracle.t;
+  mutable epoch_ : int;
+  mutable g1 : Group_graph.t;
+  mutable g2 : Group_graph.t option;
+  mutable spam_accepted_ : int;
+  mutable history_ : (int * Group_graph.census) list;
+}
+
+let build_overlay kind ring =
+  match kind with
+  | Chord -> Overlay.Chord.make ring
+  | Debruijn -> Overlay.Debruijn.make ring
+
+let fresh_population rng config =
+  let n =
+    if config.size_drift <= 0. then config.n
+    else begin
+      let drift = Float.min 0.9 config.size_drift in
+      let base = float_of_int config.n in
+      let lo = base *. (1. -. drift) and hi = base *. (1. +. drift) in
+      max 8 (int_of_float (lo +. (Prng.Rng.float rng *. (hi -. lo))))
+    end
+  in
+  Population.generate (Prng.Rng.split rng) ~n ~beta:config.params.Params.beta
+    ~strategy:config.placement
+
+let init rng config =
+  let system_key = "tinygroups-repro" in
+  let h1 = Hashing.Oracle.make ~system_key ~label:"h1" in
+  let h2 = Hashing.Oracle.make ~system_key ~label:"h2" in
+  let population = fresh_population rng config in
+  let overlay = build_overlay config.overlay (Population.ring population) in
+  let g1 =
+    Group_graph.build_direct ~params:config.params ~population ~overlay ~member_oracle:h1
+  in
+  let g2 =
+    match config.mode with
+    | Single -> None
+    | Paired ->
+        Some
+          (Group_graph.build_direct ~params:config.params ~population ~overlay
+             ~member_oracle:h2)
+  in
+  {
+    config;
+    rng;
+    metrics_ = Sim.Metrics.create ();
+    h1;
+    h2;
+    epoch_ = 0;
+    g1;
+    g2;
+    spam_accepted_ = 0;
+    history_ = [ (0, Group_graph.census g1) ];
+  }
+
+(* Build one new group graph over [new_pop], drawing members and
+   neighbour links through the old pair. *)
+let build_next t ~old ~new_pop ~new_overlay ~member_oracle =
+  let params = t.config.params in
+  let old_pop = Membership.(old.g1.Group_graph.population) in
+  let new_ring = Population.ring new_pop in
+  let groups = ref [] in
+  let confused = ref [] in
+  Ring.iter
+    (fun w ->
+      let ln_ln_estimate = Estimate.ln_ln_n new_ring w in
+      let draws = Params.member_draws_estimated params ~ln_ln_estimate in
+      let members = ref [] in
+      for i = 1 to draws do
+        let point =
+          Point.of_u62 (Hashing.Oracle.query_indexed member_oracle (Point.to_u62 w) i)
+        in
+        match Membership.solicit_member (Prng.Rng.split t.rng) t.metrics_ old ~point with
+        | Some m -> members := m :: !members
+        | None -> ()
+      done;
+      (* A group that lost every member draw cannot operate: the
+         leader stands alone and the group is surely not good. *)
+      let members = if !members = [] then [ w ] else !members in
+      let grp = Group.form params old_pop ~leader:w ~members in
+      groups := (w, grp) :: !groups;
+      (* Neighbour links per the new topology; any failed
+         establishment leaves the group confused (Lemma 8). *)
+      let ok =
+        List.for_all
+          (fun u ->
+            Membership.establish_neighbor (Prng.Rng.split t.rng) t.metrics_ old ~target:u)
+          (new_overlay.Overlay.Overlay_intf.neighbors w)
+      in
+      if not ok then confused := w :: !confused)
+    new_ring;
+  Group_graph.assemble ~params ~population:new_pop ~overlay:new_overlay ~groups:!groups
+    ~confused:!confused
+
+let advance t =
+  let old = Membership.make_old_pair ~failure:t.config.failure t.g1 t.g2 in
+  let new_pop = fresh_population t.rng t.config in
+  let new_overlay = build_overlay t.config.overlay (Population.ring new_pop) in
+  let new1 = build_next t ~old ~new_pop ~new_overlay ~member_oracle:t.h1 in
+  let new2 =
+    match t.config.mode with
+    | Single -> None
+    | Paired -> Some (build_next t ~old ~new_pop ~new_overlay ~member_oracle:t.h2)
+  in
+  (* The state-inflation attack: bad IDs spam verification. *)
+  if t.config.spam_per_bad > 0 then begin
+    let victims = Population.good_ids (Membership.(old.g1.Group_graph.population)) in
+    if Array.length victims > 0 then begin
+      let attempts = t.config.spam_per_bad * Population.bad_count new_pop in
+      for _ = 1 to attempts do
+        let victim = victims.(Prng.Rng.int t.rng (Array.length victims)) in
+        if Membership.spam_accepted (Prng.Rng.split t.rng) t.metrics_ old ~victim then
+          t.spam_accepted_ <- t.spam_accepted_ + 1
+      done
+    end
+  end;
+  t.g1 <- new1;
+  t.g2 <- new2;
+  t.epoch_ <- t.epoch_ + 1;
+  let census = Group_graph.census new1 in
+  Log.debug (fun m ->
+      m "epoch %d: n=%d good=%d weak=%d hijacked=%d confused=%d (membership msgs so far: %d)"
+        t.epoch_ census.Group_graph.total census.Group_graph.good census.Group_graph.weak
+        census.Group_graph.hijacked_ census.Group_graph.confused_
+        (Sim.Metrics.get t.metrics_ Sim.Metrics.msg_membership));
+  t.history_ <- t.history_ @ [ (t.epoch_, census) ]
+
+let epoch t = t.epoch_
+let primary t = t.g1
+let secondary t = t.g2
+let old_pair t = Membership.make_old_pair ~failure:t.config.failure t.g1 t.g2
+let metrics t = t.metrics_
+let spam_accepted_total t = t.spam_accepted_
+let history t = t.history_

@@ -1,0 +1,87 @@
+(** The two-graph epoch protocol (paper §III).
+
+    Time is cut into epochs of [T] steps. In epoch [j] the system
+    holds two {e old} group graphs [G1, G2] (built during epoch
+    [j-1], fully functional) and constructs two {e new} graphs for
+    epoch [j+1], wiring every new group and neighbour link through
+    searches in {e both} old graphs. All IDs expire at the epoch
+    boundary — every participant mints a fresh PoW ID — so each
+    advance is a full population turnover, the harshest point of the
+    paper's churn model.
+
+    The [Single] mode is the ablation the paper argues against
+    (§III, "a naive approach..."): one graph rebuilt from itself, so
+    a request is protected by one search instead of two and the red
+    fraction compounds epoch over epoch. *)
+
+open Adversary
+
+type mode = Paired | Single
+
+type overlay_kind = Chord | Debruijn
+
+type config = {
+  params : Params.t;
+  n : int;
+  overlay : overlay_kind;
+  mode : mode;
+  failure : Secure_route.failure_notion;
+  placement : Placement.t;
+      (** Where each epoch's fresh adversarial IDs land; {!Placement.Uniform}
+          is what PoW enforces. *)
+  spam_per_bad : int;
+      (** Bogus membership requests issued per bad ID per epoch
+          (Lemma 10's state-inflation attack). *)
+  size_drift : float;
+      (** Per-epoch population-size drift: each epoch's [n_j] is drawn
+          uniformly from [[n (1 - drift), n (1 + drift)]]. The paper
+          notes its results persist while the system size stays
+          [Theta(n)]; 0 (the default) reproduces the fixed-size
+          model. *)
+}
+
+val default_config : n:int -> config
+(** Paired Chord construction with {!Params.default}, uniform
+    placement, no spam, and the [`Majority] (operational) failure
+    notion. The paper's [`Conservative] notion — any group outside
+    the strict good-group definition blocks a search — is an
+    asymptotic device: at practical [n] the tolerance
+    [(1 + delta) beta |G|] is below one member, so the strict
+    definition rejects any group containing a single bad ID. What
+    breaks searches physically is a lost good majority. *)
+
+type t
+
+val init : Prng.Rng.t -> config -> t
+(** Build the initial graphs [G⁰] directly (correct wiring, honest
+    member choice — the paper's initialisation assumption,
+    Appendix X) over a freshly generated population. *)
+
+val advance : t -> unit
+(** Run one epoch: mint a fresh population, construct the new
+    graph(s) through the old ones, retire the old ones. *)
+
+val epoch : t -> int
+(** Number of completed [advance] calls. *)
+
+val primary : t -> Group_graph.t
+(** The current first group graph (searchable now). *)
+
+val secondary : t -> Group_graph.t option
+
+val old_pair : t -> Membership.old_pair
+(** The current graphs packaged for request simulation. *)
+
+val metrics : t -> Sim.Metrics.t
+(** Cumulative message costs of all construction traffic. *)
+
+val spam_accepted_total : t -> int
+(** Bogus requests that victims erroneously accepted so far. *)
+
+val history : t -> (int * Group_graph.census) list
+(** Census of the primary graph after each epoch, oldest first
+    (epoch 0 is the initial build). *)
+
+val build_overlay : overlay_kind -> Idspace.Ring.t -> Overlay.Overlay_intf.t
+(** The overlay factory used internally; exposed for experiments that
+    need matching graphs. *)

@@ -1,0 +1,78 @@
+open Idspace
+open Adversary
+
+type health = Good | Weak | Hijacked
+
+type t = {
+  leader : Point.t;
+  members : Point.t array;
+  member_bad : bool array;
+  bad_members : int;
+  health : health;
+}
+
+let classify params ~n_hint ~size ~bad =
+  let majority_ok = 2 * bad < size in
+  if not majority_ok then Hijacked
+  else begin
+    let tol = Params.bad_tolerance params ~size in
+    let min_size =
+      match n_hint with Some n -> Params.min_good_size params ~n | None -> 3
+    in
+    if bad <= tol && size >= min_size then Good else Weak
+  end
+
+let form params pop ~leader ~members =
+  let distinct = List.sort_uniq Point.compare members in
+  let members = Array.of_list distinct in
+  let size = Array.length members in
+  if size = 0 then invalid_arg "Group.form: empty member set";
+  let member_bad = Array.map (Population.is_bad pop) members in
+  let bad = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 member_bad in
+  let health = classify params ~n_hint:(Some (Population.n pop)) ~size ~bad in
+  { leader; members; member_bad; bad_members = bad; health }
+
+let size t = Array.length t.members
+let good_members t = size t - t.bad_members
+let has_good_majority t = 2 * t.bad_members < size t
+
+let contains t p =
+  (* Members are sorted: binary search. *)
+  let lo = ref 0 and hi = ref (Array.length t.members - 1) in
+  let found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = Point.compare t.members.(mid) p in
+    if c = 0 then found := true else if c < 0 then lo := mid + 1 else hi := mid - 1
+  done;
+  !found
+
+let health_string = function
+  | Good -> "good"
+  | Weak -> "weak"
+  | Hijacked -> "hijacked"
+
+let member_is_bad t i = t.member_bad.(i)
+
+let drop_member params ~n_hint t m =
+  let keep = ref [] in
+  Array.iteri
+    (fun i member ->
+      if not (Point.equal member m) then keep := (member, t.member_bad.(i)) :: !keep)
+    t.members;
+  let kept = List.rev !keep in
+  match kept with
+  | [] -> None
+  | _ when List.length kept = Array.length t.members -> Some t
+  | _ ->
+      let members = Array.of_list (List.map fst kept) in
+      let member_bad = Array.of_list (List.map snd kept) in
+      let bad = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 member_bad in
+      let health =
+        classify params ~n_hint:(Some n_hint) ~size:(Array.length members) ~bad
+      in
+      Some { t with members; member_bad; bad_members = bad; health }
+
+let pp fmt t =
+  Format.fprintf fmt "G_%a[%d members, %d bad, %s]" Point.pp t.leader (size t) t.bad_members
+    (health_string t.health)

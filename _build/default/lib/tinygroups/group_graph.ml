@@ -1,0 +1,140 @@
+open Idspace
+open Adversary
+
+type color = Blue | Red
+
+type t = {
+  params : Params.t;
+  population : Population.t;
+  overlay : Overlay.Overlay_intf.t;
+  groups : (int64, Group.t) Hashtbl.t;
+  confused : (int64, unit) Hashtbl.t;
+  mutable blue_cache : Point.t array option;
+}
+
+let key p = Point.to_u62 p
+
+let member_points ~member_oracle ~draws w =
+  List.init draws (fun i -> Point.of_u62 (Hashing.Oracle.query_indexed member_oracle (Point.to_u62 w) (i + 1)))
+
+let build_direct ~params ~population ~overlay ~member_oracle =
+  let ring = Population.ring population in
+  let n = Ring.cardinal ring in
+  if n < 3 then invalid_arg "Group_graph.build_direct: population too small";
+  let groups = Hashtbl.create (2 * n) in
+  Ring.iter
+    (fun w ->
+      let ln_ln_estimate = Estimate.ln_ln_n ring w in
+      let draws = Params.member_draws_estimated params ~ln_ln_estimate in
+      let members =
+        List.map (Ring.successor_exn ring) (member_points ~member_oracle ~draws w)
+      in
+      let g = Group.form params population ~leader:w ~members in
+      Hashtbl.replace groups (key w) g)
+    ring;
+  { params; population; overlay; groups; confused = Hashtbl.create 16; blue_cache = None }
+
+let assemble ~params ~population ~overlay ~groups ~confused =
+  let ring = Population.ring population in
+  let table = Hashtbl.create (2 * Ring.cardinal ring) in
+  List.iter
+    (fun (leader, g) ->
+      if not (Ring.mem leader ring) then
+        invalid_arg "Group_graph.assemble: leader not in population";
+      if Hashtbl.mem table (key leader) then
+        invalid_arg "Group_graph.assemble: duplicate leader";
+      Hashtbl.replace table (key leader) g)
+    groups;
+  if Hashtbl.length table <> Ring.cardinal ring then
+    invalid_arg "Group_graph.assemble: missing groups";
+  let confused_table = Hashtbl.create 64 in
+  List.iter (fun leader -> Hashtbl.replace confused_table (key leader) ()) confused;
+  {
+    params;
+    population;
+    overlay;
+    groups = table;
+    confused = confused_table;
+    blue_cache = None;
+  }
+
+let group_of t p =
+  match Hashtbl.find_opt t.groups (key p) with
+  | Some g -> g
+  | None -> raise Not_found
+
+let is_confused t p = Hashtbl.mem t.confused (key p)
+
+let color_of t p =
+  let g = group_of t p in
+  if g.Group.health = Group.Good && not (is_confused t p) then Blue else Red
+
+let hijacked t p =
+  let g = group_of t p in
+  g.Group.health = Group.Hijacked || is_confused t p
+
+let leaders t = Ring.to_sorted_array (Population.ring t.population)
+
+let n_groups t = Hashtbl.length t.groups
+
+type census = {
+  total : int;
+  good : int;
+  weak : int;
+  hijacked_ : int;
+  confused_ : int;
+  red : int;
+}
+
+let census t =
+  let total = ref 0 and good = ref 0 and weak = ref 0 and hij = ref 0 in
+  let conf = ref 0 and red = ref 0 in
+  Hashtbl.iter
+    (fun k (g : Group.t) ->
+      incr total;
+      (match g.Group.health with
+      | Group.Good -> incr good
+      | Group.Weak -> incr weak
+      | Group.Hijacked -> incr hij);
+      let is_conf = Hashtbl.mem t.confused k in
+      if is_conf then incr conf;
+      if g.Group.health <> Group.Good || is_conf then incr red)
+    t.groups;
+  { total = !total; good = !good; weak = !weak; hijacked_ = !hij; confused_ = !conf; red = !red }
+
+let fraction_red t =
+  let c = census t in
+  float_of_int c.red /. float_of_int (max 1 c.total)
+
+let blue_leaders t =
+  match t.blue_cache with
+  | Some blue -> blue
+  | None ->
+      let blue =
+        Array.of_list
+          (Ring.fold
+             (fun p acc -> if color_of t p = Blue then p :: acc else acc)
+             (Population.ring t.population) [])
+      in
+      t.blue_cache <- Some blue;
+      blue
+
+let random_blue_leader rng t =
+  let blue = blue_leaders t in
+  if Array.length blue = 0 then None else Some blue.(Prng.Rng.int rng (Array.length blue))
+
+let mean_group_size t =
+  let total = Hashtbl.fold (fun _ g acc -> acc + Group.size g) t.groups 0 in
+  float_of_int total /. float_of_int (max 1 (Hashtbl.length t.groups))
+
+let groups_per_id t =
+  let counts : (Point.t, int) Hashtbl.t = Hashtbl.create (2 * n_groups t) in
+  Hashtbl.iter
+    (fun _ (g : Group.t) ->
+      Array.iter
+        (fun m ->
+          let c = Option.value ~default:0 (Hashtbl.find_opt counts m) in
+          Hashtbl.replace counts m (c + 1))
+        g.Group.members)
+    t.groups;
+  counts

@@ -1,0 +1,98 @@
+(** The group graph [G] (paper §II-A): one group per ID, wired by the
+    topology of the input graph [H].
+
+    Vertices are groups [G_w], one per ID [w] of the population; edges
+    mirror [H]'s links ([G_u] is a neighbour of [G_w] iff [u] is a
+    neighbour of [w] in [H]). A group is {b blue} when it is good
+    {e and} its neighbour set was established correctly, {b red}
+    otherwise (S1–S3). The adversary owns every red group.
+
+    Two constructors exist:
+    - {!build_direct} wires members straight from the hash oracle and
+      the true ring — the static case of §II and the assumed-correct
+      initial graphs [G⁰] of §III-A;
+    - {!assemble} accepts externally formed groups and an explicit
+      confused set — used by the epoch protocol (§III), where
+      membership travels through searches in the old graphs and can
+      therefore be corrupted. *)
+
+open Idspace
+open Adversary
+
+type color = Blue | Red
+
+type t = private {
+  params : Params.t;
+  population : Population.t;
+  overlay : Overlay.Overlay_intf.t;
+  groups : (int64, Group.t) Hashtbl.t;  (** leader (as u62) -> group *)
+  confused : (int64, unit) Hashtbl.t;
+      (** Leaders whose neighbour set is incorrectly established. *)
+  mutable blue_cache : Idspace.Point.t array option;
+      (** Memoised blue-leader array (the structure is immutable once
+          assembled, so this never invalidates). *)
+}
+
+val build_direct :
+  params:Params.t ->
+  population:Population.t ->
+  overlay:Overlay.Overlay_intf.t ->
+  member_oracle:Hashing.Oracle.t ->
+  t
+(** Form [G_w] for every ID [w] with members
+    [suc(oracle(w, i))], [i = 1 .. draws], where [draws] comes from
+    [w]'s decentralised [ln ln n] estimate. The overlay must be built
+    over [population]'s ring. *)
+
+val assemble :
+  params:Params.t ->
+  population:Population.t ->
+  overlay:Overlay.Overlay_intf.t ->
+  groups:(Point.t * Group.t) list ->
+  confused:Point.t list ->
+  t
+(** Wrap externally constructed groups (epoch protocol). [groups]
+    must contain exactly one entry per ID of the population. *)
+
+val group_of : t -> Point.t -> Group.t
+(** @raise Not_found for a point that is not a leader. *)
+
+val color_of : t -> Point.t -> color
+(** Red iff the group is not {!Group.Good} or its leader is
+    confused — the conservative classification of §II. *)
+
+val is_confused : t -> Point.t -> bool
+
+val hijacked : t -> Point.t -> bool
+(** The group has lost its good majority (or is confused): the
+    physical notion of adversary control. *)
+
+val leaders : t -> Point.t array
+(** All leaders, i.e. the population's IDs. *)
+
+val n_groups : t -> int
+
+type census = {
+  total : int;
+  good : int;
+  weak : int;
+  hijacked_ : int;
+  confused_ : int;  (** Confused leaders (possibly also unhealthy). *)
+  red : int;  (** Not good or confused: the paper's red count. *)
+}
+
+val census : t -> census
+
+val fraction_red : t -> float
+
+val blue_leaders : t -> Point.t array
+(** All blue-group leaders (memoised). *)
+
+val random_blue_leader : Prng.Rng.t -> t -> Point.t option
+(** A uniform blue-group leader; [None] if every group is red. *)
+
+val mean_group_size : t -> float
+
+val groups_per_id : t -> (Point.t, int) Hashtbl.t
+(** How many groups each ID belongs to (Lemma 10's state audit);
+    IDs in no group are absent from the table. *)

@@ -1,0 +1,42 @@
+type 'a reply = {
+  value : 'a option;
+  messages : int;
+}
+
+let member_flags grp =
+  Array.init (Group.size grp) (fun i -> Group.member_is_bad grp i)
+
+let compute rng g ~leader ~job =
+  let grp = Group_graph.group_of g leader in
+  let byzantine = member_flags grp in
+  let inputs = Array.map (fun bad -> if bad then not job else job) byzantine in
+  let o =
+    Agreement.Phase_king.run rng ~inputs ~byzantine
+      ~behaviour:(Agreement.Phase_king.Collude_against job)
+  in
+  (* The group's externally visible answer: majority over member
+     outputs, bad members reporting the attack value. *)
+  let ones = ref 0 and total = Array.length inputs in
+  Array.iteri
+    (fun i d ->
+      match d with
+      | Some v when not byzantine.(i) -> if v then incr ones
+      | Some _ | None -> if not job then incr ones)
+    o.Agreement.Phase_king.decisions;
+  let answer = 2 * !ones > total in
+  { value = Some answer; messages = o.Agreement.Phase_king.messages }
+
+let respond g ~leader ~payload ~forge =
+  let grp = Group_graph.group_of g leader in
+  let sender_good = Array.map not (member_flags grp) in
+  let r =
+    Agreement.Broadcast.send ~sender_good ~receiver_count:1 ~value:payload
+      ~forge:(fun ~recipient:_ -> Some forge)
+  in
+  { value = r.Agreement.Broadcast.delivered.(0); messages = r.Agreement.Broadcast.messages }
+
+let reliable g leader =
+  let grp = Group_graph.group_of g leader in
+  Group.has_good_majority grp
+  && Agreement.Phase_king.tolerates ~g:(Group.size grp) ~t:grp.Group.bad_members
+  && not (Group_graph.is_confused g leader)

@@ -1,0 +1,51 @@
+(** Groups as reliable processors (paper §I).
+
+    "Computation is performed by all members of a group via protocols
+    for Byzantine agreement, ... each group simulates a reliable
+    processor upon which jobs can be run."
+
+    This module packages that simulation: run a binary job inside a
+    group (good members compute honestly, bad members collude on the
+    wrong answer, phase king reconciles), and answer external clients
+    through the all-to-all majority-filtered channel. A group with a
+    good majority {e and} a tolerable fault count behaves exactly like
+    one reliable machine; a hijacked group is the adversary's. *)
+
+open Idspace
+
+type 'a reply = {
+  value : 'a option;
+      (** The value a (good) client extracts after majority
+          filtering; [None] when no value reached a quorum. *)
+  messages : int;  (** Point-to-point messages spent. *)
+}
+
+val compute :
+  Prng.Rng.t ->
+  Group_graph.t ->
+  leader:Point.t ->
+  job:bool ->
+  bool reply
+(** [compute rng g ~leader ~job] runs the job on the group led by
+    [leader]: every good member computes the correct answer [job],
+    every bad member colludes on [not job], the group runs one
+    phase-king agreement, and the group's answer is read as the
+    majority of member decisions. Reliable whenever the bad count is
+    below the phase-king bound [g/4]; between [g/4] and [g/2] the
+    protocol may or may not hold (agreement can degrade), and a
+    hijacked group answers adversarially. *)
+
+val respond :
+  Group_graph.t ->
+  leader:Point.t ->
+  payload:'a ->
+  forge:'a ->
+  'a reply
+(** [respond g ~leader ~payload ~forge] models the group answering
+    one external client: good members send [payload], bad members
+    send [forge], the client majority-filters. *)
+
+val reliable : Group_graph.t -> Point.t -> bool
+(** Whether the group currently meets the reliable-processor bound:
+    good majority {e and} bad members below the agreement threshold
+    ([4 t < g]). *)

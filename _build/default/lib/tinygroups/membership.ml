@@ -1,0 +1,121 @@
+open Idspace
+open Adversary
+
+type old_pair = {
+  g1 : Group_graph.t;
+  g2 : Group_graph.t option;
+  failure : Secure_route.failure_notion;
+  bad_ring : Ring.t Lazy.t;
+}
+
+let make_old_pair ?(failure = `Conservative) g1 g2 =
+  let bad_ring =
+    lazy (Ring.of_array (Population.bad_ids g1.Group_graph.population))
+  in
+  { g1; g2; failure; bad_ring }
+
+type resolution = Resolved of Point.t | Hijacked_lookup
+
+let old_population pair = pair.g1.Group_graph.population
+
+let graphs pair = pair.g1 :: Option.to_list pair.g2
+
+(* One search in one old graph; [src] must be a leader there. Returns
+   whether the search escaped the adversary, charging its messages. *)
+let one_search rng metrics graph ~failure ~src ~point =
+  let src =
+    match src with
+    | Some s -> Some s
+    | None -> Group_graph.random_blue_leader rng graph
+  in
+  match src with
+  | None -> false (* no blue group anywhere: total adversary control *)
+  | Some src ->
+      let o = Secure_route.search graph ~failure ~src ~key:point in
+      Sim.Metrics.add metrics Sim.Metrics.msg_membership o.Secure_route.messages;
+      Secure_route.succeeded o
+
+(* Run one search per old graph from [pick_src graph] and count how
+   many the adversary hijacked. *)
+let hijack_count rng metrics pair ~pick_src ~point =
+  List.fold_left
+    (fun acc graph ->
+      if one_search rng metrics graph ~failure:pair.failure ~src:(pick_src graph) ~point
+      then acc
+      else acc + 1)
+    0 (graphs pair)
+
+let dual_search rng metrics pair ~point =
+  let total = List.length (graphs pair) in
+  let hijacked = hijack_count rng metrics pair ~pick_src:(fun _ -> None) ~point in
+  if hijacked = total then Hijacked_lookup
+  else Resolved (Ring.successor_exn (Population.ring (old_population pair)) point)
+
+(* The verifier searches from its own group when it leads one in the
+   old graphs, otherwise from its bootstrap group. *)
+let verifier_src graph verifier =
+  if Ring.mem verifier (Population.ring graph.Group_graph.population) then Some verifier
+  else None
+
+let verification_search rng metrics pair ~verifier ~point =
+  let total = List.length (graphs pair) in
+  let hijacked =
+    hijack_count rng metrics pair ~pick_src:(fun g -> verifier_src g verifier) ~point
+  in
+  hijacked < total
+
+(* The adversary's most credible lie after a fully hijacked lookup:
+   its own ID nearest clockwise of the point. *)
+let adversary_plant pair ~point =
+  let bad_ring = Lazy.force pair.bad_ring in
+  if Ring.cardinal bad_ring = 0 then None
+  else Some (Ring.successor_exn bad_ring point)
+
+let solicit_member rng metrics pair ~point =
+  match dual_search rng metrics pair ~point with
+  | Hijacked_lookup -> (
+      match adversary_plant pair ~point with
+      | Some plant -> Some plant
+      | None ->
+          (* No bad IDs exist, so no search can actually have been
+             hijacked; resolve honestly. *)
+          Some (Ring.successor_exn (Population.ring (old_population pair)) point))
+  | Resolved m ->
+      if Population.is_bad (old_population pair) m then Some m
+        (* Bad IDs gladly join any group. *)
+      else if verification_search rng metrics pair ~verifier:m ~point then Some m
+      else None
+
+let establish_neighbor rng metrics pair ~target =
+  match dual_search rng metrics pair ~point:target with
+  | Hijacked_lookup -> false
+  | Resolved _ -> verification_search rng metrics pair ~verifier:target ~point:target
+
+let spam_accepted rng metrics pair ~victim =
+  (* A bogus request names a point that does not map to the victim;
+     the honest answer is a rejection, so acceptance requires at
+     least one hijacked verification search parroting the spam. *)
+  let point = Point.random rng in
+  let hijacked =
+    hijack_count rng metrics pair ~pick_src:(fun g -> verifier_src g victim) ~point
+  in
+  hijacked >= 1
+
+let bootstrap_pool rng graph ~count =
+  let leaders = Group_graph.leaders graph in
+  if Array.length leaders = 0 then invalid_arg "Membership.bootstrap_pool: empty graph";
+  let module Pset = Set.Make (struct
+    type t = Point.t
+
+    let compare = Point.compare
+  end) in
+  let pool = ref Pset.empty in
+  for _ = 1 to count do
+    let leader = leaders.(Prng.Rng.int rng (Array.length leaders)) in
+    let g = Group_graph.group_of graph leader in
+    Array.iter (fun m -> pool := Pset.add m !pool) g.Group.members
+  done;
+  let ids = Array.of_list (Pset.elements !pool) in
+  let pop = graph.Group_graph.population in
+  let bad = Array.fold_left (fun acc m -> if Population.is_bad pop m then acc + 1 else acc) 0 ids in
+  (ids, 2 * bad < Array.length ids)

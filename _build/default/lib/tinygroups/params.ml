@@ -1,0 +1,54 @@
+type sizing = Log_log of float | Log of float | Fixed of int
+
+type t = {
+  beta : float;
+  delta : float;
+  sizing : sizing;
+  d1 : float;
+  k : float;
+  epoch_steps : int;
+}
+
+(* d2 = 5.0 keeps the epoch recursion subcritical: with group size
+   g = ceil(5 ln ln n), the majority-loss rate p_f satisfies
+   2 |L_w| D^2 p_f << 1 for Chord's |L_w| ~ lg n and D ~ lg n at every
+   practical n with margin, so per-epoch error does not compound (the
+   quantitative form of Lemma 9's "d2 sufficiently large"). *)
+let default =
+  { beta = 0.05; delta = 0.5; sizing = Log_log 5.0; d1 = 1.0; k = 2.0; epoch_steps = 4096 }
+
+let with_sizing t sizing = { t with sizing }
+
+let ln_ln n = Idspace.Estimate.exact_ln_ln n
+
+let draws_of_estimate sizing ~ln_ln_estimate =
+  match sizing with
+  | Log_log d2 -> max 3 (int_of_float (ceil (d2 *. ln_ln_estimate)))
+  | Log c ->
+      (* ln n recovered from ln ln n. *)
+      max 3 (int_of_float (ceil (c *. exp ln_ln_estimate)))
+  | Fixed g -> max 1 g
+
+let member_draws t ~n = draws_of_estimate t.sizing ~ln_ln_estimate:(ln_ln n)
+
+let member_draws_estimated t ~ln_ln_estimate = draws_of_estimate t.sizing ~ln_ln_estimate
+
+let min_good_size t ~n =
+  match t.sizing with
+  | Log_log _ -> max 3 (int_of_float (floor (t.d1 *. ln_ln n)))
+  | Log c -> max 3 (int_of_float (floor (c *. log (float_of_int (max 3 n)) /. 2.)))
+  | Fixed g -> max 1 (g / 2)
+
+let bad_tolerance t ~size =
+  let tol = int_of_float (floor ((1. +. t.delta) *. t.beta *. float_of_int size)) in
+  (* Never tolerate an outright bad majority. *)
+  min tol ((size - 1) / 2)
+
+let pp_sizing fmt = function
+  | Log_log d2 -> Format.fprintf fmt "%.2f*lnln(n)" d2
+  | Log c -> Format.fprintf fmt "%.2f*ln(n)" c
+  | Fixed g -> Format.fprintf fmt "%d" g
+
+let pp fmt t =
+  Format.fprintf fmt "{beta=%.3f; delta=%.2f; |G|=%a; d1=%.2f; k=%.1f; T=%d}" t.beta t.delta
+    pp_sizing t.sizing t.d1 t.k t.epoch_steps

@@ -1,0 +1,58 @@
+(** Tunable constants of the construction (paper §I-C, §III).
+
+    The paper's guarantees are parameterised by: the adversary's
+    computational share [beta]; the slack [delta] on the bad fraction a
+    good group may contain; the group-size coefficients [d1 <= d2]
+    (a good group has between [d1 ln ln n] and [d2 ln ln n] members);
+    and the target red-group exponent [k] ([p_f <= 1 / log^k n]).
+
+    The sizing rule generalises the construction so the very same code
+    runs the paper's [Θ(log log n)] groups, the classical
+    [Θ(log n)] baseline, and the fixed-size sweeps of the
+    "can we do better?" experiment (§I-D). *)
+
+type sizing =
+  | Log_log of float
+      (** [Log_log d2]: draw [ceil (d2 * ln ln n)] members — the
+          paper's construction. *)
+  | Log of float
+      (** [Log c]: draw [ceil (c * ln n)] members — the classical
+          baseline group size. *)
+  | Fixed of int  (** Exactly this many member draws. *)
+
+type t = {
+  beta : float;  (** Adversary's share of computational power. *)
+  delta : float;
+      (** Slack: a group stays good while its bad fraction is at most
+          [(1 + delta) * beta]. *)
+  sizing : sizing;
+  d1 : float;
+      (** Lower size coefficient: a group smaller than
+          [d1 * ln ln n] after deduplication is not good. Only
+          meaningful under {!Log_log}. *)
+  k : float;  (** Target exponent of the red-group rate. *)
+  epoch_steps : int;  (** [T], steps per epoch (§III). *)
+}
+
+val default : t
+(** [beta = 0.05], [delta = 0.5], [Log_log 2.5] with [d1 = 1.0],
+    [k = 2.0], [T = 4096]. *)
+
+val with_sizing : t -> sizing -> t
+
+val member_draws : t -> n:int -> int
+(** Number of member draws a leader makes for a system-size estimate
+    [n]; at least 3 (a majority needs three members). *)
+
+val member_draws_estimated : t -> ln_ln_estimate:float -> int
+(** Same, from a decentralised [ln ln n] estimate
+    ({!Idspace.Estimate}). *)
+
+val min_good_size : t -> n:int -> int
+(** Smallest post-deduplication size a good group may have. *)
+
+val bad_tolerance : t -> size:int -> int
+(** Maximum number of bad members a good group of [size] members may
+    contain: [floor ((1 + delta) * beta * size)]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,41 @@
+open Idspace
+
+type t = {
+  threshold : int;
+  ledger : (int64, int) Hashtbl.t;
+}
+
+let create ~threshold =
+  if threshold < 1 then invalid_arg "Quarantine.create: threshold >= 1";
+  { threshold; ledger = Hashtbl.create 64 }
+
+let key p = Point.to_u62 p
+
+let strikes t p = Option.value ~default:0 (Hashtbl.find_opt t.ledger (key p))
+
+let strike t p = Hashtbl.replace t.ledger (key p) (strikes t p + 1)
+
+let quarantined t p = strikes t p >= t.threshold
+
+let quarantined_count t =
+  Hashtbl.fold (fun _ s acc -> if s >= t.threshold then acc + 1 else acc) t.ledger 0
+
+let tracked t = Hashtbl.length t.ledger
+
+let filter_senders t members = Array.map (fun m -> not (quarantined t m)) members
+
+let simulate_spam_defence rng t ~spammers ~requests_per_spammer ~detection_rate =
+  if detection_rate < 0. || detection_rate > 1. then
+    invalid_arg "Quarantine.simulate_spam_defence: detection rate out of [0,1]";
+  let processed = ref 0 and dropped = ref 0 in
+  for _ = 1 to requests_per_spammer do
+    Array.iter
+      (fun s ->
+        if quarantined t s then incr dropped
+        else begin
+          incr processed;
+          if Prng.Rng.bernoulli rng detection_rate then strike t s
+        end)
+      spammers
+  done;
+  (!processed, !dropped)

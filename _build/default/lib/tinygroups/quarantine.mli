@@ -1,0 +1,54 @@
+(** Quarantining misbehaving members (paper footnote 2: "Members may
+    agree to ignore an ID if it misbehaves too often, hence reducing
+    spamming"; cf. the quarantine line of work [27], [43]).
+
+    A lightweight reputation ledger a group keeps about the IDs it
+    interacts with. Detected misbehaviour (a failed verification, a
+    corrupted payload outvoted by the majority, a bogus request)
+    increments a strike counter; once an ID crosses the threshold the
+    group ignores it. Good IDs can pick up strikes only through the
+    adversary's framing — which requires corrupting the group's view,
+    i.e. red groups — so with honest-majority bookkeeping the
+    quarantine set converges onto actual misbehavers.
+
+    The ledger is per-group state; decisions about it are group
+    decisions (in the full protocol they would run through
+    agreement — here the ledger itself is the model). *)
+
+open Idspace
+
+type t
+
+val create : threshold:int -> t
+(** Ignore an ID after this many strikes; [threshold >= 1]. *)
+
+val strike : t -> Point.t -> unit
+(** Record one detected misbehaviour. *)
+
+val strikes : t -> Point.t -> int
+
+val quarantined : t -> Point.t -> bool
+
+val quarantined_count : t -> int
+
+val tracked : t -> int
+(** IDs with at least one strike. *)
+
+val filter_senders : t -> Point.t array -> bool array
+(** [filter_senders t members] marks which members a receiver still
+    listens to ([false] = quarantined): the mask to combine with
+    majority filtering. *)
+
+val simulate_spam_defence :
+  Prng.Rng.t ->
+  t ->
+  spammers:Point.t array ->
+  requests_per_spammer:int ->
+  detection_rate:float ->
+  int * int
+(** Model a spam campaign against a group using this ledger: each
+    bogus request is detected (and struck) with [detection_rate],
+    and a quarantined spammer's requests are dropped for free.
+    Returns [(requests_processed, requests_dropped)]: processed ones
+    cost the victim verification work, dropped ones do not — the
+    footnote's point. *)

@@ -1,0 +1,66 @@
+open Idspace
+
+type failure_notion = [ `Conservative | `Majority ]
+
+type outcome = {
+  result : (Point.t, Point.t) Stdlib.result;
+  group_path : Point.t list;
+  messages : int;
+}
+
+let blocks g ~failure leader =
+  match failure with
+  | `Conservative -> Group_graph.color_of g leader = Group_graph.Red
+  | `Majority -> Group_graph.hijacked g leader
+
+(* Shared path walk; [edge_cost] prices the exchange that reaches each
+   hop, given the previous group's size, the source group's size and
+   the hop group's size. *)
+let walk_path g ~failure ~id_path ~edge_cost =
+  let src_size =
+    match id_path with
+    | first :: _ -> Group.size (Group_graph.group_of g first)
+    | [] -> invalid_arg "Secure_route: empty route"
+  in
+  let rec walk prev_size acc messages = function
+    | [] -> (
+        match acc with
+        | last :: _ -> { result = Ok last; group_path = List.rev acc; messages }
+        | [] -> invalid_arg "Secure_route: empty route")
+    | leader :: rest ->
+        let grp = Group_graph.group_of g leader in
+        let size = Group.size grp in
+        let messages =
+          match prev_size with
+          | None -> messages
+          | Some prev -> messages + edge_cost ~prev ~src:src_size ~hop:size
+        in
+        if blocks g ~failure leader then
+          { result = Error leader; group_path = List.rev (leader :: acc); messages }
+        else walk (Some size) (leader :: acc) messages rest
+  in
+  walk None [] 0 id_path
+
+let search g ~failure ~src ~key =
+  let overlay = g.Group_graph.overlay in
+  let id_path = overlay.Overlay.Overlay_intf.route ~src ~key in
+  (* Recursive: each group hands off to the next with one all-to-all
+     exchange across the edge. *)
+  walk_path g ~failure ~id_path ~edge_cost:(fun ~prev ~src:_ ~hop -> prev * hop)
+
+let search_iterative g ~failure ~src ~key =
+  let overlay = g.Group_graph.overlay in
+  let id_path = overlay.Overlay.Overlay_intf.route ~src ~key in
+  (* Iterative: the source group round-trips with every hop group. *)
+  walk_path g ~failure ~id_path ~edge_cost:(fun ~prev:_ ~src ~hop -> 2 * src * hop)
+
+let succeeded o = match o.result with Ok _ -> true | Error _ -> false
+
+let group_comm_cost g leader =
+  let grp = Group_graph.group_of g leader in
+  let s = Group.size grp in
+  s * s
+
+let expected_route_cost g ~hops =
+  let m = Group_graph.mean_group_size g in
+  float_of_int hops *. m *. m

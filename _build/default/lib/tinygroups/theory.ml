@@ -1,0 +1,94 @@
+type model = {
+  n : int;
+  beta : float;
+  group_size : int;
+  search_hops : float;
+  neighbors : float;
+  member_bias : float;
+}
+
+let default_model ~n ~beta =
+  let lg = log (float_of_int (max 4 n)) /. log 2. in
+  {
+    n;
+    beta;
+    group_size = Params.member_draws Params.default ~n;
+    search_hops = (lg /. 2.) +. 2.;
+    neighbors = lg +. 1.;
+    member_bias = 1.15;
+  }
+
+let member_badness m = Float.min 0.999 (m.beta *. m.member_bias)
+
+let p0 m =
+  let g = m.group_size in
+  Stats.Bounds.binomial_tail_ge ~n:g ~p:(member_badness m) ~k:((g / 2) + 1)
+
+let search_failure m ~rho =
+  let rho = Float.max 0. (Float.min 1. rho) in
+  1. -. ((1. -. rho) ** m.search_hops)
+
+let next_rho m ~rho =
+  let qf = search_failure m ~rho in
+  let per_request = qf *. qf in
+  (* Neighbour links fail on a bad locate-pair or a bad verify-pair
+     (Lemma 8's two cases); member draws add their own dual-failure
+     term (Lemma 7). *)
+  let amplification =
+    (2. *. m.neighbors *. per_request) +. (float_of_int m.group_size *. per_request)
+  in
+  Float.min 1. (p0 m +. amplification)
+
+let fixed_point m =
+  let rec iterate rho steps =
+    if steps > 10_000 then `Diverges
+    else begin
+      let rho' = next_rho m ~rho in
+      if rho' >= 0.5 then `Diverges
+      else if Float.abs (rho' -. rho) < 1e-12 then `Stable rho'
+      else iterate rho' (steps + 1)
+    end
+  in
+  iterate (p0 m) 0
+
+let basin_edge m =
+  match fixed_point m with
+  | `Diverges -> None
+  | `Stable stable ->
+      (* The map dips below the diagonal at the stable point and
+         crosses back above it at the basin edge; bisect for the
+         crossing in (stable, 1/2]. *)
+      let f rho = next_rho m ~rho -. rho in
+      if f 0.5 < 0. then None (* attracted from everywhere we care about *)
+      else begin
+        let lo = ref stable and hi = ref 0.5 in
+        for _ = 1 to 60 do
+          let mid = (!lo +. !hi) /. 2. in
+          if f mid < 0. then lo := mid else hi := mid
+        done;
+        Some ((!lo +. !hi) /. 2.)
+      end
+
+let critical_beta m =
+  let stable_at beta =
+    match fixed_point { m with beta } with `Stable _ -> true | `Diverges -> false
+  in
+  let lo = ref 0. and hi = ref 0.5 in
+  if not (stable_at 0.) then 0.
+  else begin
+    for _ = 1 to 40 do
+      let mid = (!lo +. !hi) /. 2. in
+      if stable_at mid then lo := mid else hi := mid
+    done;
+    Float.round (!lo *. 1000.) /. 1000.
+  end
+
+let minimal_group_size m =
+  let rec search g =
+    if g > 4 * m.group_size + 64 then g
+    else
+      match fixed_point { m with group_size = g } with
+      | `Stable _ -> g
+      | `Diverges -> search (g + 1)
+  in
+  search 3

@@ -1,0 +1,63 @@
+(** The paper's analysis as executable closed forms.
+
+    Lemmas 4, 7, 8 and 9 combine into a one-dimensional recursion for
+    the red-group fraction across epochs: with [rho] the current red
+    fraction, a search fails with probability [q_f ~ 1 - (1-rho)^D],
+    a member solicitation or neighbour link goes wrong with
+    probability [~ q_f^2] (dual searches), and summing over the
+    [|L_w|] neighbours and the member draws gives the next epoch's
+    red fraction
+
+      [rho' = p_0 + A q_f^2],   [A ~ 2 |L_w| + g],
+
+    where [p_0] is the per-epoch floor (groups drawing a bad
+    majority, Lemma 7's Chernoff term). The construction is stable
+    exactly when this map has an attracting fixed point near [p_0] —
+    the quantitative content of "set d2 sufficiently large" (Lemma 9)
+    and of §I-D's intuition bound. This module evaluates the map, its
+    fixed points and the critical adversary share, so experiments can
+    place measured collapse thresholds next to predicted ones
+    (experiment E20). *)
+
+type model = {
+  n : int;
+  beta : float;
+  group_size : int;  (** Realised group size [g]. *)
+  search_hops : float;  (** [D]: groups traversed per search. *)
+  neighbors : float;  (** [|L_w|]: neighbour links per group. *)
+  member_bias : float;
+      (** Load-imbalance premium on per-member badness (P2's
+          [1 + delta'']; ~1.15 measured for Chord-scale rings). *)
+}
+
+val default_model : n:int -> beta:float -> model
+(** Chord-based defaults: [g = d2 lnln n] draws, [D ~ lg n / 2 + 2],
+    [|L_w| ~ lg n + 1], bias 1.15. *)
+
+val p0 : model -> float
+(** The per-epoch floor: probability a fresh group draws a bad
+    majority (exact binomial tail at the effective member badness). *)
+
+val search_failure : model -> rho:float -> float
+(** [q_f] at red fraction [rho]: [1 - (1 - rho)^D]. *)
+
+val next_rho : model -> rho:float -> float
+(** One epoch of the recursion. *)
+
+val fixed_point : model -> [ `Stable of float | `Diverges ]
+(** Iterate from [p0]; [`Stable rho*] if the map settles below 1/2
+    within 10^4 iterations, [`Diverges] otherwise. *)
+
+val basin_edge : model -> float option
+(** The unstable fixed point (edge of the basin of attraction), by
+    bisection on [rho |-> next_rho rho - rho] above the stable point;
+    [None] when the map diverges from [p0] already. *)
+
+val critical_beta : model -> float
+(** The largest [beta] (to 0.001) at which {!fixed_point} is stable,
+    holding the rest of the model fixed — the predicted collapse
+    threshold measured by E20. *)
+
+val minimal_group_size : model -> int
+(** The smallest [g] at which the map is stable at this model's
+    [beta] — the executable form of §I-D's "can we do better?". *)

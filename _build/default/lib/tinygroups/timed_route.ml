@@ -1,0 +1,45 @@
+type timing = {
+  elapsed_ms : int;
+  per_hop_ms : int list;
+  messages : int;
+  succeeded : bool;
+}
+
+let quorum_wait rng latency ?(per_message_ms = 2) ~senders ~receivers () =
+  if senders < 1 || receivers < 1 then invalid_arg "Timed_route.quorum_wait";
+  if per_message_ms < 0 then invalid_arg "Timed_route.quorum_wait: negative cost";
+  let quorum = (senders / 2) + 1 in
+  let worst = ref 0 in
+  for _ = 1 to receivers do
+    let delays = Array.init senders (fun _ -> Sim.Latency.sample rng latency) in
+    Array.sort compare delays;
+    (* Serial processing: message i finishes at
+       max(arrival_i, previous finish) + cost. *)
+    let finish = ref 0 in
+    for i = 0 to quorum - 1 do
+      finish := max delays.(i) !finish + per_message_ms
+    done;
+    if !finish > !worst then worst := !finish
+  done;
+  !worst
+
+let search rng g ~latency ~per_message_ms ~failure ~src ~key =
+  let o = Secure_route.search g ~failure ~src ~key in
+  let sizes =
+    List.map
+      (fun w -> Group.size (Group_graph.group_of g w))
+      o.Secure_route.group_path
+  in
+  let rec hops acc = function
+    | a :: (b :: _ as rest) ->
+        let wait = quorum_wait rng latency ~per_message_ms ~senders:a ~receivers:b () in
+        hops (wait :: acc) rest
+    | [ _ ] | [] -> List.rev acc
+  in
+  let per_hop_ms = hops [] sizes in
+  {
+    elapsed_ms = List.fold_left ( + ) 0 per_hop_ms;
+    per_hop_ms;
+    messages = o.Secure_route.messages;
+    succeeded = Secure_route.succeeded o;
+  }

@@ -1,0 +1,55 @@
+(** Message-level timing of secure routing.
+
+    The count-based {!Secure_route} answers "how many messages"; this
+    module answers "how long". Each hop of a secure search is an
+    all-to-all exchange, and a receiving member may only forward once
+    a {e strict majority} of the previous group's members has been
+    heard (that is what makes the filtering sound) — so each hop's
+    latency is the time until the majority quorum lands, i.e. the
+    median-order statistic of [|G_prev|] random message delays, taken
+    at the slowest receiver that the next hop will in turn wait for.
+
+    Larger groups therefore pay twice: quadratically in messages and
+    measurably in quorum waiting — the wide-area observation ([51]'s
+    PlanetLab runs with [|G| = 30]) that the paper uses to motivate
+    shrinking groups. Experiment E17 reproduces that shape. *)
+
+open Idspace
+
+type timing = {
+  elapsed_ms : int;  (** Arrival time of the search at its endpoint. *)
+  per_hop_ms : int list;  (** Quorum-wait per traversed edge. *)
+  messages : int;
+  succeeded : bool;
+}
+
+val search :
+  Prng.Rng.t ->
+  Group_graph.t ->
+  latency:Sim.Latency.t ->
+  per_message_ms:int ->
+  failure:Secure_route.failure_notion ->
+  src:Point.t ->
+  key:Point.t ->
+  timing
+(** Simulate one secure search at message granularity over the given
+    latency model. The group path and failure semantics are exactly
+    {!Secure_route.search}'s. [per_message_ms] is each
+    member's serial cost to receive, verify and de-duplicate one
+    incoming message — the term through which [|G|] buys latency
+    pain, since every member of every hop handles [|G_prev|]
+    messages. *)
+
+val quorum_wait :
+  Prng.Rng.t ->
+  Sim.Latency.t ->
+  ?per_message_ms:int ->
+  senders:int ->
+  receivers:int ->
+  unit ->
+  int
+(** One edge's latency: each receiver processes arrivals serially at
+    [per_message_ms] each and owns its quorum at the processing
+    completion of its [floor(senders/2) + 1]-th message; the edge
+    completes when the {e last} receiver has its quorum. Exposed for
+    tests. *)

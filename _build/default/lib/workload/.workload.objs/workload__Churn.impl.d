@@ -1,0 +1,1 @@
+lib/workload/churn.ml: Prng

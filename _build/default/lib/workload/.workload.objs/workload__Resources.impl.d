@@ -1,0 +1,1 @@
+lib/workload/resources.ml: Array Hashing Idspace Point Prng

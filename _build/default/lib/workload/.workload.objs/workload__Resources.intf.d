@@ -1,0 +1,1 @@
+lib/workload/resources.mli: Idspace Point Prng

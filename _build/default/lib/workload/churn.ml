@@ -1,0 +1,16 @@
+type event = Swap of { departing_bad : bool; joining_bad : bool }
+
+type stream = int -> event
+
+let adversarial_rejoin _t = Swap { departing_bad = true; joining_bad = true }
+
+let uniform rng ~beta _t =
+  Swap
+    {
+      departing_bad = Prng.Rng.bernoulli rng beta;
+      joining_bad = Prng.Rng.bernoulli rng beta;
+    }
+
+let mixed rng ~beta ~attack_fraction t =
+  if Prng.Rng.bernoulli rng attack_fraction then adversarial_rejoin t
+  else uniform rng ~beta t

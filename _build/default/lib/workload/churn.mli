@@ -1,0 +1,25 @@
+(** Churn event streams (§III's model of joins and departures).
+
+    The paper's dynamic model keeps [n] constant: every departure is
+    paired with a join. Streams here drive the cuckoo-rule baseline
+    and example applications; the epoch protocol has its own
+    built-in full-turnover churn. *)
+
+type event =
+  | Swap of { departing_bad : bool; joining_bad : bool }
+      (** One ID departs, one joins (the paper's size-preserving
+          model). *)
+
+type stream = int -> event
+(** Event at round [t] (deterministic in the stream's seed). *)
+
+val adversarial_rejoin : stream
+(** Every event is a bad ID leaving and rejoining — the join-leave
+    attack the cuckoo-rule literature studies. *)
+
+val uniform : Prng.Rng.t -> beta:float -> stream
+(** Both the departing and the joining ID are bad with probability
+    [beta], independently — benign background churn. *)
+
+val mixed : Prng.Rng.t -> beta:float -> attack_fraction:float -> stream
+(** A fraction of the rounds follow the attack, the rest are benign. *)

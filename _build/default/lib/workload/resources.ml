@@ -1,0 +1,51 @@
+open Idspace
+
+type t = {
+  names : string array;
+  keys : Point.t array;
+  oracle : Hashing.Oracle.t;
+}
+
+let make ~system_key ~names =
+  let oracle = Hashing.Oracle.make ~system_key ~label:"resource-keys" in
+  let keys = Array.map (fun name -> Point.of_u62 (Hashing.Oracle.query_string oracle name)) names in
+  { names; keys; oracle }
+
+let synthetic ~system_key ~count ~prefix =
+  make ~system_key ~names:(Array.init count (fun i -> prefix ^ string_of_int i))
+
+let count t = Array.length t.names
+let name t i = t.names.(i)
+let key t i = t.keys.(i)
+
+let lookup_key t name = Point.of_u62 (Hashing.Oracle.query_string t.oracle name)
+
+type popularity = Uniform_pop | Zipf of float
+
+let sampler rng t pop =
+  let n = count t in
+  if n = 0 then invalid_arg "Resources.sampler: empty universe";
+  match pop with
+  | Uniform_pop -> fun () -> Prng.Rng.int rng n
+  | Zipf s ->
+      (* Inverse-CDF sampling over precomputed cumulative weights. *)
+      let weights = Array.init n (fun i -> 1. /. (float_of_int (i + 1) ** s)) in
+      let cumulative = Array.make n 0. in
+      let total =
+        let acc = ref 0. in
+        Array.iteri
+          (fun i w ->
+            acc := !acc +. w;
+            cumulative.(i) <- !acc)
+          weights;
+        !acc
+      in
+      fun () ->
+        let target = Prng.Rng.float rng *. total in
+        (* Binary search for the first cumulative weight >= target. *)
+        let lo = ref 0 and hi = ref (n - 1) in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if cumulative.(mid) < target then lo := mid + 1 else hi := mid
+        done;
+        !lo

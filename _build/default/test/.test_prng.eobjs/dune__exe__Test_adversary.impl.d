@@ -1,0 +1,1 @@
+test/test_adversary.ml: Adversary Alcotest Array Idspace Interval List Point Printf Prng QCheck QCheck_alcotest Stats

@@ -1,0 +1,1 @@
+test/test_agreement.ml: Agreement Alcotest Array Bool Float List Printf Prng QCheck QCheck_alcotest

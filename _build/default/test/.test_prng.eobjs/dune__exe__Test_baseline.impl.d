@@ -1,0 +1,1 @@
+test/test_baseline.ml: Adversary Alcotest Baseline Float Hashing Overlay Printf Prng QCheck QCheck_alcotest Tinygroups

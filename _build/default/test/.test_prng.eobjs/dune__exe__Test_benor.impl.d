@@ -1,0 +1,1 @@
+test/test_benor.ml: Agreement Alcotest Array Bool List Printf Prng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_dynamic.ml: Adversary Alcotest Array Experiments Hashing Hashtbl Idspace Int64 List Overlay Point Printf Prng Sim Stats Tinygroups

@@ -1,0 +1,1 @@
+test/test_epoch.ml: Adversary Alcotest Array Idspace List Printf Prng Sim Tinygroups

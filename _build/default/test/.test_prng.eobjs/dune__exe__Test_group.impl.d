@@ -1,0 +1,1 @@
+test/test_group.ml: Adversary Alcotest Array Idspace List Point Printf Prng QCheck QCheck_alcotest Tinygroups

@@ -1,0 +1,1 @@
+test/test_group_graph.ml: Adversary Alcotest Array Float Hashing Hashtbl Idspace Interval List Overlay Point Printf Prng QCheck QCheck_alcotest Ring Stats Tinygroups

@@ -1,0 +1,1 @@
+test/test_idspace.ml: Alcotest Array Estimate Float Idspace Int64 Interval List Option Point Printf Prng QCheck QCheck_alcotest Ring

@@ -1,0 +1,1 @@
+test/test_integration.ml: Adversary Agreement Alcotest Array Experiments List Option Overlay Pow Printf Prng Randstring Sim String Tinygroups

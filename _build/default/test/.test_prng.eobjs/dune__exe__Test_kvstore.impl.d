@@ -1,0 +1,1 @@
+test/test_kvstore.ml: Adversary Alcotest Array Experiments Hashtbl Idspace Kvstore List Printf Prng QCheck QCheck_alcotest String Tinygroups

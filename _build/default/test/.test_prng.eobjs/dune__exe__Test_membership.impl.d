@@ -1,0 +1,1 @@
+test/test_membership.ml: Adversary Alcotest Array Hashing Idspace Overlay Point Printf Prng QCheck QCheck_alcotest Ring Sim Tinygroups

@@ -1,0 +1,1 @@
+test/test_oracle.ml: Alcotest Hashing Int64 List Printf QCheck QCheck_alcotest Stats

@@ -1,0 +1,1 @@
+test/test_overlay.ml: Alcotest Array Idspace Int64 List Overlay Point Printf Prng QCheck QCheck_alcotest Ring

@@ -1,0 +1,1 @@
+test/test_pow.ml: Alcotest Idspace Int64 Interval List Option Point Pow Printf Prng QCheck QCheck_alcotest Sim Stats

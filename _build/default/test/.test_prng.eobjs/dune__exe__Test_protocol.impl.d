@@ -1,0 +1,1 @@
+test/test_protocol.ml: Adversary Alcotest Array Experiments Idspace Point Printf Prng Protocol Ring Sim String Tinygroups

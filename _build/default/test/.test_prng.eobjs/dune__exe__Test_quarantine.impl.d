@@ -1,0 +1,1 @@
+test/test_quarantine.ml: Alcotest Array Experiments Idspace List Overlay Point Printf Prng Ring Tinygroups

@@ -1,0 +1,1 @@
+test/test_randstring.ml: Alcotest Bins Float Gen List Printf Prng Propagate QCheck QCheck_alcotest Randstring Tinygroups

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Adversary Alcotest Array Float Hashing Idspace Overlay Printf Prng Tinygroups

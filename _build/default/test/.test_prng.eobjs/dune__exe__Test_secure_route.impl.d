@@ -1,0 +1,1 @@
+test/test_secure_route.ml: Adversary Alcotest Array Hashing Idspace Interval List Option Overlay Point Printf Prng QCheck QCheck_alcotest Ring Tinygroups

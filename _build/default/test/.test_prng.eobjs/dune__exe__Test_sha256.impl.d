@@ -1,0 +1,1 @@
+test/test_sha256.ml: Alcotest Bytes Char Hashing List Printf QCheck QCheck_alcotest String

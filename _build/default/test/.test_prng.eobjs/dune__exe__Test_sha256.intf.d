@@ -1,0 +1,1 @@
+test/test_sha256.mli:

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest List Prng QCheck QCheck_alcotest Sim

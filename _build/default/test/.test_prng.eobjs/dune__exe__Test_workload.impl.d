@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Float Idspace Point Printf Prng QCheck QCheck_alcotest Stats Workload

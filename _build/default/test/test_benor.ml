@@ -1,0 +1,232 @@
+(* Ben-Or randomized agreement and the multi-valued phase king. *)
+
+let rng = Prng.Rng.create 1999
+
+let good_decisions (decisions : bool option array) byzantine =
+  let out = ref [] in
+  Array.iteri
+    (fun i d ->
+      match d with
+      | Some v when not byzantine.(i) -> out := v :: !out
+      | Some _ | None -> ())
+    decisions;
+  !out
+
+let behaviours =
+  [
+    Agreement.Phase_king.Silent;
+    Agreement.Phase_king.Random;
+    Agreement.Phase_king.Equivocate;
+    Agreement.Phase_king.Collude_against true;
+    Agreement.Phase_king.Collude_against false;
+  ]
+
+let test_benor_validity () =
+  List.iter
+    (fun behaviour ->
+      List.iter
+        (fun common ->
+          let g = 11 in
+          let byzantine = Array.init g (fun i -> i < 2) in
+          Prng.Rng.shuffle rng byzantine;
+          let inputs = Array.map (fun b -> if b then not common else common) byzantine in
+          let o =
+            Agreement.Benor.run rng ~inputs ~byzantine ~behaviour ~max_rounds:200
+          in
+          (* Unanimous good input: everyone decides it in round 1. *)
+          Alcotest.(check int) "one round" 1 o.Agreement.Benor.rounds;
+          List.iter
+            (fun v -> Alcotest.(check bool) "validity" common v)
+            (good_decisions o.Agreement.Benor.decisions byzantine))
+        [ true; false ])
+    behaviours
+
+let test_benor_agreement () =
+  List.iter
+    (fun behaviour ->
+      for _ = 1 to 20 do
+        let g = 11 in
+        let t = 2 in
+        Alcotest.(check bool) "bound" true (Agreement.Benor.tolerates ~g ~t);
+        let byzantine = Array.init g (fun i -> i < t) in
+        Prng.Rng.shuffle rng byzantine;
+        let inputs = Array.init g (fun _ -> Prng.Rng.bool rng) in
+        let o = Agreement.Benor.run rng ~inputs ~byzantine ~behaviour ~max_rounds:500 in
+        match good_decisions o.Agreement.Benor.decisions byzantine with
+        | [] -> Alcotest.fail "no good processor decided within the cap"
+        | first :: rest ->
+            List.iter (fun v -> Alcotest.(check bool) "agreement" first v) rest
+      done)
+    behaviours
+
+let test_benor_terminates_quickly () =
+  (* Expected constant rounds at construction sizes: measure the
+     empirical mean against a generous cap. *)
+  let total = ref 0 in
+  let runs = 50 in
+  for _ = 1 to runs do
+    let g = 11 in
+    let byzantine = Array.init g (fun i -> i < 2) in
+    Prng.Rng.shuffle rng byzantine;
+    let inputs = Array.init g (fun _ -> Prng.Rng.bool rng) in
+    let o =
+      Agreement.Benor.run rng ~inputs ~byzantine
+        ~behaviour:Agreement.Phase_king.Equivocate ~max_rounds:1000
+    in
+    total := !total + o.Agreement.Benor.rounds
+  done;
+  let mean = float_of_int !total /. float_of_int runs in
+  Alcotest.(check bool) (Printf.sprintf "mean rounds %.1f small" mean) true (mean < 30.)
+
+let test_benor_bound () =
+  Alcotest.(check bool) "5t < g" true (Agreement.Benor.tolerates ~g:11 ~t:2);
+  Alcotest.(check bool) "5t = g fails" false (Agreement.Benor.tolerates ~g:10 ~t:2)
+
+(* Multi-valued agreement. *)
+
+let silent_forge ~sender:_ ~recipient:_ ~round:_ = None
+
+let equivocating_forge values ~sender:_ ~recipient ~round:_ =
+  Some values.(recipient mod Array.length values)
+
+let test_multivalued_validity () =
+  let g = 9 in
+  let byzantine = Array.init g (fun i -> i >= g - 2) in
+  let inputs = Array.map (fun b -> if b then "evil" else "answer-42") byzantine in
+  let o =
+    Agreement.Multivalued.run ~inputs ~byzantine
+      ~forge:(equivocating_forge [| "x"; "y"; "z" |])
+  in
+  Array.iteri
+    (fun i d ->
+      if not byzantine.(i) then
+        Alcotest.(check (option string)) "unanimous value wins" (Some "answer-42") d)
+    o.Agreement.Multivalued.decisions
+
+let test_multivalued_agreement_random_inputs () =
+  for trial = 1 to 30 do
+    let g = 13 in
+    let t = 3 in
+    Alcotest.(check bool) "bound" true (Agreement.Multivalued.tolerates ~g ~t);
+    let byzantine = Array.init g (fun i -> i < t) in
+    Prng.Rng.shuffle rng byzantine;
+    let inputs =
+      Array.init g (fun i -> Printf.sprintf "v%d" ((i + trial) mod 4))
+    in
+    let o =
+      Agreement.Multivalued.run ~inputs ~byzantine
+        ~forge:(equivocating_forge [| "a"; "b"; "c"; "d" |])
+    in
+    let decided = ref [] in
+    Array.iteri
+      (fun i d ->
+        match d with
+        | Some v when not byzantine.(i) -> decided := v :: !decided
+        | _ -> ())
+      o.Agreement.Multivalued.decisions;
+    match !decided with
+    | [] -> Alcotest.fail "no decisions"
+    | first :: rest ->
+        List.iter (fun v -> Alcotest.(check string) "agreement" first v) rest
+  done
+
+let test_multivalued_silent_faults () =
+  let g = 9 in
+  let byzantine = Array.init g (fun i -> i < 2) in
+  let inputs = Array.make g 7 in
+  let o = Agreement.Multivalued.run ~inputs ~byzantine ~forge:silent_forge in
+  Array.iteri
+    (fun i d ->
+      if not byzantine.(i) then Alcotest.(check (option int)) "silence harmless" (Some 7) d)
+    o.Agreement.Multivalued.decisions
+
+let test_multivalued_no_faults_single_phase () =
+  let g = 7 in
+  let byzantine = Array.make g false in
+  let inputs = [| 1; 1; 2; 2; 2; 3; 3 |] in
+  let o = Agreement.Multivalued.run ~inputs ~byzantine ~forge:silent_forge in
+  (* t = 0: a single phase (two rounds); plurality 2 wins everywhere. *)
+  Alcotest.(check int) "two rounds" 2 o.Agreement.Multivalued.rounds;
+  Array.iter
+    (fun d -> Alcotest.(check (option int)) "plurality" (Some 2) d)
+    o.Agreement.Multivalued.decisions
+
+let test_multivalued_message_count () =
+  let g = 8 in
+  let byzantine = Array.make g false in
+  let inputs = Array.make g "x" in
+  let o = Agreement.Multivalued.run ~inputs ~byzantine ~forge:silent_forge in
+  (* t=0: one phase = g*g (exchange) + g (king broadcast). *)
+  Alcotest.(check int) "messages" ((g * g) + g) o.Agreement.Multivalued.messages
+
+(* Cross-validation: the two binary protocols agree with each other
+   on the same adversary-free instance. *)
+let test_cross_protocol_consistency () =
+  for _ = 1 to 20 do
+    let g = 10 in
+    let byzantine = Array.make g false in
+    let inputs = Array.init g (fun _ -> Prng.Rng.bool rng) in
+    let pk =
+      Agreement.Phase_king.run rng ~inputs ~byzantine
+        ~behaviour:Agreement.Phase_king.Silent
+    in
+    let bo =
+      Agreement.Benor.run rng ~inputs ~byzantine ~behaviour:Agreement.Phase_king.Silent
+        ~max_rounds:500
+    in
+    (* Both must reach internal agreement (the agreed value may
+       legitimately differ between protocols on split inputs). *)
+    let uniform decisions =
+      let vs =
+        Array.to_list decisions |> List.filter_map (fun d -> d)
+      in
+      match vs with
+      | [] -> false
+      | first :: rest -> List.for_all (Bool.equal first) rest
+    in
+    Alcotest.(check bool) "phase king internally consistent" true
+      (uniform pk.Agreement.Phase_king.decisions);
+    Alcotest.(check bool) "ben-or internally consistent" true
+      (uniform bo.Agreement.Benor.decisions)
+  done
+
+let prop_benor_agreement =
+  QCheck.Test.make ~name:"ben-or agrees under random faults" ~count:40
+    QCheck.(pair small_int (int_range 6 16))
+    (fun (seed, g) ->
+      let r = Prng.Rng.create (seed + 31) in
+      let t = (g - 1) / 5 in
+      let byzantine = Array.init g (fun i -> i < t) in
+      Prng.Rng.shuffle r byzantine;
+      let inputs = Array.init g (fun _ -> Prng.Rng.bool r) in
+      let o =
+        Agreement.Benor.run r ~inputs ~byzantine ~behaviour:Agreement.Phase_king.Random
+          ~max_rounds:1000
+      in
+      match good_decisions o.Agreement.Benor.decisions byzantine with
+      | [] -> false
+      | first :: rest -> List.for_all (Bool.equal first) rest)
+
+let () =
+  Alcotest.run "benor"
+    [
+      ( "ben-or",
+        [
+          Alcotest.test_case "validity in one round" `Quick test_benor_validity;
+          Alcotest.test_case "agreement under every behaviour" `Quick test_benor_agreement;
+          Alcotest.test_case "quick termination" `Slow test_benor_terminates_quickly;
+          Alcotest.test_case "fault bound" `Quick test_benor_bound;
+        ] );
+      ( "multivalued",
+        [
+          Alcotest.test_case "validity" `Quick test_multivalued_validity;
+          Alcotest.test_case "agreement on random inputs" `Quick
+            test_multivalued_agreement_random_inputs;
+          Alcotest.test_case "silent faults" `Quick test_multivalued_silent_faults;
+          Alcotest.test_case "fault-free plurality" `Quick test_multivalued_no_faults_single_phase;
+          Alcotest.test_case "message count" `Quick test_multivalued_message_count;
+        ] );
+      ( "cross",
+        [ Alcotest.test_case "protocols self-consistent" `Quick test_cross_protocol_consistency ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_benor_agreement ]);
+    ]

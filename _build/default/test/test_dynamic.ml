@@ -1,0 +1,224 @@
+(* Per-event joins/departures (Dynamic), timed routing, and the
+   latency models. *)
+
+open Idspace
+
+let rng = Prng.Rng.create 3030
+let h2 = Hashing.Oracle.make ~system_key:"dyn-test" ~label:"h2"
+let metrics = Sim.Metrics.create ()
+
+let setup ?(n = 256) ?(beta = 0.05) () =
+  let _, g1 = Experiments.Common.build_tiny (Prng.Rng.split rng) ~n ~beta () in
+  let _, g2 = Experiments.Common.build_tiny (Prng.Rng.split rng) ~n ~beta () in
+  (g1, Tinygroups.Membership.make_old_pair ~failure:`Majority g1 (Some g2))
+
+let test_join_adds_id () =
+  let g, old_pair = setup () in
+  let id = Point.of_float 0.123456789 in
+  let g', cost =
+    Tinygroups.Dynamic.join (Prng.Rng.split rng) metrics g ~old_pair ~member_oracle:h2
+      ~id ~bad:false
+  in
+  Alcotest.(check int) "one more group" (Tinygroups.Group_graph.n_groups g + 1)
+    (Tinygroups.Group_graph.n_groups g');
+  Alcotest.(check bool) "id is a leader now" true
+    (Idspace.Ring.mem id
+       (Adversary.Population.ring g'.Tinygroups.Group_graph.population));
+  Alcotest.(check bool) "join did searches" true (cost.Tinygroups.Dynamic.searches > 0);
+  Alcotest.(check bool) "join cost messages" true (cost.Tinygroups.Dynamic.messages > 0);
+  (* The newcomer's group exists and has members from the old
+     population. *)
+  let grp = Tinygroups.Group_graph.group_of g' id in
+  Alcotest.(check bool) "group formed" true (Tinygroups.Group.size grp >= 1)
+
+let test_join_rejects_duplicate () =
+  let g, old_pair = setup () in
+  let existing = (Tinygroups.Group_graph.leaders g).(0) in
+  Alcotest.check_raises "duplicate join" (Invalid_argument "Dynamic.join: ID already present")
+    (fun () ->
+      ignore
+        (Tinygroups.Dynamic.join (Prng.Rng.split rng) metrics g ~old_pair
+           ~member_oracle:h2 ~id:existing ~bad:false))
+
+let test_join_captured_groups_link_back () =
+  let g, old_pair = setup () in
+  let id = Point.of_float 0.42424242 in
+  let captured = Tinygroups.Dynamic.captured_by g ~id in
+  Alcotest.(check bool) "someone captures the newcomer" true (List.length captured > 0);
+  let g', cost =
+    Tinygroups.Dynamic.join (Prng.Rng.split rng) metrics g ~old_pair ~member_oracle:h2
+      ~id ~bad:false
+  in
+  Alcotest.(check int) "cost reports them" (List.length captured)
+    cost.Tinygroups.Dynamic.affected_groups;
+  (* After the join, each captured leader's neighbour set indeed
+     contains the newcomer. *)
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "links to newcomer" true
+        (List.exists (Point.equal id)
+           (g'.Tinygroups.Group_graph.overlay.Overlay.Overlay_intf.neighbors v)))
+    captured
+
+let test_depart_removes_and_updates_members () =
+  let g, _ = setup ~beta:0.0 () in
+  let victim = (Tinygroups.Group_graph.leaders g).(7) in
+  (* Count the groups the victim serves in beforehand. *)
+  let serving =
+    Hashtbl.fold
+      (fun _ grp acc -> if Tinygroups.Group.contains grp victim then acc + 1 else acc)
+      g.Tinygroups.Group_graph.groups 0
+  in
+  let g', cost = Tinygroups.Dynamic.depart g ~id:victim in
+  Alcotest.(check int) "one fewer group" (Tinygroups.Group_graph.n_groups g - 1)
+    (Tinygroups.Group_graph.n_groups g');
+  Alcotest.(check int) "membership updates counted" serving
+    cost.Tinygroups.Dynamic.member_updates;
+  (* No remaining group contains the departed ID (unless it was the
+     group's sole member, which cannot happen for formed groups of
+     size >= 3). *)
+  Hashtbl.iter
+    (fun _ grp ->
+      if Tinygroups.Group.size grp >= 2 then
+        Alcotest.(check bool) "member excised" false (Tinygroups.Group.contains grp victim))
+    g'.Tinygroups.Group_graph.groups
+
+let test_depart_unknown_rejected () =
+  let g, _ = setup () in
+  Alcotest.check_raises "unknown" (Invalid_argument "Dynamic.depart: unknown ID") (fun () ->
+      ignore (Tinygroups.Dynamic.depart g ~id:(Point.of_float 0.987654321)))
+
+let test_join_then_search_works () =
+  let g, old_pair = setup ~beta:0.0 () in
+  let id = Point.of_float 0.31415 in
+  let g', _ =
+    Tinygroups.Dynamic.join (Prng.Rng.split rng) metrics g ~old_pair ~member_oracle:h2
+      ~id ~bad:false
+  in
+  (* Searches from and towards the newcomer succeed. *)
+  let o =
+    Tinygroups.Secure_route.search g' ~failure:`Majority ~src:id ~key:(Point.random rng)
+  in
+  Alcotest.(check bool) "newcomer can search" true (Tinygroups.Secure_route.succeeded o);
+  let other = (Tinygroups.Group_graph.leaders g').(3) in
+  let towards =
+    Tinygroups.Secure_route.search g' ~failure:`Majority ~src:other
+      ~key:(Point.add_cw id (Int64.neg 1L))
+  in
+  Alcotest.(check bool) "newcomer reachable" true (Tinygroups.Secure_route.succeeded towards)
+
+let test_churn_sequence_stays_healthy () =
+  let g, old_pair = setup ~n:256 ~beta:0.05 () in
+  let live = ref g in
+  for i = 0 to 14 do
+    let id = Point.of_float (0.001 +. (0.066 *. float_of_int i)) in
+    if not (Idspace.Ring.mem id (Adversary.Population.ring !live.Tinygroups.Group_graph.population)) then begin
+      let g', _ =
+        Tinygroups.Dynamic.join (Prng.Rng.split rng) metrics !live ~old_pair
+          ~member_oracle:h2 ~id ~bad:(i mod 5 = 0)
+      in
+      live := g'
+    end;
+    let leaders = Tinygroups.Group_graph.leaders !live in
+    let victim = leaders.(Prng.Rng.int rng (Array.length leaders)) in
+    let g'', _ = Tinygroups.Dynamic.depart !live ~id:victim in
+    live := g''
+  done;
+  let c = Tinygroups.Group_graph.census !live in
+  Alcotest.(check bool) "size steady" true (abs (c.total - 256) <= 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "healthy after churn (hij %d conf %d)" c.hijacked_ c.confused_)
+    true
+    (c.hijacked_ + c.confused_ < 26)
+
+(* Latency models. *)
+
+let test_latency_constant () =
+  let l = Sim.Latency.constant 25 in
+  for _ = 1 to 20 do
+    Alcotest.(check int) "constant" 25 (Sim.Latency.sample rng l)
+  done
+
+let test_latency_uniform_range () =
+  let l = Sim.Latency.uniform ~lo:10 ~hi:20 in
+  for _ = 1 to 500 do
+    let v = Sim.Latency.sample rng l in
+    Alcotest.(check bool) "in range" true (v >= 10 && v <= 20)
+  done
+
+let test_latency_lognormal_median () =
+  let l = Sim.Latency.lognormal_like ~median:40 ~sigma:0.6 in
+  let samples = Array.init 4000 (fun _ -> float_of_int (Sim.Latency.sample rng l)) in
+  let med = Stats.Descriptive.quantile samples 0.5 in
+  Alcotest.(check bool) (Printf.sprintf "median %.0f near 40" med) true
+    (med > 32. && med < 50.);
+  Array.iter (fun v -> Alcotest.(check bool) "positive" true (v >= 1.)) samples
+
+let test_latency_validation () =
+  Alcotest.check_raises "bad uniform" (Invalid_argument "Latency.uniform: need 1 <= lo <= hi")
+    (fun () -> ignore (Sim.Latency.uniform ~lo:5 ~hi:2))
+
+(* Timed routing. *)
+
+let test_quorum_wait_grows_with_processing () =
+  let l = Sim.Latency.constant 10 in
+  let fast =
+    Tinygroups.Timed_route.quorum_wait rng l ~per_message_ms:0 ~senders:11 ~receivers:11 ()
+  in
+  let slow =
+    Tinygroups.Timed_route.quorum_wait rng l ~per_message_ms:10 ~senders:11 ~receivers:11 ()
+  in
+  Alcotest.(check int) "pure RTT: the constant" 10 fast;
+  (* Serial processing of the 6-message quorum at 10ms each. *)
+  Alcotest.(check int) "processing adds 6 x 10" 70 slow
+
+let test_timed_search_consistency () =
+  let g, _ = setup ~beta:0.0 () in
+  let leaders = Tinygroups.Group_graph.leaders g in
+  let l = Sim.Latency.constant 10 in
+  for _ = 1 to 30 do
+    let src = leaders.(Prng.Rng.int rng (Array.length leaders)) in
+    let key = Point.random rng in
+    let t =
+      Tinygroups.Timed_route.search (Prng.Rng.split rng) g ~latency:l ~per_message_ms:0
+        ~failure:`Majority ~src ~key
+    in
+    Alcotest.(check bool) "succeeds" true t.Tinygroups.Timed_route.succeeded;
+    (* With constant latency and no processing, elapsed = 10ms per
+       edge. *)
+    Alcotest.(check int) "10ms per hop"
+      (10 * List.length t.Tinygroups.Timed_route.per_hop_ms)
+      t.Tinygroups.Timed_route.elapsed_ms
+  done
+
+let () =
+  Alcotest.run "dynamic"
+    [
+      ( "join",
+        [
+          Alcotest.test_case "adds the ID" `Quick test_join_adds_id;
+          Alcotest.test_case "rejects duplicates" `Quick test_join_rejects_duplicate;
+          Alcotest.test_case "captured groups link back" `Quick
+            test_join_captured_groups_link_back;
+          Alcotest.test_case "newcomer searchable" `Quick test_join_then_search_works;
+        ] );
+      ( "depart",
+        [
+          Alcotest.test_case "removes and updates" `Quick test_depart_removes_and_updates_members;
+          Alcotest.test_case "unknown rejected" `Quick test_depart_unknown_rejected;
+          Alcotest.test_case "churn sequence" `Slow test_churn_sequence_stays_healthy;
+        ] );
+      ( "latency",
+        [
+          Alcotest.test_case "constant" `Quick test_latency_constant;
+          Alcotest.test_case "uniform range" `Quick test_latency_uniform_range;
+          Alcotest.test_case "lognormal median" `Quick test_latency_lognormal_median;
+          Alcotest.test_case "validation" `Quick test_latency_validation;
+        ] );
+      ( "timed-route",
+        [
+          Alcotest.test_case "quorum wait vs processing" `Quick
+            test_quorum_wait_grows_with_processing;
+          Alcotest.test_case "timed search consistency" `Quick test_timed_search_consistency;
+        ] );
+    ]

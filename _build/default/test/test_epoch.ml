@@ -1,0 +1,180 @@
+(* The two-graph epoch protocol: initialisation, advancing under full
+   turnover, robustness persistence (the paper's headline dynamic
+   claim), and the single-graph ablation's collapse. *)
+
+let rng () = Prng.Rng.create 1123
+
+let test_init_builds_pair () =
+  let e = Tinygroups.Epoch.init (rng ()) (Tinygroups.Epoch.default_config ~n:256) in
+  Alcotest.(check int) "epoch 0" 0 (Tinygroups.Epoch.epoch e);
+  Alcotest.(check bool) "has secondary" true (Tinygroups.Epoch.secondary e <> None);
+  Alcotest.(check int) "n groups" 256
+    (Tinygroups.Group_graph.n_groups (Tinygroups.Epoch.primary e));
+  Alcotest.(check int) "history has epoch 0" 1 (List.length (Tinygroups.Epoch.history e))
+
+let test_init_single_mode () =
+  let cfg =
+    { (Tinygroups.Epoch.default_config ~n:128) with Tinygroups.Epoch.mode = Tinygroups.Epoch.Single }
+  in
+  let e = Tinygroups.Epoch.init (rng ()) cfg in
+  Alcotest.(check bool) "no secondary" true (Tinygroups.Epoch.secondary e = None)
+
+let test_advance_turns_over_population () =
+  let e = Tinygroups.Epoch.init (rng ()) (Tinygroups.Epoch.default_config ~n:256) in
+  let before = Tinygroups.Group_graph.leaders (Tinygroups.Epoch.primary e) in
+  Tinygroups.Epoch.advance e;
+  let after = Tinygroups.Group_graph.leaders (Tinygroups.Epoch.primary e) in
+  Alcotest.(check int) "epoch advanced" 1 (Tinygroups.Epoch.epoch e);
+  Alcotest.(check int) "size preserved" (Array.length before) (Array.length after);
+  (* Full turnover: the ID sets are disjoint w.h.p. *)
+  let before_set =
+    List.fold_left
+      (fun acc p -> Idspace.Ring.add p acc)
+      Idspace.Ring.empty (Array.to_list before)
+  in
+  let overlap =
+    Array.fold_left (fun acc p -> if Idspace.Ring.mem p before_set then acc + 1 else acc) 0 after
+  in
+  Alcotest.(check int) "disjoint ID sets" 0 overlap
+
+let test_members_come_from_old_population () =
+  let e = Tinygroups.Epoch.init (rng ()) (Tinygroups.Epoch.default_config ~n:256) in
+  let old_ring =
+    Adversary.Population.ring
+      Tinygroups.Group_graph.((Tinygroups.Epoch.primary e).population)
+  in
+  Tinygroups.Epoch.advance e;
+  let g = Tinygroups.Epoch.primary e in
+  let checked = ref 0 in
+  Array.iter
+    (fun w ->
+      let grp = Tinygroups.Group_graph.group_of g w in
+      Array.iter
+        (fun m ->
+          incr checked;
+          Alcotest.(check bool) "member is an old-epoch ID" true
+            (Idspace.Ring.mem m old_ring))
+        grp.Tinygroups.Group.members)
+    (Array.sub (Tinygroups.Group_graph.leaders g) 0 20);
+  Alcotest.(check bool) "checked some members" true (!checked > 50)
+
+let test_paired_robustness_persists () =
+  let e = Tinygroups.Epoch.init (rng ()) (Tinygroups.Epoch.default_config ~n:1024) in
+  for _ = 1 to 4 do
+    Tinygroups.Epoch.advance e
+  done;
+  let c = Tinygroups.Group_graph.census (Tinygroups.Epoch.primary e) in
+  Alcotest.(check bool)
+    (Printf.sprintf "hijacked %d + confused %d stay tiny" c.hijacked_ c.confused_)
+    true
+    (c.hijacked_ + c.confused_ < 1024 / 50)
+
+let test_single_graph_collapses () =
+  (* The ablation the paper's two-graph design exists to prevent:
+     errors compound and the graph eventually collapses. *)
+  let cfg =
+    {
+      (Tinygroups.Epoch.default_config ~n:512) with
+      Tinygroups.Epoch.mode = Tinygroups.Epoch.Single;
+      (* A harsher adversary accelerates the collapse so the test is
+         quick. *)
+      params = { Tinygroups.Params.default with Tinygroups.Params.beta = 0.12 };
+    }
+  in
+  let e = Tinygroups.Epoch.init (rng ()) cfg in
+  let collapsed = ref false in
+  (* Under the compounding recursion the error must blow past 20% of
+     groups within a handful of epochs. *)
+  for _ = 1 to 8 do
+    if not !collapsed then begin
+      Tinygroups.Epoch.advance e;
+      let c = Tinygroups.Group_graph.census (Tinygroups.Epoch.primary e) in
+      if c.hijacked_ + c.confused_ > 512 / 5 then collapsed := true
+    end
+  done;
+  Alcotest.(check bool) "single-graph rebuild degrades" true !collapsed
+
+let test_paired_beats_single_at_same_beta () =
+  (* At a beta past both modes' stability thresholds (for this n),
+     the squared failure probability still slows the paired mode's
+     degradation markedly: compare the error mass while the collapse
+     is in progress. *)
+  let mk mode =
+    let cfg =
+      {
+        (Tinygroups.Epoch.default_config ~n:512) with
+        Tinygroups.Epoch.mode = mode;
+        params = { Tinygroups.Params.default with Tinygroups.Params.beta = 0.10 };
+      }
+    in
+    let e = Tinygroups.Epoch.init (rng ()) cfg in
+    for _ = 1 to 2 do
+      Tinygroups.Epoch.advance e
+    done;
+    let c = Tinygroups.Group_graph.census (Tinygroups.Epoch.primary e) in
+    c.hijacked_ + c.confused_
+  in
+  let paired = mk Tinygroups.Epoch.Paired in
+  let single = mk Tinygroups.Epoch.Single in
+  Alcotest.(check bool)
+    (Printf.sprintf "paired %d < single %d" paired single)
+    true (paired < single)
+
+let test_history_accumulates () =
+  let e = Tinygroups.Epoch.init (rng ()) (Tinygroups.Epoch.default_config ~n:128) in
+  Tinygroups.Epoch.advance e;
+  Tinygroups.Epoch.advance e;
+  let h = Tinygroups.Epoch.history e in
+  Alcotest.(check (list int)) "epochs in order" [ 0; 1; 2 ] (List.map fst h)
+
+let test_metrics_accumulate () =
+  let e = Tinygroups.Epoch.init (rng ()) (Tinygroups.Epoch.default_config ~n:128) in
+  Alcotest.(check int) "no construction traffic yet" 0
+    (Sim.Metrics.get (Tinygroups.Epoch.metrics e) Sim.Metrics.msg_membership);
+  Tinygroups.Epoch.advance e;
+  Alcotest.(check bool) "construction traffic counted" true
+    (Sim.Metrics.get (Tinygroups.Epoch.metrics e) Sim.Metrics.msg_membership > 0)
+
+let test_spam_accounting () =
+  let cfg =
+    { (Tinygroups.Epoch.default_config ~n:128) with Tinygroups.Epoch.spam_per_bad = 3 }
+  in
+  let e = Tinygroups.Epoch.init (rng ()) cfg in
+  Tinygroups.Epoch.advance e;
+  (* At beta 0.05 the verification searches almost never fail, so very
+     little spam should land; the counter must exist and be small. *)
+  let accepted = Tinygroups.Epoch.spam_accepted_total e in
+  Alcotest.(check bool) (Printf.sprintf "spam accepted %d small" accepted) true (accepted < 10)
+
+let test_debruijn_overlay_mode () =
+  let cfg =
+    { (Tinygroups.Epoch.default_config ~n:256) with Tinygroups.Epoch.overlay = Tinygroups.Epoch.Debruijn }
+  in
+  let e = Tinygroups.Epoch.init (rng ()) cfg in
+  Tinygroups.Epoch.advance e;
+  let c = Tinygroups.Group_graph.census (Tinygroups.Epoch.primary e) in
+  Alcotest.(check bool) "debruijn epochs work" true (c.hijacked_ + c.confused_ < 256 / 10)
+
+let () =
+  Alcotest.run "epoch"
+    [
+      ( "lifecycle",
+        [
+          Alcotest.test_case "init builds the pair" `Quick test_init_builds_pair;
+          Alcotest.test_case "single mode" `Quick test_init_single_mode;
+          Alcotest.test_case "advance turns the population over" `Quick
+            test_advance_turns_over_population;
+          Alcotest.test_case "members from the old population" `Quick
+            test_members_come_from_old_population;
+          Alcotest.test_case "history" `Quick test_history_accumulates;
+          Alcotest.test_case "metrics" `Quick test_metrics_accumulate;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "paired mode persists" `Slow test_paired_robustness_persists;
+          Alcotest.test_case "single graph collapses" `Slow test_single_graph_collapses;
+          Alcotest.test_case "paired beats single" `Slow test_paired_beats_single_at_same_beta;
+          Alcotest.test_case "spam accounting" `Slow test_spam_accounting;
+          Alcotest.test_case "debruijn overlay" `Slow test_debruijn_overlay_mode;
+        ] );
+    ]

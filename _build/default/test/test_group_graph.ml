@@ -1,0 +1,260 @@
+(* The group graph: direct construction (S1-S3), census, colors, and
+   the assemble constructor used by the epoch protocol. *)
+
+open Idspace
+
+let rng = Prng.Rng.create 404
+
+let params = Tinygroups.Params.default
+let oracle = Hashing.Oracle.make ~system_key:"gg-test" ~label:"h1"
+
+let make ?(n = 512) ?(beta = 0.05) ?(strategy = Adversary.Placement.Uniform) () =
+  let pop = Adversary.Population.generate (Prng.Rng.split rng) ~n ~beta ~strategy in
+  let overlay = Overlay.Chord.make (Adversary.Population.ring pop) in
+  (pop, Tinygroups.Group_graph.build_direct ~params ~population:pop ~overlay ~member_oracle:oracle)
+
+let test_one_group_per_id () =
+  let pop, g = make () in
+  Alcotest.(check int) "S1: one group per ID" (Adversary.Population.n pop)
+    (Tinygroups.Group_graph.n_groups g);
+  Array.iter
+    (fun w ->
+      let grp = Tinygroups.Group_graph.group_of g w in
+      Alcotest.(check bool) "leader matches" true (Point.equal grp.Tinygroups.Group.leader w))
+    (Tinygroups.Group_graph.leaders g)
+
+let test_group_membership_from_oracle () =
+  (* Members must be the ring successors of the oracle points
+     (verifiable by any participant, per P3). *)
+  let pop, g = make ~n:256 () in
+  let ring = Adversary.Population.ring pop in
+  let w = (Tinygroups.Group_graph.leaders g).(17) in
+  let grp = Tinygroups.Group_graph.group_of g w in
+  Array.iter
+    (fun m ->
+      let justified = ref false in
+      for i = 1 to 64 do
+        let p = Point.of_u62 (Hashing.Oracle.query_indexed oracle (Point.to_u62 w) i) in
+        if Point.equal m (Ring.successor_exn ring p) then justified := true
+      done;
+      Alcotest.(check bool) "member verifiable from hash points" true !justified)
+    grp.Tinygroups.Group.members
+
+let test_group_sizes_near_d2_lnln () =
+  let _, g = make ~n:1024 () in
+  let m = Tinygroups.Group_graph.mean_group_size g in
+  let expected = 5. *. Idspace.Estimate.exact_ln_ln 1024 in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean size %.1f ~ %.1f" m expected)
+    true
+    (Float.abs (m -. expected) < 4.)
+
+let test_census_consistency () =
+  let _, g = make ~beta:0.15 () in
+  let c = Tinygroups.Group_graph.census g in
+  Alcotest.(check int) "partition by health" c.total (c.good + c.weak + c.hijacked_);
+  Alcotest.(check bool) "red >= hijacked" true (c.red >= c.hijacked_);
+  Alcotest.(check bool) "red >= total - good" true (c.red >= c.total - c.good);
+  Alcotest.(check (float 1e-9)) "fraction_red consistent"
+    (float_of_int c.red /. float_of_int c.total)
+    (Tinygroups.Group_graph.fraction_red g)
+
+let test_no_adversary_no_hijack () =
+  let _, g = make ~beta:0.0 () in
+  let c = Tinygroups.Group_graph.census g in
+  Alcotest.(check int) "no hijacked groups" 0 c.hijacked_;
+  Alcotest.(check int) "everything good" c.total c.good
+
+let test_hijack_rate_tracks_chernoff () =
+  (* E1's claim in miniature: the majority-loss rate is near the
+     binomial tail for the realised group size. *)
+  let _, g = make ~n:4096 ~beta:0.10 () in
+  let c = Tinygroups.Group_graph.census g in
+  let size = int_of_float (Tinygroups.Group_graph.mean_group_size g) in
+  let k = (size / 2) + 1 in
+  let predicted = Stats.Bounds.binomial_tail_ge ~n:size ~p:0.12 ~k in
+  let observed = float_of_int c.hijacked_ /. float_of_int c.total in
+  (* Within an order of magnitude (load imbalance biases member
+     badness above beta). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "observed %.4f vs predicted %.4f" observed predicted)
+    true
+    (observed < Float.max (predicted *. 10.) 0.01)
+
+let test_clustered_adversary_captures_local_keys () =
+  (* What PoW's uniform placement prevents is *targeted ownership*:
+     an adversary who can choose positions captures almost every key
+     in its target arc (censorship of chosen resources), while under
+     uniform placement it owns only ~beta of them. Interestingly the
+     hash-drawn group membership itself is robust to clustering —
+     clustered bad IDs own *less* total key space — which is exactly
+     why the threat model is about key capture, not group capture. *)
+  let arc = Interval.make ~from:(Point.of_float 0.4) ~until:(Point.of_float 0.41) in
+  let pop_c, _ = make ~n:1024 ~beta:0.05 ~strategy:(Adversary.Placement.Cluster arc) () in
+  let pop_u, _ = make ~n:1024 ~beta:0.05 () in
+  let captured pop =
+    let ring = Adversary.Population.ring pop in
+    let hits = ref 0 in
+    for _ = 1 to 500 do
+      let key = Interval.sample rng arc in
+      if Adversary.Population.is_bad pop (Ring.successor_exn ring key) then incr hits
+    done;
+    float_of_int !hits /. 500.
+  in
+  let c = captured pop_c and u = captured pop_u in
+  Alcotest.(check bool)
+    (Printf.sprintf "clustered captures %.2f of target keys vs %.2f uniform" c u)
+    true
+    (c > 0.8 && u < 0.3)
+
+let test_lemma5_withholding_adversary () =
+  (* Lemma 5: properties and construction survive an adversary that
+     fields only a subset of its entitled IDs (the Omit strategy).
+     The withheld IDs change the ring's topology, but searches and
+     health stay at the uniform-adversary level. *)
+  let _, g =
+    make ~n:1024 ~beta:0.10 ~strategy:(Adversary.Placement.Omit 0.6) ()
+  in
+  let c = Tinygroups.Group_graph.census g in
+  Alcotest.(check bool)
+    (Printf.sprintf "few hijacked groups (%d)" c.hijacked_)
+    true
+    (c.hijacked_ < c.total / 50);
+  let leaders = Tinygroups.Group_graph.leaders g in
+  let ok = ref 0 in
+  let samples = 300 in
+  for _ = 1 to samples do
+    let src = leaders.(Prng.Rng.int rng (Array.length leaders)) in
+    let key = Point.random rng in
+    if
+      Tinygroups.Secure_route.succeeded
+        (Tinygroups.Secure_route.search g ~failure:`Majority ~src ~key)
+    then incr ok
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "searches unaffected (%d/%d)" !ok samples)
+    true
+    (!ok > samples * 95 / 100);
+  (* The realised adversary share is indeed below its entitlement. *)
+  Alcotest.(check bool) "withheld IDs stayed out" true
+    (Adversary.Population.beta_actual g.Tinygroups.Group_graph.population < 0.08)
+
+let test_blue_leaders_cache () =
+  let _, g = make ~beta:0.2 () in
+  let b1 = Tinygroups.Group_graph.blue_leaders g in
+  let b2 = Tinygroups.Group_graph.blue_leaders g in
+  Alcotest.(check bool) "memoised (same array)" true (b1 == b2);
+  Array.iter
+    (fun w ->
+      Alcotest.(check bool) "every cached leader is blue" true
+        (Tinygroups.Group_graph.color_of g w = Tinygroups.Group_graph.Blue))
+    b1
+
+let test_random_blue_leader () =
+  let _, g = make ~beta:0.1 () in
+  match Tinygroups.Group_graph.random_blue_leader rng g with
+  | Some w ->
+      Alcotest.(check bool) "blue" true
+        (Tinygroups.Group_graph.color_of g w = Tinygroups.Group_graph.Blue)
+  | None -> Alcotest.fail "expected blue groups at beta = 0.1"
+
+let test_confusion_makes_red () =
+  let pop, g = make ~n:64 ~beta:0.0 () in
+  let leaders = Tinygroups.Group_graph.leaders g in
+  let confused_leader = leaders.(5) in
+  let groups =
+    Array.to_list
+      (Array.map (fun w -> (w, Tinygroups.Group_graph.group_of g w)) leaders)
+  in
+  let g2 =
+    Tinygroups.Group_graph.assemble ~params ~population:pop
+      ~overlay:g.Tinygroups.Group_graph.overlay ~groups ~confused:[ confused_leader ]
+  in
+  Alcotest.(check bool) "confused leader is red" true
+    (Tinygroups.Group_graph.color_of g2 confused_leader = Tinygroups.Group_graph.Red);
+  Alcotest.(check bool) "confused counts as hijacked-for-routing" true
+    (Tinygroups.Group_graph.hijacked g2 confused_leader);
+  let c = Tinygroups.Group_graph.census g2 in
+  Alcotest.(check int) "census sees one confused" 1 c.confused_
+
+let test_assemble_validations () =
+  let pop, g = make ~n:32 ~beta:0.0 () in
+  let leaders = Tinygroups.Group_graph.leaders g in
+  let all_groups =
+    Array.to_list (Array.map (fun w -> (w, Tinygroups.Group_graph.group_of g w)) leaders)
+  in
+  (* Missing a group. *)
+  Alcotest.check_raises "missing groups"
+    (Invalid_argument "Group_graph.assemble: missing groups") (fun () ->
+      ignore
+        (Tinygroups.Group_graph.assemble ~params ~population:pop
+           ~overlay:g.Tinygroups.Group_graph.overlay ~groups:(List.tl all_groups)
+           ~confused:[]));
+  (* Duplicate leader. *)
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Group_graph.assemble: duplicate leader") (fun () ->
+      ignore
+        (Tinygroups.Group_graph.assemble ~params ~population:pop
+           ~overlay:g.Tinygroups.Group_graph.overlay
+           ~groups:(List.hd all_groups :: all_groups)
+           ~confused:[]))
+
+let test_groups_per_id_positive () =
+  let _, g = make ~n:512 () in
+  let counts = Tinygroups.Group_graph.groups_per_id g in
+  let total = Hashtbl.fold (fun _ c acc -> acc + c) counts 0 in
+  (* Total memberships = sum of group sizes. *)
+  let expected =
+    Hashtbl.fold
+      (fun _ grp acc -> acc + Tinygroups.Group.size grp)
+      g.Tinygroups.Group_graph.groups 0
+  in
+  Alcotest.(check int) "membership bookkeeping balances" expected total
+
+let prop_determinism =
+  QCheck.Test.make ~name:"construction is deterministic in the population" ~count:10
+    QCheck.small_int (fun seed ->
+      let r1 = Prng.Rng.create seed and r2 = Prng.Rng.create seed in
+      let mk r =
+        let pop =
+          Adversary.Population.generate r ~n:128 ~beta:0.1
+            ~strategy:Adversary.Placement.Uniform
+        in
+        let overlay = Overlay.Chord.make (Adversary.Population.ring pop) in
+        Tinygroups.Group_graph.build_direct ~params ~population:pop ~overlay
+          ~member_oracle:oracle
+      in
+      let g1 = mk r1 and g2 = mk r2 in
+      let c1 = Tinygroups.Group_graph.census g1 in
+      let c2 = Tinygroups.Group_graph.census g2 in
+      c1 = c2)
+
+let () =
+  Alcotest.run "group_graph"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "one group per ID (S1)" `Quick test_one_group_per_id;
+          Alcotest.test_case "members from hash points" `Quick test_group_membership_from_oracle;
+          Alcotest.test_case "sizes ~ d2 lnln n" `Quick test_group_sizes_near_d2_lnln;
+          Alcotest.test_case "membership bookkeeping" `Quick test_groups_per_id_positive;
+        ] );
+      ( "colors",
+        [
+          Alcotest.test_case "census partition" `Quick test_census_consistency;
+          Alcotest.test_case "beta 0 is all good" `Quick test_no_adversary_no_hijack;
+          Alcotest.test_case "hijack rate vs Chernoff" `Slow test_hijack_rate_tracks_chernoff;
+          Alcotest.test_case "clustered adversary captures keys" `Slow
+            test_clustered_adversary_captures_local_keys;
+          Alcotest.test_case "withholding adversary (Lemma 5)" `Slow
+            test_lemma5_withholding_adversary;
+          Alcotest.test_case "blue leader cache" `Quick test_blue_leaders_cache;
+          Alcotest.test_case "random blue leader" `Quick test_random_blue_leader;
+        ] );
+      ( "assemble",
+        [
+          Alcotest.test_case "confusion makes red (S2)" `Quick test_confusion_makes_red;
+          Alcotest.test_case "validations" `Quick test_assemble_validations;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_determinism ]);
+    ]

@@ -1,0 +1,155 @@
+(* Integration tests: the full pipeline across modules — epochs
+   feeding string propagation feeding PoW identity churn; the
+   experiment drivers; and cross-module cost consistency. *)
+
+let rng () = Prng.Rng.create 5150
+
+let test_full_epoch_cycle () =
+  (* One complete operational cycle: build, propagate strings, mint
+     next-epoch IDs against the agreed string, advance the epoch,
+     verify searches still work. *)
+  let r = rng () in
+  let epoch_steps = 2048 in
+  let cfg = Tinygroups.Epoch.default_config ~n:512 in
+  let e = Tinygroups.Epoch.init r cfg in
+  (* Strings over the live graph. *)
+  let prop =
+    Randstring.Propagate.run (Prng.Rng.split r) (Tinygroups.Epoch.primary e) ~epoch_steps
+      Randstring.Propagate.default_config
+  in
+  Alcotest.(check bool) "strings agreed" true prop.Randstring.Propagate.agreement;
+  (* Mint an ID for the next epoch against the epoch's string. *)
+  let scheme = Pow.Identity.make_scheme ~system_key:"integration" ~epoch_steps in
+  let budget = Pow.Budget.create ~evals:(20 * Pow.Budget.good_id_budget ~epoch_steps) in
+  let metrics = Sim.Metrics.create () in
+  let cred =
+    Option.get (Pow.Identity.solve (Prng.Rng.split r) scheme ~budget ~rand_string:99L ~metrics)
+  in
+  Alcotest.(check bool) "credential verifies" true
+    (Pow.Identity.verify scheme cred ~known_strings:[ 99L ]);
+  (* Advance and search. *)
+  Tinygroups.Epoch.advance e;
+  let report =
+    Tinygroups.Robustness.search_success (Prng.Rng.split r) (Tinygroups.Epoch.primary e)
+      ~failure:`Majority ~samples:500
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "post-epoch success %.3f" report.success_rate)
+    true
+    (report.success_rate > 0.95)
+
+let test_size_drift_epochs () =
+  let r = rng () in
+  let cfg =
+    { (Tinygroups.Epoch.default_config ~n:512) with Tinygroups.Epoch.size_drift = 0.4 }
+  in
+  let e = Tinygroups.Epoch.init r cfg in
+  let sizes = ref [] in
+  for _ = 1 to 4 do
+    Tinygroups.Epoch.advance e;
+    let c = Tinygroups.Group_graph.census (Tinygroups.Epoch.primary e) in
+    sizes := c.Tinygroups.Group_graph.total :: !sizes;
+    Alcotest.(check bool) "robust while drifting" true
+      (c.Tinygroups.Group_graph.hijacked_ + c.Tinygroups.Group_graph.confused_ < 26)
+  done;
+  (* The size actually moves. *)
+  let distinct = List.sort_uniq compare !sizes in
+  Alcotest.(check bool) "sizes vary" true (List.length distinct > 1);
+  List.iter
+    (fun n -> Alcotest.(check bool) "within Theta(n)" true (n >= 512 * 6 / 10 && n <= 512 * 14 / 10))
+    !sizes
+
+let test_experiment_drivers_smoke () =
+  (* Every experiment driver must run at quick scale without raising
+     and produce a non-empty table. *)
+  let check name f =
+    let t = f (Prng.Rng.create 3) Experiments.Scale.Quick in
+    let rendered = Experiments.Table.render t in
+    Alcotest.(check bool) (name ^ " non-empty") true (String.length rendered > 100)
+  in
+  check "e1" Experiments.Exp_static.run_e1;
+  check "e3" Experiments.Exp_costs.run_e3;
+  check "e6" Experiments.Exp_pow.run_e6;
+  check "e7" Experiments.Exp_pow.run_e7;
+  check "e12" Experiments.Exp_bootstrap.run_e12
+
+let test_figure1_renders () =
+  let s = Experiments.Exp_figure1.render (Prng.Rng.create 1) in
+  Alcotest.(check bool) "mentions success" true
+    (String.length s > 200
+    && (let contains needle =
+          let nl = String.length needle and sl = String.length s in
+          let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
+          go 0
+        in
+        contains "SUCCESS" && contains "FAILED"))
+
+let test_storage_semantics_cross_module () =
+  (* Broadcast + group labels: a group that the census says is
+     hijacked must be able to forge payloads; a good-majority group
+     must not. *)
+  let r = rng () in
+  let pop =
+    Adversary.Population.generate r ~n:512 ~beta:0.2
+      ~strategy:Adversary.Placement.Uniform
+  in
+  let overlay = Overlay.Chord.make (Adversary.Population.ring pop) in
+  let g =
+    Tinygroups.Group_graph.build_direct ~params:Tinygroups.Params.default ~population:pop
+      ~overlay ~member_oracle:Experiments.Common.h1
+  in
+  let checked = ref 0 in
+  Array.iter
+    (fun w ->
+      let grp = Tinygroups.Group_graph.group_of g w in
+      let sender_good =
+        Array.init (Tinygroups.Group.size grp) (fun i ->
+            not (Tinygroups.Group.member_is_bad grp i))
+      in
+      let res =
+        Agreement.Broadcast.send ~sender_good ~receiver_count:1 ~value:"real"
+          ~forge:(fun ~recipient:_ -> Some "fake")
+      in
+      incr checked;
+      match res.Agreement.Broadcast.delivered.(0) with
+      | Some "real" ->
+          Alcotest.(check bool) "good majority delivered truth" true
+            (Tinygroups.Group.has_good_majority grp)
+      | Some _ | None ->
+          Alcotest.(check bool) "only majority-less groups corrupt" false
+            (Tinygroups.Group.has_good_majority grp))
+    (Array.sub (Tinygroups.Group_graph.leaders g) 0 100);
+  Alcotest.(check int) "checked" 100 !checked
+
+let test_message_metrics_reconcile () =
+  (* The epoch's membership metrics must equal the sum of search
+     costs actually charged: non-zero, and scale with n. *)
+  let r = rng () in
+  let run n =
+    let e = Tinygroups.Epoch.init (Prng.Rng.split r) (Tinygroups.Epoch.default_config ~n) in
+    Tinygroups.Epoch.advance e;
+    Sim.Metrics.get (Tinygroups.Epoch.metrics e) Sim.Metrics.msg_membership
+  in
+  let m256 = run 256 and m512 = run 512 in
+  Alcotest.(check bool) "positive" true (m256 > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "scales with n: %d -> %d" m256 m512)
+    true
+    (m512 > m256)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "epoch + strings + pow cycle" `Slow test_full_epoch_cycle;
+          Alcotest.test_case "drifting system size" `Slow test_size_drift_epochs;
+          Alcotest.test_case "metrics reconcile" `Slow test_message_metrics_reconcile;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "drivers smoke" `Slow test_experiment_drivers_smoke;
+          Alcotest.test_case "figure 1 renders" `Quick test_figure1_renders;
+          Alcotest.test_case "storage semantics" `Quick test_storage_semantics_cross_module;
+        ] );
+    ]

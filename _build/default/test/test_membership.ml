@@ -1,0 +1,194 @@
+(* Membership and neighbour requests through the old graphs: dual
+   searches, verification, the adversary's plants, spam, and the
+   bootstrap pool of Appendix IX. *)
+
+open Idspace
+
+let rng = Prng.Rng.create 616
+let params = Tinygroups.Params.default
+let h1 = Hashing.Oracle.make ~system_key:"mem-test" ~label:"h1"
+let h2 = Hashing.Oracle.make ~system_key:"mem-test" ~label:"h2"
+
+let build ?(n = 512) ?(beta = 0.05) oracle =
+  let pop =
+    Adversary.Population.generate (Prng.Rng.split rng) ~n ~beta
+      ~strategy:Adversary.Placement.Uniform
+  in
+  let overlay = Overlay.Chord.make (Adversary.Population.ring pop) in
+  Tinygroups.Group_graph.build_direct ~params ~population:pop ~overlay ~member_oracle:oracle
+
+let make_pair ?(n = 512) ?(beta = 0.05) () =
+  let pop =
+    Adversary.Population.generate (Prng.Rng.split rng) ~n ~beta
+      ~strategy:Adversary.Placement.Uniform
+  in
+  let overlay = Overlay.Chord.make (Adversary.Population.ring pop) in
+  let g1 =
+    Tinygroups.Group_graph.build_direct ~params ~population:pop ~overlay ~member_oracle:h1
+  in
+  let g2 =
+    Tinygroups.Group_graph.build_direct ~params ~population:pop ~overlay ~member_oracle:h2
+  in
+  (pop, Tinygroups.Membership.make_old_pair ~failure:`Majority g1 (Some g2))
+
+let metrics = Sim.Metrics.create ()
+
+let test_dual_search_resolves_truthfully () =
+  let pop, pair = make_pair () in
+  let ring = Adversary.Population.ring pop in
+  for _ = 1 to 100 do
+    let point = Point.random rng in
+    match Tinygroups.Membership.dual_search (Prng.Rng.split rng) metrics pair ~point with
+    | Tinygroups.Membership.Resolved m ->
+        Alcotest.(check bool) "true successor" true
+          (Point.equal m (Ring.successor_exn ring point))
+    | Tinygroups.Membership.Hijacked_lookup ->
+        (* Possible but must be rare at beta = 0.05; tolerated here. *)
+        ()
+  done
+
+let test_dual_search_charges_messages () =
+  let _, pair = make_pair () in
+  let m = Sim.Metrics.create () in
+  ignore (Tinygroups.Membership.dual_search (Prng.Rng.split rng) m pair ~point:(Point.random rng));
+  Alcotest.(check bool) "messages charged" true
+    (Sim.Metrics.get m Sim.Metrics.msg_membership > 0)
+
+let test_solicit_member_no_adversary () =
+  let pop, pair = make_pair ~beta:0.0 () in
+  let ring = Adversary.Population.ring pop in
+  for _ = 1 to 50 do
+    let point = Point.random rng in
+    match Tinygroups.Membership.solicit_member (Prng.Rng.split rng) metrics pair ~point with
+    | Some m ->
+        Alcotest.(check bool) "honest successor" true
+          (Point.equal m (Ring.successor_exn ring point))
+    | None -> Alcotest.fail "no adversary: no rejection possible"
+  done
+
+let test_solicit_member_mostly_good () =
+  let pop, pair = make_pair ~n:1024 ~beta:0.05 () in
+  let good = ref 0 and bad = ref 0 and rejected = ref 0 in
+  for _ = 1 to 400 do
+    let point = Point.random rng in
+    match Tinygroups.Membership.solicit_member (Prng.Rng.split rng) metrics pair ~point with
+    | Some m ->
+        if Adversary.Population.is_bad pop m then incr bad else incr good
+    | None -> incr rejected
+  done;
+  (* Lemma 6/7: bad member rate ~ (1+d'')beta, rejections ~ qf^2. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "bad rate %d/400 near beta" !bad)
+    true
+    (float_of_int !bad /. 400. < 0.15);
+  Alcotest.(check bool)
+    (Printf.sprintf "rejections rare (%d)" !rejected)
+    true
+    (!rejected < 20)
+
+let test_single_graph_weaker () =
+  (* The single-graph ablation: with one graph the verification has
+     no squared protection, so spam lands more often. *)
+  let n = 512 in
+  let pop =
+    Adversary.Population.generate (Prng.Rng.split rng) ~n ~beta:0.10
+      ~strategy:Adversary.Placement.Uniform
+  in
+  let overlay = Overlay.Chord.make (Adversary.Population.ring pop) in
+  let g1 =
+    Tinygroups.Group_graph.build_direct ~params ~population:pop ~overlay ~member_oracle:h1
+  in
+  let g2 =
+    Tinygroups.Group_graph.build_direct ~params ~population:pop ~overlay ~member_oracle:h2
+  in
+  let paired = Tinygroups.Membership.make_old_pair ~failure:`Majority g1 (Some g2) in
+  let single = Tinygroups.Membership.make_old_pair ~failure:`Majority g1 None in
+  let goods = Adversary.Population.good_ids pop in
+  let count pair =
+    let hits = ref 0 in
+    for _ = 1 to 300 do
+      let victim = goods.(Prng.Rng.int rng (Array.length goods)) in
+      if Tinygroups.Membership.spam_accepted (Prng.Rng.split rng) metrics pair ~victim then
+        incr hits
+    done;
+    !hits
+  in
+  let p = count paired and s = count single in
+  (* Spam lands only when a verification search is hijacked, which is
+     rare under the operational notion. (Pairing protects lookups and
+     rejections quadratically; spam acceptance needs only one of two
+     searches hijacked, so paired can be slightly above single — both
+     must simply be small.) *)
+  Alcotest.(check bool) (Printf.sprintf "spam rare (paired=%d single=%d)" p s) true
+    (p + s < 60)
+
+let test_establish_neighbor_mostly_succeeds () =
+  let _, pair = make_pair ~beta:0.05 () in
+  let ok = ref 0 in
+  for _ = 1 to 200 do
+    if
+      Tinygroups.Membership.establish_neighbor (Prng.Rng.split rng) metrics pair
+        ~target:(Point.random rng)
+    then incr ok
+  done;
+  Alcotest.(check bool) (Printf.sprintf "links land (%d/200)" !ok) true (!ok > 190)
+
+let test_bootstrap_pool () =
+  let g = build ~n:512 ~beta:0.05 h1 in
+  (* Appendix IX: O(log n / log log n) random groups pooled give a
+     good majority w.h.p. *)
+  let count = 1 + int_of_float (log 512. /. log (log 512.)) in
+  let ids, majority = Tinygroups.Membership.bootstrap_pool (Prng.Rng.split rng) g ~count in
+  Alcotest.(check bool) "pooled enough IDs" true (Array.length ids >= 10);
+  Alcotest.(check bool) "good majority" true majority
+
+let test_bootstrap_pool_beta_zero () =
+  let g = build ~n:128 ~beta:0.0 h1 in
+  let _, majority = Tinygroups.Membership.bootstrap_pool (Prng.Rng.split rng) g ~count:2 in
+  Alcotest.(check bool) "trivially good" true majority
+
+let prop_solicit_deterministic_world =
+  QCheck.Test.make ~name:"solicitation outcomes replay with the rng" ~count:10
+    QCheck.small_int (fun seed ->
+      let pop =
+        Adversary.Population.generate (Prng.Rng.create seed) ~n:128 ~beta:0.1
+          ~strategy:Adversary.Placement.Uniform
+      in
+      let overlay = Overlay.Chord.make (Adversary.Population.ring pop) in
+      let g1 =
+        Tinygroups.Group_graph.build_direct ~params ~population:pop ~overlay
+          ~member_oracle:h1
+      in
+      let pair = Tinygroups.Membership.make_old_pair g1 None in
+      let m = Sim.Metrics.create () in
+      let point = Point.of_float 0.42 in
+      let a =
+        Tinygroups.Membership.solicit_member (Prng.Rng.create 1) m pair ~point
+      in
+      let b =
+        Tinygroups.Membership.solicit_member (Prng.Rng.create 1) m pair ~point
+      in
+      a = b)
+
+let () =
+  Alcotest.run "membership"
+    [
+      ( "dual-search",
+        [
+          Alcotest.test_case "resolves truthfully" `Quick test_dual_search_resolves_truthfully;
+          Alcotest.test_case "charges messages" `Quick test_dual_search_charges_messages;
+        ] );
+      ( "solicitation",
+        [
+          Alcotest.test_case "honest without adversary" `Quick test_solicit_member_no_adversary;
+          Alcotest.test_case "bad-member rate ~ beta" `Slow test_solicit_member_mostly_good;
+          Alcotest.test_case "spam exposure bounded" `Slow test_single_graph_weaker;
+          Alcotest.test_case "neighbour links land" `Slow test_establish_neighbor_mostly_succeeds;
+        ] );
+      ( "bootstrap",
+        [
+          Alcotest.test_case "pool has good majority" `Quick test_bootstrap_pool;
+          Alcotest.test_case "beta 0 trivial" `Quick test_bootstrap_pool_beta_zero;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_solicit_deterministic_world ]);
+    ]

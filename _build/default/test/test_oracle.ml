@@ -1,0 +1,119 @@
+(* The labelled random-oracle families: determinism, independence
+   between labels, range discipline, and uniformity of outputs. *)
+
+let oracle ?(key = "test-system") label = Hashing.Oracle.make ~system_key:key ~label
+
+let test_deterministic () =
+  let h = oracle "h1" in
+  Alcotest.(check int64) "same query, same answer"
+    (Hashing.Oracle.query_string h "hello")
+    (Hashing.Oracle.query_string h "hello");
+  Alcotest.(check int64) "numeric too"
+    (Hashing.Oracle.query_u62 h 12345L)
+    (Hashing.Oracle.query_u62 h 12345L)
+
+let test_label_independence () =
+  let h1 = oracle "h1" and h2 = oracle "h2" in
+  Alcotest.(check bool) "labels give different functions" true
+    (Hashing.Oracle.query_string h1 "x" <> Hashing.Oracle.query_string h2 "x")
+
+let test_system_key_independence () =
+  let a = oracle ~key:"deploy-a" "h1" and b = oracle ~key:"deploy-b" "h1" in
+  Alcotest.(check bool) "deployments give different functions" true
+    (Hashing.Oracle.query_string a "x" <> Hashing.Oracle.query_string b "x")
+
+let test_same_parameters_same_function () =
+  let a = oracle "h1" and b = oracle "h1" in
+  Alcotest.(check int64) "reconstructible by any participant"
+    (Hashing.Oracle.query_u62 a 42L)
+    (Hashing.Oracle.query_u62 b 42L)
+
+let test_range () =
+  let h = oracle "range" in
+  for i = 0 to 1000 do
+    let v = Hashing.Oracle.query_u62 h (Int64.of_int i) in
+    Alcotest.(check bool) "in [0, 2^62)" true
+      (v >= 0L && v <= Hashing.Oracle.u62_mask)
+  done
+
+let test_indexed_distinct () =
+  let h = oracle "h1" in
+  (* h(w, i) for i = 1..g must give g distinct points (else groups
+     would systematically collapse). *)
+  let vals = List.init 20 (fun i -> Hashing.Oracle.query_indexed h 987654321L (i + 1)) in
+  let distinct = List.sort_uniq Int64.compare vals in
+  Alcotest.(check int) "20 distinct draws" 20 (List.length distinct)
+
+let test_indexed_vs_pair_encoding () =
+  let h = oracle "h1" in
+  (* (w, i) and (w', i') with the same concatenated bits must not
+     collide: check a classic ambiguity pattern. *)
+  let a = Hashing.Oracle.query_indexed h 1L 2 in
+  let b = Hashing.Oracle.query_indexed h 12L 0xFFFF in
+  Alcotest.(check bool) "no encoding ambiguity" true (a <> b)
+
+let test_pair_order_matters () =
+  let h = oracle "pair" in
+  Alcotest.(check bool) "pair is ordered" true
+    (Hashing.Oracle.query_pair h 1L 2L <> Hashing.Oracle.query_pair h 2L 1L)
+
+let test_to_unit_float () =
+  Alcotest.(check (float 1e-9)) "zero" 0. (Hashing.Oracle.to_unit_float 0L);
+  let almost_one = Hashing.Oracle.to_unit_float Hashing.Oracle.u62_mask in
+  Alcotest.(check bool) "mask maps below 1" true (almost_one < 1. && almost_one > 0.9999)
+
+let test_label_accessor () =
+  Alcotest.(check string) "label" "h2" (Hashing.Oracle.label (oracle "h2"))
+
+let test_uniformity_chi_square () =
+  (* The random-oracle assumption is load-bearing (Lemma 6, Lemma 11):
+     outputs must be uniform. *)
+  let h = oracle "uniformity" in
+  let hist = Stats.Histogram.create ~bins:32 () in
+  for i = 0 to 19_999 do
+    Stats.Histogram.add hist
+      (Hashing.Oracle.to_unit_float (Hashing.Oracle.query_u62 h (Int64.of_int i)))
+  done;
+  let stat = Stats.Histogram.chi_square_uniform hist in
+  let critical = Stats.Histogram.chi_square_critical_99 ~dof:31 in
+  Alcotest.(check bool)
+    (Printf.sprintf "chi2 %.1f below 99%% critical %.1f" stat critical)
+    true (stat < critical)
+
+let prop_outputs_in_range =
+  QCheck.Test.make ~name:"string queries stay in [0, 2^62)" ~count:500 QCheck.string
+    (fun s ->
+      let v = Hashing.Oracle.query_string (oracle "prop") s in
+      v >= 0L && v <= Hashing.Oracle.u62_mask)
+
+let prop_distinct_inputs_distinct_outputs =
+  QCheck.Test.make ~name:"no collisions across random inputs" ~count:500
+    QCheck.(pair string string)
+    (fun (a, b) ->
+      let h = oracle "prop2" in
+      a = b || Hashing.Oracle.query_string h a <> Hashing.Oracle.query_string h b)
+
+let () =
+  Alcotest.run "oracle"
+    [
+      ( "function-family",
+        [
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "label independence" `Quick test_label_independence;
+          Alcotest.test_case "system-key independence" `Quick test_system_key_independence;
+          Alcotest.test_case "globally reconstructible" `Quick test_same_parameters_same_function;
+          Alcotest.test_case "label accessor" `Quick test_label_accessor;
+        ] );
+      ( "outputs",
+        [
+          Alcotest.test_case "range discipline" `Quick test_range;
+          Alcotest.test_case "indexed draws distinct" `Quick test_indexed_distinct;
+          Alcotest.test_case "indexed encoding unambiguous" `Quick test_indexed_vs_pair_encoding;
+          Alcotest.test_case "pair order matters" `Quick test_pair_order_matters;
+          Alcotest.test_case "unit float mapping" `Quick test_to_unit_float;
+          Alcotest.test_case "uniformity (chi-square)" `Slow test_uniformity_chi_square;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_outputs_in_range; prop_distinct_inputs_distinct_outputs ] );
+    ]

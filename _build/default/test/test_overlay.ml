@@ -1,0 +1,224 @@
+(* Input graphs H: path validity against the linking rules (P1/P3),
+   load balance (P2), congestion (P4), and construction-specific
+   behaviour for Chord, distance-halving and the successor ring. *)
+
+open Idspace
+
+let rng = Prng.Rng.create 555
+
+let mk_ring n = Ring.populate (Prng.Rng.split rng) n
+
+let validate_paths ov n_checks =
+  let members = Ring.to_sorted_array ov.Overlay.Overlay_intf.ring in
+  for _ = 1 to n_checks do
+    let src = members.(Prng.Rng.int rng (Array.length members)) in
+    let key = Point.random rng in
+    let path = ov.Overlay.Overlay_intf.route ~src ~key in
+    Alcotest.(check bool) "path validates" true (Overlay.Overlay_intf.path_ok ov path key)
+  done
+
+let test_chord_paths () = validate_paths (Overlay.Chord.make (mk_ring 1024)) 300
+let test_debruijn_paths () = validate_paths (Overlay.Debruijn.make (mk_ring 1024)) 300
+let test_succ_ring_paths () = validate_paths (Overlay.Succ_ring.make (mk_ring 128)) 100
+
+let test_route_ends_at_responsible () =
+  let ring = mk_ring 512 in
+  List.iter
+    (fun ov ->
+      for _ = 1 to 200 do
+        let members = Ring.to_sorted_array ring in
+        let src = members.(Prng.Rng.int rng (Array.length members)) in
+        let key = Point.random rng in
+        let path = ov.Overlay.Overlay_intf.route ~src ~key in
+        let last = List.nth path (List.length path - 1) in
+        Alcotest.(check bool) "ends at suc(key)" true
+          (Point.equal last (Ring.successor_exn ring key))
+      done)
+    [ Overlay.Chord.make ring; Overlay.Debruijn.make ring; Overlay.Succ_ring.make ring ]
+
+let test_route_starts_at_src () =
+  let ring = mk_ring 256 in
+  let ov = Overlay.Chord.make ring in
+  let members = Ring.to_sorted_array ring in
+  let src = members.(7) in
+  let path = ov.Overlay.Overlay_intf.route ~src ~key:(Point.random rng) in
+  Alcotest.(check bool) "starts at src" true (Point.equal (List.hd path) src)
+
+let test_self_route () =
+  let ring = mk_ring 64 in
+  let ov = Overlay.Chord.make ring in
+  let members = Ring.to_sorted_array ring in
+  let src = members.(0) in
+  (* A key owned by src routes in zero hops. *)
+  let path = ov.Overlay.Overlay_intf.route ~src ~key:(Point.to_u62 src |> Point.of_u62) in
+  Alcotest.(check int) "single-node path" 1 (List.length path)
+
+let test_chord_log_hops () =
+  let ov = Overlay.Chord.make (mk_ring 4096) in
+  let st = Overlay.Probe.path_lengths (Prng.Rng.split rng) ov ~searches:500 in
+  (* lg 4096 = 12; greedy Chord averages ~lg(n)/2 + O(1). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.1f below 12" st.mean_hops)
+    true (st.mean_hops < 12.);
+  Alcotest.(check bool)
+    (Printf.sprintf "max %d below 2 lg n + 8" st.max_hops)
+    true (st.max_hops <= 32)
+
+let test_debruijn_hop_bound () =
+  let ov = Overlay.Debruijn.make (mk_ring 4096) in
+  let st = Overlay.Probe.path_lengths (Prng.Rng.split rng) ov ~searches:500 in
+  (* halving_steps 4096 = 16, plus the successor walk. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "max %d small" st.max_hops)
+    true (st.max_hops <= Overlay.Debruijn.halving_steps 4096 + 8)
+
+let test_succ_ring_linear_hops () =
+  let ov = Overlay.Succ_ring.make (mk_ring 128) in
+  let st = Overlay.Probe.path_lengths (Prng.Rng.split rng) ov ~searches:300 in
+  (* Mean walk is about n/2: emphatically not logarithmic. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.1f is linear-scale" st.mean_hops)
+    true (st.mean_hops > 20.)
+
+let test_chord_fingers_are_successors () =
+  let ring = mk_ring 256 in
+  let members = Ring.to_sorted_array ring in
+  let w = members.(13) in
+  let fingers = Overlay.Chord.fingers ring w in
+  Alcotest.(check bool) "has fingers" true (List.length fingers > 0);
+  (* Each finger must be the successor of w + 2^j for some j (P3:
+     verifiable by searches). *)
+  List.iter
+    (fun f ->
+      let ok = ref false in
+      for j = 0 to 61 do
+        let target = Point.add_cw w (Int64.shift_left 1L j) in
+        if Point.equal f (Ring.successor_exn ring target) then ok := true
+      done;
+      Alcotest.(check bool) "finger verifiable" true !ok)
+    fingers
+
+let test_chord_degree_logarithmic () =
+  let ov = Overlay.Chord.make (mk_ring 4096) in
+  let d = Overlay.Probe.degrees (Prng.Rng.split rng) ov ~sample:100 in
+  (* lg 4096 = 12 distinct fingers expected, plus predecessor. *)
+  Alcotest.(check bool) (Printf.sprintf "mean degree %.1f ~ lg n" d.mean) true
+    (d.mean > 6. && d.mean < 30.)
+
+let test_debruijn_constant_degree () =
+  let d4k =
+    Overlay.Probe.degrees (Prng.Rng.split rng) (Overlay.Debruijn.make (mk_ring 4096))
+      ~sample:200
+  in
+  let d16k =
+    Overlay.Probe.degrees (Prng.Rng.split rng) (Overlay.Debruijn.make (mk_ring 16384))
+      ~sample:200
+  in
+  (* Expected O(1): mean should not grow materially with n. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "degree flat: %.1f vs %.1f" d4k.mean d16k.mean)
+    true
+    (d16k.mean < d4k.mean +. 2.)
+
+let test_neighbors_exclude_self () =
+  let ring = mk_ring 128 in
+  List.iter
+    (fun ov ->
+      Ring.iter
+        (fun w ->
+          Alcotest.(check bool) "no self loop" false
+            (List.exists (Point.equal w) (ov.Overlay.Overlay_intf.neighbors w)))
+        ring)
+    [ Overlay.Chord.make ring; Overlay.Debruijn.make ring; Overlay.Succ_ring.make ring ]
+
+let test_load_balance_bounded () =
+  let ov = Overlay.Chord.make (mk_ring 8192) in
+  let lb = Overlay.Probe.load_balance ov in
+  (* Max arc is ~ln n/n w.h.p.: the (1 + delta'') of P2 at this scale. *)
+  Alcotest.(check bool) (Printf.sprintf "load %.2f < 3 ln n" lb) true
+    (lb < 3. *. log 8192.)
+
+let test_congestion_bounded () =
+  let ov = Overlay.Chord.make (mk_ring 2048) in
+  let c = Overlay.Probe.congestion (Prng.Rng.split rng) ov ~searches:3000 in
+  (* P4: congestion O(log^c n / n); the probe normalises by ln n / n,
+     so the statistic should be a modest constant. *)
+  Alcotest.(check bool) (Printf.sprintf "congestion stat %.2f bounded" c) true (c < 40.)
+
+let test_is_neighbor_and_path_ok_reject () =
+  let ring = mk_ring 64 in
+  let ov = Overlay.Chord.make ring in
+  let members = Ring.to_sorted_array ring in
+  let a = members.(0) and far = members.(32) in
+  (* A fabricated path that jumps to an unlinked node must fail
+     validation. *)
+  let key = Point.random rng in
+  let resp = Ring.successor_exn ring key in
+  if not (Overlay.Overlay_intf.is_neighbor ov far a) then
+    Alcotest.(check bool) "forged path rejected" false
+      (Overlay.Overlay_intf.path_ok ov [ a; far; resp ] key)
+  else ()
+
+let test_empty_ring_rejected () =
+  Alcotest.check_raises "chord" (Invalid_argument "Chord.make: empty ring") (fun () ->
+      ignore (Overlay.Chord.make Ring.empty));
+  Alcotest.check_raises "debruijn" (Invalid_argument "Debruijn.make: empty ring") (fun () ->
+      ignore (Overlay.Debruijn.make Ring.empty))
+
+let prop_all_hops_are_links =
+  QCheck.Test.make ~name:"every chord hop follows a link" ~count:50
+    QCheck.(pair small_int (float_range 0. 0.999))
+    (fun (seed, keyf) ->
+      let r = Prng.Rng.create (seed + 100) in
+      let ring = Ring.populate r 128 in
+      let ov = Overlay.Chord.make ring in
+      let members = Ring.to_sorted_array ring in
+      let src = members.(Prng.Rng.int r (Array.length members)) in
+      let key = Point.of_float keyf in
+      Overlay.Overlay_intf.path_ok ov (ov.Overlay.Overlay_intf.route ~src ~key) key)
+
+let prop_debruijn_all_hops_are_links =
+  QCheck.Test.make ~name:"every debruijn hop follows a link" ~count:50
+    QCheck.(pair small_int (float_range 0. 0.999))
+    (fun (seed, keyf) ->
+      let r = Prng.Rng.create (seed + 200) in
+      let ring = Ring.populate r 128 in
+      let ov = Overlay.Debruijn.make ring in
+      let members = Ring.to_sorted_array ring in
+      let src = members.(Prng.Rng.int r (Array.length members)) in
+      let key = Point.of_float keyf in
+      Overlay.Overlay_intf.path_ok ov (ov.Overlay.Overlay_intf.route ~src ~key) key)
+
+let () =
+  Alcotest.run "overlay"
+    [
+      ( "routing",
+        [
+          Alcotest.test_case "chord paths validate" `Quick test_chord_paths;
+          Alcotest.test_case "debruijn paths validate" `Quick test_debruijn_paths;
+          Alcotest.test_case "succ-ring paths validate" `Quick test_succ_ring_paths;
+          Alcotest.test_case "routes end at responsible ID" `Quick test_route_ends_at_responsible;
+          Alcotest.test_case "routes start at source" `Quick test_route_starts_at_src;
+          Alcotest.test_case "self route" `Quick test_self_route;
+        ] );
+      ( "P1-P4",
+        [
+          Alcotest.test_case "chord O(log n) hops" `Quick test_chord_log_hops;
+          Alcotest.test_case "debruijn hop bound" `Quick test_debruijn_hop_bound;
+          Alcotest.test_case "succ-ring is linear" `Quick test_succ_ring_linear_hops;
+          Alcotest.test_case "chord degree ~ lg n" `Quick test_chord_degree_logarithmic;
+          Alcotest.test_case "debruijn O(1) degree" `Slow test_debruijn_constant_degree;
+          Alcotest.test_case "load balance (P2)" `Slow test_load_balance_bounded;
+          Alcotest.test_case "congestion (P4)" `Slow test_congestion_bounded;
+        ] );
+      ( "linking-rules",
+        [
+          Alcotest.test_case "fingers verifiable (P3)" `Quick test_chord_fingers_are_successors;
+          Alcotest.test_case "no self loops" `Quick test_neighbors_exclude_self;
+          Alcotest.test_case "forged paths rejected" `Quick test_is_neighbor_and_path_ok_reject;
+          Alcotest.test_case "empty ring rejected" `Quick test_empty_ring_rejected;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_all_hops_are_links; prop_debruijn_all_hops_are_links ] );
+    ]

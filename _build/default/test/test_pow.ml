@@ -1,0 +1,223 @@
+(* Proof-of-work: budgets, the epoch clock, ID generation cost and
+   uniformity (Lemma 11), verification, expiry, and the single-hash
+   ablation. *)
+
+open Idspace
+
+let rng = Prng.Rng.create 2718
+let metrics = Sim.Metrics.create ()
+let scheme = Pow.Identity.make_scheme ~system_key:"pow-test" ~epoch_steps:1024
+
+let test_budget_arithmetic () =
+  let b = Pow.Budget.create ~evals:10 in
+  Alcotest.(check bool) "spend ok" true (Pow.Budget.spend b 4);
+  Alcotest.(check int) "remaining" 6 (Pow.Budget.remaining b);
+  Alcotest.(check int) "spent" 4 (Pow.Budget.spent b);
+  Alcotest.(check bool) "overspend refused" false (Pow.Budget.spend b 7);
+  Alcotest.(check int) "unchanged on refusal" 6 (Pow.Budget.remaining b);
+  Alcotest.(check bool) "exact spend" true (Pow.Budget.spend b 6);
+  Alcotest.(check int) "empty" 0 (Pow.Budget.remaining b)
+
+let test_budget_shares () =
+  (* The adversary's per-window budget is beta/(1-beta) of the good
+     aggregate. *)
+  let n = 1000 and epoch_steps = 4096 in
+  let good_total = n * Pow.Budget.good_id_budget ~epoch_steps in
+  let adv = Pow.Budget.adversary_budget ~beta:0.2 ~n ~epoch_steps in
+  Alcotest.(check int) "quarter of good total" (good_total / 4) adv;
+  Alcotest.(check int) "stockpile is 3x" (3 * adv)
+    (Pow.Budget.adversary_stockpile_budget ~beta:0.2 ~n ~epoch_steps)
+
+let test_epoch_clock () =
+  let c = Pow.Epoch_clock.create ~epoch_steps:100 in
+  Alcotest.(check int) "step 0 is epoch 0" 0 (Pow.Epoch_clock.epoch_of_step c 0);
+  Alcotest.(check int) "step 99" 0 (Pow.Epoch_clock.epoch_of_step c 99);
+  Alcotest.(check int) "step 100" 1 (Pow.Epoch_clock.epoch_of_step c 100);
+  Alcotest.(check int) "halfway of epoch 2" 250 (Pow.Epoch_clock.halfway c 2);
+  Alcotest.(check int) "start of epoch 3" 300 (Pow.Epoch_clock.epoch_start c 3)
+
+let test_id_lifecycle () =
+  let c = Pow.Epoch_clock.create ~epoch_steps:100 in
+  let open Pow.Epoch_clock in
+  Alcotest.(check bool) "active in its epoch" true (id_state c ~minted_for:5 ~at_epoch:5 = Active);
+  Alcotest.(check bool) "passive next epoch" true (id_state c ~minted_for:5 ~at_epoch:6 = Passive);
+  Alcotest.(check bool) "expired after" true (id_state c ~minted_for:5 ~at_epoch:7 = Expired);
+  Alcotest.(check bool) "not yet valid before" true (id_state c ~minted_for:5 ~at_epoch:4 = Expired)
+
+let test_solve_costs_work () =
+  let budget = Pow.Budget.create ~evals:100_000 in
+  match Pow.Identity.solve rng scheme ~budget ~rand_string:42L ~metrics with
+  | None -> Alcotest.fail "enough budget to solve"
+  | Some c ->
+      Alcotest.(check bool) "work was spent" true (Pow.Budget.spent budget > 0);
+      Alcotest.(check bool) "verifies" true
+        (Pow.Identity.verify scheme c ~known_strings:[ 42L ])
+
+let test_solve_exhausts_small_budget () =
+  (* With a 1-eval budget the solve almost surely fails (success rate
+     is 2/T per attempt), and never overspends. *)
+  let budget = Pow.Budget.create ~evals:1 in
+  let _ = Pow.Identity.solve rng scheme ~budget ~rand_string:1L ~metrics in
+  Alcotest.(check int) "spent exactly the budget" 0 (Pow.Budget.remaining budget)
+
+let test_expected_cost_calibration () =
+  (* tau is calibrated for ~T/2 evaluations per ID: check within 2x. *)
+  let trials = 40 in
+  let total = ref 0 in
+  for _ = 1 to trials do
+    let budget = Pow.Budget.create ~evals:1_000_000 in
+    match Pow.Identity.solve rng scheme ~budget ~rand_string:7L ~metrics with
+    | Some _ -> total := !total + Pow.Budget.spent budget
+    | None -> Alcotest.fail "budget ample"
+  done;
+  let mean = float_of_int !total /. float_of_int trials in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean evals %.0f ~ T/2 = 512" mean)
+    true
+    (mean > 200. && mean < 1200.)
+
+let test_verify_rejects_wrong_string () =
+  let budget = Pow.Budget.create ~evals:100_000 in
+  let c = Option.get (Pow.Identity.solve rng scheme ~budget ~rand_string:42L ~metrics) in
+  Alcotest.(check bool) "unknown string rejected (expiry)" false
+    (Pow.Identity.verify scheme c ~known_strings:[ 41L; 43L ]);
+  Alcotest.(check bool) "string in a larger solution set ok" true
+    (Pow.Identity.verify scheme c ~known_strings:[ 1L; 42L; 3L ])
+
+let test_verify_rejects_forged_id () =
+  let budget = Pow.Budget.create ~evals:100_000 in
+  let c = Option.get (Pow.Identity.solve rng scheme ~budget ~rand_string:9L ~metrics) in
+  let forged = { c with Pow.Identity.id = Point.of_float 0.123 } in
+  Alcotest.(check bool) "forged position rejected" false
+    (Pow.Identity.verify scheme forged ~known_strings:[ 9L ]);
+  let stolen = { c with Pow.Identity.sigma = Int64.add c.Pow.Identity.sigma 1L } in
+  Alcotest.(check bool) "wrong witness rejected" false
+    (Pow.Identity.verify scheme stolen ~known_strings:[ 9L ])
+
+let test_lemma11_id_count () =
+  (* The adversary mints at most ~ budget * 2/T IDs: with budget
+     beta/(1-beta) n T/2 that is ~ beta/(1-beta) n. *)
+  let n = 200 and epoch_steps = 1024 in
+  let beta = 0.2 in
+  let budget =
+    Pow.Budget.create ~evals:(Pow.Budget.adversary_budget ~beta ~n ~epoch_steps)
+  in
+  let ids = Pow.Identity.solve_all rng scheme ~budget ~rand_string:5L ~metrics in
+  let minted = List.length ids in
+  let bound = Pow.Epoch_clock.lemma11_bound ~beta:(beta /. (1. -. beta)) ~n ~eps:0.5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "minted %d within (1+eps) bound %d" minted bound)
+    true (minted <= bound);
+  Alcotest.(check bool) "mints a nontrivial number" true (minted > 0)
+
+let test_lemma11_uniformity () =
+  (* However sigma is chosen, minted IDs are uniform. Here the solver
+     draws sigma uniformly; the targeted attack below shows choosing
+     sigma cannot help because f rerandomises. *)
+  let budget = Pow.Budget.create ~evals:400_000 in
+  let scheme_fast = Pow.Identity.make_scheme ~system_key:"fast" ~epoch_steps:64 in
+  let ids = Pow.Identity.solve_all rng scheme_fast ~budget ~rand_string:13L ~metrics in
+  Alcotest.(check bool) "many ids" true (List.length ids > 3_000);
+  let h = Stats.Histogram.create ~bins:20 () in
+  List.iter
+    (fun c -> Stats.Histogram.add h (Point.to_float c.Pow.Identity.id))
+    ids;
+  Alcotest.(check bool) "uniform" true
+    (Stats.Histogram.chi_square_uniform h < Stats.Histogram.chi_square_critical_99 ~dof:19)
+
+let test_single_hash_clusters () =
+  (* The ablation: a single hash function lets the adversary place
+     every ID inside its chosen arc. *)
+  let target = Interval.make ~from:(Point.of_float 0.10) ~until:(Point.of_float 0.20) in
+  let budget = Pow.Budget.create ~evals:300_000 in
+  let scheme_fast = Pow.Identity.make_scheme ~system_key:"fast2" ~epoch_steps:64 in
+  let placed = ref 0 in
+  let inside = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match
+      Pow.Identity.solve_single_hash_targeted rng scheme_fast ~budget ~target ~metrics
+    with
+    | Some id ->
+        incr placed;
+        if Interval.contains target id then incr inside
+    | None -> continue := false
+  done;
+  Alcotest.(check bool) "minted plenty" true (!placed > 100);
+  Alcotest.(check int) "every single one in the target arc" !placed !inside
+
+let test_two_hash_defeats_targeting () =
+  (* The "small inputs" strategy of §IV-A: the adversary restricts its
+     witnesses to sequential small sigmas. Under the two-hash scheme
+     the minted IDs are still uniform, because f rerandomises. *)
+  let scheme_fast = Pow.Identity.make_scheme ~system_key:"fast3" ~epoch_steps:64 in
+  let h = Stats.Histogram.create ~bins:10 () in
+  let minted = ref 0 in
+  for s = 0 to 100_000 do
+    match Pow.Identity.attempt scheme_fast ~sigma:(Int64.of_int s) ~rand_string:3L with
+    | Some c ->
+        incr minted;
+        Stats.Histogram.add h (Point.to_float c.Pow.Identity.id)
+    | None -> ()
+  done;
+  Alcotest.(check bool) (Printf.sprintf "minted %d" !minted) true (!minted > 1000);
+  Alcotest.(check bool) "IDs uniform despite targeted sigmas" true
+    (Stats.Histogram.chi_square_uniform h < Stats.Histogram.chi_square_critical_99 ~dof:9)
+
+let test_pre_computation_expires () =
+  (* The pre-computation attack: IDs minted against epoch i's string
+     are worthless once epoch i+1's string is drawn. *)
+  let budget = Pow.Budget.create ~evals:200_000 in
+  let stockpile = Pow.Identity.solve_all rng scheme ~budget ~rand_string:100L ~metrics in
+  Alcotest.(check bool) "stockpile minted" true (List.length stockpile > 0);
+  let usable_now =
+    List.filter (fun c -> Pow.Identity.verify scheme c ~known_strings:[ 100L ]) stockpile
+  in
+  Alcotest.(check int) "all valid in their epoch" (List.length stockpile)
+    (List.length usable_now);
+  let usable_later =
+    List.filter (fun c -> Pow.Identity.verify scheme c ~known_strings:[ 101L ]) stockpile
+  in
+  Alcotest.(check int) "all expired after the string rotates" 0 (List.length usable_later)
+
+let prop_credentials_verify =
+  QCheck.Test.make ~name:"every minted credential verifies" ~count:20
+    QCheck.small_int (fun seed ->
+      let r = Prng.Rng.create seed in
+      let budget = Pow.Budget.create ~evals:200_000 in
+      let m = Sim.Metrics.create () in
+      match Pow.Identity.solve r scheme ~budget ~rand_string:77L ~metrics:m with
+      | Some c -> Pow.Identity.verify scheme c ~known_strings:[ 77L ]
+      | None -> true)
+
+let () =
+  Alcotest.run "pow"
+    [
+      ( "budget",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_budget_arithmetic;
+          Alcotest.test_case "power shares" `Quick test_budget_shares;
+        ] );
+      ( "epoch-clock",
+        [
+          Alcotest.test_case "step arithmetic" `Quick test_epoch_clock;
+          Alcotest.test_case "ID lifecycle" `Quick test_id_lifecycle;
+        ] );
+      ( "identity",
+        [
+          Alcotest.test_case "solving costs work" `Quick test_solve_costs_work;
+          Alcotest.test_case "budget exhaustion" `Quick test_solve_exhausts_small_budget;
+          Alcotest.test_case "cost calibration ~ T/2" `Slow test_expected_cost_calibration;
+          Alcotest.test_case "verify rejects wrong string" `Quick test_verify_rejects_wrong_string;
+          Alcotest.test_case "verify rejects forgeries" `Quick test_verify_rejects_forged_id;
+        ] );
+      ( "lemma11",
+        [
+          Alcotest.test_case "ID count bounded by budget" `Slow test_lemma11_id_count;
+          Alcotest.test_case "IDs uniform" `Slow test_lemma11_uniformity;
+          Alcotest.test_case "single hash clusters (ablation)" `Slow test_single_hash_clusters;
+          Alcotest.test_case "two hashes defeat targeting" `Slow test_two_hash_defeats_targeting;
+          Alcotest.test_case "pre-computation expires" `Quick test_pre_computation_expires;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_credentials_verify ]);
+    ]

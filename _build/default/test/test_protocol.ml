@@ -1,0 +1,269 @@
+(* The member-level protocol stack: network transport and the real
+   secure-search execution. *)
+
+open Idspace
+
+let rng = Prng.Rng.create 4004
+
+let latency = Sim.Latency.constant 10
+
+(* Network transport. *)
+
+let test_network_delivers () =
+  let net = Protocol.Network.create (Prng.Rng.split rng) ~latency in
+  let got = ref [] in
+  let a = Point.of_float 0.1 in
+  Protocol.Network.register net a (fun _ ~now msg -> got := (now, msg) :: !got);
+  Protocol.Network.send net ~to_:a
+    (Protocol.Message.Search_reply
+       { Protocol.Message.qid = 7; responsible = Point.of_float 0.5; responder_count = 3 });
+  Protocol.Network.run net;
+  match !got with
+  | [ (now, Protocol.Message.Search_reply r) ] ->
+      Alcotest.(check int) "constant latency" 10 now;
+      Alcotest.(check int) "payload" 7 r.Protocol.Message.qid;
+      Alcotest.(check int) "one message" 1 (Protocol.Network.messages_sent net)
+  | _ -> Alcotest.fail "expected exactly one delivery"
+
+let test_network_drops_unregistered () =
+  let net = Protocol.Network.create (Prng.Rng.split rng) ~latency in
+  Protocol.Network.send net ~to_:(Point.of_float 0.9)
+    (Protocol.Message.Search_reply
+       { Protocol.Message.qid = 1; responsible = Point.of_float 0.5; responder_count = 3 });
+  (* Must not raise; the message is counted but vanishes. *)
+  Protocol.Network.run net;
+  Alcotest.(check int) "counted" 1 (Protocol.Network.messages_sent net)
+
+let test_network_deadline () =
+  let net = Protocol.Network.create (Prng.Rng.split rng) ~latency:(Sim.Latency.constant 100) in
+  let got = ref 0 in
+  let a = Point.of_float 0.2 in
+  Protocol.Network.register net a (fun _ ~now:_ _ -> incr got);
+  Protocol.Network.send net ~to_:a
+    (Protocol.Message.Search_reply
+       { Protocol.Message.qid = 1; responsible = a; responder_count = 1 });
+  Protocol.Network.run ~deadline:50 net;
+  Alcotest.(check int) "not yet delivered" 0 !got
+
+(* Secure search, member level. *)
+
+let build ?(n = 256) ?(beta = 0.05) () =
+  let _, g = Experiments.Common.build_tiny (Prng.Rng.split rng) ~n ~beta () in
+  g
+
+let run g ~behaviour ~src ~key =
+  Protocol.Secure_search.run_search (Prng.Rng.split rng) g ~latency ~behaviour ~src ~key ()
+
+let test_search_resolves_clean () =
+  let g = build ~beta:0.0 () in
+  let leaders = Tinygroups.Group_graph.leaders g in
+  let ring = Adversary.Population.ring g.Tinygroups.Group_graph.population in
+  for _ = 1 to 20 do
+    let src = leaders.(Prng.Rng.int rng (Array.length leaders)) in
+    let key = Point.random rng in
+    match (run g ~behaviour:Protocol.Secure_search.Silent ~src ~key).result with
+    | `Resolved v ->
+        Alcotest.(check bool) "true successor" true
+          (Point.equal v (Ring.successor_exn ring key))
+    | `Hijacked _ | `Timeout -> Alcotest.fail "clean system must resolve"
+  done
+
+let test_search_latency_positive () =
+  let g = build ~beta:0.0 () in
+  let src = (Tinygroups.Group_graph.leaders g).(0) in
+  let o = run g ~behaviour:Protocol.Secure_search.Silent ~src ~key:(Point.random rng) in
+  Alcotest.(check bool) "took time" true (o.latency_ms >= 10);
+  Alcotest.(check bool) "messages flowed" true (o.messages > 0)
+
+let test_search_agrees_with_analytic () =
+  let g = build ~n:512 ~beta:0.10 () in
+  let leaders = Tinygroups.Group_graph.leaders g in
+  let agreements = ref 0 in
+  let total = 40 in
+  for _ = 1 to total do
+    let src = leaders.(Prng.Rng.int rng (Array.length leaders)) in
+    let key = Point.random rng in
+    let proto = run g ~behaviour:Protocol.Secure_search.Colluding ~src ~key in
+    let analytic = Tinygroups.Secure_route.search g ~failure:`Majority ~src ~key in
+    let a_ok = Tinygroups.Secure_route.succeeded analytic in
+    let agrees =
+      match proto.result with
+      | `Resolved _ -> a_ok
+      | `Hijacked _ | `Timeout -> not a_ok
+    in
+    if agrees then incr agreements
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "protocol matches analytic model (%d/%d)" !agreements total)
+    true
+    (!agreements >= total - 4)
+
+let test_search_colluding_cannot_beat_successor_rule () =
+  (* With a good-majority system the adversary's plant is never
+     closer than the true successor, so collusion cannot win. *)
+  let g = build ~n:512 ~beta:0.05 () in
+  let leaders = Tinygroups.Group_graph.leaders g in
+  let hijacks = ref 0 in
+  for _ = 1 to 30 do
+    let src = leaders.(Prng.Rng.int rng (Array.length leaders)) in
+    let key = Point.random rng in
+    match (run g ~behaviour:Protocol.Secure_search.Colluding ~src ~key).result with
+    | `Hijacked _ -> incr hijacks
+    | `Resolved _ | `Timeout -> ()
+  done;
+  Alcotest.(check bool) (Printf.sprintf "hijacks rare (%d/30)" !hijacks) true (!hijacks <= 1)
+
+let test_search_timeout_when_blocked () =
+  (* Plant a confused/red group on a known path and require the
+     protocol to time out (silent adversary controls the hop). *)
+  let g = build ~n:128 ~beta:0.45 () in
+  (* At beta 0.45 many groups lack quorum paths; at least some
+     searches must fail to resolve truthfully. *)
+  let leaders = Tinygroups.Group_graph.leaders g in
+  let failures = ref 0 in
+  for _ = 1 to 20 do
+    let src = leaders.(Prng.Rng.int rng (Array.length leaders)) in
+    let key = Point.random rng in
+    match (run g ~behaviour:Protocol.Secure_search.Silent ~src ~key).result with
+    | `Timeout -> incr failures
+    | `Resolved _ | `Hijacked _ -> ()
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "blocked searches time out (%d/20)" !failures)
+    true (!failures > 0)
+
+let test_search_deterministic () =
+  let g = build ~beta:0.05 () in
+  let src = (Tinygroups.Group_graph.leaders g).(1) in
+  let key = Point.of_float 0.606 in
+  let o1 =
+    Protocol.Secure_search.run_search (Prng.Rng.create 9) g ~latency
+      ~behaviour:Protocol.Secure_search.Colluding ~src ~key ()
+  in
+  let o2 =
+    Protocol.Secure_search.run_search (Prng.Rng.create 9) g ~latency
+      ~behaviour:Protocol.Secure_search.Colluding ~src ~key ()
+  in
+  Alcotest.(check bool) "same result" true (o1.result = o2.result);
+  Alcotest.(check int) "same messages" o1.messages o2.messages;
+  Alcotest.(check int) "same latency" o1.latency_ms o2.latency_ms
+
+(* Wire-level replicated storage. *)
+
+let mk_store ?(n = 256) ?(beta = 0.05) ?(behaviour = Protocol.Secure_search.Colluding) () =
+  let g = build ~n ~beta () in
+  ( g,
+    Protocol.Replicated_store.create (Prng.Rng.split rng) g ~latency ~behaviour )
+
+let test_store_put_get_roundtrip () =
+  let g, store = mk_store ~beta:0.0 () in
+  let client = (Tinygroups.Group_graph.leaders g).(0) in
+  (match Protocol.Replicated_store.put store ~client ~name:"wire" ~value:"payload" with
+  | Protocol.Replicated_store.Put_ok { version; replicas; stats } ->
+      Alcotest.(check int) "version 1" 1 version;
+      Alcotest.(check bool) "replicated widely" true (replicas >= 3);
+      Alcotest.(check bool) "cost counted" true
+        (stats.Protocol.Replicated_store.messages > 0
+        && stats.Protocol.Replicated_store.latency_ms > 0)
+  | Protocol.Replicated_store.Put_blocked -> Alcotest.fail "no adversary, no blocking");
+  match Protocol.Replicated_store.get store ~client ~name:"wire" with
+  | Protocol.Replicated_store.Get_ok { value; version; _ } ->
+      Alcotest.(check string) "roundtrip" "payload" value;
+      Alcotest.(check int) "version" 1 version
+  | _ -> Alcotest.fail "expected the record back"
+
+let test_store_member_state_is_real () =
+  let g, store = mk_store ~beta:0.0 () in
+  let client = (Tinygroups.Group_graph.leaders g).(1) in
+  ignore (Protocol.Replicated_store.put store ~client ~name:"solid" ~value:"v");
+  (* Every member of the home group physically holds the bytes. *)
+  let key_home =
+    (* The home is where a fresh get resolves; recover it by reading. *)
+    match Protocol.Replicated_store.get store ~client ~name:"solid" with
+    | Protocol.Replicated_store.Get_ok _ -> ()
+    | _ -> Alcotest.fail "stored record must read back"
+  in
+  ignore key_home;
+  let holders = ref 0 in
+  Array.iter
+    (fun w ->
+      let grp = Tinygroups.Group_graph.group_of g w in
+      Array.iter
+        (fun m ->
+          match Protocol.Replicated_store.member_holds store ~member:m ~name:"solid" with
+          | Some (1, "v") -> incr holders
+          | Some _ -> Alcotest.fail "wrong bytes stored"
+          | None -> ())
+        grp.Tinygroups.Group.members)
+    (Tinygroups.Group_graph.leaders g);
+  Alcotest.(check bool) (Printf.sprintf "members hold replicas (%d)" !holders) true
+    (!holders >= 3)
+
+let test_store_get_missing () =
+  let g, store = mk_store ~beta:0.0 () in
+  let client = (Tinygroups.Group_graph.leaders g).(2) in
+  match Protocol.Replicated_store.get store ~client ~name:"ghost" with
+  | Protocol.Replicated_store.Get_not_found _ -> ()
+  | _ -> Alcotest.fail "expected Not_found"
+
+let test_store_forgeries_outvoted () =
+  let g, store = mk_store ~n:512 ~beta:0.08 () in
+  let leaders = Tinygroups.Group_graph.leaders g in
+  let ok = ref 0 and total = 30 in
+  for i = 0 to total - 1 do
+    let client = leaders.(Prng.Rng.int rng (Array.length leaders)) in
+    let name = Printf.sprintf "doc%d" i in
+    match Protocol.Replicated_store.put store ~client ~name ~value:"true-bytes" with
+    | Protocol.Replicated_store.Put_blocked -> ()
+    | Protocol.Replicated_store.Put_ok _ -> (
+        match Protocol.Replicated_store.get store ~client ~name with
+        | Protocol.Replicated_store.Get_ok { value; _ } when String.equal value "true-bytes"
+          ->
+            incr ok
+        | _ -> ())
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "reads survive forging members (%d/%d)" !ok total)
+    true
+    (!ok >= total - 2)
+
+let test_store_versions_monotone () =
+  let g, store = mk_store ~beta:0.0 () in
+  let client = (Tinygroups.Group_graph.leaders g).(3) in
+  ignore (Protocol.Replicated_store.put store ~client ~name:"v" ~value:"one");
+  ignore (Protocol.Replicated_store.put store ~client ~name:"v" ~value:"two");
+  match Protocol.Replicated_store.get store ~client ~name:"v" with
+  | Protocol.Replicated_store.Get_ok { value; version; _ } ->
+      Alcotest.(check string) "latest" "two" value;
+      Alcotest.(check bool) "version advanced" true (version >= 2)
+  | _ -> Alcotest.fail "expected the record"
+
+let () =
+  Alcotest.run "protocol"
+    [
+      ( "network",
+        [
+          Alcotest.test_case "delivers with latency" `Quick test_network_delivers;
+          Alcotest.test_case "drops unregistered" `Quick test_network_drops_unregistered;
+          Alcotest.test_case "deadline" `Quick test_network_deadline;
+        ] );
+      ( "secure-search",
+        [
+          Alcotest.test_case "resolves in a clean system" `Quick test_search_resolves_clean;
+          Alcotest.test_case "latency and messages" `Quick test_search_latency_positive;
+          Alcotest.test_case "agrees with the analytic model" `Slow
+            test_search_agrees_with_analytic;
+          Alcotest.test_case "successor rule beats collusion" `Slow
+            test_search_colluding_cannot_beat_successor_rule;
+          Alcotest.test_case "blocked searches time out" `Slow test_search_timeout_when_blocked;
+          Alcotest.test_case "deterministic replay" `Quick test_search_deterministic;
+        ] );
+      ( "replicated-store",
+        [
+          Alcotest.test_case "put/get over the wire" `Quick test_store_put_get_roundtrip;
+          Alcotest.test_case "member state is real" `Quick test_store_member_state_is_real;
+          Alcotest.test_case "missing record" `Quick test_store_get_missing;
+          Alcotest.test_case "forgeries outvoted" `Slow test_store_forgeries_outvoted;
+          Alcotest.test_case "versions monotone" `Quick test_store_versions_monotone;
+        ] );
+    ]

@@ -1,0 +1,199 @@
+(* Quarantine ledgers (footnote 2) and the chord++ / iterative-search
+   additions. *)
+
+open Idspace
+
+let rng = Prng.Rng.create 606
+
+let pt = Point.of_float
+
+let test_strike_accumulation () =
+  let q = Tinygroups.Quarantine.create ~threshold:3 in
+  let suspect = pt 0.5 in
+  Alcotest.(check int) "clean" 0 (Tinygroups.Quarantine.strikes q suspect);
+  Alcotest.(check bool) "not quarantined" false (Tinygroups.Quarantine.quarantined q suspect);
+  Tinygroups.Quarantine.strike q suspect;
+  Tinygroups.Quarantine.strike q suspect;
+  Alcotest.(check int) "two strikes" 2 (Tinygroups.Quarantine.strikes q suspect);
+  Alcotest.(check bool) "still heard" false (Tinygroups.Quarantine.quarantined q suspect);
+  Tinygroups.Quarantine.strike q suspect;
+  Alcotest.(check bool) "third strike quarantines" true
+    (Tinygroups.Quarantine.quarantined q suspect);
+  Alcotest.(check int) "count" 1 (Tinygroups.Quarantine.quarantined_count q);
+  Alcotest.(check int) "tracked" 1 (Tinygroups.Quarantine.tracked q)
+
+let test_threshold_validation () =
+  Alcotest.check_raises "zero threshold"
+    (Invalid_argument "Quarantine.create: threshold >= 1") (fun () ->
+      ignore (Tinygroups.Quarantine.create ~threshold:0))
+
+let test_filter_senders () =
+  let q = Tinygroups.Quarantine.create ~threshold:1 in
+  let members = [| pt 0.1; pt 0.2; pt 0.3 |] in
+  Tinygroups.Quarantine.strike q (pt 0.2);
+  Alcotest.(check (array bool)) "mask" [| true; false; true |]
+    (Tinygroups.Quarantine.filter_senders q members)
+
+let test_spam_defence_converges () =
+  let q = Tinygroups.Quarantine.create ~threshold:3 in
+  let spammers = Array.init 20 (fun i -> pt (0.01 +. (0.04 *. float_of_int i))) in
+  let processed1, dropped1 =
+    Tinygroups.Quarantine.simulate_spam_defence rng q ~spammers ~requests_per_spammer:50
+      ~detection_rate:0.5
+  in
+  (* With detection at 50%, ~6 requests per spammer land before the
+     third strike; the rest of the 1000 are dropped. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "most requests dropped (%d processed, %d dropped)" processed1 dropped1)
+    true
+    (dropped1 > 700);
+  Alcotest.(check int) "everything accounted" 1000 (processed1 + dropped1);
+  Alcotest.(check int) "all spammers quarantined" 20
+    (Tinygroups.Quarantine.quarantined_count q);
+  (* A second campaign is now free. *)
+  let processed2, dropped2 =
+    Tinygroups.Quarantine.simulate_spam_defence rng q ~spammers ~requests_per_spammer:50
+      ~detection_rate:0.5
+  in
+  Alcotest.(check int) "second wave fully dropped" 0 processed2;
+  Alcotest.(check int) "all dropped" 1000 dropped2
+
+let test_zero_detection_no_defence () =
+  let q = Tinygroups.Quarantine.create ~threshold:3 in
+  let spammers = [| pt 0.4 |] in
+  let processed, dropped =
+    Tinygroups.Quarantine.simulate_spam_defence rng q ~spammers ~requests_per_spammer:100
+      ~detection_rate:0.0
+  in
+  Alcotest.(check int) "nothing dropped without detection" 0 dropped;
+  Alcotest.(check int) "all processed" 100 processed
+
+(* Chord++. *)
+
+let test_chordpp_paths_validate () =
+  let ring = Ring.populate (Prng.Rng.split rng) 512 in
+  let ov = Overlay.Chord_pp.make ring in
+  let members = Ring.to_sorted_array ring in
+  for _ = 1 to 200 do
+    let src = members.(Prng.Rng.int rng (Array.length members)) in
+    let key = Point.random rng in
+    let path = ov.Overlay.Overlay_intf.route ~src ~key in
+    Alcotest.(check bool) "path validates" true
+      (Overlay.Overlay_intf.path_ok ov path key)
+  done
+
+let test_chordpp_deterministic_per_salt () =
+  let ring = Ring.populate (Prng.Rng.split rng) 256 in
+  let ov1 = Overlay.Chord_pp.make ~salt:1 ring in
+  let ov1' = Overlay.Chord_pp.make ~salt:1 ring in
+  let members = Ring.to_sorted_array ring in
+  let src = members.(0) and key = pt 0.777 in
+  Alcotest.(check bool) "same salt, same path" true
+    (ov1.Overlay.Overlay_intf.route ~src ~key = ov1'.Overlay.Overlay_intf.route ~src ~key)
+
+let test_chordpp_salts_diverge () =
+  let ring = Ring.populate (Prng.Rng.split rng) 1024 in
+  let members = Ring.to_sorted_array ring in
+  let ovs = Array.init 2 (fun salt -> Overlay.Chord_pp.make ~salt ring) in
+  let diverged = ref 0 and total = ref 0 in
+  for _ = 1 to 100 do
+    let src = members.(Prng.Rng.int rng (Array.length members)) in
+    let key = Point.random rng in
+    let p0 = ovs.(0).Overlay.Overlay_intf.route ~src ~key in
+    let p1 = ovs.(1).Overlay.Overlay_intf.route ~src ~key in
+    if List.length p0 > 3 then begin
+      incr total;
+      if p0 <> p1 then incr diverged
+    end
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "salted paths diverge (%d/%d)" !diverged !total)
+    true
+    (!diverged * 2 > !total)
+
+let test_chordpp_same_linking_rule () =
+  let ring = Ring.populate (Prng.Rng.split rng) 256 in
+  let chord = Overlay.Chord.make ring in
+  let pp = Overlay.Chord_pp.make ring in
+  Ring.iter
+    (fun w ->
+      Alcotest.(check bool) "identical neighbour sets" true
+        (chord.Overlay.Overlay_intf.neighbors w = pp.Overlay.Overlay_intf.neighbors w))
+    ring
+
+let test_chordpp_hop_bound () =
+  let ring = Ring.populate (Prng.Rng.split rng) 4096 in
+  let ov = Overlay.Chord_pp.make ring in
+  let st = Overlay.Probe.path_lengths (Prng.Rng.split rng) ov ~searches:300 in
+  Alcotest.(check bool)
+    (Printf.sprintf "max %d within bound" st.Overlay.Probe.max_hops)
+    true
+    (st.Overlay.Probe.max_hops <= 40)
+
+(* Iterative search. *)
+
+let test_iterative_same_path_different_cost () =
+  let _, g =
+    Experiments.Common.build_tiny (Prng.Rng.split rng) ~n:512 ~beta:0.05 ()
+  in
+  let leaders = Tinygroups.Group_graph.leaders g in
+  for _ = 1 to 100 do
+    let src = leaders.(Prng.Rng.int rng (Array.length leaders)) in
+    let key = Point.random rng in
+    let r = Tinygroups.Secure_route.search g ~failure:`Majority ~src ~key in
+    let i = Tinygroups.Secure_route.search_iterative g ~failure:`Majority ~src ~key in
+    Alcotest.(check bool) "same result" true
+      (r.Tinygroups.Secure_route.result = i.Tinygroups.Secure_route.result);
+    Alcotest.(check bool) "same path" true
+      (r.Tinygroups.Secure_route.group_path = i.Tinygroups.Secure_route.group_path);
+    if List.length r.Tinygroups.Secure_route.group_path > 2 then
+      Alcotest.(check bool) "iterative costs more" true
+        (i.Tinygroups.Secure_route.messages > r.Tinygroups.Secure_route.messages)
+  done
+
+let test_iterative_cost_formula () =
+  let _, g =
+    Experiments.Common.build_tiny (Prng.Rng.split rng) ~n:256 ~beta:0.0 ()
+  in
+  let leaders = Tinygroups.Group_graph.leaders g in
+  let src = leaders.(0) in
+  let key = Point.random rng in
+  let i = Tinygroups.Secure_route.search_iterative g ~failure:`Majority ~src ~key in
+  let src_size = Tinygroups.Group.size (Tinygroups.Group_graph.group_of g src) in
+  let expected =
+    match i.Tinygroups.Secure_route.group_path with
+    | [] | [ _ ] -> 0
+    | _ :: hops ->
+        List.fold_left
+          (fun acc w ->
+            acc + (2 * src_size * Tinygroups.Group.size (Tinygroups.Group_graph.group_of g w)))
+          0 hops
+  in
+  Alcotest.(check int) "2 |G_src| sum |G_hop|" expected i.Tinygroups.Secure_route.messages
+
+let () =
+  Alcotest.run "quarantine"
+    [
+      ( "ledger",
+        [
+          Alcotest.test_case "strike accumulation" `Quick test_strike_accumulation;
+          Alcotest.test_case "threshold validation" `Quick test_threshold_validation;
+          Alcotest.test_case "sender filtering" `Quick test_filter_senders;
+          Alcotest.test_case "spam defence converges" `Quick test_spam_defence_converges;
+          Alcotest.test_case "no detection, no defence" `Quick test_zero_detection_no_defence;
+        ] );
+      ( "chord++",
+        [
+          Alcotest.test_case "paths validate" `Quick test_chordpp_paths_validate;
+          Alcotest.test_case "deterministic per salt" `Quick test_chordpp_deterministic_per_salt;
+          Alcotest.test_case "salts diverge" `Quick test_chordpp_salts_diverge;
+          Alcotest.test_case "same linking rule" `Quick test_chordpp_same_linking_rule;
+          Alcotest.test_case "hop bound" `Quick test_chordpp_hop_bound;
+        ] );
+      ( "iterative-search",
+        [
+          Alcotest.test_case "same path, higher cost" `Quick
+            test_iterative_same_path_different_cost;
+          Alcotest.test_case "cost formula" `Quick test_iterative_cost_formula;
+        ] );
+    ]

@@ -1,0 +1,181 @@
+(* Secure search over the group graph: success/failure semantics,
+   the search-path truncation rule, message accounting, and the two
+   failure notions. *)
+
+open Idspace
+
+let rng = Prng.Rng.create 808
+
+let params = Tinygroups.Params.default
+let oracle = Hashing.Oracle.make ~system_key:"sr-test" ~label:"h1"
+
+let make ?(n = 512) ?(beta = 0.05) () =
+  let pop =
+    Adversary.Population.generate (Prng.Rng.split rng) ~n ~beta
+      ~strategy:Adversary.Placement.Uniform
+  in
+  let overlay = Overlay.Chord.make (Adversary.Population.ring pop) in
+  ( pop,
+    overlay,
+    Tinygroups.Group_graph.build_direct ~params ~population:pop ~overlay
+      ~member_oracle:oracle )
+
+let test_success_reaches_responsible () =
+  let pop, _, g = make ~beta:0.0 () in
+  let ring = Adversary.Population.ring pop in
+  let leaders = Tinygroups.Group_graph.leaders g in
+  for _ = 1 to 100 do
+    let src = leaders.(Prng.Rng.int rng (Array.length leaders)) in
+    let key = Point.random rng in
+    let o = Tinygroups.Secure_route.search g ~failure:`Majority ~src ~key in
+    match o.Tinygroups.Secure_route.result with
+    | Ok resp ->
+        Alcotest.(check bool) "responsible ID" true
+          (Point.equal resp (Ring.successor_exn ring key))
+    | Error _ -> Alcotest.fail "no adversary, no failure"
+  done
+
+let test_group_path_follows_overlay () =
+  let _, overlay, g = make ~beta:0.0 () in
+  let leaders = Tinygroups.Group_graph.leaders g in
+  let src = leaders.(3) in
+  let key = Point.random rng in
+  let o = Tinygroups.Secure_route.search g ~failure:`Majority ~src ~key in
+  let id_path = overlay.Overlay.Overlay_intf.route ~src ~key in
+  Alcotest.(check int) "same path length" (List.length id_path)
+    (List.length o.Tinygroups.Secure_route.group_path);
+  List.iter2
+    (fun a b -> Alcotest.(check bool) "same leaders" true (Point.equal a b))
+    id_path o.Tinygroups.Secure_route.group_path
+
+let test_failure_truncates_at_first_red () =
+  (* Manufacture a graph where a specific mid-path group is confused,
+     and check the search stops exactly there. *)
+  let pop, overlay, g = make ~n:128 ~beta:0.0 () in
+  let leaders = Tinygroups.Group_graph.leaders g in
+  let src = leaders.(0) in
+  (* Find a key whose path has at least 3 hops. *)
+  let rec find_key () =
+    let key = Point.random rng in
+    let path = overlay.Overlay.Overlay_intf.route ~src ~key in
+    if List.length path >= 3 then (key, path) else find_key ()
+  in
+  let key, path = find_key () in
+  let mid = List.nth path (List.length path / 2) in
+  let groups =
+    Array.to_list (Array.map (fun w -> (w, Tinygroups.Group_graph.group_of g w)) leaders)
+  in
+  let g2 =
+    Tinygroups.Group_graph.assemble ~params ~population:pop ~overlay ~groups
+      ~confused:[ mid ]
+  in
+  let o = Tinygroups.Secure_route.search g2 ~failure:`Majority ~src ~key in
+  (match o.Tinygroups.Secure_route.result with
+  | Error blocked -> Alcotest.(check bool) "blocked at mid" true (Point.equal blocked mid)
+  | Ok _ -> Alcotest.fail "must fail at the confused group");
+  (* The search path is the prefix up to and including the red
+     group. *)
+  let last =
+    List.nth o.Tinygroups.Secure_route.group_path
+      (List.length o.Tinygroups.Secure_route.group_path - 1)
+  in
+  Alcotest.(check bool) "path ends at red group" true (Point.equal last mid);
+  Alcotest.(check bool) "path is a prefix" true
+    (List.length o.Tinygroups.Secure_route.group_path <= List.length path)
+
+let test_conservative_stricter_than_majority () =
+  let _, _, g = make ~n:1024 ~beta:0.05 () in
+  let leaders = Tinygroups.Group_graph.leaders g in
+  let cons_fail = ref 0 and maj_fail = ref 0 in
+  for _ = 1 to 500 do
+    let src = leaders.(Prng.Rng.int rng (Array.length leaders)) in
+    let key = Point.random rng in
+    let c = Tinygroups.Secure_route.search g ~failure:`Conservative ~src ~key in
+    let m = Tinygroups.Secure_route.search g ~failure:`Majority ~src ~key in
+    if not (Tinygroups.Secure_route.succeeded c) then incr cons_fail;
+    if not (Tinygroups.Secure_route.succeeded m) then incr maj_fail;
+    (* Anything the conservative notion lets through, the majority
+       notion must too. *)
+    if Tinygroups.Secure_route.succeeded c then
+      Alcotest.(check bool) "conservative success implies majority success" true
+        (Tinygroups.Secure_route.succeeded m)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "conservative fails more (%d vs %d)" !cons_fail !maj_fail)
+    true
+    (!cons_fail >= !maj_fail)
+
+let test_message_cost_quadratic_in_group_size () =
+  let _, _, g = make ~n:512 ~beta:0.0 () in
+  let leaders = Tinygroups.Group_graph.leaders g in
+  let src = leaders.(0) in
+  let key = Point.random rng in
+  let o = Tinygroups.Secure_route.search g ~failure:`Majority ~src ~key in
+  let hops = List.length o.Tinygroups.Secure_route.group_path in
+  let mean = Tinygroups.Group_graph.mean_group_size g in
+  let expected = float_of_int (hops - 1) *. mean *. mean in
+  let actual = float_of_int o.Tinygroups.Secure_route.messages in
+  Alcotest.(check bool)
+    (Printf.sprintf "messages %.0f ~ (hops-1) * g^2 = %.0f" actual expected)
+    true
+    (actual > expected /. 3. && actual < expected *. 3.)
+
+let test_single_group_path_costs_nothing () =
+  let pop, _, g = make ~n:64 ~beta:0.0 () in
+  let ring = Adversary.Population.ring pop in
+  let leaders = Tinygroups.Group_graph.leaders g in
+  let src = leaders.(0) in
+  (* Key owned by src itself. *)
+  let key = Ring.responsibility ring src |> Option.get |> Interval.until_ in
+  let o = Tinygroups.Secure_route.search g ~failure:`Majority ~src ~key in
+  Alcotest.(check int) "no edges crossed" 0 o.Tinygroups.Secure_route.messages;
+  Alcotest.(check bool) "succeeds locally" true (Tinygroups.Secure_route.succeeded o)
+
+let test_group_comm_cost () =
+  let _, _, g = make ~n:256 () in
+  let leaders = Tinygroups.Group_graph.leaders g in
+  let w = leaders.(9) in
+  let size = Tinygroups.Group.size (Tinygroups.Group_graph.group_of g w) in
+  Alcotest.(check int) "g^2" (size * size) (Tinygroups.Secure_route.group_comm_cost g w)
+
+let test_expected_route_cost () =
+  let _, _, g = make ~n:256 () in
+  let m = Tinygroups.Group_graph.mean_group_size g in
+  Alcotest.(check (float 1e-6)) "formula" (5. *. m *. m)
+    (Tinygroups.Secure_route.expected_route_cost g ~hops:5)
+
+let prop_search_deterministic =
+  QCheck.Test.make ~name:"searches are deterministic" ~count:30
+    QCheck.(pair small_int (float_range 0. 0.999))
+    (fun (i, keyf) ->
+      let _, _, g = make ~n:128 ~beta:0.1 () in
+      let leaders = Tinygroups.Group_graph.leaders g in
+      let src = leaders.(i mod Array.length leaders) in
+      let key = Point.of_float keyf in
+      let o1 = Tinygroups.Secure_route.search g ~failure:`Majority ~src ~key in
+      let o2 = Tinygroups.Secure_route.search g ~failure:`Majority ~src ~key in
+      o1.Tinygroups.Secure_route.result = o2.Tinygroups.Secure_route.result
+      && o1.Tinygroups.Secure_route.messages = o2.Tinygroups.Secure_route.messages)
+
+let () =
+  Alcotest.run "secure_route"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "success reaches responsible" `Quick test_success_reaches_responsible;
+          Alcotest.test_case "path mirrors overlay route" `Quick test_group_path_follows_overlay;
+          Alcotest.test_case "truncation at first red group" `Quick
+            test_failure_truncates_at_first_red;
+          Alcotest.test_case "conservative vs majority" `Slow
+            test_conservative_stricter_than_majority;
+        ] );
+      ( "costs",
+        [
+          Alcotest.test_case "quadratic in group size" `Quick
+            test_message_cost_quadratic_in_group_size;
+          Alcotest.test_case "local search free" `Quick test_single_group_path_costs_nothing;
+          Alcotest.test_case "group comm cost" `Quick test_group_comm_cost;
+          Alcotest.test_case "expected route cost" `Quick test_expected_route_cost;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_search_deterministic ]);
+    ]

@@ -1,0 +1,148 @@
+(* The discrete-event engine, its heap, and the metrics registry. *)
+
+let test_heap_orders () =
+  let h = Sim.Heap.create () in
+  List.iter
+    (fun (t, s) -> Sim.Heap.push h ~time:t ~seq:s (t, s))
+    [ (5, 0); (1, 1); (3, 2); (1, 0); (9, 3); (3, 1) ];
+  let order = ref [] in
+  let rec drain () =
+    match Sim.Heap.pop h with
+    | Some (t, s, _) ->
+        order := (t, s) :: !order;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list (pair int int)))
+    "lexicographic order"
+    [ (1, 0); (1, 1); (3, 1); (3, 2); (5, 0); (9, 3) ]
+    (List.rev !order)
+
+let test_heap_peek () =
+  let h = Sim.Heap.create () in
+  Alcotest.(check bool) "empty peek" true (Sim.Heap.peek h = None);
+  Sim.Heap.push h ~time:2 ~seq:0 "b";
+  Sim.Heap.push h ~time:1 ~seq:0 "a";
+  (match Sim.Heap.peek h with
+  | Some (1, 0, "a") -> ()
+  | _ -> Alcotest.fail "peek should see the minimum");
+  Alcotest.(check int) "size unchanged by peek" 2 (Sim.Heap.size h)
+
+let test_heap_many () =
+  let h = Sim.Heap.create () in
+  let rng = Prng.Rng.create 3 in
+  for i = 0 to 9999 do
+    Sim.Heap.push h ~time:(Prng.Rng.int rng 1000) ~seq:i ()
+  done;
+  let last = ref (-1) in
+  let ok = ref true in
+  let rec drain count =
+    match Sim.Heap.pop h with
+    | Some (t, _, ()) ->
+        if t < !last then ok := false;
+        last := t;
+        drain (count + 1)
+    | None -> count
+  in
+  Alcotest.(check int) "all popped" 10000 (drain 0);
+  Alcotest.(check bool) "nondecreasing times" true !ok
+
+let test_engine_runs_in_order () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  Sim.Engine.schedule e ~at:10 (fun () -> log := 10 :: !log);
+  Sim.Engine.schedule e ~at:5 (fun () -> log := 5 :: !log);
+  Sim.Engine.schedule e ~at:7 (fun () -> log := 7 :: !log);
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "time order" [ 5; 7; 10 ] (List.rev !log);
+  Alcotest.(check int) "clock at last event" 10 (Sim.Engine.now e)
+
+let test_engine_same_step_fifo () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  for i = 0 to 4 do
+    Sim.Engine.schedule e ~at:3 (fun () -> log := i :: !log)
+  done;
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "insertion order at equal times" [ 0; 1; 2; 3; 4 ]
+    (List.rev !log)
+
+let test_engine_cascading () =
+  (* Events scheduling further events. *)
+  let e = Sim.Engine.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    if !count < 5 then Sim.Engine.schedule_after e ~delay:2 tick
+  in
+  Sim.Engine.schedule e ~at:0 tick;
+  Sim.Engine.run e;
+  Alcotest.(check int) "five ticks" 5 !count;
+  Alcotest.(check int) "clock advanced by 8" 8 (Sim.Engine.now e)
+
+let test_engine_until () =
+  let e = Sim.Engine.create () in
+  let ran = ref [] in
+  List.iter (fun t -> Sim.Engine.schedule e ~at:t (fun () -> ran := t :: !ran)) [ 1; 5; 9 ];
+  Sim.Engine.run ~until:5 e;
+  Alcotest.(check (list int)) "only events <= until" [ 1; 5 ] (List.rev !ran);
+  Alcotest.(check int) "one pending" 1 (Sim.Engine.pending e);
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "rest runs later" [ 1; 5; 9 ] (List.rev !ran)
+
+let test_engine_rejects_past () =
+  let e = Sim.Engine.create () in
+  Sim.Engine.schedule e ~at:10 (fun () -> ());
+  Sim.Engine.run e;
+  Alcotest.check_raises "past event" (Invalid_argument "Engine.schedule: event in the past")
+    (fun () -> Sim.Engine.schedule e ~at:5 (fun () -> ()))
+
+let test_metrics_counters () =
+  let m = Sim.Metrics.create () in
+  Alcotest.(check int) "unset counter reads 0" 0 (Sim.Metrics.get m "x");
+  Sim.Metrics.incr m "x";
+  Sim.Metrics.add m "x" 4;
+  Sim.Metrics.incr m "y";
+  Alcotest.(check int) "x" 5 (Sim.Metrics.get m "x");
+  Alcotest.(check int) "y" 1 (Sim.Metrics.get m "y");
+  Alcotest.(check (list (pair string int))) "snapshot sorted"
+    [ ("x", 5); ("y", 1) ]
+    (Sim.Metrics.snapshot m);
+  Sim.Metrics.reset m;
+  Alcotest.(check int) "reset" 0 (Sim.Metrics.get m "x")
+
+let prop_heap_pops_sorted =
+  QCheck.Test.make ~name:"heap pops every multiset sorted" ~count:200
+    QCheck.(list (pair (int_range 0 100) (int_range 0 100)))
+    (fun entries ->
+      let h = Sim.Heap.create () in
+      List.iter (fun (t, s) -> Sim.Heap.push h ~time:t ~seq:s ()) entries;
+      let rec drain acc =
+        match Sim.Heap.pop h with
+        | Some (t, s, ()) -> drain ((t, s) :: acc)
+        | None -> List.rev acc
+      in
+      let popped = drain [] in
+      popped = List.sort compare entries && List.length popped = List.length entries)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "orders lexicographically" `Quick test_heap_orders;
+          Alcotest.test_case "peek" `Quick test_heap_peek;
+          Alcotest.test_case "10k random entries" `Quick test_heap_many;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "time order" `Quick test_engine_runs_in_order;
+          Alcotest.test_case "FIFO at equal times" `Quick test_engine_same_step_fifo;
+          Alcotest.test_case "cascading events" `Quick test_engine_cascading;
+          Alcotest.test_case "run ~until" `Quick test_engine_until;
+          Alcotest.test_case "rejects past events" `Quick test_engine_rejects_past;
+        ] );
+      ("metrics", [ Alcotest.test_case "counters" `Quick test_metrics_counters ]);
+      ("properties", [ QCheck_alcotest.to_alcotest prop_heap_pops_sorted ]);
+    ]

@@ -1,0 +1,241 @@
+(* Statistics: descriptive summaries, the paper's concentration
+   bounds (Theorems 1-2), histograms, and confidence intervals. *)
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_mean_variance () =
+  let xs = [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  feq "mean" 5.0 (Stats.Descriptive.mean xs);
+  (* Sample variance with n-1 denominator: 32/7. *)
+  feq "variance" (32. /. 7.) (Stats.Descriptive.variance xs)
+
+let test_singleton () =
+  feq "variance of singleton" 0. (Stats.Descriptive.variance [| 42. |]);
+  let s = Stats.Descriptive.summarize [| 42. |] in
+  feq "all quantiles equal" 42. s.median;
+  feq "min" 42. s.min;
+  feq "max" 42. s.max
+
+let test_quantiles () =
+  let xs = [| 1.; 2.; 3.; 4.; 5. |] in
+  feq "median" 3. (Stats.Descriptive.quantile xs 0.5);
+  feq "min" 1. (Stats.Descriptive.quantile xs 0.);
+  feq "max" 5. (Stats.Descriptive.quantile xs 1.);
+  feq "interpolated" 1.5 (Stats.Descriptive.quantile xs 0.125)
+
+let test_quantile_does_not_mutate () =
+  let xs = [| 3.; 1.; 2. |] in
+  ignore (Stats.Descriptive.quantile xs 0.5);
+  Alcotest.(check (array (float 0.))) "input untouched" [| 3.; 1.; 2. |] xs
+
+let test_summarize_shape () =
+  let xs = Array.init 1000 (fun i -> float_of_int i) in
+  let s = Stats.Descriptive.summarize xs in
+  Alcotest.(check int) "n" 1000 s.n;
+  feq "mean" 499.5 s.mean;
+  feq "median" 499.5 s.median;
+  Alcotest.(check bool) "p95 ~ 949" true (Float.abs (s.p95 -. 949.05) < 0.5);
+  feq "min" 0. s.min;
+  feq "max" 999. s.max
+
+let test_empty_rejected () =
+  Alcotest.check_raises "empty mean" (Invalid_argument "Descriptive.mean: empty sample")
+    (fun () -> ignore (Stats.Descriptive.mean [||]))
+
+let test_chernoff_monotone () =
+  (* Larger deviations and larger means are exponentially less
+     likely. *)
+  let b1 = Stats.Bounds.chernoff_upper ~mu:10. ~delta:0.2 in
+  let b2 = Stats.Bounds.chernoff_upper ~mu:10. ~delta:0.4 in
+  let b3 = Stats.Bounds.chernoff_upper ~mu:40. ~delta:0.2 in
+  Alcotest.(check bool) "delta monotone" true (b2 < b1);
+  Alcotest.(check bool) "mu monotone" true (b3 < b1);
+  feq "exact form" (exp (-0.04 *. 10. /. 3.)) b1;
+  feq "lower tail form" (exp (-0.04 *. 10. /. 2.)) (Stats.Bounds.chernoff_lower ~mu:10. ~delta:0.2)
+
+let test_chernoff_bounds_empirical () =
+  (* The bound must actually bound: compare against exact binomial
+     tails. *)
+  let n = 100 and p = 0.3 in
+  let mu = float_of_int n *. p in
+  List.iter
+    (fun delta ->
+      let k = int_of_float (ceil ((1. +. delta) *. mu)) + 1 in
+      let exact = Stats.Bounds.binomial_tail_ge ~n ~p ~k in
+      let bound = Stats.Bounds.chernoff_upper ~mu ~delta in
+      Alcotest.(check bool)
+        (Printf.sprintf "delta=%.1f: exact %.2e <= bound %.2e" delta exact bound)
+        true (exact <= bound))
+    [ 0.2; 0.4; 0.6 ]
+
+let test_bad_group_probability () =
+  (* Monotone decreasing in group size, increasing in beta; bounds
+     the exact binomial majority tail. *)
+  let p7 = Stats.Bounds.bad_group_probability ~group_size:7 ~beta:0.05 in
+  let p15 = Stats.Bounds.bad_group_probability ~group_size:15 ~beta:0.05 in
+  let p7b = Stats.Bounds.bad_group_probability ~group_size:7 ~beta:0.2 in
+  Alcotest.(check bool) "bigger group safer" true (p15 < p7);
+  Alcotest.(check bool) "bigger beta riskier" true (p7b > p7);
+  feq "beta 0 is safe" 0. (Stats.Bounds.bad_group_probability ~group_size:9 ~beta:0.);
+  feq "beta 1/2 is lost" 1. (Stats.Bounds.bad_group_probability ~group_size:9 ~beta:0.5);
+  let exact = Stats.Bounds.binomial_tail_ge ~n:7 ~p:0.05 ~k:4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "Chernoff %.2e above exact %.2e" p7 exact)
+    true (p7 >= exact)
+
+let test_binomial_tail_edges () =
+  feq "k=0 is certain" 1. (Stats.Bounds.binomial_tail_ge ~n:10 ~p:0.3 ~k:0);
+  feq "k>n impossible" 0. (Stats.Bounds.binomial_tail_ge ~n:10 ~p:0.3 ~k:11);
+  feq "p=0, k=0" 1. (Stats.Bounds.binomial_tail_ge ~n:10 ~p:0. ~k:0);
+  feq "p=0, k=1" 0. (Stats.Bounds.binomial_tail_ge ~n:10 ~p:0. ~k:1);
+  feq "p=1" 1. (Stats.Bounds.binomial_tail_ge ~n:10 ~p:1. ~k:10);
+  (* Pr(Bin(3, 1/2) >= 2) = 1/2. *)
+  feq "exact small case" 0.5 (Stats.Bounds.binomial_tail_ge ~n:3 ~p:0.5 ~k:2)
+
+let test_binomial_tail_sums () =
+  (* Tail at k plus strict head equals one. *)
+  let n = 20 and p = 0.37 in
+  for k = 0 to n do
+    let tail = Stats.Bounds.binomial_tail_ge ~n ~p ~k in
+    let head = 1. -. tail in
+    Alcotest.(check bool) "in [0,1]" true (tail >= 0. && tail <= 1. && head >= -1e-9)
+  done
+
+let test_mcdiarmid () =
+  let ci = Array.make 100 0.1 in
+  (* sum c_i^2 = 1; bound = exp(-2 t^2). *)
+  feq "form" (exp (-2.)) (Stats.Bounds.mcdiarmid ~ci ~t:1.);
+  Alcotest.(check bool) "tighter with smaller ci" true
+    (Stats.Bounds.mcdiarmid ~ci:(Array.make 100 0.01) ~t:0.5
+    < Stats.Bounds.mcdiarmid ~ci ~t:0.5)
+
+let test_predicted_pf () =
+  let p1 = Stats.Bounds.predicted_pf ~n:1024 ~k:2. ~c:0. in
+  let p2 = Stats.Bounds.predicted_pf ~n:1_048_576 ~k:2. ~c:0. in
+  feq "1/ln^2 n" (1. /. (log 1024. ** 2.)) p1;
+  Alcotest.(check bool) "decays in n" true (p2 < p1);
+  feq "k <= c degenerates" 1. (Stats.Bounds.predicted_pf ~n:1024 ~k:1. ~c:2.)
+
+let test_histogram_counts () =
+  let h = Stats.Histogram.create ~bins:4 () in
+  List.iter (Stats.Histogram.add h) [ 0.1; 0.3; 0.3; 0.6; 0.9; 0.99 ];
+  Alcotest.(check int) "bin 0" 1 (Stats.Histogram.count h 0);
+  Alcotest.(check int) "bin 1" 2 (Stats.Histogram.count h 1);
+  Alcotest.(check int) "bin 2" 1 (Stats.Histogram.count h 2);
+  Alcotest.(check int) "bin 3" 2 (Stats.Histogram.count h 3);
+  Alcotest.(check int) "total" 6 (Stats.Histogram.total h)
+
+let test_histogram_clamping () =
+  let h = Stats.Histogram.create ~lo:0. ~hi:1. ~bins:2 () in
+  Stats.Histogram.add h (-5.);
+  Stats.Histogram.add h 7.;
+  Alcotest.(check int) "clamped low" 1 (Stats.Histogram.count h 0);
+  Alcotest.(check int) "clamped high" 1 (Stats.Histogram.count h 1)
+
+let test_histogram_uniform_chi2 () =
+  let rng = Prng.Rng.create 99 in
+  let h = Stats.Histogram.create ~bins:20 () in
+  for _ = 1 to 20_000 do
+    Stats.Histogram.add h (Prng.Rng.float rng)
+  done;
+  let stat = Stats.Histogram.chi_square_uniform h in
+  Alcotest.(check bool)
+    (Printf.sprintf "uniform sample passes (%.1f)" stat)
+    true
+    (stat < Stats.Histogram.chi_square_critical_99 ~dof:19);
+  (* And a blatantly non-uniform sample fails. *)
+  let h2 = Stats.Histogram.create ~bins:20 () in
+  for _ = 1 to 20_000 do
+    Stats.Histogram.add h2 (Prng.Rng.float rng *. 0.3)
+  done;
+  Alcotest.(check bool) "clustered sample fails" true
+    (Stats.Histogram.chi_square_uniform h2 > Stats.Histogram.chi_square_critical_99 ~dof:19)
+
+let test_histogram_max_deviation () =
+  let h = Stats.Histogram.create ~bins:2 () in
+  List.iter (Stats.Histogram.add h) [ 0.1; 0.2; 0.3; 0.9 ];
+  (* 3/4 vs 1/2 expected: deviation 1/4. *)
+  feq "max deviation" 0.25 (Stats.Histogram.max_deviation h)
+
+let test_histogram_render () =
+  let h = Stats.Histogram.create ~bins:3 () in
+  List.iter (Stats.Histogram.add h) [ 0.1; 0.5; 0.9 ];
+  let s = Stats.Histogram.render h ~width:10 in
+  Alcotest.(check int) "one line per bin" 3
+    (List.length (String.split_on_char '\n' (String.trim s)))
+
+let test_wilson () =
+  let i = Stats.Ci.wilson95 ~successes:50 ~trials:100 in
+  Alcotest.(check bool) "contains p-hat" true (i.lo < 0.5 && i.hi > 0.5);
+  Alcotest.(check bool) "roughly +-10%" true (i.hi -. i.lo < 0.25);
+  (* Near-zero counts keep a positive upper bound and zero lower. *)
+  let z = Stats.Ci.wilson95 ~successes:0 ~trials:1000 in
+  feq "lo at 0" 0. z.lo;
+  Alcotest.(check bool) "hi small but positive" true (z.hi > 0. && z.hi < 0.01)
+
+let test_wilson_narrows () =
+  let small = Stats.Ci.wilson95 ~successes:5 ~trials:10 in
+  let large = Stats.Ci.wilson95 ~successes:500 ~trials:1000 in
+  Alcotest.(check bool) "more trials, narrower" true
+    (large.hi -. large.lo < small.hi -. small.lo)
+
+let test_mean_ci () =
+  let xs = Array.init 100 (fun i -> float_of_int (i mod 10)) in
+  let i = Stats.Ci.mean_ci95 xs in
+  Alcotest.(check bool) "contains mean 4.5" true (i.lo < 4.5 && i.hi > 4.5)
+
+let prop_summary_order =
+  QCheck.Test.make ~name:"min <= median <= p95 <= p99 <= max" ~count:300
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_range (-100.) 100.))
+    (fun xs ->
+      let s = Stats.Descriptive.summarize (Array.of_list xs) in
+      s.min <= s.median && s.median <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max)
+
+let prop_wilson_brackets =
+  QCheck.Test.make ~name:"wilson interval brackets the sample rate" ~count:300
+    QCheck.(pair (int_range 0 100) (int_range 1 100))
+    (fun (s, extra) ->
+      let trials = s + extra in
+      let i = Stats.Ci.wilson95 ~successes:s ~trials in
+      let p = float_of_int s /. float_of_int trials in
+      i.lo <= p +. 1e-9 && i.hi >= p -. 1e-9 && i.lo >= 0. && i.hi <= 1.)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "descriptive",
+        [
+          Alcotest.test_case "mean and variance" `Quick test_mean_variance;
+          Alcotest.test_case "singleton sample" `Quick test_singleton;
+          Alcotest.test_case "quantiles" `Quick test_quantiles;
+          Alcotest.test_case "quantile purity" `Quick test_quantile_does_not_mutate;
+          Alcotest.test_case "summary shape" `Quick test_summarize_shape;
+          Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
+        ] );
+      ( "bounds",
+        [
+          Alcotest.test_case "chernoff monotone" `Quick test_chernoff_monotone;
+          Alcotest.test_case "chernoff bounds binomial tails" `Quick test_chernoff_bounds_empirical;
+          Alcotest.test_case "bad-group probability" `Quick test_bad_group_probability;
+          Alcotest.test_case "binomial tail edges" `Quick test_binomial_tail_edges;
+          Alcotest.test_case "binomial tail sanity" `Quick test_binomial_tail_sums;
+          Alcotest.test_case "mcdiarmid" `Quick test_mcdiarmid;
+          Alcotest.test_case "predicted pf" `Quick test_predicted_pf;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "bin counts" `Quick test_histogram_counts;
+          Alcotest.test_case "clamping" `Quick test_histogram_clamping;
+          Alcotest.test_case "chi-square discriminates" `Slow test_histogram_uniform_chi2;
+          Alcotest.test_case "max deviation" `Quick test_histogram_max_deviation;
+          Alcotest.test_case "render" `Quick test_histogram_render;
+        ] );
+      ( "ci",
+        [
+          Alcotest.test_case "wilson" `Quick test_wilson;
+          Alcotest.test_case "wilson narrows" `Quick test_wilson_narrows;
+          Alcotest.test_case "mean ci" `Quick test_mean_ci;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_summary_order; prop_wilson_brackets ] );
+    ]
