@@ -1,0 +1,21 @@
+.PHONY: all check test bench bench-quick fmt clean
+
+all:
+	dune build
+
+check:
+	dune build && dune runtest
+
+test: check
+
+bench:
+	dune exec bench/main.exe
+
+bench-quick:
+	dune exec bench/main.exe -- --scale quick --jobs 2 --skip-timings
+
+fmt:
+	dune build @fmt --auto-promote
+
+clean:
+	dune clean

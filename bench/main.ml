@@ -1,44 +1,20 @@
 (* The benchmark harness: regenerates every table/figure-equivalent of
-   the paper (E0-E18, F1; see DESIGN.md §4 and EXPERIMENTS.md) and
-   runs the Bechamel timing benches (B0-B7).
+   the paper (E0-E20, F1; see DESIGN.md §4 and EXPERIMENTS.md) and
+   runs the Bechamel timing benches (B0-B7). The experiment list
+   itself lives in Experiments.Registry — this file only drives it.
 
    Usage:
      dune exec bench/main.exe                       # everything, standard scale
      dune exec bench/main.exe -- --scale quick      # fast smoke run
      dune exec bench/main.exe -- --only e1,e5,f1    # a subset
+     dune exec bench/main.exe -- --jobs 4           # parallel trials
      dune exec bench/main.exe -- --csv results      # also dump CSVs
      dune exec bench/main.exe -- --skip-timings     # tables only
-     dune exec bench/main.exe -- --verbose          # protocol debug logs *)
+     dune exec bench/main.exe -- --verbose          # protocol debug logs
 
-type kind =
-  | Table of (Prng.Rng.t -> Experiments.Scale.t -> Experiments.Table.t)
-  | Text of (Prng.Rng.t -> string)
-
-let experiments =
-  [
-    ("e0", "input-graph properties P1-P4 (SI-C)", Table Experiments.Exp_overlay.run_e0);
-    ("e1", "red-group fraction vs n, beta (SII)", Table Experiments.Exp_static.run_e1);
-    ("e2", "search success (Lemma 4 / Thm 3)", Table Experiments.Exp_static.run_e2);
-    ("e3", "cost comparison (Corollary 1)", Table Experiments.Exp_costs.run_e3);
-    ("e4", "paired epochs under churn (SIII)", Table Experiments.Exp_dynamic.run_e4);
-    ("e5", "single-graph ablation (SIII)", Table Experiments.Exp_dynamic.run_e5);
-    ("e6", "PoW bound + uniformity (Lemma 11)", Table Experiments.Exp_pow.run_e6);
-    ("e7", "pre-computation attack (SIV-B)", Table Experiments.Exp_pow.run_e7);
-    ("e8", "string propagation (Lemma 12)", Table Experiments.Exp_strings.run_e8);
-    ("e9", "state costs (Lemma 10)", Table Experiments.Exp_costs.run_e9);
-    ("e10", "group-size sweep knee (SI-D)", Table Experiments.Exp_sweep.run_e10);
-    ("e11", "cuckoo-rule baseline ([47])", Table Experiments.Exp_cuckoo.run_e11);
-    ("e12", "bootstrap pools (Appendix IX)", Table Experiments.Exp_bootstrap.run_e12);
-    ("e13", "variable system size (SIII extension)", Table Experiments.Exp_drift.run_e13);
-    ("e14", "verification ablation (Lemma 10)", Table Experiments.Exp_spam.run_e14);
-    ("e15", "recursive vs iterative search (App. VI)", Table Experiments.Exp_overlay.run_e15);
-    ("e16", "multi-route retries via chord++", Table Experiments.Exp_overlay.run_e16);
-    ("e17", "WAN latency vs group size ([51])", Table Experiments.Exp_latency.run_e17);
-    ("e18", "per-event join/departure cost (fn. 13)", Table Experiments.Exp_events.run_e18);
-    ("e19", "member-level protocol validation", Table Experiments.Exp_protocol.run_e19);
-    ("e20", "epoch recursion: theory vs measurement", Table Experiments.Exp_theory.run_e20);
-    ("f1", "Figure 1 search trace", Text Experiments.Exp_figure1.render);
-  ]
+   With --jobs > 1 each table experiment is also re-run at jobs=1 and
+   the two wall-clocks (plus an output-equality check) are written to
+   BENCH_parallel.json. *)
 
 let parse_args () =
   let scale = ref Experiments.Scale.Standard in
@@ -47,6 +23,7 @@ let parse_args () =
   let seed = ref 1 in
   let csv_dir = ref None in
   let verbose = ref false in
+  let jobs = ref (Parallel.Pool.default_jobs ()) in
   let rec go = function
     | [] -> ()
     | "--scale" :: v :: rest ->
@@ -60,6 +37,11 @@ let parse_args () =
     | "--seed" :: v :: rest ->
         seed := int_of_string v;
         go rest
+    | "--jobs" :: v :: rest ->
+        let j = int_of_string v in
+        if j < 1 then failwith "--jobs must be >= 1";
+        jobs := j;
+        go rest
     | "--csv" :: dir :: rest ->
         csv_dir := Some dir;
         go rest
@@ -72,38 +54,80 @@ let parse_args () =
     | arg :: _ -> failwith ("unknown argument: " ^ arg)
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!scale, !only, !skip_timings, !seed, !csv_dir, !verbose)
+  (!scale, !only, !skip_timings, !seed, !csv_dir, !verbose, !jobs)
+
+(* One record per table experiment: wall-clock at the requested jobs
+   count and at jobs=1, plus whether the rendered outputs matched. *)
+let write_parallel_report path records ~jobs =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"jobs\": %d,\n  \"experiments\": [\n" jobs;
+  List.iteri
+    (fun i (id, t_par, t_seq, identical) ->
+      Printf.fprintf oc
+        "    {\"id\": \"%s\", \"seconds_jobs_n\": %.3f, \"seconds_jobs_1\": %.3f, \
+         \"speedup\": %.2f, \"identical_output\": %b}%s\n"
+        id t_par t_seq
+        (if t_par > 0. then t_seq /. t_par else 0.)
+        identical
+        (if i = List.length records - 1 then "" else ","))
+    records;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
 
 let () =
-  let scale, only, skip_timings, seed, csv_dir, verbose = parse_args () in
+  let scale, only, skip_timings, seed, csv_dir, verbose, jobs = parse_args () in
   if verbose then begin
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Debug)
   end;
   let wanted id = match only with None -> true | Some ids -> List.mem id ids in
   Printf.printf
-    "tinygroups benchmark harness — scale=%s seed=%d\n\
+    "tinygroups benchmark harness — scale=%s seed=%d jobs=%d\n\
      (paper: Jaiyeola et al., Tiny Groups Tackle Byzantine Adversaries, IPDPS 2018)\n"
     (Experiments.Scale.to_string scale)
-    seed;
+    seed jobs;
+  let parallel_records = ref [] in
   List.iter
-    (fun (id, blurb, kind) ->
+    (fun { Experiments.Registry.id; doc; kind } ->
       if wanted id then begin
-        Printf.printf "\n### %s — %s\n%!" (String.uppercase_ascii id) blurb;
+        Printf.printf "\n### %s — %s\n%!" (String.uppercase_ascii id) doc;
         let t0 = Unix.gettimeofday () in
         (match kind with
-        | Table run ->
-            let table = run (Prng.Rng.create seed) scale in
+        | Experiments.Registry.Table run ->
+            let table = run ~jobs (Prng.Rng.create seed) scale in
+            let elapsed = Unix.gettimeofday () -. t0 in
             Experiments.Table.print table;
+            if jobs > 1 then begin
+              (* Re-run sequentially: the wall-clock pair lands in
+                 BENCH_parallel.json and the outputs must match. *)
+              let t1 = Unix.gettimeofday () in
+              let table_seq = run ~jobs:1 (Prng.Rng.create seed) scale in
+              let t_seq = Unix.gettimeofday () -. t1 in
+              let identical =
+                String.equal
+                  (Experiments.Table.render table)
+                  (Experiments.Table.render table_seq)
+              in
+              if not identical then
+                Printf.printf
+                  "   [WARNING: jobs=%d output differs from jobs=1]\n" jobs;
+              parallel_records := (id, elapsed, t_seq, identical) :: !parallel_records
+            end;
             Option.iter
               (fun dir ->
                 let path = Experiments.Table.save_csv table ~dir ~slug:id in
                 Printf.printf "   [csv: %s]\n" path)
               csv_dir
-        | Text run -> print_string (run (Prng.Rng.create seed)));
+        | Experiments.Registry.Text run -> print_string (run (Prng.Rng.create seed)));
         Printf.printf "   [%s took %.1fs]\n%!" (String.uppercase_ascii id)
           (Unix.gettimeofday () -. t0)
       end)
-    experiments;
+    Experiments.Registry.all;
+  (match List.rev !parallel_records with
+  | [] -> ()
+  | records ->
+      let path = "BENCH_parallel.json" in
+      write_parallel_report path records ~jobs;
+      Printf.printf "\n[parallel report: %s]\n" path);
   if (not skip_timings) && (match only with None -> true | Some ids -> List.mem "timings" ids)
   then Timings.run ()

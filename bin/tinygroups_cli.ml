@@ -1,6 +1,8 @@
-(* The `tinygroups` command-line driver: run any experiment table of
-   the reproduction individually. `dune exec bin/tinygroups_cli.exe --
-   <command> [options]`. *)
+(* The `tinygroups` command-line driver: run any experiment of the
+   reproduction individually. `dune exec bin/tinygroups_cli.exe --
+   <command> [options]`. The per-experiment subcommands (and `all`)
+   are generated from Experiments.Registry, the single source of
+   experiment ids. *)
 
 open Cmdliner
 
@@ -21,18 +23,25 @@ let scale_arg =
     & opt (conv (parse, print)) Experiments.Scale.Standard
     & info [ "scale" ] ~docv:"SCALE" ~doc)
 
-let run_table f seed scale =
-  Experiments.Table.print (f (Prng.Rng.create seed) scale)
+let jobs_arg =
+  let doc =
+    "Worker domains for per-trial parallelism. Output is identical for every \
+     value under the same seed (default: the number of cores)."
+  in
+  Arg.(
+    value
+    & opt int (Parallel.Pool.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
-let experiment_cmd name ~doc f =
-  let term = Term.(const (run_table f) $ seed_arg $ scale_arg) in
-  Cmd.v (Cmd.info name ~doc) term
+let run_spec spec seed scale jobs =
+  match spec.Experiments.Registry.kind with
+  | Experiments.Registry.Table run ->
+      Experiments.Table.print (run ~jobs (Prng.Rng.create seed) scale)
+  | Experiments.Registry.Text run -> print_string (run (Prng.Rng.create seed))
 
-let figure1_cmd =
-  let run seed = print_string (Experiments.Exp_figure1.render (Prng.Rng.create seed)) in
-  Cmd.v
-    (Cmd.info "figure1" ~doc:"Render the paper's Figure 1 as a search trace.")
-    Term.(const run $ seed_arg)
+let experiment_cmd spec =
+  let term = Term.(const (run_spec spec) $ seed_arg $ scale_arg $ jobs_arg) in
+  Cmd.v (Cmd.info spec.Experiments.Registry.id ~doc:spec.Experiments.Registry.doc) term
 
 let epochs_cmd =
   let doc = "Run the two-graph epoch protocol and print per-epoch health." in
@@ -65,36 +74,13 @@ let epochs_cmd =
     Term.(const run $ seed_arg $ n_arg $ beta_arg $ epochs_arg $ single_arg)
 
 let all_cmd =
-  let doc = "Run every experiment table (E1-E11 and F1)." in
-  let run seed scale =
+  let doc = "Run every experiment in the registry (E0-E20 and F1)." in
+  let run seed scale jobs =
     List.iter
-      (fun f -> run_table f seed scale)
-      [
-        Experiments.Exp_overlay.run_e0;
-        Experiments.Exp_static.run_e1;
-        Experiments.Exp_static.run_e2;
-        Experiments.Exp_costs.run_e3;
-        Experiments.Exp_dynamic.run_e4;
-        Experiments.Exp_dynamic.run_e5;
-        Experiments.Exp_pow.run_e6;
-        Experiments.Exp_pow.run_e7;
-        Experiments.Exp_strings.run_e8;
-        Experiments.Exp_costs.run_e9;
-        Experiments.Exp_sweep.run_e10;
-        Experiments.Exp_cuckoo.run_e11;
-        Experiments.Exp_bootstrap.run_e12;
-        Experiments.Exp_drift.run_e13;
-        Experiments.Exp_spam.run_e14;
-        Experiments.Exp_overlay.run_e15;
-        Experiments.Exp_overlay.run_e16;
-        Experiments.Exp_latency.run_e17;
-        Experiments.Exp_events.run_e18;
-        Experiments.Exp_protocol.run_e19;
-        Experiments.Exp_theory.run_e20;
-      ];
-    print_string (Experiments.Exp_figure1.render (Prng.Rng.create seed))
+      (fun spec -> run_spec spec seed scale jobs)
+      Experiments.Registry.all
   in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ seed_arg $ scale_arg)
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ seed_arg $ scale_arg $ jobs_arg)
 
 let () =
   let doc =
@@ -103,52 +89,6 @@ let () =
   in
   let info = Cmd.info "tinygroups" ~version:"1.0.0" ~doc in
   let cmds =
-    [
-      experiment_cmd "e0" ~doc:"Input-graph properties P1-P4 per construction."
-        Experiments.Exp_overlay.run_e0;
-      experiment_cmd "e1" ~doc:"Red-group fraction vs n and beta (SII)."
-        Experiments.Exp_static.run_e1;
-      experiment_cmd "e2" ~doc:"Search success rates (Lemma 4 / Theorem 3)."
-        Experiments.Exp_static.run_e2;
-      experiment_cmd "e3" ~doc:"Cost comparison vs log-groups and flat (Corollary 1)."
-        Experiments.Exp_costs.run_e3;
-      experiment_cmd "e4" ~doc:"Paired epochs under full turnover (SIII)."
-        Experiments.Exp_dynamic.run_e4;
-      experiment_cmd "e5" ~doc:"Single-graph ablation (SIII)."
-        Experiments.Exp_dynamic.run_e5;
-      experiment_cmd "e6" ~doc:"PoW ID bound and uniformity (Lemma 11)."
-        Experiments.Exp_pow.run_e6;
-      experiment_cmd "e7" ~doc:"Pre-computation attack (SIV-B)."
-        Experiments.Exp_pow.run_e7;
-      experiment_cmd "e8" ~doc:"Random-string propagation (Lemma 12)."
-        Experiments.Exp_strings.run_e8;
-      experiment_cmd "e9" ~doc:"Per-ID state costs (Lemma 10)."
-        Experiments.Exp_costs.run_e9;
-      experiment_cmd "e10" ~doc:"Group-size sweep: the lnln n knee (SI-D)."
-        Experiments.Exp_sweep.run_e10;
-      experiment_cmd "e11" ~doc:"Cuckoo-rule baseline under join-leave attack ([47])."
-        Experiments.Exp_cuckoo.run_e11;
-      experiment_cmd "e12" ~doc:"Bootstrap pools (Appendix IX)."
-        Experiments.Exp_bootstrap.run_e12;
-      experiment_cmd "e13" ~doc:"Epoch protocol with drifting system size."
-        Experiments.Exp_drift.run_e13;
-      experiment_cmd "e14" ~doc:"Request-verification ablation (Lemma 10)."
-        Experiments.Exp_spam.run_e14;
-      experiment_cmd "e15" ~doc:"Recursive vs iterative search (Appendix VI)."
-        Experiments.Exp_overlay.run_e15;
-      experiment_cmd "e16" ~doc:"Multi-route retries via salted chord++."
-        Experiments.Exp_overlay.run_e16;
-      experiment_cmd "e17" ~doc:"WAN latency of secure routing vs group size ([51])."
-        Experiments.Exp_latency.run_e17;
-      experiment_cmd "e18" ~doc:"Per-event join/departure cost (footnote 13)."
-        Experiments.Exp_events.run_e18;
-      experiment_cmd "e19" ~doc:"Member-level protocol vs the analytic model."
-        Experiments.Exp_protocol.run_e19;
-      experiment_cmd "e20" ~doc:"Epoch recursion: theory vs measured collapse."
-        Experiments.Exp_theory.run_e20;
-      figure1_cmd;
-      epochs_cmd;
-      all_cmd;
-    ]
+    List.map experiment_cmd Experiments.Registry.all @ [ epochs_cmd; all_cmd ]
   in
   exit (Cmd.eval (Cmd.group info cmds))

@@ -21,3 +21,32 @@ let build_tiny rng ?(params = Tinygroups.Params.default)
   ( pop,
     Tinygroups.Group_graph.build_direct ~params ~population:pop ~overlay:ov
       ~member_oracle:h1 )
+
+(* Streams are split off [rng] before any work is scheduled (inside
+   Fanout), so results do not depend on [jobs]; the pool is clamped to
+   the batch size so short batches never spawn idle domains. *)
+let map_configs rng ~jobs configs f =
+  let jobs = max 1 (min jobs (List.length configs)) in
+  Parallel.Pool.with_pool ~jobs (fun pool -> Parallel.Fanout.map pool rng configs ~f)
+
+let run_trials rng ~jobs ~trials f =
+  map_configs rng ~jobs (List.init trials Fun.id) (fun _ stream -> f stream)
+
+let run_trials_metrics rng ~metrics ~jobs ~trials f =
+  let out =
+    run_trials rng ~jobs ~trials (fun stream ->
+        let m = Sim.Metrics.create () in
+        (f stream m, m))
+  in
+  List.map
+    (fun (v, m) ->
+      Sim.Metrics.merge metrics m;
+      v)
+    out
+
+let warm_for_sharing g =
+  let ov = g.Tinygroups.Group_graph.overlay in
+  Idspace.Ring.iter
+    (fun p -> ignore (ov.Overlay.Overlay_intf.neighbors p))
+    ov.Overlay.Overlay_intf.ring;
+  ignore (Tinygroups.Group_graph.blue_leaders g)

@@ -1,4 +1,5 @@
-(** Shared builders for the experiment modules. *)
+(** Shared builders and the parallel fan-out entry point for the
+    experiment modules. *)
 
 open Adversary
 
@@ -25,3 +26,41 @@ val build_sized :
 val h1 : Hashing.Oracle.t
 (** The deployment's member oracle, shared so graphs are comparable
     across experiments. *)
+
+(** {1 Parallel trials}
+
+    Every quantitative claim is an average over independent seeded
+    runs, so experiments fan their trials (and independent
+    configuration rows) out over a {!Parallel.Pool}. All three
+    entry points return results in input order and derive one
+    {!Parallel.Fanout} substream per item up front, which makes the
+    output of any experiment identical for every [~jobs] value. *)
+
+val run_trials : Prng.Rng.t -> jobs:int -> trials:int -> (Prng.Rng.t -> 'a) -> 'a list
+(** [run_trials rng ~jobs ~trials f] runs [f] once per trial, each on
+    its own substream, at most [jobs] at a time. *)
+
+val run_trials_metrics :
+  Prng.Rng.t ->
+  metrics:Sim.Metrics.t ->
+  jobs:int ->
+  trials:int ->
+  (Prng.Rng.t -> Sim.Metrics.t -> 'a) ->
+  'a list
+(** Like {!run_trials} for trial bodies that account costs: each
+    trial gets a private {!Sim.Metrics.t} (so domains never share a
+    counter table) and all of them are {!Sim.Metrics.merge}d into
+    [metrics] afterwards, in trial order. *)
+
+val map_configs : Prng.Rng.t -> jobs:int -> 'a list -> ('a -> Prng.Rng.t -> 'b) -> 'b list
+(** [map_configs rng ~jobs configs f] is the config-sweep shape of
+    {!run_trials}: one work item (and one substream) per
+    configuration, e.g. per [(n, beta)] cell of a table. [f] must
+    confine mutation to its substream and to values it builds
+    itself; graphs handed in from outside must be warmed with
+    {!warm_for_sharing} first. *)
+
+val warm_for_sharing : Tinygroups.Group_graph.t -> unit
+(** Force every lazily memoized structure reachable from searches on
+    [g] (overlay neighbour tables, the blue-leader cache) so the
+    graph can be shared read-only across domains. *)

@@ -1,4 +1,4 @@
-let run_e12 rng scale =
+let run_e12 ?(jobs = 1) rng scale =
   let table =
     Table.create
       ~title:
@@ -9,34 +9,38 @@ let run_e12 rng scale =
   in
   let trials = 200 in
   let ns = match scale with Scale.Quick -> [ 1024 ] | _ -> [ 1024; 4096 ] in
-  List.iter
-    (fun n ->
-      let recipe = max 1 (int_of_float (ceil (log (float_of_int n) /. log (log (float_of_int n))))) in
-      List.iter
-        (fun beta ->
-          let _, g = Common.build_tiny rng ~n ~beta () in
-          List.iter
-            (fun count ->
-              let ok = ref 0 and size_acc = ref 0 in
-              for _ = 1 to trials do
-                let ids, majority =
-                  Tinygroups.Membership.bootstrap_pool (Prng.Rng.split rng) g ~count
-                in
-                if majority then incr ok;
-                size_acc := !size_acc + Array.length ids
-              done;
-              Table.add_row table
-                [
-                  Table.fint n;
-                  Table.ffloat beta;
-                  Table.fint count;
-                  Table.ffloat ~digits:1 (float_of_int !size_acc /. float_of_int trials);
-                  Table.fpct (float_of_int !ok /. float_of_int trials);
-                  (if count = recipe then "<- ceil(ln n / lnln n)" else "");
-                ])
-            (List.sort_uniq compare [ 1; 2; recipe; 2 * recipe ]))
-        [ 0.10; 0.30 ])
-    ns;
+  let configs =
+    List.concat_map (fun n -> List.map (fun beta -> (n, beta)) [ 0.10; 0.30 ]) ns
+  in
+  let blocks =
+    Common.map_configs rng ~jobs configs (fun (n, beta) stream ->
+        let recipe =
+          max 1
+            (int_of_float
+               (ceil (log (float_of_int n) /. log (log (float_of_int n)))))
+        in
+        let _, g = Common.build_tiny stream ~n ~beta () in
+        List.map
+          (fun count ->
+            let ok = ref 0 and size_acc = ref 0 in
+            for _ = 1 to trials do
+              let ids, majority =
+                Tinygroups.Membership.bootstrap_pool (Prng.Rng.split stream) g ~count
+              in
+              if majority then incr ok;
+              size_acc := !size_acc + Array.length ids
+            done;
+            [
+              Table.fint n;
+              Table.ffloat beta;
+              Table.fint count;
+              Table.ffloat ~digits:1 (float_of_int !size_acc /. float_of_int trials);
+              Table.fpct (float_of_int !ok /. float_of_int trials);
+              (if count = recipe then "<- ceil(ln n / lnln n)" else "");
+            ])
+          (List.sort_uniq compare [ 1; 2; recipe; 2 * recipe ]))
+  in
+  List.iter (List.iter (Table.add_row table)) blocks;
   Table.add_note table
     (Printf.sprintf "%d trials per row; the paper's recipe pools ~ln n / lnln n groups"
        trials);

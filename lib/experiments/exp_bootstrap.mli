@@ -7,4 +7,4 @@
     pooled size and the good-majority success rate, including with an
     adversary well above the default. *)
 
-val run_e12 : Prng.Rng.t -> Scale.t -> Table.t
+val run_e12 : ?jobs:int -> Prng.Rng.t -> Scale.t -> Table.t

@@ -1,7 +1,7 @@
 let measure_search rng g ~searches =
   Tinygroups.Robustness.search_success rng g ~failure:`Majority ~samples:searches
 
-let run_e3 rng scale =
+let run_e3 ?(jobs = 1) rng scale =
   let table =
     Table.create
       ~title:
@@ -20,21 +20,25 @@ let run_e3 rng scale =
   in
   let searches = Scale.searches scale in
   let beta = 0.05 in
+  let per_n =
+    Common.map_configs rng ~jobs (Scale.n_sweep scale) (fun n stream ->
+        let tiny_pop, tiny = Common.build_tiny stream ~n ~beta () in
+        let logn_sizing = Tinygroups.Params.Log 2.0 in
+        let _, logn = Common.build_sized stream ~sizing:logn_sizing ~n ~beta () in
+        let tiny_size = Tinygroups.Group_graph.mean_group_size tiny in
+        let logn_size = Tinygroups.Group_graph.mean_group_size logn in
+        let tiny_r = measure_search (Prng.Rng.split stream) tiny ~searches in
+        let logn_r = measure_search (Prng.Rng.split stream) logn ~searches in
+        let flat_r =
+          Baseline.Flat.search_success (Prng.Rng.split stream) tiny_pop
+            tiny.Tinygroups.Group_graph.overlay ~samples:searches
+        in
+        (n, tiny_size, logn_size, tiny_r, logn_r, flat_r))
+  in
   List.iter
-    (fun n ->
-      let tiny_pop, tiny = Common.build_tiny rng ~n ~beta () in
-      let logn_sizing = Tinygroups.Params.Log 2.0 in
-      let _, logn = Common.build_sized rng ~sizing:logn_sizing ~n ~beta () in
-      let tiny_size = Tinygroups.Group_graph.mean_group_size tiny in
-      let logn_size = Tinygroups.Group_graph.mean_group_size logn in
+    (fun (n, tiny_size, logn_size, tiny_r, logn_r, (flat_r : Baseline.Flat.report)) ->
       let tiny_comm = tiny_size *. tiny_size in
       let logn_comm = logn_size *. logn_size in
-      let tiny_r = measure_search (Prng.Rng.split rng) tiny ~searches in
-      let logn_r = measure_search (Prng.Rng.split rng) logn ~searches in
-      let flat_r =
-        Baseline.Flat.search_success (Prng.Rng.split rng) tiny_pop
-          tiny.Tinygroups.Group_graph.overlay ~samples:searches
-      in
       let row scheme size comm msgs success ratio =
         Table.add_row table
           [
@@ -47,12 +51,14 @@ let run_e3 rng scale =
             ratio;
           ]
       in
-      row "tiny (d2 lnln n)" tiny_size tiny_comm tiny_r.mean_messages tiny_r.success_rate "1.0";
-      row "log (2 ln n)" logn_size logn_comm logn_r.mean_messages logn_r.success_rate
+      row "tiny (d2 lnln n)" tiny_size tiny_comm tiny_r.Tinygroups.Robustness.mean_messages
+        tiny_r.Tinygroups.Robustness.success_rate "1.0";
+      row "log (2 ln n)" logn_size logn_comm logn_r.Tinygroups.Robustness.mean_messages
+        logn_r.Tinygroups.Robustness.success_rate
         (Table.ffloat (logn_comm /. tiny_comm));
       row "flat (|G|=1)" 1. 1. flat_r.mean_path_len flat_r.success_rate
         (Table.ffloat (1. /. tiny_comm)))
-    (Scale.n_sweep scale);
+    per_n;
   Table.add_note table
     "group-comm = |G|^2 messages per intra-group operation (cost (i));";
   Table.add_note table
@@ -61,7 +67,7 @@ let run_e3 rng scale =
     "comm ratio = scheme's group-comm cost relative to tiny groups.";
   table
 
-let run_e9 rng scale =
+let run_e9 ?(jobs = 1) rng scale =
   let table =
     Table.create
       ~title:
@@ -79,28 +85,33 @@ let run_e9 rng scale =
         ]
   in
   let beta = 0.05 in
-  List.iter
-    (fun n ->
-      List.iter
-        (fun (scheme, sizing) ->
-          let _, g = Common.build_sized rng ~sizing ~n ~beta () in
-          let s = Tinygroups.Robustness.state_costs g in
-          Table.add_row table
-            [
-              Table.fint n;
-              scheme;
-              Table.ffloat ~digits:1 s.per_id_memberships.Stats.Descriptive.mean;
-              Table.ffloat ~digits:0 s.per_id_memberships.Stats.Descriptive.p99;
-              Table.ffloat ~digits:0 s.per_id_links.Stats.Descriptive.mean;
-              Table.ffloat ~digits:0 s.per_id_links.Stats.Descriptive.p99;
-              Table.ffloat ~digits:1 (Idspace.Estimate.exact_ln_ln n);
-              Table.ffloat ~digits:1 (log (float_of_int n));
-            ])
+  let configs =
+    List.concat_map
+      (fun n ->
+        List.map
+          (fun sc -> (n, sc))
+          [
+            ("tiny", Tinygroups.Params.default.Tinygroups.Params.sizing);
+            ("log", Tinygroups.Params.Log 2.0);
+          ])
+      (Scale.n_sweep scale)
+  in
+  let rows =
+    Common.map_configs rng ~jobs configs (fun (n, (scheme, sizing)) stream ->
+        let _, g = Common.build_sized stream ~sizing ~n ~beta () in
+        let s = Tinygroups.Robustness.state_costs g in
         [
-          ("tiny", Tinygroups.Params.default.Tinygroups.Params.sizing);
-          ("log", Tinygroups.Params.Log 2.0);
+          Table.fint n;
+          scheme;
+          Table.ffloat ~digits:1 s.per_id_memberships.Stats.Descriptive.mean;
+          Table.ffloat ~digits:0 s.per_id_memberships.Stats.Descriptive.p99;
+          Table.ffloat ~digits:0 s.per_id_links.Stats.Descriptive.mean;
+          Table.ffloat ~digits:0 s.per_id_links.Stats.Descriptive.p99;
+          Table.ffloat ~digits:1 (Idspace.Estimate.exact_ln_ln n);
+          Table.ffloat ~digits:1 (log (float_of_int n));
         ])
-    (Scale.n_sweep scale);
+  in
+  List.iter (Table.add_row table) rows;
   Table.add_note table
     "member-of ~ number of member draws (d2 lnln n vs 2 ln n); links include";
   Table.add_note table

@@ -12,5 +12,5 @@
     E9 audits Lemma 10: per-good-ID group memberships and link
     state, tiny vs log groups. *)
 
-val run_e3 : Prng.Rng.t -> Scale.t -> Table.t
-val run_e9 : Prng.Rng.t -> Scale.t -> Table.t
+val run_e3 : ?jobs:int -> Prng.Rng.t -> Scale.t -> Table.t
+val run_e9 : ?jobs:int -> Prng.Rng.t -> Scale.t -> Table.t

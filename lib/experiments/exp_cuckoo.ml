@@ -1,4 +1,4 @@
-let run_e11 rng scale =
+let run_e11 ?(jobs = 1) rng scale =
   let n = Scale.cuckoo_n scale in
   let rounds = Scale.cuckoo_rounds scale in
   let table =
@@ -12,31 +12,34 @@ let run_e11 rng scale =
   in
   let group_sizes = [ 8; 16; 32; 64 ] in
   let betas = [ 0.002; 0.01; 0.05 ] in
-  List.iter
-    (fun (rule_name, rule) ->
-      List.iter
-        (fun beta ->
-          List.iter
-            (fun group_size ->
-              let cfg =
-                {
-                  (Baseline.Cuckoo.default_config ~n ~beta ~group_size) with
-                  Baseline.Cuckoo.rule;
-                }
-              in
-              let o = Baseline.Cuckoo.simulate (Prng.Rng.split rng) cfg ~max_rounds:rounds in
-              Table.add_row table
-                [
-                  rule_name;
-                  Table.ffloat ~digits:3 beta;
-                  Table.fint group_size;
-                  Table.fint o.Baseline.Cuckoo.rounds_survived;
-                  (if o.Baseline.Cuckoo.compromised then "YES" else "no");
-                  Table.ffloat o.Baseline.Cuckoo.max_bad_fraction;
-                ])
-            group_sizes)
-        betas)
-    [ ("cuckoo", Baseline.Cuckoo.Cuckoo); ("commensal", Baseline.Cuckoo.Commensal 2) ];
+  let configs =
+    List.concat_map
+      (fun rule ->
+        List.concat_map
+          (fun beta -> List.map (fun gs -> (rule, beta, gs)) group_sizes)
+          betas)
+      [ ("cuckoo", Baseline.Cuckoo.Cuckoo); ("commensal", Baseline.Cuckoo.Commensal 2) ]
+  in
+  let rows =
+    Common.map_configs rng ~jobs configs
+      (fun ((rule_name, rule), beta, group_size) stream ->
+        let cfg =
+          {
+            (Baseline.Cuckoo.default_config ~n ~beta ~group_size) with
+            Baseline.Cuckoo.rule;
+          }
+        in
+        let o = Baseline.Cuckoo.simulate (Prng.Rng.split stream) cfg ~max_rounds:rounds in
+        [
+          rule_name;
+          Table.ffloat ~digits:3 beta;
+          Table.fint group_size;
+          Table.fint o.Baseline.Cuckoo.rounds_survived;
+          (if o.Baseline.Cuckoo.compromised then "YES" else "no");
+          Table.ffloat o.Baseline.Cuckoo.max_bad_fraction;
+        ])
+  in
+  List.iter (Table.add_row table) rows;
   let tiny = Tinygroups.Params.member_draws Tinygroups.Params.default ~n in
   Table.add_note table
     (Printf.sprintf

@@ -7,4 +7,4 @@
     and contrast with the tiny-group construction's size at the same
     [n]. *)
 
-val run_e11 : Prng.Rng.t -> Scale.t -> Table.t
+val run_e11 : ?jobs:int -> Prng.Rng.t -> Scale.t -> Table.t

@@ -7,4 +7,4 @@
     from local gap measurements, so nothing needs reconfiguring when
     n moves. *)
 
-val run_e13 : Prng.Rng.t -> Scale.t -> Table.t
+val run_e13 : ?jobs:int -> Prng.Rng.t -> Scale.t -> Table.t

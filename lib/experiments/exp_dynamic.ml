@@ -47,7 +47,9 @@ let epoch_table ~title rows =
     rows;
   table
 
-let run_e4 rng scale =
+let run_e4 ?jobs:_ rng scale =
+  (* One epoch chain is inherently sequential: each epoch's state
+     feeds the next, so E4 never fans out. *)
   let n = Scale.dynamic_n scale in
   let rows =
     run_epochs rng ~mode:Tinygroups.Epoch.Paired ~n ~beta:0.05
@@ -66,18 +68,21 @@ let run_e4 rng scale =
     "Every epoch replaces the entire population; robustness must stay flat.";
   table
 
-let run_e5 rng scale =
+let run_e5 ?(jobs = 1) rng scale =
   let n = Scale.dynamic_n scale in
   (* A slightly stronger adversary makes the single-graph collapse
      visible within few epochs at small n. *)
   let beta = 0.10 in
-  let paired =
-    run_epochs rng ~mode:Tinygroups.Epoch.Paired ~n ~beta ~epochs:(Scale.epochs scale)
-      ~searches:(Scale.searches scale / 2)
+  (* The two chains are independent runs; fan them out. *)
+  let chains =
+    Common.map_configs rng ~jobs
+      [ Tinygroups.Epoch.Paired; Tinygroups.Epoch.Single ]
+      (fun mode stream ->
+        run_epochs stream ~mode ~n ~beta ~epochs:(Scale.epochs scale)
+          ~searches:(Scale.searches scale / 2))
   in
-  let single =
-    run_epochs rng ~mode:Tinygroups.Epoch.Single ~n ~beta ~epochs:(Scale.epochs scale)
-      ~searches:(Scale.searches scale / 2)
+  let paired, single =
+    match chains with [ p; s ] -> (p, s) | _ -> assert false
   in
   let table =
     Table.create

@@ -10,8 +10,8 @@
     of [q_f^2], so the red mass compounds epoch over epoch and the
     graph collapses. Shape to reproduce: E4 flat, E5 runaway. *)
 
-val run_e4 : Prng.Rng.t -> Scale.t -> Table.t
-val run_e5 : Prng.Rng.t -> Scale.t -> Table.t
+val run_e4 : ?jobs:int -> Prng.Rng.t -> Scale.t -> Table.t
+val run_e5 : ?jobs:int -> Prng.Rng.t -> Scale.t -> Table.t
 
 val run_epochs :
   Prng.Rng.t ->

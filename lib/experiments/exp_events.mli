@@ -6,4 +6,4 @@
     message cost and number of affected groups — the shape must stay
     polylogarithmic in [n]. *)
 
-val run_e18 : Prng.Rng.t -> Scale.t -> Table.t
+val run_e18 : ?jobs:int -> Prng.Rng.t -> Scale.t -> Table.t

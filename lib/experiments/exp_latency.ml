@@ -1,4 +1,4 @@
-let run_e17 rng scale =
+let run_e17 ?(jobs = 1) rng scale =
   let n = match scale with Scale.Quick -> 1024 | _ -> 4096 in
   let latency = Sim.Latency.lognormal_like ~median:40 ~sigma:0.6 in
   let table =
@@ -14,38 +14,41 @@ let run_e17 rng scale =
   let searches = match scale with Scale.Quick -> 150 | _ -> 400 in
   let beta = 0.05 in
   let tiny = Tinygroups.Params.member_draws Tinygroups.Params.default ~n in
-  let configs =
+  let sizings =
     [
       (Printf.sprintf "%d (tiny)" tiny, Tinygroups.Params.default.Tinygroups.Params.sizing);
       ("17 (2 ln n)", Tinygroups.Params.Log 2.0);
       ("30 ([51])", Tinygroups.Params.Fixed 30);
     ]
   in
-  List.iter
-    (fun per_message_ms ->
-  List.iter
-    (fun (label, sizing) ->
-      let _, g = Common.build_sized rng ~sizing ~n ~beta () in
-      let leaders = Tinygroups.Group_graph.leaders g in
-      let times = Array.make searches 0. in
-      let hop_total = ref 0 and hop_count = ref 0 and msgs = ref 0 in
-      for i = 0 to searches - 1 do
-        let src = leaders.(Prng.Rng.int rng (Array.length leaders)) in
-        let key = Idspace.Point.random rng in
-        let t =
-          Tinygroups.Timed_route.search (Prng.Rng.split rng) g ~latency
-            ~per_message_ms ~failure:`Majority ~src ~key
-        in
-        times.(i) <- float_of_int t.Tinygroups.Timed_route.elapsed_ms;
-        msgs := !msgs + t.Tinygroups.Timed_route.messages;
-        List.iter
-          (fun h ->
-            hop_total := !hop_total + h;
-            incr hop_count)
-          t.Tinygroups.Timed_route.per_hop_ms
-      done;
-      let s = Stats.Descriptive.summarize times in
-      Table.add_row table
+  let configs =
+    List.concat_map
+      (fun per_message_ms -> List.map (fun c -> (per_message_ms, c)) sizings)
+      [ 0; 8 ]
+  in
+  let rows =
+    Common.map_configs rng ~jobs configs
+      (fun (per_message_ms, (label, sizing)) stream ->
+        let _, g = Common.build_sized stream ~sizing ~n ~beta () in
+        let leaders = Tinygroups.Group_graph.leaders g in
+        let times = Array.make searches 0. in
+        let hop_total = ref 0 and hop_count = ref 0 and msgs = ref 0 in
+        for i = 0 to searches - 1 do
+          let src = leaders.(Prng.Rng.int stream (Array.length leaders)) in
+          let key = Idspace.Point.random stream in
+          let t =
+            Tinygroups.Timed_route.search (Prng.Rng.split stream) g ~latency
+              ~per_message_ms ~failure:`Majority ~src ~key
+          in
+          times.(i) <- float_of_int t.Tinygroups.Timed_route.elapsed_ms;
+          msgs := !msgs + t.Tinygroups.Timed_route.messages;
+          List.iter
+            (fun h ->
+              hop_total := !hop_total + h;
+              incr hop_count)
+            t.Tinygroups.Timed_route.per_hop_ms
+        done;
+        let s = Stats.Descriptive.summarize times in
         [
           Table.fint per_message_ms;
           label;
@@ -55,8 +58,8 @@ let run_e17 rng scale =
           Table.ffloat ~digits:0 (float_of_int !hop_total /. float_of_int (max 1 !hop_count));
           Table.ffloat ~digits:0 (float_of_int !msgs /. float_of_int searches);
         ])
-    configs)
-    [ 0; 8 ];
+  in
+  List.iter (Table.add_row table) rows;
   Table.add_note table
     "Each hop: every receiver serially processes incoming copies (proc ms each,";
   Table.add_note table

@@ -9,4 +9,4 @@
     (tiny, classical log, and [51]'s 30) and reports end-to-end
     search latency. *)
 
-val run_e17 : Prng.Rng.t -> Scale.t -> Table.t
+val run_e17 : ?jobs:int -> Prng.Rng.t -> Scale.t -> Table.t

@@ -22,7 +22,7 @@ let with_overlay g overlay =
   Tinygroups.Group_graph.assemble ~params:g.Tinygroups.Group_graph.params
     ~population:g.Tinygroups.Group_graph.population ~overlay ~groups ~confused
 
-let run_e0 rng scale =
+let run_e0 ?(jobs = 1) rng scale =
   let table =
     Table.create ~title:"E0 (SI-C): input-graph properties P1-P4, per construction"
       ~columns:
@@ -40,19 +40,20 @@ let run_e0 rng scale =
   let ns =
     match scale with Scale.Quick -> [ 1024 ] | Scale.Standard -> [ 2048; 8192 ] | Scale.Full -> [ 4096; 16384 ]
   in
-  List.iter
-    (fun n ->
-      let ring = Idspace.Ring.populate (Prng.Rng.split rng) n in
-      List.iter
-        (fun (name, make) ->
-          let ov = make ring in
-          let paths = Overlay.Probe.path_lengths (Prng.Rng.split rng) ov ~searches in
-          let load = Overlay.Probe.load_balance ov in
-          let deg = Overlay.Probe.degrees (Prng.Rng.split rng) ov ~sample:300 in
-          let congestion =
-            Overlay.Probe.congestion (Prng.Rng.split rng) ov ~searches
-          in
-          Table.add_row table
+  (* Each item owns one ring and probes the three constructions over
+     it, so the constructions stay comparable within a row block. *)
+  let blocks =
+    Common.map_configs rng ~jobs ns (fun n stream ->
+        let ring = Idspace.Ring.populate (Prng.Rng.split stream) n in
+        List.map
+          (fun (name, make) ->
+            let ov = make ring in
+            let paths = Overlay.Probe.path_lengths (Prng.Rng.split stream) ov ~searches in
+            let load = Overlay.Probe.load_balance ov in
+            let deg = Overlay.Probe.degrees (Prng.Rng.split stream) ov ~sample:300 in
+            let congestion =
+              Overlay.Probe.congestion (Prng.Rng.split stream) ov ~searches
+            in
             [
               Table.fint n;
               name;
@@ -62,8 +63,9 @@ let run_e0 rng scale =
               Table.ffloat ~digits:1 deg.Overlay.Probe.mean;
               Table.ffloat congestion;
             ])
-        overlays)
-    ns;
+          overlays)
+  in
+  List.iter (List.iter (Table.add_row table)) blocks;
   Table.add_note table
     "load = max per-ID key-space share x n; congestion = max traversal rate x n/ln n";
   Table.add_note table
@@ -72,7 +74,7 @@ let run_e0 rng scale =
     "paths for route diversity — its payoff is retries past red groups (E16).";
   table
 
-let run_e15 rng scale =
+let run_e15 ?(jobs = 1) rng scale =
   let table =
     Table.create
       ~title:
@@ -82,26 +84,26 @@ let run_e15 rng scale =
         [ "n"; "hops mean"; "recursive msgs"; "iterative msgs"; "ratio"; "success (both)" ]
   in
   let searches = Scale.searches scale / 2 in
-  List.iter
-    (fun n ->
-      let _, g = Common.build_tiny rng ~n ~beta:0.05 () in
-      let leaders = Tinygroups.Group_graph.leaders g in
-      let rec_msgs = ref 0 and iter_msgs = ref 0 and hops = ref 0 in
-      let rec_ok = ref 0 and iter_ok = ref 0 in
-      for _ = 1 to searches do
-        let src = leaders.(Prng.Rng.int rng (Array.length leaders)) in
-        let key = Idspace.Point.random rng in
-        let r = Tinygroups.Secure_route.search g ~failure:`Majority ~src ~key in
-        let i = Tinygroups.Secure_route.search_iterative g ~failure:`Majority ~src ~key in
-        rec_msgs := !rec_msgs + r.Tinygroups.Secure_route.messages;
-        iter_msgs := !iter_msgs + i.Tinygroups.Secure_route.messages;
-        hops := !hops + List.length r.Tinygroups.Secure_route.group_path;
-        if Tinygroups.Secure_route.succeeded r then incr rec_ok;
-        if Tinygroups.Secure_route.succeeded i then incr iter_ok
-      done;
-      assert (!rec_ok = !iter_ok);
-      let f x = float_of_int x /. float_of_int searches in
-      Table.add_row table
+  let ns = match scale with Scale.Quick -> [ 1024 ] | _ -> [ 2048; 8192 ] in
+  let rows =
+    Common.map_configs rng ~jobs ns (fun n stream ->
+        let _, g = Common.build_tiny stream ~n ~beta:0.05 () in
+        let leaders = Tinygroups.Group_graph.leaders g in
+        let rec_msgs = ref 0 and iter_msgs = ref 0 and hops = ref 0 in
+        let rec_ok = ref 0 and iter_ok = ref 0 in
+        for _ = 1 to searches do
+          let src = leaders.(Prng.Rng.int stream (Array.length leaders)) in
+          let key = Idspace.Point.random stream in
+          let r = Tinygroups.Secure_route.search g ~failure:`Majority ~src ~key in
+          let i = Tinygroups.Secure_route.search_iterative g ~failure:`Majority ~src ~key in
+          rec_msgs := !rec_msgs + r.Tinygroups.Secure_route.messages;
+          iter_msgs := !iter_msgs + i.Tinygroups.Secure_route.messages;
+          hops := !hops + List.length r.Tinygroups.Secure_route.group_path;
+          if Tinygroups.Secure_route.succeeded r then incr rec_ok;
+          if Tinygroups.Secure_route.succeeded i then incr iter_ok
+        done;
+        assert (!rec_ok = !iter_ok);
+        let f x = float_of_int x /. float_of_int searches in
         [
           Table.fint n;
           Table.ffloat ~digits:1 (f !hops);
@@ -110,14 +112,15 @@ let run_e15 rng scale =
           Table.ffloat (float_of_int !iter_msgs /. float_of_int (max 1 !rec_msgs));
           Table.fpct (f !rec_ok);
         ])
-    (match scale with Scale.Quick -> [ 1024 ] | _ -> [ 2048; 8192 ]);
+  in
+  List.iter (Table.add_row table) rows;
   Table.add_note table
     "Iterative pays ~2x (round trips through the source group) for the client";
   Table.add_note table
     "keeping control of the search — the DNS-style trade-off of Appendix VI.";
   table
 
-let run_e16 rng scale =
+let run_e16 ?(jobs = 1) rng scale =
   let n = match scale with Scale.Quick -> 1024 | _ -> 4096 in
   (* A harsher adversary so that blocked searches actually occur. *)
   let beta = 0.15 in
@@ -156,18 +159,28 @@ let run_e16 rng scale =
     Tinygroups.Secure_route.succeeded
       (Tinygroups.Secure_route.search g ~failure:`Majority ~src ~key)
   in
+  (* Searches are deterministic in (graph, src, key), so the trials
+     can fan out over domains once the shared views are warmed. *)
+  Common.warm_for_sharing chord_view;
+  Array.iter Common.warm_for_sharing views;
+  let outcomes =
+    Common.map_configs rng ~jobs (Array.to_list trials) (fun (src, key) _stream ->
+        let chord_ok = succ chord_view ~src ~key in
+        let rec first_view a =
+          if a >= Array.length views then None
+          else if succ views.(a) ~src ~key then Some a
+          else first_view (a + 1)
+        in
+        (chord_ok, first_view 0))
+  in
   for attempts = 1 to 4 do
     let chord_ok = ref 0 and pp_ok = ref 0 in
-    Array.iter
-      (fun (src, key) ->
+    List.iter
+      (fun (c, first) ->
         (* Greedy chord retries the same deterministic path. *)
-        if succ chord_view ~src ~key then incr chord_ok;
-        let recovered = ref false in
-        for a = 0 to attempts - 1 do
-          if (not !recovered) && succ views.(a) ~src ~key then recovered := true
-        done;
-        if !recovered then incr pp_ok)
-      trials;
+        if c then incr chord_ok;
+        match first with Some a when a < attempts -> incr pp_ok | _ -> ())
+      outcomes;
     let pct x = Table.fpct (float_of_int x /. float_of_int searches) in
     Table.add_row table [ Table.fint attempts; pct !chord_ok; pct !pp_ok ]
   done;

@@ -8,7 +8,7 @@
     distance-halving [39] — so the constants used elsewhere are on
     the record, and Chord++'s congestion advantage is visible. *)
 
-val run_e0 : Prng.Rng.t -> Scale.t -> Table.t
+val run_e0 : ?jobs:int -> Prng.Rng.t -> Scale.t -> Table.t
 
 (** E15: recursive vs iterative search (Appendix VI).
 
@@ -16,7 +16,7 @@ val run_e0 : Prng.Rng.t -> Scale.t -> Table.t
     recursive forwarding costs [sum |G_i| |G_{i+1}|]; iterative
     round-trips cost [2 |G_src| sum |G_i|]. *)
 
-val run_e15 : Prng.Rng.t -> Scale.t -> Table.t
+val run_e15 : ?jobs:int -> Prng.Rng.t -> Scale.t -> Table.t
 
 (** E16: multi-route retries (related work [12], [26], [37]).
 
@@ -26,4 +26,4 @@ val run_e15 : Prng.Rng.t -> Scale.t -> Table.t
     blocked searches. Measured at a beta high enough to produce red
     groups. *)
 
-val run_e16 : Prng.Rng.t -> Scale.t -> Table.t
+val run_e16 : ?jobs:int -> Prng.Rng.t -> Scale.t -> Table.t

@@ -1,7 +1,7 @@
 let scheme epoch_steps =
   Pow.Identity.make_scheme ~system_key:"tinygroups-repro" ~epoch_steps
 
-let run_e6 rng scale =
+let run_e6 ?(jobs = 1) rng scale =
   let table =
     Table.create
       ~title:
@@ -23,20 +23,22 @@ let run_e6 rng scale =
   let s = scheme epoch_steps in
   let n = match scale with Scale.Quick -> 500 | _ -> 2000 in
   let bins = 16 in
-  List.iter
-    (fun beta ->
-      let evals = Pow.Budget.adversary_budget ~beta ~n ~epoch_steps in
-      let budget = Pow.Budget.create ~evals in
-      let metrics = Sim.Metrics.create () in
-      let ids = Pow.Identity.solve_all (Prng.Rng.split rng) s ~budget ~rand_string:11L ~metrics in
-      let minted = List.length ids in
-      let rate = beta /. (1. -. beta) in
-      let bound = Pow.Epoch_clock.lemma11_bound ~beta:rate ~n ~eps:0.15 in
-      let h = Stats.Histogram.create ~bins () in
-      List.iter
-        (fun c -> Stats.Histogram.add h (Idspace.Point.to_float c.Pow.Identity.id))
-        ids;
-      Table.add_row table
+  let rows =
+    Common.map_configs rng ~jobs [ 0.05; 0.10; 0.20 ] (fun beta stream ->
+        let evals = Pow.Budget.adversary_budget ~beta ~n ~epoch_steps in
+        let budget = Pow.Budget.create ~evals in
+        let metrics = Sim.Metrics.create () in
+        let ids =
+          Pow.Identity.solve_all (Prng.Rng.split stream) s ~budget ~rand_string:11L
+            ~metrics
+        in
+        let minted = List.length ids in
+        let rate = beta /. (1. -. beta) in
+        let bound = Pow.Epoch_clock.lemma11_bound ~beta:rate ~n ~eps:0.15 in
+        let h = Stats.Histogram.create ~bins () in
+        List.iter
+          (fun c -> Stats.Histogram.add h (Idspace.Point.to_float c.Pow.Identity.id))
+          ids;
         [
           Table.fint n;
           Table.ffloat beta;
@@ -47,7 +49,8 @@ let run_e6 rng scale =
           Table.ffloat ~digits:1 (Stats.Histogram.chi_square_uniform h);
           Table.ffloat ~digits:1 (Stats.Histogram.chi_square_critical_99 ~dof:(bins - 1));
         ])
-    [ 0.05; 0.10; 0.20 ];
+  in
+  List.iter (Table.add_row table) rows;
   (* The single-hash ablation: same budget, targeted placement. *)
   let beta = 0.10 in
   let evals = Pow.Budget.adversary_budget ~beta ~n ~epoch_steps in
@@ -87,7 +90,7 @@ let run_e6 rng scale =
   Table.add_note table "(its chi-square explodes): §IV-A's 'why two hash functions'.";
   table
 
-let run_e7 rng scale =
+let run_e7 ?(jobs = 1) rng scale =
   let table =
     Table.create
       ~title:
@@ -105,19 +108,25 @@ let run_e7 rng scale =
   let n = match scale with Scale.Quick -> 300 | _ -> 1000 in
   let beta = 0.10 in
   let per_epoch = Pow.Budget.adversary_budget ~beta ~n ~epoch_steps in
+  let horizons = [ 1; 2; 4; 8 ] in
+  let max_epochs = List.fold_left max 0 horizons in
+  (* The adversary's work in epoch [i] (signed by that epoch's global
+     string) is the same whatever horizon it is later judged at, so
+     solve each epoch window once and fan the windows out. *)
+  let windows =
+    Common.map_configs rng ~jobs (List.init max_epochs Fun.id) (fun i stream ->
+        let budget = Pow.Budget.create ~evals:per_epoch in
+        let metrics = Sim.Metrics.create () in
+        Pow.Identity.solve_all (Prng.Rng.split stream) s ~budget
+          ~rand_string:(Int64.of_int (1000 + i))
+          ~metrics)
+  in
   List.iter
     (fun epochs_computed ->
-      (* The adversary computes over m past epochs, each signed by
-         that epoch's global string; the verification epoch knows only
-         the current string (index m-1). *)
+      (* The verification epoch knows only the current string
+         (index m-1). *)
       let stockpile =
-        List.concat
-          (List.init epochs_computed (fun i ->
-               let budget = Pow.Budget.create ~evals:per_epoch in
-               let metrics = Sim.Metrics.create () in
-               Pow.Identity.solve_all (Prng.Rng.split rng) s ~budget
-                 ~rand_string:(Int64.of_int (1000 + i))
-                 ~metrics))
+        List.concat (List.filteri (fun i _ -> i < epochs_computed) windows)
       in
       let current = Int64.of_int (1000 + epochs_computed - 1) in
       let usable_rotating =
@@ -140,7 +149,7 @@ let run_e7 rng scale =
           Table.fint usable_rotating;
           Table.fint usable_static;
         ])
-    [ 1; 2; 4; 8 ];
+    horizons;
   Table.add_note table
     "With rotating strings only the final window's IDs survive verification;";
   Table.add_note table

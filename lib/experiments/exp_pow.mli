@@ -12,5 +12,5 @@
     but the final window's — without the strings the whole stockpile
     stays usable. *)
 
-val run_e6 : Prng.Rng.t -> Scale.t -> Table.t
-val run_e7 : Prng.Rng.t -> Scale.t -> Table.t
+val run_e6 : ?jobs:int -> Prng.Rng.t -> Scale.t -> Table.t
+val run_e7 : ?jobs:int -> Prng.Rng.t -> Scale.t -> Table.t

@@ -1,4 +1,4 @@
-let run_e19 rng scale =
+let run_e19 ?(jobs = 1) rng scale =
   let n = match scale with Scale.Quick -> 512 | _ -> 1024 in
   let searches = match scale with Scale.Quick -> 60 | _ -> 200 in
   let table =
@@ -22,37 +22,43 @@ let run_e19 rng scale =
         ]
   in
   let latency = Sim.Latency.lognormal_like ~median:40 ~sigma:0.6 in
-  List.iter
-    (fun (beta, behaviour, bname) ->
-      let _, g = Common.build_tiny rng ~n ~beta () in
-      let leaders = Tinygroups.Group_graph.leaders g in
-      let ok = ref 0 and hij = ref 0 and timeout = ref 0 and agree = ref 0 in
-      let proto_msgs = ref 0 and analytic_msgs = ref 0 in
-      let lats = Array.make searches 0. in
-      for i = 0 to searches - 1 do
-        let src = leaders.(Prng.Rng.int rng (Array.length leaders)) in
-        let key = Idspace.Point.random rng in
-        let o =
-          Protocol.Secure_search.run_search (Prng.Rng.split rng) g ~latency ~behaviour
-            ~src ~key ()
-        in
-        let analytic = Tinygroups.Secure_route.search g ~failure:`Majority ~src ~key in
-        let a_ok = Tinygroups.Secure_route.succeeded analytic in
-        proto_msgs := !proto_msgs + o.Protocol.Secure_search.messages;
-        analytic_msgs := !analytic_msgs + analytic.Tinygroups.Secure_route.messages;
-        lats.(i) <- float_of_int o.Protocol.Secure_search.latency_ms;
-        match o.Protocol.Secure_search.result with
-        | `Resolved _ ->
-            incr ok;
-            if a_ok then incr agree
-        | `Hijacked _ ->
-            incr hij;
-            if not a_ok then incr agree
-        | `Timeout ->
-            incr timeout;
-            if not a_ok then incr agree
-      done;
-      Table.add_row table
+  let configs =
+    [
+      (0.05, Protocol.Secure_search.Silent, "silent");
+      (0.05, Protocol.Secure_search.Colluding, "colluding");
+      (0.15, Protocol.Secure_search.Colluding, "colluding");
+    ]
+  in
+  let rows =
+    Common.map_configs rng ~jobs configs (fun (beta, behaviour, bname) stream ->
+        let _, g = Common.build_tiny stream ~n ~beta () in
+        let leaders = Tinygroups.Group_graph.leaders g in
+        let ok = ref 0 and hij = ref 0 and timeout = ref 0 and agree = ref 0 in
+        let proto_msgs = ref 0 and analytic_msgs = ref 0 in
+        let lats = Array.make searches 0. in
+        for i = 0 to searches - 1 do
+          let src = leaders.(Prng.Rng.int stream (Array.length leaders)) in
+          let key = Idspace.Point.random stream in
+          let o =
+            Protocol.Secure_search.run_search (Prng.Rng.split stream) g ~latency
+              ~behaviour ~src ~key ()
+          in
+          let analytic = Tinygroups.Secure_route.search g ~failure:`Majority ~src ~key in
+          let a_ok = Tinygroups.Secure_route.succeeded analytic in
+          proto_msgs := !proto_msgs + o.Protocol.Secure_search.messages;
+          analytic_msgs := !analytic_msgs + analytic.Tinygroups.Secure_route.messages;
+          lats.(i) <- float_of_int o.Protocol.Secure_search.latency_ms;
+          match o.Protocol.Secure_search.result with
+          | `Resolved _ ->
+              incr ok;
+              if a_ok then incr agree
+          | `Hijacked _ ->
+              incr hij;
+              if not a_ok then incr agree
+          | `Timeout ->
+              incr timeout;
+              if not a_ok then incr agree
+        done;
         [
           Table.ffloat beta;
           bname;
@@ -64,11 +70,8 @@ let run_e19 rng scale =
           Table.ffloat ~digits:0 (float_of_int !analytic_msgs /. float_of_int searches);
           Table.ffloat ~digits:0 (Stats.Descriptive.quantile lats 0.5);
         ])
-    [
-      (0.05, Protocol.Secure_search.Silent, "silent");
-      (0.05, Protocol.Secure_search.Colluding, "colluding");
-      (0.15, Protocol.Secure_search.Colluding, "colluding");
-    ];
+  in
+  List.iter (Table.add_row table) rows;
   Table.add_note table
     "Protocol messages exceed the analytic floor (clients fan out, replies return,";
   Table.add_note table

@@ -7,4 +7,4 @@
     measured message count against the [sum |G_i||G_(i+1)|]
     accounting. *)
 
-val run_e19 : Prng.Rng.t -> Scale.t -> Table.t
+val run_e19 : ?jobs:int -> Prng.Rng.t -> Scale.t -> Table.t

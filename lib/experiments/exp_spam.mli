@@ -11,4 +11,4 @@
     request lands and per-victim state grows linearly with the spam
     volume. *)
 
-val run_e14 : Prng.Rng.t -> Scale.t -> Table.t
+val run_e14 : ?jobs:int -> Prng.Rng.t -> Scale.t -> Table.t

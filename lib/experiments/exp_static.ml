@@ -1,4 +1,4 @@
-let run_e1 rng scale =
+let run_e1 ?(jobs = 1) rng scale =
   let table =
     Table.create
       ~title:
@@ -8,42 +8,62 @@ let run_e1 rng scale =
         [ "n"; "beta"; "|G| mean"; "hijacked"; "weak"; "red(strict)"; "predicted"; "trials" ]
   in
   let trials = Scale.trials scale in
-  List.iter
-    (fun n ->
-      List.iter
-        (fun beta ->
-          let hij = ref 0 and weak = ref 0 and red = ref 0 and total = ref 0 in
-          let size_acc = ref 0. in
-          for _ = 1 to trials do
-            let _, g = Common.build_tiny rng ~n ~beta () in
-            let c = Tinygroups.Group_graph.census g in
+  let configs =
+    List.concat_map
+      (fun n -> List.map (fun beta -> (n, beta)) [ 0.02; 0.05; 0.10 ])
+      (Scale.n_sweep scale)
+  in
+  (* One work item per (n, beta, trial): every build is independent. *)
+  let work = List.concat_map (fun c -> List.init trials (fun _ -> c)) configs in
+  let measured =
+    Common.map_configs rng ~jobs work (fun (n, beta) stream ->
+        let _, g = Common.build_tiny stream ~n ~beta () in
+        let c = Tinygroups.Group_graph.census g in
+        (c, Tinygroups.Group_graph.mean_group_size g))
+  in
+  let rec split_at k l =
+    if k = 0 then ([], l)
+    else match l with [] -> ([], []) | x :: r ->
+      let a, b = split_at (k - 1) r in
+      (x :: a, b)
+  in
+  let rec per_config configs results =
+    match configs with
+    | [] -> ()
+    | (n, beta) :: rest ->
+        let mine, remaining = split_at trials results in
+        let hij = ref 0 and weak = ref 0 and red = ref 0 and total = ref 0 in
+        let size_acc = ref 0. in
+        List.iter
+          (fun ((c : Tinygroups.Group_graph.census), size) ->
             hij := !hij + c.Tinygroups.Group_graph.hijacked_;
             weak := !weak + c.Tinygroups.Group_graph.weak;
             red := !red + c.Tinygroups.Group_graph.red;
             total := !total + c.Tinygroups.Group_graph.total;
-            size_acc := !size_acc +. Tinygroups.Group_graph.mean_group_size g
-          done;
-          let mean_size = !size_acc /. float_of_int trials in
-          let g_int = int_of_float (Float.round mean_size) in
-          (* Majority loss needs strictly more than half the members
-             bad; the effective per-member badness includes the load
-             imbalance premium of P2 (measured ~1.15x at these n). *)
-          let predicted =
-            Stats.Bounds.binomial_tail_ge ~n:g_int ~p:(beta *. 1.15) ~k:((g_int / 2) + 1)
-          in
-          Table.add_row table
-            [
-              Table.fint n;
-              Table.ffloat beta;
-              Table.ffloat ~digits:1 mean_size;
-              Table.fpct (float_of_int !hij /. float_of_int !total);
-              Table.fpct (float_of_int !weak /. float_of_int !total);
-              Table.fpct (float_of_int !red /. float_of_int !total);
-              Table.fpct predicted;
-              Table.fint trials;
-            ])
-        [ 0.02; 0.05; 0.10 ])
-    (Scale.n_sweep scale);
+            size_acc := !size_acc +. size)
+          mine;
+        let mean_size = !size_acc /. float_of_int trials in
+        let g_int = int_of_float (Float.round mean_size) in
+        (* Majority loss needs strictly more than half the members
+           bad; the effective per-member badness includes the load
+           imbalance premium of P2 (measured ~1.15x at these n). *)
+        let predicted =
+          Stats.Bounds.binomial_tail_ge ~n:g_int ~p:(beta *. 1.15) ~k:((g_int / 2) + 1)
+        in
+        Table.add_row table
+          [
+            Table.fint n;
+            Table.ffloat beta;
+            Table.ffloat ~digits:1 mean_size;
+            Table.fpct (float_of_int !hij /. float_of_int !total);
+            Table.fpct (float_of_int !weak /. float_of_int !total);
+            Table.fpct (float_of_int !red /. float_of_int !total);
+            Table.fpct predicted;
+            Table.fint trials;
+          ];
+        per_config rest remaining
+  in
+  per_config configs measured;
   Table.add_note table
     "hijacked = lost good majority (operational red); red(strict) adds the paper's";
   Table.add_note
@@ -51,7 +71,7 @@ let run_e1 rng scale =
     "asymptotic (1+delta)beta tolerance, which at these n rejects any bad member.";
   table
 
-let run_e2 rng scale =
+let run_e2 ?(jobs = 1) rng scale =
   let table =
     Table.create
       ~title:
@@ -60,38 +80,40 @@ let run_e2 rng scale =
         [ "n"; "overlay"; "beta"; "success"; "95% CI"; "hops"; "msgs/search"; "1 - D*pf" ]
   in
   let searches = Scale.searches scale in
-  List.iter
-    (fun n ->
-      List.iter
-        (fun (name, kind) ->
-          List.iter
-            (fun beta ->
-              let _, g = Common.build_tiny rng ~overlay:kind ~n ~beta () in
-              let r =
-                Tinygroups.Robustness.search_success (Prng.Rng.split rng) g
-                  ~failure:`Majority ~samples:searches
-              in
-              let c = Tinygroups.Group_graph.census g in
-              let pf =
-                float_of_int
-                  (c.Tinygroups.Group_graph.hijacked_ + c.Tinygroups.Group_graph.confused_)
-                /. float_of_int c.Tinygroups.Group_graph.total
-              in
-              let predicted = Float.max 0. (1. -. (r.mean_group_hops *. pf)) in
-              Table.add_row table
-                [
-                  Table.fint n;
-                  name;
-                  Table.ffloat beta;
-                  Table.fpct r.success_rate;
-                  Format.asprintf "%a" Stats.Ci.pp r.ci;
-                  Table.ffloat ~digits:1 r.mean_group_hops;
-                  Table.ffloat ~digits:0 r.mean_messages;
-                  Table.fpct predicted;
-                ])
-            [ 0.05; 0.10 ])
-        [ ("chord", Tinygroups.Epoch.Chord); ("debruijn", Tinygroups.Epoch.Debruijn) ])
-    (Scale.n_sweep scale);
+  let configs =
+    List.concat_map
+      (fun n ->
+        List.concat_map
+          (fun ov -> List.map (fun beta -> (n, ov, beta)) [ 0.05; 0.10 ])
+          [ ("chord", Tinygroups.Epoch.Chord); ("debruijn", Tinygroups.Epoch.Debruijn) ])
+      (Scale.n_sweep scale)
+  in
+  let rows =
+    Common.map_configs rng ~jobs configs (fun (n, (name, kind), beta) stream ->
+        let _, g = Common.build_tiny stream ~overlay:kind ~n ~beta () in
+        let r =
+          Tinygroups.Robustness.search_success (Prng.Rng.split stream) g
+            ~failure:`Majority ~samples:searches
+        in
+        let c = Tinygroups.Group_graph.census g in
+        let pf =
+          float_of_int
+            (c.Tinygroups.Group_graph.hijacked_ + c.Tinygroups.Group_graph.confused_)
+          /. float_of_int c.Tinygroups.Group_graph.total
+        in
+        let predicted = Float.max 0. (1. -. (r.mean_group_hops *. pf)) in
+        [
+          Table.fint n;
+          name;
+          Table.ffloat beta;
+          Table.fpct r.success_rate;
+          Format.asprintf "%a" Stats.Ci.pp r.ci;
+          Table.ffloat ~digits:1 r.mean_group_hops;
+          Table.ffloat ~digits:0 r.mean_messages;
+          Table.fpct predicted;
+        ])
+  in
+  List.iter (Table.add_row table) rows;
   Table.add_note table
     "1 - D*pf is the union-bound prediction with the measured red rate pf.";
   table

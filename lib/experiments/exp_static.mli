@@ -11,5 +11,7 @@
     of a search from a random good group for a random key, per input
     graph, with the union-bound prediction [1 - D p_f] alongside. *)
 
-val run_e1 : Prng.Rng.t -> Scale.t -> Table.t
-val run_e2 : Prng.Rng.t -> Scale.t -> Table.t
+val run_e1 : ?jobs:int -> Prng.Rng.t -> Scale.t -> Table.t
+val run_e2 : ?jobs:int -> Prng.Rng.t -> Scale.t -> Table.t
+(** [?jobs] (default 1) bounds the domains used for the independent
+    builds/trials; the table is identical for every value. *)

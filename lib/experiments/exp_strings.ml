@@ -1,4 +1,4 @@
-let run_e8 rng scale =
+let run_e8 ?(jobs = 1) rng scale =
   let table =
     Table.create
       ~title:
@@ -18,14 +18,13 @@ let run_e8 rng scale =
         ]
   in
   let epoch_steps = 4096 in
-  List.iter
-    (fun n ->
-      let _, g = Common.build_tiny rng ~n ~beta:0.05 () in
-      let r =
-        Randstring.Propagate.run (Prng.Rng.split rng) g ~epoch_steps
-          Randstring.Propagate.default_config
-      in
-      Table.add_row table
+  let rows =
+    Common.map_configs rng ~jobs (Scale.n_sweep scale) (fun n stream ->
+        let _, g = Common.build_tiny stream ~n ~beta:0.05 () in
+        let r =
+          Randstring.Propagate.run (Prng.Rng.split stream) g ~epoch_steps
+            Randstring.Propagate.default_config
+        in
         [
           Table.fint n;
           Table.fint r.Randstring.Propagate.participants;
@@ -40,7 +39,8 @@ let run_e8 rng scale =
             (float_of_int r.Randstring.Propagate.forwards
             /. float_of_int (max 1 r.Randstring.Propagate.participants));
         ])
-    (Scale.n_sweep scale);
+  in
+  List.iter (Table.add_row table) rows;
   Table.add_note table
     "agreement = every participant's signing string s* is in every solution set";
   Table.add_note table

@@ -6,4 +6,4 @@
     solution set, [|R| = O(ln n)], and the message complexity
     [~O(n ln T)] (reported per participant to exhibit flatness). *)
 
-val run_e8 : Prng.Rng.t -> Scale.t -> Table.t
+val run_e8 : ?jobs:int -> Prng.Rng.t -> Scale.t -> Table.t

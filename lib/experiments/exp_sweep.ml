@@ -1,4 +1,4 @@
-let run_e10 rng scale =
+let run_e10 ?(jobs = 1) rng scale =
   let n = match scale with Scale.Quick -> 2048 | Scale.Standard -> 8192 | Scale.Full -> 16384 in
   let table =
     Table.create
@@ -41,21 +41,20 @@ let run_e10 rng scale =
     in
     List.sort_uniq compare (List.filter (fun g -> g >= 2) candidates)
   in
-  List.iter
-    (fun size ->
-      let sizing = Tinygroups.Params.Fixed size in
-      let _, g = Common.build_sized rng ~sizing ~n ~beta () in
-      let c = Tinygroups.Group_graph.census g in
-      let pf =
-        float_of_int c.Tinygroups.Group_graph.hijacked_
-        /. float_of_int c.Tinygroups.Group_graph.total
-      in
-      let r =
-        Tinygroups.Robustness.search_success (Prng.Rng.split rng) g ~failure:`Majority
-          ~samples:searches
-      in
-      let union_bound = r.mean_group_hops *. pf in
-      Table.add_row table
+  let rows =
+    Common.map_configs rng ~jobs sizes (fun size stream ->
+        let sizing = Tinygroups.Params.Fixed size in
+        let _, g = Common.build_sized stream ~sizing ~n ~beta () in
+        let c = Tinygroups.Group_graph.census g in
+        let pf =
+          float_of_int c.Tinygroups.Group_graph.hijacked_
+          /. float_of_int c.Tinygroups.Group_graph.total
+        in
+        let r =
+          Tinygroups.Robustness.search_success (Prng.Rng.split stream) g
+            ~failure:`Majority ~samples:searches
+        in
+        let union_bound = r.mean_group_hops *. pf in
         [
           Table.fint size;
           Table.fpct pf;
@@ -64,7 +63,8 @@ let run_e10 rng scale =
           Table.fint (size * size);
           landmarks (float_of_int size);
         ])
-    sizes;
+  in
+  List.iter (Table.add_row table) rows;
   Table.add_note table
     "The success knee sits between lnln n and d2 lnln n: below it D*pf >= 1 and";
   Table.add_note table

@@ -9,4 +9,4 @@
     quadratically. The knee of this curve is the paper's whole
     point. *)
 
-val run_e10 : Prng.Rng.t -> Scale.t -> Table.t
+val run_e10 : ?jobs:int -> Prng.Rng.t -> Scale.t -> Table.t

@@ -1,4 +1,4 @@
-let run_e20 rng scale =
+let run_e20 ?(jobs = 1) rng scale =
   let n = Scale.dynamic_n scale in
   (* Divergence needs a few epochs to express itself. *)
   let epochs = match scale with Scale.Quick -> 5 | _ -> 8 in
@@ -31,46 +31,45 @@ let run_e20 rng scale =
         Float.min 0.45 (critical +. 0.05);
       ]
   in
-  List.iter
-    (fun beta ->
-      let m = { model with Tinygroups.Theory.beta } in
-      let fp = Tinygroups.Theory.fixed_point m in
-      let cfg =
-        {
-          (Tinygroups.Epoch.default_config ~n) with
-          Tinygroups.Epoch.params =
-            { Tinygroups.Params.default with Tinygroups.Params.beta };
-        }
-      in
-      let e = Tinygroups.Epoch.init (Prng.Rng.split rng) cfg in
-      for _ = 1 to epochs do
-        Tinygroups.Epoch.advance e
-      done;
-      (* Operational red fraction: groups the adversary controls
-         (lost majority or confused links). *)
-      let g = Tinygroups.Epoch.primary e in
-      let leaders = Tinygroups.Group_graph.leaders g in
-      let red =
-        Array.fold_left
-          (fun acc w -> if Tinygroups.Group_graph.hijacked g w then acc + 1 else acc)
-          0 leaders
-      in
-      let measured = float_of_int red /. float_of_int (Array.length leaders) in
-      let predicted_stable = match fp with `Stable _ -> true | `Diverges -> false in
-      let measured_stable = measured < 0.2 in
-      let verdict =
-        match (predicted_stable, measured_stable) with
-        | true, true | false, false -> "theory = sim"
-        | false, true ->
-            (* The map diverges, but collapse must first nucleate: a
-               bad-majority group has to appear, and the expected
-               number per epoch is p0 * n. Below 1, the onset is a
-               geometric waiting time longer than this run. *)
-            Printf.sprintf "nucleating (p0*n=%.2f/epoch)"
-              (Tinygroups.Theory.p0 m *. float_of_int n)
-        | true, false -> "MISMATCH"
-      in
-      Table.add_row table
+  let rows =
+    Common.map_configs rng ~jobs betas (fun beta stream ->
+        let m = { model with Tinygroups.Theory.beta } in
+        let fp = Tinygroups.Theory.fixed_point m in
+        let cfg =
+          {
+            (Tinygroups.Epoch.default_config ~n) with
+            Tinygroups.Epoch.params =
+              { Tinygroups.Params.default with Tinygroups.Params.beta };
+          }
+        in
+        let e = Tinygroups.Epoch.init (Prng.Rng.split stream) cfg in
+        for _ = 1 to epochs do
+          Tinygroups.Epoch.advance e
+        done;
+        (* Operational red fraction: groups the adversary controls
+           (lost majority or confused links). *)
+        let g = Tinygroups.Epoch.primary e in
+        let leaders = Tinygroups.Group_graph.leaders g in
+        let red =
+          Array.fold_left
+            (fun acc w -> if Tinygroups.Group_graph.hijacked g w then acc + 1 else acc)
+            0 leaders
+        in
+        let measured = float_of_int red /. float_of_int (Array.length leaders) in
+        let predicted_stable = match fp with `Stable _ -> true | `Diverges -> false in
+        let measured_stable = measured < 0.2 in
+        let verdict =
+          match (predicted_stable, measured_stable) with
+          | true, true | false, false -> "theory = sim"
+          | false, true ->
+              (* The map diverges, but collapse must first nucleate: a
+                 bad-majority group has to appear, and the expected
+                 number per epoch is p0 * n. Below 1, the onset is a
+                 geometric waiting time longer than this run. *)
+              Printf.sprintf "nucleating (p0*n=%.2f/epoch)"
+                (Tinygroups.Theory.p0 m *. float_of_int n)
+          | true, false -> "MISMATCH"
+        in
         [
           Table.ffloat ~digits:3 beta;
           Table.fsci (Tinygroups.Theory.p0 m);
@@ -83,7 +82,8 @@ let run_e20 rng scale =
           Table.fpct measured;
           verdict;
         ])
-    betas;
+  in
+  List.iter (Table.add_row table) rows;
   Table.add_note table
     (Printf.sprintf
        "Model: g=%d, D=%.1f, |L_w|=%.1f; predicted critical beta = %.3f; predicted"

@@ -8,4 +8,4 @@
     boundary the theory names should be where the simulation actually
     falls over. *)
 
-val run_e20 : Prng.Rng.t -> Scale.t -> Table.t
+val run_e20 : ?jobs:int -> Prng.Rng.t -> Scale.t -> Table.t

@@ -1,0 +1,38 @@
+type kind =
+  | Table of (jobs:int -> Prng.Rng.t -> Scale.t -> Table.t)
+  | Text of (Prng.Rng.t -> string)
+
+type spec = { id : string; doc : string; kind : kind }
+
+let table id doc run =
+  { id; doc; kind = Table (fun ~jobs rng scale -> run ?jobs:(Some jobs) rng scale) }
+
+let all =
+  [
+    table "e0" "Input-graph properties P1-P4 per construction (SI-C)." Exp_overlay.run_e0;
+    table "e1" "Red-group fraction vs n and beta (SII)." Exp_static.run_e1;
+    table "e2" "Search success rates (Lemma 4 / Theorem 3)." Exp_static.run_e2;
+    table "e3" "Cost comparison vs log-groups and flat (Corollary 1)." Exp_costs.run_e3;
+    table "e4" "Paired epochs under full turnover (SIII)." Exp_dynamic.run_e4;
+    table "e5" "Single-graph ablation (SIII)." Exp_dynamic.run_e5;
+    table "e6" "PoW ID bound and uniformity (Lemma 11)." Exp_pow.run_e6;
+    table "e7" "Pre-computation attack (SIV-B)." Exp_pow.run_e7;
+    table "e8" "Random-string propagation (Lemma 12)." Exp_strings.run_e8;
+    table "e9" "Per-ID state costs (Lemma 10)." Exp_costs.run_e9;
+    table "e10" "Group-size sweep: the lnln n knee (SI-D)." Exp_sweep.run_e10;
+    table "e11" "Cuckoo-rule baseline under join-leave attack ([47])." Exp_cuckoo.run_e11;
+    table "e12" "Bootstrap pools (Appendix IX)." Exp_bootstrap.run_e12;
+    table "e13" "Epoch protocol with drifting system size (SIII extension)."
+      Exp_drift.run_e13;
+    table "e14" "Request-verification ablation (Lemma 10)." Exp_spam.run_e14;
+    table "e15" "Recursive vs iterative search (Appendix VI)." Exp_overlay.run_e15;
+    table "e16" "Multi-route retries via salted chord++." Exp_overlay.run_e16;
+    table "e17" "WAN latency of secure routing vs group size ([51])."
+      Exp_latency.run_e17;
+    table "e18" "Per-event join/departure cost (footnote 13)." Exp_events.run_e18;
+    table "e19" "Member-level protocol vs the analytic model." Exp_protocol.run_e19;
+    table "e20" "Epoch recursion: theory vs measured collapse." Exp_theory.run_e20;
+    { id = "f1"; doc = "Figure 1 rendered as a search trace."; kind = Text Exp_figure1.render };
+  ]
+
+let find id = List.find_opt (fun s -> s.id = id) all

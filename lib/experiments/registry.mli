@@ -1,0 +1,27 @@
+(** The canonical experiment registry.
+
+    One entry per reproduction artifact (E0-E20 and the Figure 1
+    trace). Both drivers — the benchmark harness and the Cmdliner CLI
+    — iterate {!all} rather than keeping their own lists, so adding
+    an experiment here is the only step needed to surface it
+    everywhere (see DESIGN.md §4). *)
+
+type kind =
+  | Table of (jobs:int -> Prng.Rng.t -> Scale.t -> Table.t)
+      (** A table-producing experiment. [jobs] is the worker-domain
+          count for its internal fan-out; output is identical for
+          every value of [jobs] under the same seed. *)
+  | Text of (Prng.Rng.t -> string)
+      (** A free-form text artifact (Figure 1's search trace). *)
+
+type spec = {
+  id : string;  (** Lowercase command name, e.g. ["e4"] or ["f1"]. *)
+  doc : string;  (** One-line description (CLI doc string / bench header). *)
+  kind : kind;
+}
+
+val all : spec list
+(** Every experiment, in canonical run order. *)
+
+val find : string -> spec option
+(** [find id] looks up an experiment by its lowercase id. *)

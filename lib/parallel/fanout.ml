@@ -1,0 +1,18 @@
+(* An explicit loop: the split order must be the item order, which
+   Array.init does not guarantee. *)
+let streams rng n =
+  if n = 0 then [||]
+  else begin
+    let a = Array.make n rng in
+    for i = 0 to n - 1 do
+      a.(i) <- Prng.Rng.split rng
+    done;
+    a
+  end
+
+let mapi pool rng items ~f =
+  let ss = streams rng (List.length items) in
+  let indexed = List.mapi (fun i x -> (i, x)) items in
+  Pool.map pool (fun (i, x) -> f i x ss.(i)) indexed
+
+let map pool rng items ~f = mapi pool rng items ~f:(fun _ x s -> f x s)

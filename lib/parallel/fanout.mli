@@ -1,0 +1,22 @@
+(** Deterministic PRNG fan-out for parallel trials.
+
+    Each work item gets its own SplitMix-derived {!Prng.Rng.t}
+    substream, and every substream is split off the parent {e before}
+    any work is scheduled, in item order. The derivation therefore
+    depends only on the parent's state and the number of items — not
+    on the pool size or on how the scheduler interleaves domains —
+    which is what makes a [--jobs n] run bit-identical to the
+    sequential one. *)
+
+val streams : Prng.Rng.t -> int -> Prng.Rng.t array
+(** [streams rng n] splits [n] independent substreams off [rng]
+    (advancing it), one per trial index. *)
+
+val map : Pool.t -> Prng.Rng.t -> 'a list -> f:('a -> Prng.Rng.t -> 'b) -> 'b list
+(** [map pool rng items ~f] runs [f item stream] for every item on
+    the pool, handing item [i] the [i]-th stream of {!streams}, and
+    returns results in item order. [f] must confine its mutation to
+    the stream it is handed and to values it creates itself. *)
+
+val mapi : Pool.t -> Prng.Rng.t -> 'a list -> f:(int -> 'a -> Prng.Rng.t -> 'b) -> 'b list
+(** Like {!map}, also passing the item index. *)

@@ -1,5 +1,8 @@
 type t = (string, int ref) Hashtbl.t
 
+type snapshot = (string * int) list
+(* Invariant: sorted by name, no duplicate names. *)
+
 let create () = Hashtbl.create 32
 
 let cell t name =
@@ -13,14 +16,38 @@ let cell t name =
 let incr t name = Stdlib.incr (cell t name)
 let add t name k = cell t name |> fun r -> r := !r + k
 let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
-let reset t = Hashtbl.iter (fun _ r -> r := 0) t
+
+let merge dst src = Hashtbl.iter (fun name r -> add dst name !r) src
 
 let snapshot t =
   Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let pp fmt t =
-  List.iter (fun (name, v) -> Format.fprintf fmt "%-24s %d@." name v) (snapshot t)
+let of_snapshot s =
+  let t = create () in
+  List.iter (fun (name, v) -> add t name v) s;
+  t
+
+(* Merge-walk of two sorted assoc lists. *)
+let rec diff later earlier =
+  match (later, earlier) with
+  | [], [] -> []
+  | (n, v) :: rest, [] -> (n, v) :: diff rest []
+  | [], (n, v) :: rest -> (n, -v) :: diff [] rest
+  | (ln, lv) :: lrest, (en, ev) :: erest ->
+      let c = String.compare ln en in
+      if c = 0 then (ln, lv - ev) :: diff lrest erest
+      else if c < 0 then (ln, lv) :: diff lrest earlier
+      else (en, -ev) :: diff later erest
+
+let found s name = match List.assoc_opt name s with Some v -> v | None -> 0
+
+let to_list s = s
+
+let pp_snapshot fmt s =
+  List.iter (fun (name, v) -> Format.fprintf fmt "%-24s %d@." name v) s
+
+let pp fmt t = pp_snapshot fmt (snapshot t)
 
 let msg_group_comm = "msg.group_comm"
 let msg_routing = "msg.routing"

@@ -2,8 +2,15 @@
 
     The paper's claims are cost claims — message complexity of group
     communication, secure routing and string propagation, and per-ID
-    state. Components increment named counters here; experiment
-    harnesses snapshot and reset them around each measured phase. *)
+    state. Components increment named counters on a mutable {!t};
+    harnesses read measured phases out as immutable {!snapshot}s and
+    subtract them with {!diff} (rather than resetting a shared
+    instance between phases, which loses history and cannot tolerate
+    concurrent phases).
+
+    A [t] must stay confined to one domain. Parallel trials give each
+    trial its own [t] and fold the results back into the parent's
+    with {!merge} — see [Experiments.Common.run_trials]. *)
 
 type t
 
@@ -15,13 +22,35 @@ val add : t -> string -> int -> unit
 val get : t -> string -> int
 (** 0 for never-touched counters. *)
 
-val reset : t -> unit
-(** Zero every counter. *)
+val merge : t -> t -> unit
+(** [merge dst src] adds every counter of [src] into [dst], leaving
+    [src] untouched. *)
 
-val snapshot : t -> (string * int) list
+(** {1 Immutable views} *)
+
+type snapshot
+(** Counter values frozen at one instant. *)
+
+val snapshot : t -> snapshot
+
+val of_snapshot : snapshot -> t
+(** A fresh mutable accumulator starting from frozen values. *)
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff later earlier] is the per-counter difference — the cost of
+    the phase between the two snapshots. Counters absent from one
+    side count as 0. *)
+
+val found : snapshot -> string -> int
+(** Value of one counter in a snapshot; 0 when absent. *)
+
+val to_list : snapshot -> (string * int) list
 (** All counters, sorted by name. *)
 
+val pp_snapshot : Format.formatter -> snapshot -> unit
+
 val pp : Format.formatter -> t -> unit
+(** [pp fmt t] is [pp_snapshot fmt (snapshot t)]. *)
 
 (** Conventional counter names used across the libraries. *)
 

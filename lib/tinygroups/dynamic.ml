@@ -75,7 +75,7 @@ let join rng metrics g ~old_pair ~member_oracle ~id ~bad =
   let new_pop = if bad then Population.add_bad pop id else Population.add_good pop id in
   let new_ring = Population.ring new_pop in
   let new_overlay = rebuild_overlay g.Group_graph.overlay new_ring in
-  let before = Sim.Metrics.get metrics Sim.Metrics.msg_membership in
+  let before = Sim.Metrics.snapshot metrics in
   let searches = ref 0 in
   (* 1. Solicit members for the newcomer's group through the old
      graphs (each solicitation is up to four routed searches: a dual
@@ -127,7 +127,10 @@ let join rng metrics g ~old_pair ~member_oracle ~id ~bad =
   let cost =
     {
       searches = !searches;
-      messages = Sim.Metrics.get metrics Sim.Metrics.msg_membership - before;
+      messages =
+        Sim.Metrics.found
+          (Sim.Metrics.diff (Sim.Metrics.snapshot metrics) before)
+          Sim.Metrics.msg_membership;
       affected_groups = List.length captured;
       member_updates = Group.size grp;
     }

@@ -1,0 +1,139 @@
+(* The Domain pool, deterministic fan-out, and the jobs-invariance of
+   the experiment layer: the same seed must yield byte-identical
+   experiment tables whatever --jobs is. *)
+
+let test_pool_map_order () =
+  Parallel.Pool.with_pool ~jobs:4 (fun pool ->
+      let out = Parallel.Pool.map pool (fun x -> x * x) [ 1; 2; 3; 4; 5; 6; 7 ] in
+      Alcotest.(check (list int)) "input order" [ 1; 4; 9; 16; 25; 36; 49 ] out)
+
+let test_pool_empty () =
+  Parallel.Pool.with_pool ~jobs:3 (fun pool ->
+      Alcotest.(check (list int)) "empty input" [] (Parallel.Pool.map pool succ []))
+
+let test_pool_more_jobs_than_items () =
+  Parallel.Pool.with_pool ~jobs:8 (fun pool ->
+      Alcotest.(check (list int))
+        "jobs > items" [ 2; 3 ]
+        (Parallel.Pool.map pool succ [ 1; 2 ]))
+
+exception Boom of int
+
+let test_pool_exception () =
+  Parallel.Pool.with_pool ~jobs:4 (fun pool ->
+      match
+        Parallel.Pool.map pool
+          (fun x -> if x mod 3 = 0 then raise (Boom x) else x)
+          [ 1; 2; 3; 4; 5; 6 ]
+      with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Boom x ->
+          (* The earliest failing index wins, deterministically. *)
+          Alcotest.(check int) "earliest failure" 3 x);
+  (* The pool survives a failed batch. *)
+  Parallel.Pool.with_pool ~jobs:4 (fun pool ->
+      Alcotest.(check (list int))
+        "pool usable after raise" [ 2; 4; 6 ]
+        (Parallel.Pool.map pool (fun x -> 2 * x) [ 1; 2; 3 ]))
+
+let test_pool_reuse_after_exception_same_pool () =
+  Parallel.Pool.with_pool ~jobs:2 (fun pool ->
+      (match Parallel.Pool.map pool (fun _ -> failwith "boom") [ 1 ] with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Failure _ -> ());
+      Alcotest.(check (list int))
+        "same pool, next batch" [ 10 ]
+        (Parallel.Pool.map pool (fun x -> 10 * x) [ 1 ]))
+
+let test_fanout_streams_deterministic () =
+  let draws rng = List.init 3 (fun _ -> Prng.Rng.int rng 1_000_000) in
+  let a = Parallel.Fanout.streams (Prng.Rng.create 42) 5 in
+  let b = Parallel.Fanout.streams (Prng.Rng.create 42) 5 in
+  Array.iteri
+    (fun i sa ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "stream %d" i)
+        (draws sa) (draws b.(i)))
+    a
+
+let test_fanout_map_jobs_invariant () =
+  let run jobs =
+    Parallel.Pool.with_pool ~jobs (fun pool ->
+        Parallel.Fanout.map pool (Prng.Rng.create 7)
+          [ 10; 20; 30; 40; 50 ]
+          ~f:(fun x stream -> x + Prng.Rng.int stream 1000))
+  in
+  let seq = run 1 in
+  Alcotest.(check (list int)) "jobs=2 = jobs=1" seq (run 2);
+  Alcotest.(check (list int)) "jobs=4 = jobs=1" seq (run 4)
+
+let test_metrics_merge_across_domains () =
+  let parts =
+    Parallel.Pool.with_pool ~jobs:4 (fun pool ->
+        Parallel.Pool.map pool
+          (fun k ->
+            let m = Sim.Metrics.create () in
+            for _ = 1 to k do
+              Sim.Metrics.incr m "work"
+            done;
+            m)
+          [ 1; 2; 3; 4 ])
+  in
+  let total = Sim.Metrics.create () in
+  List.iter (Sim.Metrics.merge total) parts;
+  Alcotest.(check int) "merged sum" 10 (Sim.Metrics.get total "work")
+
+(* The tentpole guarantee: experiment tables are a pure function of
+   the seed, independent of the jobs count. Rendered output includes
+   every cell and note, so string equality is the strongest check. *)
+let table_invariant name run () =
+  let render jobs = Experiments.Table.render (run ~jobs (Prng.Rng.create 1) Experiments.Scale.Quick) in
+  let seq = render 1 in
+  Alcotest.(check string) (name ^ ": jobs=2") seq (render 2);
+  Alcotest.(check string) (name ^ ": jobs=4") seq (render 4)
+
+let test_registry_complete () =
+  let ids = List.map (fun s -> s.Experiments.Registry.id) Experiments.Registry.all in
+  let expected =
+    List.init 21 (fun i -> Printf.sprintf "e%d" i) @ [ "f1" ]
+  in
+  Alcotest.(check (list string)) "canonical ids" expected ids;
+  Alcotest.(check bool) "find e4" true (Experiments.Registry.find "e4" <> None);
+  Alcotest.(check bool) "find nonsense" true (Experiments.Registry.find "e99" = None)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map keeps input order" `Quick test_pool_map_order;
+          Alcotest.test_case "empty input" `Quick test_pool_empty;
+          Alcotest.test_case "jobs > items" `Quick test_pool_more_jobs_than_items;
+          Alcotest.test_case "exception propagation" `Quick test_pool_exception;
+          Alcotest.test_case "reuse after exception" `Quick
+            test_pool_reuse_after_exception_same_pool;
+        ] );
+      ( "fanout",
+        [
+          Alcotest.test_case "streams deterministic" `Quick
+            test_fanout_streams_deterministic;
+          Alcotest.test_case "map invariant under jobs" `Quick
+            test_fanout_map_jobs_invariant;
+          Alcotest.test_case "metrics merge across domains" `Quick
+            test_metrics_merge_across_domains;
+        ] );
+      ( "experiments are jobs-invariant",
+        [
+          Alcotest.test_case "E1" `Quick
+            (table_invariant "e1" (fun ~jobs rng scale ->
+                 Experiments.Exp_static.run_e1 ~jobs rng scale));
+          Alcotest.test_case "E3" `Quick
+            (table_invariant "e3" (fun ~jobs rng scale ->
+                 Experiments.Exp_costs.run_e3 ~jobs rng scale));
+          Alcotest.test_case "E10" `Quick
+            (table_invariant "e10" (fun ~jobs rng scale ->
+                 Experiments.Exp_sweep.run_e10 ~jobs rng scale));
+        ] );
+      ( "registry",
+        [ Alcotest.test_case "canonical list" `Quick test_registry_complete ] );
+    ]

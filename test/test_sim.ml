@@ -108,9 +108,39 @@ let test_metrics_counters () =
   Alcotest.(check int) "y" 1 (Sim.Metrics.get m "y");
   Alcotest.(check (list (pair string int))) "snapshot sorted"
     [ ("x", 5); ("y", 1) ]
-    (Sim.Metrics.snapshot m);
-  Sim.Metrics.reset m;
-  Alcotest.(check int) "reset" 0 (Sim.Metrics.get m "x")
+    (Sim.Metrics.to_list (Sim.Metrics.snapshot m))
+
+let test_metrics_snapshot_phases () =
+  let m = Sim.Metrics.create () in
+  Sim.Metrics.add m "x" 3;
+  let before = Sim.Metrics.snapshot m in
+  Sim.Metrics.add m "x" 4;
+  Sim.Metrics.incr m "y";
+  let after = Sim.Metrics.snapshot m in
+  let phase = Sim.Metrics.diff after before in
+  Alcotest.(check (list (pair string int))) "phase cost"
+    [ ("x", 4); ("y", 1) ]
+    (Sim.Metrics.to_list phase);
+  Alcotest.(check int) "found" 4 (Sim.Metrics.found phase "x");
+  Alcotest.(check int) "found absent" 0 (Sim.Metrics.found phase "z");
+  (* Snapshots are frozen: mutating [m] further must not move them. *)
+  Sim.Metrics.add m "x" 100;
+  Alcotest.(check int) "frozen" 7 (Sim.Metrics.found after "x");
+  let resumed = Sim.Metrics.of_snapshot phase in
+  Sim.Metrics.incr resumed "y";
+  Alcotest.(check int) "of_snapshot resumes" 2 (Sim.Metrics.get resumed "y")
+
+let test_metrics_merge () =
+  let a = Sim.Metrics.create () in
+  let b = Sim.Metrics.create () in
+  Sim.Metrics.add a "x" 2;
+  Sim.Metrics.add b "x" 5;
+  Sim.Metrics.add b "y" 1;
+  Sim.Metrics.merge a b;
+  Alcotest.(check int) "x summed" 7 (Sim.Metrics.get a "x");
+  Alcotest.(check int) "y adopted" 1 (Sim.Metrics.get a "y");
+  Alcotest.(check int) "src untouched" 5 (Sim.Metrics.get b "x");
+  Alcotest.(check int) "src untouched y" 1 (Sim.Metrics.get b "y")
 
 let prop_heap_pops_sorted =
   QCheck.Test.make ~name:"heap pops every multiset sorted" ~count:200
@@ -143,6 +173,11 @@ let () =
           Alcotest.test_case "run ~until" `Quick test_engine_until;
           Alcotest.test_case "rejects past events" `Quick test_engine_rejects_past;
         ] );
-      ("metrics", [ Alcotest.test_case "counters" `Quick test_metrics_counters ]);
+      ( "metrics",
+        [
+          Alcotest.test_case "counters" `Quick test_metrics_counters;
+          Alcotest.test_case "snapshot/diff phases" `Quick test_metrics_snapshot_phases;
+          Alcotest.test_case "merge" `Quick test_metrics_merge;
+        ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_heap_pops_sorted ]);
     ]
