@@ -92,8 +92,12 @@ let () =
       if wanted id then begin
         Printf.printf "\n### %s — %s\n%!" (String.uppercase_ascii id) doc;
         let t0 = Unix.gettimeofday () in
+        let spec = { Experiments.Registry.id; doc; kind } in
         (match kind with
-        | Experiments.Registry.Table run ->
+        | Experiments.Registry.Table _ | Experiments.Registry.Faulty _ ->
+            let run ~jobs rng scale =
+              Option.get (Experiments.Registry.run_table spec ~jobs rng scale)
+            in
             let table = run ~jobs (Prng.Rng.create seed) scale in
             let elapsed = Unix.gettimeofday () -. t0 in
             Experiments.Table.print table;

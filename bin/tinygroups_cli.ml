@@ -33,14 +33,69 @@ let jobs_arg =
     & opt int (Parallel.Pool.default_jobs ())
     & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+(* Fault-plan flags, attached to every [Faulty] registry entry. All
+   of them together build one uniform plan; omitting them all means
+   "no fault injection". *)
+let fault_drop_arg =
+  let doc = "Per-message drop probability of the fault plan." in
+  Arg.(value & opt float 0. & info [ "fault-drop" ] ~docv:"P" ~doc)
+
+let fault_dup_arg =
+  let doc = "Per-message duplication probability of the fault plan." in
+  Arg.(value & opt float 0. & info [ "fault-dup" ] ~docv:"P" ~doc)
+
+let fault_delay_arg =
+  let doc = "Per-message extra-delay probability of the fault plan." in
+  Arg.(value & opt float 0. & info [ "fault-delay" ] ~docv:"P" ~doc)
+
+let fault_delay_ms_arg =
+  let doc = "Upper bound (ms) of the uniform extra delay." in
+  Arg.(value & opt int 100 & info [ "fault-delay-ms" ] ~docv:"MS" ~doc)
+
+let fault_reorder_arg =
+  let doc = "Per-message reorder (deferral) probability of the fault plan." in
+  Arg.(value & opt float 0. & info [ "fault-reorder" ] ~docv:"P" ~doc)
+
+let fault_seed_arg =
+  let doc =
+    "Seed of the fault schedule (independent of --seed, so a failing \
+     schedule can be replayed under any simulation seed)."
+  in
+  Arg.(value & opt int 0 & info [ "fault-seed" ] ~docv:"N" ~doc)
+
+let fault_plan_term =
+  let build drop dup delay delay_ms reorder fseed =
+    if drop = 0. && dup = 0. && delay = 0. && reorder = 0. then None
+    else
+      Some
+        (Faults.Plan.with_seed
+           (Faults.Plan.uniform ~drop ~duplicate:dup ~delay ~delay_ms:(1, max 1 delay_ms)
+              ~reorder ())
+           (Int64.of_int fseed))
+  in
+  Term.(
+    const build $ fault_drop_arg $ fault_dup_arg $ fault_delay_arg $ fault_delay_ms_arg
+    $ fault_reorder_arg $ fault_seed_arg)
+
 let run_spec spec seed scale jobs =
   match spec.Experiments.Registry.kind with
-  | Experiments.Registry.Table run ->
-      Experiments.Table.print (run ~jobs (Prng.Rng.create seed) scale)
+  | Experiments.Registry.Table _ | Experiments.Registry.Faulty _ ->
+      Option.iter Experiments.Table.print
+        (Experiments.Registry.run_table spec ~jobs (Prng.Rng.create seed) scale)
   | Experiments.Registry.Text run -> print_string (run (Prng.Rng.create seed))
 
+let run_faulty_spec spec seed scale jobs faults =
+  Option.iter Experiments.Table.print
+    (Experiments.Registry.run_table spec ~jobs ?faults (Prng.Rng.create seed) scale)
+
 let experiment_cmd spec =
-  let term = Term.(const (run_spec spec) $ seed_arg $ scale_arg $ jobs_arg) in
+  let term =
+    match spec.Experiments.Registry.kind with
+    | Experiments.Registry.Faulty _ ->
+        Term.(
+          const (run_faulty_spec spec) $ seed_arg $ scale_arg $ jobs_arg $ fault_plan_term)
+    | _ -> Term.(const (run_spec spec) $ seed_arg $ scale_arg $ jobs_arg)
+  in
   Cmd.v (Cmd.info spec.Experiments.Registry.id ~doc:spec.Experiments.Registry.doc) term
 
 let epochs_cmd =
@@ -74,7 +129,7 @@ let epochs_cmd =
     Term.(const run $ seed_arg $ n_arg $ beta_arg $ epochs_arg $ single_arg)
 
 let all_cmd =
-  let doc = "Run every experiment in the registry (E0-E20 and F1)." in
+  let doc = "Run every experiment in the registry (E0-E21 and F1)." in
   let run seed scale jobs =
     List.iter
       (fun spec -> run_spec spec seed scale jobs)

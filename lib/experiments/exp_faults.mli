@@ -1,0 +1,18 @@
+(** E21: ε-robustness under environmental faults.
+
+    The paper's guarantees are claims about what survives adversarial
+    behaviour, but E19/E4 validate them over a transport that never
+    misbehaves on its own. E21 is their faulty-network ablation: the
+    member-level secure-search protocol (E19's world) and the
+    two-graph epoch protocol (E4's world) re-run under seeded
+    {!Faults} plans — per-link drops, duplicates, delays, reorders,
+    healing partitions and crash–recover of members — with the
+    injected/suppressed/healed counters alongside the outcome.
+
+    The zero-rate row is the anchor: it reproduces the fault-free
+    runs byte-for-byte (asserted by [test/test_faults.ml]), so any
+    degradation in later rows is attributable to the fault plan
+    alone. [?faults] replaces the default sweep with a baseline row
+    plus the given plan (the CLI's [--fault-*] flags). *)
+
+val run_e21 : ?jobs:int -> ?faults:Faults.Plan.t -> Prng.Rng.t -> Scale.t -> Table.t

@@ -1,4 +1,4 @@
-let run_e19 ?(jobs = 1) rng scale =
+let run_e19 ?(jobs = 1) ?faults rng scale =
   let n = match scale with Scale.Quick -> 512 | _ -> 1024 in
   let searches = match scale with Scale.Quick -> 60 | _ -> 200 in
   let table =
@@ -40,8 +40,17 @@ let run_e19 ?(jobs = 1) rng scale =
           let src = leaders.(Prng.Rng.int stream (Array.length leaders)) in
           let key = Idspace.Point.random stream in
           let o =
+            let faults =
+              (* Decorrelate per-search schedules without touching the
+                 trial stream: vary the plan seed by search index. *)
+              Option.map
+                (fun p ->
+                  Faults.Plan.with_seed p
+                    (Int64.add p.Faults.Plan.seed (Int64.of_int i)))
+                faults
+            in
             Protocol.Secure_search.run_search (Prng.Rng.split stream) g ~latency
-              ~behaviour ~src ~key ()
+              ~behaviour ~src ~key ?faults ()
           in
           let analytic = Tinygroups.Secure_route.search g ~failure:`Majority ~src ~key in
           let a_ok = Tinygroups.Secure_route.succeeded analytic in
@@ -72,6 +81,10 @@ let run_e19 ?(jobs = 1) rng scale =
         ])
   in
   List.iter (Table.add_row table) rows;
+  (match faults with
+  | Some plan when not (Faults.Plan.is_zero plan) ->
+      Table.add_note table ("Fault plan active: " ^ Faults.Plan.describe plan)
+  | _ -> ());
   Table.add_note table
     "Protocol messages exceed the analytic floor (clients fan out, replies return,";
   Table.add_note table

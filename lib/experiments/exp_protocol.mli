@@ -7,4 +7,8 @@
     measured message count against the [sum |G_i||G_(i+1)|]
     accounting. *)
 
-val run_e19 : ?jobs:int -> Prng.Rng.t -> Scale.t -> Table.t
+val run_e19 : ?jobs:int -> ?faults:Faults.Plan.t -> Prng.Rng.t -> Scale.t -> Table.t
+(** [?faults] runs the same validation over a faulty transport (the
+    CLI's [--fault-*] flags); a zero-rate plan renders byte-identically
+    to no plan at all. Agreement with the fault-blind analytic model
+    degrades as the fault rate grows — that gap is E21's subject. *)

@@ -1,11 +1,19 @@
 type kind =
   | Table of (jobs:int -> Prng.Rng.t -> Scale.t -> Table.t)
+  | Faulty of (jobs:int -> faults:Faults.Plan.t option -> Prng.Rng.t -> Scale.t -> Table.t)
   | Text of (Prng.Rng.t -> string)
 
 type spec = { id : string; doc : string; kind : kind }
 
 let table id doc run =
   { id; doc; kind = Table (fun ~jobs rng scale -> run ?jobs:(Some jobs) rng scale) }
+
+let faulty id doc run =
+  {
+    id;
+    doc;
+    kind = Faulty (fun ~jobs ~faults rng scale -> run ?jobs:(Some jobs) ?faults rng scale);
+  }
 
 let all =
   [
@@ -30,9 +38,16 @@ let all =
     table "e17" "WAN latency of secure routing vs group size ([51])."
       Exp_latency.run_e17;
     table "e18" "Per-event join/departure cost (footnote 13)." Exp_events.run_e18;
-    table "e19" "Member-level protocol vs the analytic model." Exp_protocol.run_e19;
+    faulty "e19" "Member-level protocol vs the analytic model." Exp_protocol.run_e19;
     table "e20" "Epoch recursion: theory vs measured collapse." Exp_theory.run_e20;
+    faulty "e21" "Fault injection: robustness vs environmental faults." Exp_faults.run_e21;
     { id = "f1"; doc = "Figure 1 rendered as a search trace."; kind = Text Exp_figure1.render };
   ]
 
 let find id = List.find_opt (fun s -> s.id = id) all
+
+let run_table spec ~jobs ?faults rng scale =
+  match spec.kind with
+  | Table run -> Some (run ~jobs rng scale)
+  | Faulty run -> Some (run ~jobs ~faults rng scale)
+  | Text _ -> None

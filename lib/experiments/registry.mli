@@ -1,6 +1,6 @@
 (** The canonical experiment registry.
 
-    One entry per reproduction artifact (E0-E20 and the Figure 1
+    One entry per reproduction artifact (E0-E21 and the Figure 1
     trace). Both drivers — the benchmark harness and the Cmdliner CLI
     — iterate {!all} rather than keeping their own lists, so adding
     an experiment here is the only step needed to surface it
@@ -11,6 +11,10 @@ type kind =
       (** A table-producing experiment. [jobs] is the worker-domain
           count for its internal fan-out; output is identical for
           every value of [jobs] under the same seed. *)
+  | Faulty of (jobs:int -> faults:Faults.Plan.t option -> Prng.Rng.t -> Scale.t -> Table.t)
+      (** A table-producing experiment that additionally accepts a
+          fault plan (the CLI exposes [--fault-*] flags for these;
+          [~faults:None] is the canonical fault-free table). *)
   | Text of (Prng.Rng.t -> string)
       (** A free-form text artifact (Figure 1's search trace). *)
 
@@ -25,3 +29,9 @@ val all : spec list
 
 val find : string -> spec option
 (** [find id] looks up an experiment by its lowercase id. *)
+
+val run_table :
+  spec -> jobs:int -> ?faults:Faults.Plan.t -> Prng.Rng.t -> Scale.t -> Table.t option
+(** Run a [Table] or [Faulty] spec uniformly ([None] for [Text]
+    artifacts); the shape both drivers and the golden-output tests
+    share. [?faults] is ignored by plain [Table] experiments. *)

@@ -1,0 +1,191 @@
+open Idspace
+
+(* Cut sides and crash ids are consulted per message; index them by
+   the 62-bit key once at creation. *)
+type cut_state = {
+  cut : Plan.cut;
+  in_a : (int64, unit) Hashtbl.t;
+  in_b : (int64, unit) Hashtbl.t;  (* empty table encodes "everyone else" *)
+  mutable heal_counted : bool;
+}
+
+type crash_state = { crash : Plan.crash; mutable recover_counted : bool }
+
+type t = {
+  enabled_ : bool;
+  plan_ : Plan.t;
+  rng : Prng.Rng.t;
+  metrics_ : Sim.Metrics.t;
+  cuts : cut_state list;
+  crashes : crash_state list;
+  crashed_ids : (int64, Plan.crash list) Hashtbl.t;
+  wildcard_drop : float;
+}
+
+let index_points pts =
+  let h = Hashtbl.create (max 16 (List.length pts)) in
+  List.iter (fun p -> Hashtbl.replace h (Point.to_u62 p) ()) pts;
+  h
+
+let disabled () =
+  {
+    enabled_ = false;
+    plan_ = Plan.none;
+    rng = Prng.Rng.of_int64 0L;
+    metrics_ = Sim.Metrics.create ();
+    cuts = [];
+    crashes = [];
+    crashed_ids = Hashtbl.create 1;
+    wildcard_drop = 0.;
+  }
+
+let create ?metrics (plan : Plan.t) =
+  let crashed_ids = Hashtbl.create 16 in
+  List.iter
+    (fun (c : Plan.crash) ->
+      let k = Point.to_u62 c.Plan.id in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt crashed_ids k) in
+      Hashtbl.replace crashed_ids k (c :: prev))
+    plan.Plan.crashes;
+  {
+    enabled_ = true;
+    plan_ = plan;
+    rng = Prng.Rng.of_int64 plan.Plan.seed;
+    metrics_ = (match metrics with Some m -> m | None -> Sim.Metrics.create ());
+    cuts =
+      List.map
+        (fun (c : Plan.cut) ->
+          {
+            cut = c;
+            in_a = index_points c.Plan.side_a;
+            in_b = index_points c.Plan.side_b;
+            heal_counted = false;
+          })
+        plan.Plan.cuts;
+    crashes =
+      List.map (fun c -> { crash = c; recover_counted = false }) plan.Plan.crashes;
+    crashed_ids;
+    wildcard_drop = Plan.wildcard_drop plan;
+  }
+
+let enabled t = t.enabled_
+let plan t = t.plan_
+let metrics t = t.metrics_
+
+let crash_active (c : Plan.crash) ~now =
+  now >= c.Plan.down_from
+  && match c.Plan.recover_at with None -> true | Some r -> now < r
+
+let crashed t ~now id =
+  t.enabled_
+  &&
+  match Hashtbl.find_opt t.crashed_ids (Point.to_u62 id) with
+  | None -> false
+  | Some cs -> List.exists (crash_active ~now) cs
+
+let cut_active (s : cut_state) ~now =
+  now >= s.cut.Plan.from_time
+  && match s.cut.Plan.heal_time with None -> true | Some h -> now < h
+
+(* A message crosses the cut when its endpoints sit on opposite
+   sides. An empty side B means "everyone else", including unknown
+   senders (clients off the ring). *)
+let crosses (s : cut_state) ~src ~dst =
+  let side h p = Hashtbl.mem h (Point.to_u62 p) in
+  let dst_a = side s.in_a dst in
+  let src_a = match src with Some p -> side s.in_a p | None -> false in
+  let in_b p =
+    if Hashtbl.length s.in_b = 0 then not (side s.in_a p) else side s.in_b p
+  in
+  let dst_b = in_b dst in
+  let src_b = match src with Some p -> in_b p | None -> Hashtbl.length s.in_b = 0 in
+  (src_a && dst_b) || (src_b && dst_a)
+
+let severed t ~now ~src ~dst =
+  t.enabled_
+  && List.exists (fun s -> cut_active s ~now && crosses s ~src ~dst) t.cuts
+
+type decision = Deliver of { extra_delay : int; copies : int } | Drop
+
+let rule_matches (r : Plan.rule) ~src ~dst =
+  (match r.Plan.src with
+  | None -> true
+  | Some p -> ( match src with Some s -> Point.equal p s | None -> false))
+  && match r.Plan.dst with None -> true | Some p -> Point.equal p dst
+
+let decide t ~now ~src ~dst =
+  if not t.enabled_ then Deliver { extra_delay = 0; copies = 1 }
+  else begin
+    let m = t.metrics_ in
+    let endpoint_crashed =
+      crashed t ~now dst || match src with Some s -> crashed t ~now s | None -> false
+    in
+    if endpoint_crashed || severed t ~now ~src ~dst then begin
+      Sim.Metrics.incr m Sim.Metrics.fault_suppressed;
+      Drop
+    end
+    else begin
+      (* Every matching rule draws in plan order so the schedule is a
+         pure function of (plan, message sequence). *)
+      let dropped = ref false in
+      let copies = ref 1 in
+      let extra = ref 0 in
+      List.iter
+        (fun (r : Plan.rule) ->
+          if (not !dropped) && rule_matches r ~src ~dst then begin
+            let rr = r.Plan.rates in
+            if Prng.Rng.bernoulli t.rng rr.Plan.drop then begin
+              Sim.Metrics.incr m Sim.Metrics.fault_injected;
+              Sim.Metrics.incr m Sim.Metrics.fault_suppressed;
+              dropped := true
+            end
+            else begin
+              if Prng.Rng.bernoulli t.rng rr.Plan.duplicate then begin
+                Sim.Metrics.incr m Sim.Metrics.fault_injected;
+                incr copies
+              end;
+              if Prng.Rng.bernoulli t.rng rr.Plan.delay then begin
+                Sim.Metrics.incr m Sim.Metrics.fault_injected;
+                let lo, hi = rr.Plan.delay_ms in
+                extra := !extra + Prng.Rng.int_in t.rng lo hi
+              end;
+              if Prng.Rng.bernoulli t.rng rr.Plan.reorder then begin
+                Sim.Metrics.incr m Sim.Metrics.fault_injected;
+                extra := !extra + Prng.Rng.int_in t.rng 1 rr.Plan.reorder_ms
+              end
+            end
+          end)
+        t.plan_.Plan.rules;
+      if !dropped then Drop else Deliver { extra_delay = !extra; copies = !copies }
+    end
+  end
+
+let search_lost t =
+  t.enabled_
+  &&
+  let lost = Prng.Rng.bernoulli t.rng t.wildcard_drop in
+  if lost then begin
+    Sim.Metrics.incr t.metrics_ Sim.Metrics.fault_injected;
+    Sim.Metrics.incr t.metrics_ Sim.Metrics.fault_suppressed
+  end;
+  lost
+
+let observe_heals t ~now =
+  if t.enabled_ then begin
+    List.iter
+      (fun s ->
+        match s.cut.Plan.heal_time with
+        | Some h when (not s.heal_counted) && now >= h ->
+            s.heal_counted <- true;
+            Sim.Metrics.incr t.metrics_ Sim.Metrics.fault_healed
+        | _ -> ())
+      t.cuts;
+    List.iter
+      (fun c ->
+        match c.crash.Plan.recover_at with
+        | Some r when (not c.recover_counted) && now >= r ->
+            c.recover_counted <- true;
+            Sim.Metrics.incr t.metrics_ Sim.Metrics.fault_healed
+        | _ -> ())
+      t.crashes
+  end

@@ -1,0 +1,72 @@
+(** The runtime of a {!Plan}: per-message verdicts and liveness
+    queries, drawn from the plan's own seeded stream.
+
+    An injector owns a private {!Prng.Rng.t} created from
+    [plan.seed] alone. It never reads the simulation's streams, so
+    consulting it cannot perturb a run's latency samples or trial
+    draws — which is exactly what makes a zero-rate plan
+    byte-identical to running without one, and the schedule invariant
+    under [--jobs].
+
+    Counters are accounted into a {!Sim.Metrics.t} (the caller's, or
+    a private one) under {!Sim.Metrics.fault_injected} /
+    [fault_suppressed] / [fault_healed]. *)
+
+open Idspace
+
+type t
+
+val disabled : unit -> t
+(** Never injects, never draws; {!decide} always answers plain
+    delivery. What [?faults:None] threads through the stack. *)
+
+val create : ?metrics:Sim.Metrics.t -> Plan.t -> t
+(** Fault counters are added into [metrics] when given (e.g. an
+    epoch's cost accumulator), otherwise into a private table
+    readable via {!metrics}. *)
+
+val enabled : t -> bool
+(** [false] exactly for {!disabled} injectors. *)
+
+val plan : t -> Plan.t
+(** {!Plan.none} for a disabled injector. *)
+
+type decision =
+  | Deliver of { extra_delay : int; copies : int }
+      (** Deliver [copies >= 1] copies, each sampling its own
+          latency, all shifted by [extra_delay >= 0]. The no-fault
+          verdict is [Deliver {extra_delay = 0; copies = 1}]. *)
+  | Drop
+
+val decide : t -> now:int -> src:Point.t option -> dst:Point.t -> decision
+(** The verdict for one message at time [now]. Crashes of either
+    endpoint and active cuts suppress the message; otherwise every
+    matching rule draws its drop / duplicate / delay / reorder
+    Bernoullis in plan order. Counters are incremented as a side
+    effect. *)
+
+val crashed : t -> now:int -> Point.t -> bool
+(** Pure liveness query (no draws, no counters): is [id] inside an
+    active crash window at [now]? The analytic layer uses it to
+    refuse crashed members at solicitation time. *)
+
+val severed : t -> now:int -> src:Point.t option -> dst:Point.t -> bool
+(** Pure partition query (no draws, no counters): does an active cut
+    separate the endpoints at [now]? An unknown ([None]) sender
+    counts as outside every named side — i.e. inside an implicit
+    "everyone else" side when the cut has one. *)
+
+val search_lost : t -> bool
+(** One Bernoulli at the plan's {!Plan.wildcard_drop} rate — the
+    analytic layer's whole-search loss event (a lost request or
+    response wave). Increments the injected and suppressed counters
+    when it fires. Always [false] (and draw-free) when disabled. *)
+
+val observe_heals : t -> now:int -> unit
+(** Count each cut healed and each crash recovered by [now] into
+    {!Sim.Metrics.fault_healed}, once per entry across the
+    injector's lifetime. Callers invoke it at observation points
+    (e.g. each epoch boundary, or end of a network run). *)
+
+val metrics : t -> Sim.Metrics.t
+(** Where this injector accounts its counters. *)

@@ -5,23 +5,54 @@ type t = {
   latency : Sim.Latency.t;
   engine : Sim.Engine.t;
   handlers : (int64, t -> now:int -> Message.t -> unit) Hashtbl.t;
+  injector : Faults.Injector.t;
   mutable sent : int;
+  mutable delivered : int;
 }
 
-let create rng ~latency =
-  { rng; latency; engine = Sim.Engine.create (); handlers = Hashtbl.create 1024; sent = 0 }
+let create ?faults ?metrics rng ~latency =
+  let injector =
+    match faults with
+    | None -> Faults.Injector.disabled ()
+    | Some plan -> Faults.Injector.create ?metrics plan
+  in
+  {
+    rng;
+    latency;
+    engine = Sim.Engine.create ();
+    handlers = Hashtbl.create 1024;
+    injector;
+    sent = 0;
+    delivered = 0;
+  }
 
 let register t id handler = Hashtbl.replace t.handlers (Point.to_u62 id) handler
 
-let send t ~to_ message =
-  t.sent <- t.sent + 1;
-  let delay = Sim.Latency.sample t.rng t.latency in
+let deliver_after t ~delay ~to_ message =
   Sim.Engine.schedule_after t.engine ~delay (fun () ->
       match Hashtbl.find_opt t.handlers (Point.to_u62 to_) with
-      | Some handler -> handler t ~now:(Sim.Engine.now t.engine) message
+      | Some handler ->
+          t.delivered <- t.delivered + 1;
+          handler t ~now:(Sim.Engine.now t.engine) message
       | None -> ())
 
-let run ?deadline t = Sim.Engine.run ?until:deadline t.engine
+let send ?src t ~to_ message =
+  t.sent <- t.sent + 1;
+  match
+    Faults.Injector.decide t.injector ~now:(Sim.Engine.now t.engine) ~src ~dst:to_
+  with
+  | Faults.Injector.Drop -> ()
+  | Faults.Injector.Deliver { extra_delay; copies } ->
+      for _ = 1 to copies do
+        let delay = Sim.Latency.sample t.rng t.latency + extra_delay in
+        deliver_after t ~delay ~to_ message
+      done
+
+let run ?deadline t =
+  Sim.Engine.run ?until:deadline t.engine;
+  Faults.Injector.observe_heals t.injector ~now:(Sim.Engine.now t.engine)
 
 let now t = Sim.Engine.now t.engine
 let messages_sent t = t.sent
+let messages_delivered t = t.delivered
+let fault_metrics t = Sim.Metrics.snapshot (Faults.Injector.metrics t.injector)

@@ -2,25 +2,48 @@
     the discrete-event engine.
 
     Deterministic given the seed; counts every message. Recipients
-    are registered handlers keyed by ID. *)
+    are registered handlers keyed by ID.
+
+    A {!Faults.Plan.t} turns the transport adversarial: messages can
+    be dropped, duplicated, delayed or reordered per link, partitions
+    sever sets of IDs until they heal, and crashed IDs neither send
+    nor receive. The fault schedule draws only from the plan's own
+    seed (see {!Faults.Injector}), so enabling a zero-rate plan
+    leaves a run byte-identical and the schedule is invariant under
+    the experiment layer's [--jobs] fan-out. *)
 
 open Idspace
 
 type t
 
-val create : Prng.Rng.t -> latency:Sim.Latency.t -> t
+val create : ?faults:Faults.Plan.t -> ?metrics:Sim.Metrics.t -> Prng.Rng.t -> latency:Sim.Latency.t -> t
+(** [?faults] defaults to no fault injection. [?metrics] is where
+    fault counters ({!Sim.Metrics.fault_injected} etc.) accumulate;
+    a private table otherwise (see {!fault_metrics}). *)
 
 val register : t -> Point.t -> (t -> now:int -> Message.t -> unit) -> unit
 (** Install the handler run at each delivery to this ID.
     Re-registering replaces the handler. *)
 
-val send : t -> to_:Point.t -> Message.t -> unit
+val send : ?src:Point.t -> t -> to_:Point.t -> Message.t -> unit
 (** Enqueue a delivery after a sampled latency; silently dropped if
-    the recipient never registered (departed nodes). *)
+    the recipient never registered (departed nodes). [?src] names the
+    sending ID so per-link fault rules, partitions and sender crashes
+    apply; omit it for synthetic off-ring senders (clients). *)
 
 val run : ?deadline:int -> t -> unit
 (** Dispatch until quiescence or past [deadline] (engine steps =
-    milliseconds of the latency model). *)
+    milliseconds of the latency model). Heal events reached by the
+    end of the run are folded into the fault counters. *)
 
 val now : t -> int
 val messages_sent : t -> int
+
+val messages_delivered : t -> int
+(** Copies actually handed to a registered handler — excludes
+    fault-dropped, partition-suppressed and addressee-less messages;
+    includes fault duplicates. *)
+
+val fault_metrics : t -> Sim.Metrics.snapshot
+(** Current fault counters of this network's injector (empty when no
+    plan was given). *)

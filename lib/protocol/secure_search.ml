@@ -26,7 +26,8 @@ type bucket = {
   mutable arrivals : int list;  (* reversed arrival times *)
 }
 
-let run_search rng g ~latency ~behaviour ~src ~key ?(deadline = 60_000) () =
+let run_search rng g ~latency ~behaviour ~src ~key ?(deadline = 60_000) ?faults
+    ?metrics () =
   let overlay = g.Tinygroups.Group_graph.overlay in
   let pop = g.Tinygroups.Group_graph.population in
   (* The adversary's best verifiable claim: its own ID nearest
@@ -37,7 +38,7 @@ let run_search rng g ~latency ~behaviour ~src ~key ?(deadline = 60_000) () =
     if Ring.cardinal bad_ring = 0 then None
     else Some (Ring.successor_exn bad_ring key)
   in
-  let net = Network.create (Prng.Rng.split rng) ~latency in
+  let net = Network.create ?faults ?metrics (Prng.Rng.split rng) ~latency in
   let qid = 1 in
   (* The client is a synthetic address off the ring. *)
   let client = Point.of_u62 0L in
@@ -68,7 +69,7 @@ let run_search rng g ~latency ~behaviour ~src ~key ?(deadline = 60_000) () =
     let from_count = Tinygroups.Group.size (group_of from_group) in
     Array.iter
       (fun m ->
-        Network.send net ~to_:m
+        Network.send ~src:from_member net ~to_:m
           (Message.Search_request
              {
                Message.qid;
@@ -88,7 +89,7 @@ let run_search rng g ~latency ~behaviour ~src ~key ?(deadline = 60_000) () =
     match path with
     | [] | [ _ ] ->
         (* The stage group is responsible: answer the client. *)
-        Network.send net ~to_:client
+        Network.send ~src:member net ~to_:client
           (Message.Search_reply
              {
                Message.qid;
@@ -137,7 +138,7 @@ let run_search rng g ~latency ~behaviour ~src ~key ?(deadline = 60_000) () =
                     | _ -> ());
                     match plant with
                     | Some p ->
-                        Network.send net ~to_:client
+                        Network.send ~src:member net ~to_:client
                           (Message.Search_reply
                              {
                                Message.qid;

@@ -43,7 +43,16 @@ val run_search :
   src:Point.t ->
   key:Point.t ->
   ?deadline:int ->
+  ?faults:Faults.Plan.t ->
+  ?metrics:Sim.Metrics.t ->
   unit ->
   outcome
 (** Execute one search from the group led by [src] (which must be a
-    leader) for [key]; the deadline defaults to 60_000 ms. *)
+    leader) for [key]; the deadline defaults to 60_000 ms.
+
+    [?faults] subjects the underlying {!Network} to the plan's
+    environmental faults on top of the Byzantine [behaviour]; the
+    fault schedule draws only from the plan's seed, so a zero-rate
+    plan yields the same outcome as no plan at all. [?metrics]
+    receives the fault counters ({!Sim.Metrics.fault_injected},
+    [fault_suppressed], [fault_healed]). *)

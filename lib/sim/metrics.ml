@@ -49,6 +49,9 @@ let pp_snapshot fmt s =
 
 let pp fmt t = pp_snapshot fmt (snapshot t)
 
+let fault_injected = "fault.injected"
+let fault_suppressed = "fault.suppressed"
+let fault_healed = "fault.healed"
 let msg_group_comm = "msg.group_comm"
 let msg_routing = "msg.routing"
 let msg_membership = "msg.membership"

@@ -54,6 +54,19 @@ val pp : Format.formatter -> t -> unit
 
 (** Conventional counter names used across the libraries. *)
 
+val fault_injected : string
+(** Fault events injected by a {!Faults} rate rule: drops,
+    duplicates, extra delays and reorders, one per event. *)
+
+val fault_suppressed : string
+(** Deliveries suppressed by the fault layer — rule drops plus
+    messages crossing an active partition or touching a crashed
+    member, and solicitations lost to crashed members. *)
+
+val fault_healed : string
+(** Partitions healed and crashed members recovered, as observed by
+    the fault injector. *)
+
 val msg_group_comm : string
 (** Intra-group all-to-all messages (group communication, cost (i)). *)
 

@@ -36,6 +36,7 @@ type t = {
   config : config;
   rng : Prng.Rng.t;
   metrics_ : Sim.Metrics.t;
+  inj : Faults.Injector.t;
   h1 : Hashing.Oracle.t;
   h2 : Hashing.Oracle.t;
   mutable epoch_ : int;
@@ -63,10 +64,16 @@ let fresh_population rng config =
   Population.generate (Prng.Rng.split rng) ~n ~beta:config.params.Params.beta
     ~strategy:config.placement
 
-let init rng config =
+let init ?faults rng config =
   let system_key = "tinygroups-repro" in
   let h1 = Hashing.Oracle.make ~system_key ~label:"h1" in
   let h2 = Hashing.Oracle.make ~system_key ~label:"h2" in
+  let metrics_ = Sim.Metrics.create () in
+  let inj =
+    match faults with
+    | None -> Faults.Injector.disabled ()
+    | Some plan -> Faults.Injector.create ~metrics:metrics_ plan
+  in
   let population = fresh_population rng config in
   let overlay = build_overlay config.overlay (Population.ring population) in
   let g1 =
@@ -83,7 +90,8 @@ let init rng config =
   {
     config;
     rng;
-    metrics_ = Sim.Metrics.create ();
+    metrics_;
+    inj;
     h1;
     h2;
     epoch_ = 0;
@@ -106,13 +114,23 @@ let build_next t ~old ~new_pop ~new_overlay ~member_oracle =
       let ln_ln_estimate = Estimate.ln_ln_n new_ring w in
       let draws = Params.member_draws_estimated params ~ln_ln_estimate in
       let members = ref [] in
+      let now = t.epoch_ in
       for i = 1 to draws do
         let point =
           Point.of_u62 (Hashing.Oracle.query_indexed member_oracle (Point.to_u62 w) i)
         in
-        match Membership.solicit_member (Prng.Rng.split t.rng) t.metrics_ old ~point with
+        (* Environmental faults apply per individual search inside
+           the dual protocol ([?faults] below); a member that is
+           crashed right now additionally cannot answer the
+           solicitation. *)
+        (match
+           Membership.solicit_member ~faults:t.inj (Prng.Rng.split t.rng) t.metrics_ old
+             ~point
+         with
+        | Some m when Faults.Injector.crashed t.inj ~now m ->
+            Sim.Metrics.incr t.metrics_ Sim.Metrics.fault_suppressed
         | Some m -> members := m :: !members
-        | None -> ()
+        | None -> ())
       done;
       (* A group that lost every member draw cannot operate: the
          leader stands alone and the group is surely not good. *)
@@ -124,7 +142,9 @@ let build_next t ~old ~new_pop ~new_overlay ~member_oracle =
       let ok =
         List.for_all
           (fun u ->
-            Membership.establish_neighbor (Prng.Rng.split t.rng) t.metrics_ old ~target:u)
+            (not (Faults.Injector.severed t.inj ~now ~src:(Some w) ~dst:u))
+            && Membership.establish_neighbor ~faults:t.inj (Prng.Rng.split t.rng)
+                 t.metrics_ old ~target:u)
           (new_overlay.Overlay.Overlay_intf.neighbors w)
       in
       if not ok then confused := w :: !confused)
@@ -149,7 +169,8 @@ let advance t =
       let attempts = t.config.spam_per_bad * Population.bad_count new_pop in
       for _ = 1 to attempts do
         let victim = victims.(Prng.Rng.int t.rng (Array.length victims)) in
-        if Membership.spam_accepted (Prng.Rng.split t.rng) t.metrics_ old ~victim then
+        if Membership.spam_accepted ~faults:t.inj (Prng.Rng.split t.rng) t.metrics_ old ~victim
+        then
           t.spam_accepted_ <- t.spam_accepted_ + 1
       done
     end
@@ -157,6 +178,7 @@ let advance t =
   t.g1 <- new1;
   t.g2 <- new2;
   t.epoch_ <- t.epoch_ + 1;
+  Faults.Injector.observe_heals t.inj ~now:t.epoch_;
   let census = Group_graph.census new1 in
   Log.debug (fun m ->
       m "epoch %d: n=%d good=%d weak=%d hijacked=%d confused=%d (membership msgs so far: %d)"

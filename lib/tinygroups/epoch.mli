@@ -52,10 +52,23 @@ val default_config : n:int -> config
 
 type t
 
-val init : Prng.Rng.t -> config -> t
+val init : ?faults:Faults.Plan.t -> Prng.Rng.t -> config -> t
 (** Build the initial graphs [G⁰] directly (correct wiring, honest
     member choice — the paper's initialisation assumption,
-    Appendix X) over a freshly generated population. *)
+    Appendix X) over a freshly generated population.
+
+    [?faults] subjects every subsequent {!advance} to the plan's
+    environmental faults at the analytic layer's granularity: each
+    {e individual} search inside the dual membership protocol is lost
+    with the plan's {!Faults.Plan.wildcard_drop} rate (a dropped
+    request or response wave — the two-graph redundancy absorbs
+    single losses quadratically, mirroring the q_f² hijack
+    argument), members inside an active crash window cannot be
+    solicited, and neighbour links crossing an active partition fail
+    (leaving the group confused, Lemma 8). Cut and crash windows are
+    read in {e epoch indices}. The fault stream draws only from the
+    plan's seed, so a zero-rate plan reproduces the no-faults run
+    exactly; fault counters land in {!metrics}. *)
 
 val advance : t -> unit
 (** Run one epoch: mint a fresh population, construct the new

@@ -50,14 +50,32 @@ type resolution =
       (** Every search was hijacked: the answer is the adversary's. *)
 
 val dual_search :
-  Prng.Rng.t -> Sim.Metrics.t -> old_pair -> point:Point.t -> resolution
+  ?faults:Faults.Injector.t ->
+  Prng.Rng.t ->
+  Sim.Metrics.t ->
+  old_pair ->
+  point:Point.t ->
+  resolution
 (** Search for [point] in each old graph from a random blue bootstrap
     group (the paper assumes joiners know a good bootstrap group;
     Appendix IX). A graph with no blue group counts as a failed
-    search. *)
+    search.
+
+    [?faults] (here and below) loses each {e individual} search with
+    the plan's {!Faults.Plan.wildcard_drop} probability — a dropped
+    request or response wave, indistinguishable from a hijack to the
+    caller — so the dual-graph redundancy absorbs environmental
+    losses with the same q_f² argument it uses against the
+    adversary. *)
 
 val verification_search :
-  Prng.Rng.t -> Sim.Metrics.t -> old_pair -> verifier:Point.t -> point:Point.t -> bool
+  ?faults:Faults.Injector.t ->
+  Prng.Rng.t ->
+  Sim.Metrics.t ->
+  old_pair ->
+  verifier:Point.t ->
+  point:Point.t ->
+  bool
 (** [verification_search rng m pair ~verifier ~point] is [true] when
     the verifier's own searches (one per old graph, initiated from
     its group when it leads one, else from its bootstrap group)
@@ -65,7 +83,12 @@ val verification_search :
     adversary. *)
 
 val solicit_member :
-  Prng.Rng.t -> Sim.Metrics.t -> old_pair -> point:Point.t -> Point.t option
+  ?faults:Faults.Injector.t ->
+  Prng.Rng.t ->
+  Sim.Metrics.t ->
+  old_pair ->
+  point:Point.t ->
+  Point.t option
 (** One member draw for a new group: locate [suc point] through the
     old graphs, then run the solicited ID's verification.
     [None] means the draw produced no member (erroneous rejection by
@@ -74,14 +97,24 @@ val solicit_member :
     fully hijacked lookup. *)
 
 val establish_neighbor :
-  Prng.Rng.t -> Sim.Metrics.t -> old_pair -> target:Point.t -> bool
+  ?faults:Faults.Injector.t ->
+  Prng.Rng.t ->
+  Sim.Metrics.t ->
+  old_pair ->
+  target:Point.t ->
+  bool
 (** One neighbour link of a new group: [true] when the link is
     correctly established — the locating dual search resolves
     {e and} the counterpart's verification succeeds (Lemma 8's two
     failure cases). *)
 
 val spam_accepted :
-  Prng.Rng.t -> Sim.Metrics.t -> old_pair -> victim:Point.t -> bool
+  ?faults:Faults.Injector.t ->
+  Prng.Rng.t ->
+  Sim.Metrics.t ->
+  old_pair ->
+  victim:Point.t ->
+  bool
 (** Does a bogus membership/neighbour request against [victim]
     (a good ID) get accepted? True iff at least one of the victim's
     verification searches is hijacked and therefore parroting the

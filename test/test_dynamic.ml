@@ -1,5 +1,5 @@
-(* Per-event joins/departures (Dynamic), timed routing, and the
-   latency models. *)
+(* Per-event joins/departures (Dynamic) and timed routing. The
+   latency models live in test_latency.ml. *)
 
 open Idspace
 
@@ -131,33 +131,6 @@ let test_churn_sequence_stays_healthy () =
     true
     (c.hijacked_ + c.confused_ < 26)
 
-(* Latency models. *)
-
-let test_latency_constant () =
-  let l = Sim.Latency.constant 25 in
-  for _ = 1 to 20 do
-    Alcotest.(check int) "constant" 25 (Sim.Latency.sample rng l)
-  done
-
-let test_latency_uniform_range () =
-  let l = Sim.Latency.uniform ~lo:10 ~hi:20 in
-  for _ = 1 to 500 do
-    let v = Sim.Latency.sample rng l in
-    Alcotest.(check bool) "in range" true (v >= 10 && v <= 20)
-  done
-
-let test_latency_lognormal_median () =
-  let l = Sim.Latency.lognormal_like ~median:40 ~sigma:0.6 in
-  let samples = Array.init 4000 (fun _ -> float_of_int (Sim.Latency.sample rng l)) in
-  let med = Stats.Descriptive.quantile samples 0.5 in
-  Alcotest.(check bool) (Printf.sprintf "median %.0f near 40" med) true
-    (med > 32. && med < 50.);
-  Array.iter (fun v -> Alcotest.(check bool) "positive" true (v >= 1.)) samples
-
-let test_latency_validation () =
-  Alcotest.check_raises "bad uniform" (Invalid_argument "Latency.uniform: need 1 <= lo <= hi")
-    (fun () -> ignore (Sim.Latency.uniform ~lo:5 ~hi:2))
-
 (* Timed routing. *)
 
 let test_quorum_wait_grows_with_processing () =
@@ -207,13 +180,6 @@ let () =
           Alcotest.test_case "removes and updates" `Quick test_depart_removes_and_updates_members;
           Alcotest.test_case "unknown rejected" `Quick test_depart_unknown_rejected;
           Alcotest.test_case "churn sequence" `Slow test_churn_sequence_stays_healthy;
-        ] );
-      ( "latency",
-        [
-          Alcotest.test_case "constant" `Quick test_latency_constant;
-          Alcotest.test_case "uniform range" `Quick test_latency_uniform_range;
-          Alcotest.test_case "lognormal median" `Quick test_latency_lognormal_median;
-          Alcotest.test_case "validation" `Quick test_latency_validation;
         ] );
       ( "timed-route",
         [

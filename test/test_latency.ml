@@ -1,0 +1,82 @@
+(* The latency models: the cases formerly smoke-tested inside
+   test_dynamic.ml, plus property coverage over arbitrary model
+   parameters. *)
+
+let rng = Prng.Rng.create 4040
+
+let test_constant () =
+  let l = Sim.Latency.constant 25 in
+  for _ = 1 to 20 do
+    Alcotest.(check int) "constant" 25 (Sim.Latency.sample rng l)
+  done
+
+let test_uniform_range () =
+  let l = Sim.Latency.uniform ~lo:10 ~hi:20 in
+  for _ = 1 to 500 do
+    let v = Sim.Latency.sample rng l in
+    Alcotest.(check bool) "in range" true (v >= 10 && v <= 20)
+  done
+
+let test_lognormal_median () =
+  let l = Sim.Latency.lognormal_like ~median:40 ~sigma:0.6 in
+  let samples = Array.init 4000 (fun _ -> float_of_int (Sim.Latency.sample rng l)) in
+  let med = Stats.Descriptive.quantile samples 0.5 in
+  Alcotest.(check bool) (Printf.sprintf "median %.0f near 40" med) true
+    (med > 32. && med < 50.);
+  Array.iter (fun v -> Alcotest.(check bool) "positive" true (v >= 1.)) samples
+
+let test_validation () =
+  Alcotest.check_raises "bad uniform"
+    (Invalid_argument "Latency.uniform: need 1 <= lo <= hi") (fun () ->
+      ignore (Sim.Latency.uniform ~lo:5 ~hi:2))
+
+(* Properties over arbitrary parameters. *)
+
+let bounds_arb =
+  QCheck.(
+    map
+      ~rev:(fun (lo, hi) -> (lo, hi - lo))
+      (fun (lo, span) -> (lo, lo + span))
+      (pair (int_range 1 1_000) (int_range 0 1_000)))
+
+let prop_uniform_within_bounds =
+  QCheck.Test.make ~count:100 ~name:"uniform sample within [lo, hi]" bounds_arb
+    (fun (lo, hi) ->
+      let l = Sim.Latency.uniform ~lo ~hi in
+      List.for_all
+        (fun _ ->
+          let v = Sim.Latency.sample rng l in
+          v >= lo && v <= hi)
+        (List.init 50 Fun.id))
+
+let prop_lognormal_at_least_one =
+  QCheck.Test.make ~count:60 ~name:"lognormal sample >= 1"
+    QCheck.(pair (int_range 1 5_000) (float_range 0.01 2.0))
+    (fun (median, sigma) ->
+      let l = Sim.Latency.lognormal_like ~median ~sigma in
+      List.for_all (fun _ -> Sim.Latency.sample rng l >= 1) (List.init 50 Fun.id))
+
+let prop_constant_is_constant =
+  QCheck.Test.make ~count:50 ~name:"constant model never varies"
+    QCheck.(int_range 1 100_000)
+    (fun c ->
+      let l = Sim.Latency.constant c in
+      List.for_all (fun _ -> Sim.Latency.sample rng l = c) (List.init 20 Fun.id))
+
+let () =
+  Alcotest.run "latency"
+    [
+      ( "models",
+        [
+          Alcotest.test_case "constant" `Quick test_constant;
+          Alcotest.test_case "uniform range" `Quick test_uniform_range;
+          Alcotest.test_case "lognormal median" `Quick test_lognormal_median;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_uniform_within_bounds;
+          QCheck_alcotest.to_alcotest prop_lognormal_at_least_one;
+          QCheck_alcotest.to_alcotest prop_constant_is_constant;
+        ] );
+    ]

@@ -125,76 +125,6 @@ let test_invalid_args () =
         (Tinygroups.Robustness.search_success (Prng.Rng.split rng) g ~failure:`Majority
            ~samples:0))
 
-(* The closed-form epoch recursion (Theory). *)
-
-let test_theory_floor_positive () =
-  let m = Tinygroups.Theory.default_model ~n:2048 ~beta:0.05 in
-  let p0 = Tinygroups.Theory.p0 m in
-  Alcotest.(check bool) (Printf.sprintf "floor %.2e in (0, 0.01)" p0) true
-    (p0 > 0. && p0 < 0.01)
-
-let test_theory_search_failure_shape () =
-  let m = Tinygroups.Theory.default_model ~n:2048 ~beta:0.05 in
-  Alcotest.(check (float 1e-9)) "no red groups, no failure" 0.
-    (Tinygroups.Theory.search_failure m ~rho:0.);
-  let q1 = Tinygroups.Theory.search_failure m ~rho:0.01 in
-  let q2 = Tinygroups.Theory.search_failure m ~rho:0.1 in
-  Alcotest.(check bool) "monotone" true (q2 > q1 && q1 > 0.);
-  (* Small rho: qf ~ D rho. *)
-  Alcotest.(check bool) "linear regime" true
-    (Float.abs (q1 -. (m.Tinygroups.Theory.search_hops *. 0.01)) < 0.005)
-
-let test_theory_stability_regimes () =
-  let stable = Tinygroups.Theory.default_model ~n:2048 ~beta:0.05 in
-  (match Tinygroups.Theory.fixed_point stable with
-  | `Stable rho ->
-      Alcotest.(check bool) "fixed point near the floor" true
-        (rho < 2. *. Tinygroups.Theory.p0 stable)
-  | `Diverges -> Alcotest.fail "beta=0.05 must be stable");
-  let broken = { stable with Tinygroups.Theory.beta = 0.3 } in
-  match Tinygroups.Theory.fixed_point broken with
-  | `Diverges -> ()
-  | `Stable _ -> Alcotest.fail "beta=0.3 must diverge"
-
-let test_theory_critical_beta_bracketed () =
-  let m = Tinygroups.Theory.default_model ~n:1024 ~beta:0.05 in
-  let c = Tinygroups.Theory.critical_beta m in
-  Alcotest.(check bool) (Printf.sprintf "critical %.3f plausible" c) true
-    (c > 0.05 && c < 0.25);
-  (* Just below is stable, just above diverges. *)
-  (match Tinygroups.Theory.fixed_point { m with Tinygroups.Theory.beta = c -. 0.005 } with
-  | `Stable _ -> ()
-  | `Diverges -> Alcotest.fail "just below critical must be stable");
-  match Tinygroups.Theory.fixed_point { m with Tinygroups.Theory.beta = c +. 0.01 } with
-  | `Diverges -> ()
-  | `Stable _ -> Alcotest.fail "just above critical must diverge"
-
-let test_theory_basin_edge_ordering () =
-  let m = Tinygroups.Theory.default_model ~n:2048 ~beta:0.05 in
-  match (Tinygroups.Theory.fixed_point m, Tinygroups.Theory.basin_edge m) with
-  | `Stable rho, Some edge ->
-      Alcotest.(check bool) "edge above the stable point" true (edge > rho);
-      (* Starting past the edge must diverge. *)
-      let past = edge *. 2. in
-      let rec iterate rho k =
-        if k > 200 then rho else iterate (Tinygroups.Theory.next_rho m ~rho) (k + 1)
-      in
-      Alcotest.(check bool) "beyond the edge grows" true (iterate past 0 > edge)
-  | `Stable _, None -> () (* attracted from everywhere: also fine *)
-  | `Diverges, _ -> Alcotest.fail "beta=0.05 must be stable"
-
-let test_theory_minimal_group_size () =
-  let m = Tinygroups.Theory.default_model ~n:8192 ~beta:0.05 in
-  let g_min = Tinygroups.Theory.minimal_group_size m in
-  (* The SI-D knee: a handful of members, far below ln n = 9. *)
-  Alcotest.(check bool) (Printf.sprintf "knee at %d" g_min) true (g_min >= 3 && g_min <= 9);
-  (* Bigger groups than the knee stay stable. *)
-  match
-    Tinygroups.Theory.fixed_point { m with Tinygroups.Theory.group_size = g_min + 4 }
-  with
-  | `Stable _ -> ()
-  | `Diverges -> Alcotest.fail "above the knee must be stable"
-
 let () =
   Alcotest.run "robustness"
     [
@@ -216,14 +146,5 @@ let () =
           Alcotest.test_case "Lemma 10 shape" `Quick test_state_costs_shape;
           Alcotest.test_case "scales with group size" `Quick test_state_costs_scale_with_group_size;
           Alcotest.test_case "argument validation" `Quick test_invalid_args;
-        ] );
-      ( "theory",
-        [
-          Alcotest.test_case "floor positive" `Quick test_theory_floor_positive;
-          Alcotest.test_case "search failure shape" `Quick test_theory_search_failure_shape;
-          Alcotest.test_case "stability regimes" `Quick test_theory_stability_regimes;
-          Alcotest.test_case "critical beta bracketed" `Quick test_theory_critical_beta_bracketed;
-          Alcotest.test_case "basin edge ordering" `Quick test_theory_basin_edge_ordering;
-          Alcotest.test_case "minimal group size" `Quick test_theory_minimal_group_size;
         ] );
     ]

@@ -1,0 +1,139 @@
+(* The closed-form epoch recursion (Tinygroups.Theory): the corner
+   cases formerly smoke-tested inside test_robustness.ml, plus
+   monotonicity properties of the model over arbitrary parameters. *)
+
+let test_floor_positive () =
+  let m = Tinygroups.Theory.default_model ~n:2048 ~beta:0.05 in
+  let p0 = Tinygroups.Theory.p0 m in
+  Alcotest.(check bool) (Printf.sprintf "floor %.2e in (0, 0.01)" p0) true
+    (p0 > 0. && p0 < 0.01)
+
+let test_search_failure_shape () =
+  let m = Tinygroups.Theory.default_model ~n:2048 ~beta:0.05 in
+  Alcotest.(check (float 1e-9)) "no red groups, no failure" 0.
+    (Tinygroups.Theory.search_failure m ~rho:0.);
+  let q1 = Tinygroups.Theory.search_failure m ~rho:0.01 in
+  let q2 = Tinygroups.Theory.search_failure m ~rho:0.1 in
+  Alcotest.(check bool) "monotone" true (q2 > q1 && q1 > 0.);
+  (* Small rho: qf ~ D rho. *)
+  Alcotest.(check bool) "linear regime" true
+    (Float.abs (q1 -. (m.Tinygroups.Theory.search_hops *. 0.01)) < 0.005)
+
+let test_stability_regimes () =
+  let stable = Tinygroups.Theory.default_model ~n:2048 ~beta:0.05 in
+  (match Tinygroups.Theory.fixed_point stable with
+  | `Stable rho ->
+      Alcotest.(check bool) "fixed point near the floor" true
+        (rho < 2. *. Tinygroups.Theory.p0 stable)
+  | `Diverges -> Alcotest.fail "beta=0.05 must be stable");
+  let broken = { stable with Tinygroups.Theory.beta = 0.3 } in
+  match Tinygroups.Theory.fixed_point broken with
+  | `Diverges -> ()
+  | `Stable _ -> Alcotest.fail "beta=0.3 must diverge"
+
+let test_critical_beta_bracketed () =
+  let m = Tinygroups.Theory.default_model ~n:1024 ~beta:0.05 in
+  let c = Tinygroups.Theory.critical_beta m in
+  Alcotest.(check bool) (Printf.sprintf "critical %.3f plausible" c) true
+    (c > 0.05 && c < 0.25);
+  (* Just below is stable, just above diverges. *)
+  (match Tinygroups.Theory.fixed_point { m with Tinygroups.Theory.beta = c -. 0.005 } with
+  | `Stable _ -> ()
+  | `Diverges -> Alcotest.fail "just below critical must be stable");
+  match Tinygroups.Theory.fixed_point { m with Tinygroups.Theory.beta = c +. 0.01 } with
+  | `Diverges -> ()
+  | `Stable _ -> Alcotest.fail "just above critical must diverge"
+
+let test_basin_edge_ordering () =
+  let m = Tinygroups.Theory.default_model ~n:2048 ~beta:0.05 in
+  match (Tinygroups.Theory.fixed_point m, Tinygroups.Theory.basin_edge m) with
+  | `Stable rho, Some edge ->
+      Alcotest.(check bool) "edge above the stable point" true (edge > rho);
+      (* Starting past the edge must diverge. *)
+      let past = edge *. 2. in
+      let rec iterate rho k =
+        if k > 200 then rho else iterate (Tinygroups.Theory.next_rho m ~rho) (k + 1)
+      in
+      Alcotest.(check bool) "beyond the edge grows" true (iterate past 0 > edge)
+  | `Stable _, None -> () (* attracted from everywhere: also fine *)
+  | `Diverges, _ -> Alcotest.fail "beta=0.05 must be stable"
+
+let test_minimal_group_size () =
+  let m = Tinygroups.Theory.default_model ~n:8192 ~beta:0.05 in
+  let g_min = Tinygroups.Theory.minimal_group_size m in
+  (* The SI-D knee: a handful of members, far below ln n = 9. *)
+  Alcotest.(check bool) (Printf.sprintf "knee at %d" g_min) true (g_min >= 3 && g_min <= 9);
+  (* Bigger groups than the knee stay stable. *)
+  match
+    Tinygroups.Theory.fixed_point { m with Tinygroups.Theory.group_size = g_min + 4 }
+  with
+  | `Stable _ -> ()
+  | `Diverges -> Alcotest.fail "above the knee must be stable"
+
+(* Monotonicity properties of the model. *)
+
+let beta_pair_arb =
+  (* Two betas in the interesting range, returned ordered. *)
+  QCheck.(
+    map
+      ~rev:(fun (a, b) -> (a, b))
+      (fun (a, b) -> if a <= b then (a, b) else (b, a))
+      (pair (float_range 0.001 0.2) (float_range 0.001 0.2)))
+
+let prop_p0_monotone_in_beta =
+  QCheck.Test.make ~count:100 ~name:"p0 monotone in beta" beta_pair_arb
+    (fun (b1, b2) ->
+      let p n b = Tinygroups.Theory.p0 (Tinygroups.Theory.default_model ~n ~beta:b) in
+      p 2048 b1 <= p 2048 b2)
+
+let prop_floor_shrinks_with_group_size =
+  (* The majority tail is only monotone in the group size along
+     same-parity steps (g -> g+1 can flip the majority threshold's
+     parity and raise the tail), so the clean statement is: two more
+     members never hurt. *)
+  QCheck.Test.make ~count:100 ~name:"p0 weakly shrinks as groups grow by 2"
+    QCheck.(pair (int_range 256 65_536) (float_range 0.01 0.1))
+    (fun (n, beta) ->
+      let m = Tinygroups.Theory.default_model ~n ~beta in
+      let bigger = { m with Tinygroups.Theory.group_size = m.Tinygroups.Theory.group_size + 2 } in
+      Tinygroups.Theory.p0 bigger <= Tinygroups.Theory.p0 m +. 1e-12)
+
+let prop_search_failure_monotone_in_rho =
+  QCheck.Test.make ~count:100 ~name:"search failure monotone in rho"
+    QCheck.(pair (float_range 0. 0.5) (float_range 0. 0.5))
+    (fun (r1, r2) ->
+      let r1, r2 = if r1 <= r2 then (r1, r2) else (r2, r1) in
+      let m = Tinygroups.Theory.default_model ~n:2048 ~beta:0.05 in
+      Tinygroups.Theory.search_failure m ~rho:r1
+      <= Tinygroups.Theory.search_failure m ~rho:r2 +. 1e-12)
+
+let prop_rates_are_probabilities =
+  QCheck.Test.make ~count:100 ~name:"p0, qf and next_rho stay in [0, 1]"
+    QCheck.(triple (int_range 128 65_536) (float_range 0.0 0.4) (float_range 0. 1.))
+    (fun (n, beta, rho) ->
+      let m = Tinygroups.Theory.default_model ~n ~beta in
+      let within x = x >= 0. && x <= 1. in
+      within (Tinygroups.Theory.p0 m)
+      && within (Tinygroups.Theory.search_failure m ~rho)
+      && Tinygroups.Theory.next_rho m ~rho >= 0.)
+
+let () =
+  Alcotest.run "theory"
+    [
+      ( "corners",
+        [
+          Alcotest.test_case "floor positive" `Quick test_floor_positive;
+          Alcotest.test_case "search failure shape" `Quick test_search_failure_shape;
+          Alcotest.test_case "stability regimes" `Quick test_stability_regimes;
+          Alcotest.test_case "critical beta bracketed" `Quick test_critical_beta_bracketed;
+          Alcotest.test_case "basin edge ordering" `Quick test_basin_edge_ordering;
+          Alcotest.test_case "minimal group size" `Quick test_minimal_group_size;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_p0_monotone_in_beta;
+          QCheck_alcotest.to_alcotest prop_floor_shrinks_with_group_size;
+          QCheck_alcotest.to_alcotest prop_search_failure_monotone_in_rho;
+          QCheck_alcotest.to_alcotest prop_rates_are_probabilities;
+        ] );
+    ]
