@@ -1,5 +1,5 @@
 (* The benchmark harness: regenerates every table/figure-equivalent of
-   the paper (E0-E20, F1; see DESIGN.md §4 and EXPERIMENTS.md) and
+   the paper (E0-E22, F1; see DESIGN.md §4 and EXPERIMENTS.md) and
    runs the Bechamel timing benches (B0-B7). The experiment list
    itself lives in Experiments.Registry — this file only drives it.
 

@@ -33,28 +33,58 @@ let jobs_arg =
     & opt int (Parallel.Pool.default_jobs ())
     & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+(* Range-checked argument converters: a bad rate should die as a
+   one-line usage error at parse time, not as an Invalid_argument
+   backtrace out of the plan/policy constructors mid-run. *)
+let probability_conv =
+  let parse s =
+    match float_of_string_opt s with
+    | Some p when p >= 0. && p <= 1. -> Ok p
+    | Some _ -> Error (`Msg (s ^ ": probability must lie in [0,1]"))
+    | None -> Error (`Msg (s ^ ": expected a probability in [0,1]"))
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
+let nonneg_int_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v >= 0 -> Ok v
+    | Some _ -> Error (`Msg (s ^ ": must be >= 0"))
+    | None -> Error (`Msg (s ^ ": expected a non-negative integer"))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let multiplier_conv =
+  let parse s =
+    match float_of_string_opt s with
+    | Some v when v >= 1. -> Ok v
+    | Some _ -> Error (`Msg (s ^ ": backoff multiplier must be >= 1"))
+    | None -> Error (`Msg (s ^ ": expected a factor >= 1"))
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
 (* Fault-plan flags, attached to every [Faulty] registry entry. All
    of them together build one uniform plan; omitting them all means
    "no fault injection". *)
 let fault_drop_arg =
   let doc = "Per-message drop probability of the fault plan." in
-  Arg.(value & opt float 0. & info [ "fault-drop" ] ~docv:"P" ~doc)
+  Arg.(value & opt probability_conv 0. & info [ "fault-drop" ] ~docv:"P" ~doc)
 
 let fault_dup_arg =
   let doc = "Per-message duplication probability of the fault plan." in
-  Arg.(value & opt float 0. & info [ "fault-dup" ] ~docv:"P" ~doc)
+  Arg.(value & opt probability_conv 0. & info [ "fault-dup" ] ~docv:"P" ~doc)
 
 let fault_delay_arg =
   let doc = "Per-message extra-delay probability of the fault plan." in
-  Arg.(value & opt float 0. & info [ "fault-delay" ] ~docv:"P" ~doc)
+  Arg.(value & opt probability_conv 0. & info [ "fault-delay" ] ~docv:"P" ~doc)
 
 let fault_delay_ms_arg =
   let doc = "Upper bound (ms) of the uniform extra delay." in
-  Arg.(value & opt int 100 & info [ "fault-delay-ms" ] ~docv:"MS" ~doc)
+  Arg.(value & opt nonneg_int_conv 100 & info [ "fault-delay-ms" ] ~docv:"MS" ~doc)
 
 let fault_reorder_arg =
   let doc = "Per-message reorder (deferral) probability of the fault plan." in
-  Arg.(value & opt float 0. & info [ "fault-reorder" ] ~docv:"P" ~doc)
+  Arg.(value & opt probability_conv 0. & info [ "fault-reorder" ] ~docv:"P" ~doc)
 
 let fault_seed_arg =
   let doc =
@@ -77,6 +107,57 @@ let fault_plan_term =
     const build $ fault_drop_arg $ fault_dup_arg $ fault_delay_arg $ fault_delay_ms_arg
     $ fault_reorder_arg $ fault_seed_arg)
 
+(* Retry-policy flags, attached alongside the fault flags. A zero
+   --retry-max (the default) means "no reliability layer" — which the
+   zero-retry anchor makes indistinguishable from a budget-0 policy
+   anyway. *)
+let retry_max_arg =
+  let doc = "Retry budget: extra delivery attempts after the first (0 disables)." in
+  Arg.(value & opt nonneg_int_conv 0 & info [ "retry-max" ] ~docv:"N" ~doc)
+
+let retry_backoff_arg =
+  let doc = "Backoff (ms) before the first retry." in
+  Arg.(value & opt nonneg_int_conv 10 & info [ "retry-backoff-ms" ] ~docv:"MS" ~doc)
+
+let retry_multiplier_arg =
+  let doc = "Exponential backoff growth factor (>= 1)." in
+  Arg.(value & opt multiplier_conv 2. & info [ "retry-multiplier" ] ~docv:"X" ~doc)
+
+let retry_max_backoff_arg =
+  let doc = "Cap (ms) on the deterministic backoff." in
+  Arg.(value & opt nonneg_int_conv 2000 & info [ "retry-max-backoff-ms" ] ~docv:"MS" ~doc)
+
+let retry_jitter_arg =
+  let doc = "Uniform jitter bound (ms) added per retry." in
+  Arg.(value & opt nonneg_int_conv 5 & info [ "retry-jitter-ms" ] ~docv:"MS" ~doc)
+
+let retry_circuit_arg =
+  let doc =
+    "Consecutive exhausted budgets that open a destination's circuit (0 disables)."
+  in
+  Arg.(value & opt nonneg_int_conv 0 & info [ "retry-circuit" ] ~docv:"N" ~doc)
+
+let retry_seed_arg =
+  let doc = "Seed of the retry jitter stream (independent of --seed)." in
+  Arg.(value & opt nonneg_int_conv 0 & info [ "retry-seed" ] ~docv:"N" ~doc)
+
+let retry_policy_term =
+  let build maxr backoff mult max_backoff jitter circuit rseed =
+    if maxr = 0 then Ok None
+    else
+      match
+        Reliability.Policy.make ~seed:(Int64.of_int rseed) ~max_retries:maxr
+          ~base_backoff_ms:backoff ~multiplier:mult ~max_backoff_ms:max_backoff
+          ~jitter_ms:jitter ~circuit_threshold:circuit ()
+      with
+      | policy -> Ok (Some policy)
+      | exception Invalid_argument msg -> Error (`Msg msg)
+  in
+  Term.(
+    term_result
+      (const build $ retry_max_arg $ retry_backoff_arg $ retry_multiplier_arg
+     $ retry_max_backoff_arg $ retry_jitter_arg $ retry_circuit_arg $ retry_seed_arg))
+
 let run_spec spec seed scale jobs =
   match spec.Experiments.Registry.kind with
   | Experiments.Registry.Table _ | Experiments.Registry.Faulty _ ->
@@ -84,16 +165,18 @@ let run_spec spec seed scale jobs =
         (Experiments.Registry.run_table spec ~jobs (Prng.Rng.create seed) scale)
   | Experiments.Registry.Text run -> print_string (run (Prng.Rng.create seed))
 
-let run_faulty_spec spec seed scale jobs faults =
+let run_faulty_spec spec seed scale jobs faults reliability =
   Option.iter Experiments.Table.print
-    (Experiments.Registry.run_table spec ~jobs ?faults (Prng.Rng.create seed) scale)
+    (Experiments.Registry.run_table spec ~jobs ?faults ?reliability
+       (Prng.Rng.create seed) scale)
 
 let experiment_cmd spec =
   let term =
     match spec.Experiments.Registry.kind with
     | Experiments.Registry.Faulty _ ->
         Term.(
-          const (run_faulty_spec spec) $ seed_arg $ scale_arg $ jobs_arg $ fault_plan_term)
+          const (run_faulty_spec spec) $ seed_arg $ scale_arg $ jobs_arg $ fault_plan_term
+          $ retry_policy_term)
     | _ -> Term.(const (run_spec spec) $ seed_arg $ scale_arg $ jobs_arg)
   in
   Cmd.v (Cmd.info spec.Experiments.Registry.id ~doc:spec.Experiments.Registry.doc) term
@@ -129,7 +212,7 @@ let epochs_cmd =
     Term.(const run $ seed_arg $ n_arg $ beta_arg $ epochs_arg $ single_arg)
 
 let all_cmd =
-  let doc = "Run every experiment in the registry (E0-E21 and F1)." in
+  let doc = "Run every experiment in the registry (E0-E22 and F1)." in
   let run seed scale jobs =
     List.iter
       (fun spec -> run_spec spec seed scale jobs)

@@ -1,4 +1,4 @@
-let run_epochs ?faults rng ~mode ~n ~beta ~epochs ~searches =
+let run_epochs ?faults ?reliability rng ~mode ~n ~beta ~epochs ~searches =
   let cfg =
     {
       (Tinygroups.Epoch.default_config ~n) with
@@ -6,7 +6,7 @@ let run_epochs ?faults rng ~mode ~n ~beta ~epochs ~searches =
       params = { Tinygroups.Params.default with Tinygroups.Params.beta };
     }
   in
-  let e = Tinygroups.Epoch.init ?faults rng cfg in
+  let e = Tinygroups.Epoch.init ?faults ?reliability rng cfg in
   let observe epoch =
     let g = Tinygroups.Epoch.primary e in
     let c = Tinygroups.Group_graph.census g in

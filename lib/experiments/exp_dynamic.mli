@@ -15,6 +15,7 @@ val run_e5 : ?jobs:int -> Prng.Rng.t -> Scale.t -> Table.t
 
 val run_epochs :
   ?faults:Faults.Plan.t ->
+  ?reliability:Reliability.Policy.t ->
   Prng.Rng.t ->
   mode:Tinygroups.Epoch.mode ->
   n:int ->
@@ -24,5 +25,6 @@ val run_epochs :
   (int * Tinygroups.Group_graph.census * float) list
 (** Shared driver: census and measured search success after each
     epoch (epoch 0 is the initial build). Exposed for the examples,
-    the CLI and E21's faulty-epoch ablation ([?faults] is threaded to
-    {!Tinygroups.Epoch.init}; cut/crash windows are epoch indices). *)
+    the CLI and E21/E22's faulty-epoch ablations ([?faults] and
+    [?reliability] are threaded to {!Tinygroups.Epoch.init};
+    cut/crash windows are epoch indices). *)

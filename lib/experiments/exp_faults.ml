@@ -85,7 +85,7 @@ let default_configs scale =
   in
   match scale with Scale.Quick -> base | _ -> base @ extra
 
-let run_e21 ?(jobs = 1) ?faults rng scale =
+let run_e21 ?(jobs = 1) ?faults ?reliability rng scale =
   let n = match scale with Scale.Quick -> 512 | _ -> 1024 in
   let searches = match scale with Scale.Quick -> 40 | Scale.Standard -> 120 | Scale.Full -> 300 in
   let epochs = Scale.epochs scale in
@@ -150,10 +150,17 @@ let run_e21 ?(jobs = 1) ?faults rng scale =
           let plan =
             proto_plan cfg.proto g ~seed:(Int64.add cfg.plan_seed (Int64.of_int i))
           in
+          let reliability =
+            Option.map
+              (fun p ->
+                Reliability.Policy.with_seed p
+                  (Int64.add p.Reliability.Policy.seed (Int64.of_int i)))
+              reliability
+          in
           let o =
             Protocol.Secure_search.run_search (Prng.Rng.split stream) g ~latency
               ~behaviour:Protocol.Secure_search.Colluding ~src ~key ~faults:plan
-              ~metrics:fm ()
+              ?reliability ~metrics:fm ()
           in
           msgs := !msgs + o.Protocol.Secure_search.messages;
           match o.Protocol.Secure_search.result with
@@ -169,7 +176,7 @@ let run_e21 ?(jobs = 1) ?faults rng scale =
           | Some plan ->
               let plan = Faults.Plan.with_seed plan cfg.plan_seed in
               let chain =
-                Exp_dynamic.run_epochs ~faults:plan (Prng.Rng.split stream)
+                Exp_dynamic.run_epochs ~faults:plan ?reliability (Prng.Rng.split stream)
                   ~mode:Tinygroups.Epoch.Paired ~n:epoch_n ~beta ~epochs
                   ~searches:(Scale.searches scale / 2)
               in
@@ -195,6 +202,10 @@ let run_e21 ?(jobs = 1) ?faults rng scale =
         @ epoch_cells)
   in
   List.iter (Table.add_row table) rows;
+  (match reliability with
+  | Some p when not (Reliability.Policy.is_zero p) ->
+      Table.add_note table ("Retry policy active: " ^ Reliability.Policy.describe p)
+  | _ -> ());
   Table.add_note table
     "Fault schedules replay from their seeds alone: row i's plans are seeded";
   Table.add_note table

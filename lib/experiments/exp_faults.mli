@@ -13,6 +13,15 @@
     runs byte-for-byte (asserted by [test/test_faults.ml]), so any
     degradation in later rows is attributable to the fault plan
     alone. [?faults] replaces the default sweep with a baseline row
-    plus the given plan (the CLI's [--fault-*] flags). *)
+    plus the given plan (the CLI's [--fault-*] flags); [?reliability]
+    re-runs every row with the retransmission layer armed (the
+    [--retry-*] flags) — the systematic drop-rate × retry-budget
+    sweep lives in E22. *)
 
-val run_e21 : ?jobs:int -> ?faults:Faults.Plan.t -> Prng.Rng.t -> Scale.t -> Table.t
+val run_e21 :
+  ?jobs:int ->
+  ?faults:Faults.Plan.t ->
+  ?reliability:Reliability.Policy.t ->
+  Prng.Rng.t ->
+  Scale.t ->
+  Table.t

@@ -69,7 +69,7 @@ let render rng =
     let sabotaged =
       Tinygroups.Group_graph.assemble ~params:graph.Tinygroups.Group_graph.params
         ~population:pop ~overlay:graph.Tinygroups.Group_graph.overlay ~groups
-        ~confused:[ mid ]
+        ~confused:[ mid ] ()
     in
     Buffer.add_string buf
       (Printf.sprintf "-- same search with G_%s turned red (marked [B]):\n"

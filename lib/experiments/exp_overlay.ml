@@ -20,7 +20,7 @@ let with_overlay g overlay =
       g.Tinygroups.Group_graph.confused []
   in
   Tinygroups.Group_graph.assemble ~params:g.Tinygroups.Group_graph.params
-    ~population:g.Tinygroups.Group_graph.population ~overlay ~groups ~confused
+    ~population:g.Tinygroups.Group_graph.population ~overlay ~groups ~confused ()
 
 let run_e0 ?(jobs = 1) rng scale =
   let table =

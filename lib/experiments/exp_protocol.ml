@@ -1,4 +1,4 @@
-let run_e19 ?(jobs = 1) ?faults rng scale =
+let run_e19 ?(jobs = 1) ?faults ?reliability rng scale =
   let n = match scale with Scale.Quick -> 512 | _ -> 1024 in
   let searches = match scale with Scale.Quick -> 60 | _ -> 200 in
   let table =
@@ -49,8 +49,16 @@ let run_e19 ?(jobs = 1) ?faults rng scale =
                     (Int64.add p.Faults.Plan.seed (Int64.of_int i)))
                 faults
             in
+            let reliability =
+              (* Same decorrelation for the retry jitter stream. *)
+              Option.map
+                (fun p ->
+                  Reliability.Policy.with_seed p
+                    (Int64.add p.Reliability.Policy.seed (Int64.of_int i)))
+                reliability
+            in
             Protocol.Secure_search.run_search (Prng.Rng.split stream) g ~latency
-              ~behaviour ~src ~key ?faults ()
+              ~behaviour ~src ~key ?faults ?reliability ()
           in
           let analytic = Tinygroups.Secure_route.search g ~failure:`Majority ~src ~key in
           let a_ok = Tinygroups.Secure_route.succeeded analytic in
@@ -84,6 +92,10 @@ let run_e19 ?(jobs = 1) ?faults rng scale =
   (match faults with
   | Some plan when not (Faults.Plan.is_zero plan) ->
       Table.add_note table ("Fault plan active: " ^ Faults.Plan.describe plan)
+  | _ -> ());
+  (match reliability with
+  | Some p when not (Reliability.Policy.is_zero p) ->
+      Table.add_note table ("Retry policy active: " ^ Reliability.Policy.describe p)
   | _ -> ());
   Table.add_note table
     "Protocol messages exceed the analytic floor (clients fan out, replies return,";

@@ -1,0 +1,32 @@
+(** E22: the reliability ablation — drop rate × retry budget.
+
+    E21 established the failure: sustained message loss above a small
+    epsilon collapses the epoch chain, because a group whose
+    neighbour establishment loses a wave is marked confused and
+    poisons the next epoch's construction routes (a percolation
+    threshold, not graceful degradation). E22 measures the cure. Each
+    row re-runs E21's two worlds — the member-level secure search and
+    the paired epoch chain — under a uniform drop plan crossed with a
+    {!Reliability.Policy} retry budget, and reports recovery
+    (resolved searches, epoch search success) against its price (the
+    delivered-message overhead multiplier vs the budget-0 row of the
+    same plan, plus the retry/backoff/circuit counters).
+
+    The budget-0 column is the zero-retry anchor: byte-identical to
+    the retry-free substrate, so the remaining rows isolate the
+    reliability layer. The headline is the 5% drop row: an epoch
+    chain that collapses to ≈0 search success without retries
+    survives at ≥90% with a small bounded budget. *)
+
+val run_e22 :
+  ?jobs:int ->
+  ?faults:Faults.Plan.t ->
+  ?reliability:Reliability.Policy.t ->
+  Prng.Rng.t ->
+  Scale.t ->
+  Table.t
+(** [?faults] replaces the default drop sweep with the given plan
+    (one plan, all budgets); [?reliability] replaces the house retry
+    schedule and restricts the budget sweep to [{0, its budget}] —
+    the anchor stays, since it is the overhead baseline. Output is
+    identical for every [jobs] under the same seed. *)

@@ -1,6 +1,12 @@
 type kind =
   | Table of (jobs:int -> Prng.Rng.t -> Scale.t -> Table.t)
-  | Faulty of (jobs:int -> faults:Faults.Plan.t option -> Prng.Rng.t -> Scale.t -> Table.t)
+  | Faulty of
+      (jobs:int ->
+      faults:Faults.Plan.t option ->
+      reliability:Reliability.Policy.t option ->
+      Prng.Rng.t ->
+      Scale.t ->
+      Table.t)
   | Text of (Prng.Rng.t -> string)
 
 type spec = { id : string; doc : string; kind : kind }
@@ -12,7 +18,10 @@ let faulty id doc run =
   {
     id;
     doc;
-    kind = Faulty (fun ~jobs ~faults rng scale -> run ?jobs:(Some jobs) ?faults rng scale);
+    kind =
+      Faulty
+        (fun ~jobs ~faults ~reliability rng scale ->
+          run ?jobs:(Some jobs) ?faults ?reliability rng scale);
   }
 
 let all =
@@ -41,13 +50,15 @@ let all =
     faulty "e19" "Member-level protocol vs the analytic model." Exp_protocol.run_e19;
     table "e20" "Epoch recursion: theory vs measured collapse." Exp_theory.run_e20;
     faulty "e21" "Fault injection: robustness vs environmental faults." Exp_faults.run_e21;
+    faulty "e22" "Reliability ablation: drop rate x retry budget."
+      Exp_reliability.run_e22;
     { id = "f1"; doc = "Figure 1 rendered as a search trace."; kind = Text Exp_figure1.render };
   ]
 
 let find id = List.find_opt (fun s -> s.id = id) all
 
-let run_table spec ~jobs ?faults rng scale =
+let run_table spec ~jobs ?faults ?reliability rng scale =
   match spec.kind with
   | Table run -> Some (run ~jobs rng scale)
-  | Faulty run -> Some (run ~jobs ~faults rng scale)
+  | Faulty run -> Some (run ~jobs ~faults ~reliability rng scale)
   | Text _ -> None

@@ -11,10 +11,17 @@ type kind =
       (** A table-producing experiment. [jobs] is the worker-domain
           count for its internal fan-out; output is identical for
           every value of [jobs] under the same seed. *)
-  | Faulty of (jobs:int -> faults:Faults.Plan.t option -> Prng.Rng.t -> Scale.t -> Table.t)
+  | Faulty of
+      (jobs:int ->
+      faults:Faults.Plan.t option ->
+      reliability:Reliability.Policy.t option ->
+      Prng.Rng.t ->
+      Scale.t ->
+      Table.t)
       (** A table-producing experiment that additionally accepts a
-          fault plan (the CLI exposes [--fault-*] flags for these;
-          [~faults:None] is the canonical fault-free table). *)
+          fault plan and a retry policy (the CLI exposes [--fault-*]
+          and [--retry-*] flags for these; [~faults:None
+          ~reliability:None] is the canonical fault-free table). *)
   | Text of (Prng.Rng.t -> string)
       (** A free-form text artifact (Figure 1's search trace). *)
 
@@ -31,7 +38,14 @@ val find : string -> spec option
 (** [find id] looks up an experiment by its lowercase id. *)
 
 val run_table :
-  spec -> jobs:int -> ?faults:Faults.Plan.t -> Prng.Rng.t -> Scale.t -> Table.t option
+  spec ->
+  jobs:int ->
+  ?faults:Faults.Plan.t ->
+  ?reliability:Reliability.Policy.t ->
+  Prng.Rng.t ->
+  Scale.t ->
+  Table.t option
 (** Run a [Table] or [Faulty] spec uniformly ([None] for [Text]
     artifacts); the shape both drivers and the golden-output tests
-    share. [?faults] is ignored by plain [Table] experiments. *)
+    share. [?faults] and [?reliability] are ignored by plain [Table]
+    experiments. *)

@@ -6,10 +6,15 @@ type cut_state = {
   cut : Plan.cut;
   in_a : (int64, unit) Hashtbl.t;
   in_b : (int64, unit) Hashtbl.t;  (* empty table encodes "everyone else" *)
+  mutable cut_seen_active : bool;  (* some query landed inside the window *)
   mutable heal_counted : bool;
 }
 
-type crash_state = { crash : Plan.crash; mutable recover_counted : bool }
+type crash_state = {
+  crash : Plan.crash;
+  mutable crash_seen_active : bool;
+  mutable recover_counted : bool;
+}
 
 type t = {
   enabled_ : bool;
@@ -18,7 +23,7 @@ type t = {
   metrics_ : Sim.Metrics.t;
   cuts : cut_state list;
   crashes : crash_state list;
-  crashed_ids : (int64, Plan.crash list) Hashtbl.t;
+  crashed_ids : (int64, crash_state list) Hashtbl.t;
   wildcard_drop : float;
 }
 
@@ -40,13 +45,18 @@ let disabled () =
   }
 
 let create ?metrics (plan : Plan.t) =
+  let crashes =
+    List.map
+      (fun c -> { crash = c; crash_seen_active = false; recover_counted = false })
+      plan.Plan.crashes
+  in
   let crashed_ids = Hashtbl.create 16 in
   List.iter
-    (fun (c : Plan.crash) ->
-      let k = Point.to_u62 c.Plan.id in
+    (fun (s : crash_state) ->
+      let k = Point.to_u62 s.crash.Plan.id in
       let prev = Option.value ~default:[] (Hashtbl.find_opt crashed_ids k) in
-      Hashtbl.replace crashed_ids k (c :: prev))
-    plan.Plan.crashes;
+      Hashtbl.replace crashed_ids k (s :: prev))
+    crashes;
   {
     enabled_ = true;
     plan_ = plan;
@@ -59,11 +69,11 @@ let create ?metrics (plan : Plan.t) =
             cut = c;
             in_a = index_points c.Plan.side_a;
             in_b = index_points c.Plan.side_b;
+            cut_seen_active = false;
             heal_counted = false;
           })
         plan.Plan.cuts;
-    crashes =
-      List.map (fun c -> { crash = c; recover_counted = false }) plan.Plan.crashes;
+    crashes;
     crashed_ids;
     wildcard_drop = Plan.wildcard_drop plan;
   }
@@ -72,9 +82,16 @@ let enabled t = t.enabled_
 let plan t = t.plan_
 let metrics t = t.metrics_
 
-let crash_active (c : Plan.crash) ~now =
-  now >= c.Plan.down_from
-  && match c.Plan.recover_at with None -> true | Some r -> now < r
+(* Liveness queries double as window observations: a query landing
+   inside an active window marks the fault as seen, which is what
+   licenses counting its heal later (observe_heals). *)
+let crash_active (s : crash_state) ~now =
+  let active =
+    now >= s.crash.Plan.down_from
+    && match s.crash.Plan.recover_at with None -> true | Some r -> now < r
+  in
+  if active then s.crash_seen_active <- true;
+  active
 
 let crashed t ~now id =
   t.enabled_
@@ -84,12 +101,18 @@ let crashed t ~now id =
   | Some cs -> List.exists (crash_active ~now) cs
 
 let cut_active (s : cut_state) ~now =
-  now >= s.cut.Plan.from_time
-  && match s.cut.Plan.heal_time with None -> true | Some h -> now < h
+  let active =
+    now >= s.cut.Plan.from_time
+    && match s.cut.Plan.heal_time with None -> true | Some h -> now < h
+  in
+  if active then s.cut_seen_active <- true;
+  active
 
 (* A message crosses the cut when its endpoints sit on opposite
-   sides. An empty side B means "everyone else", including unknown
-   senders (clients off the ring). *)
+   sides. An unknown sender (a client off the ring) is never inside
+   [side_a], so it always counts as the far side: an explicit side B
+   cuts side_a off from B *and* from everyone unnamed, exactly like
+   the implicit "everyone else" of an empty side B. *)
 let crosses (s : cut_state) ~src ~dst =
   let side h p = Hashtbl.mem h (Point.to_u62 p) in
   let dst_a = side s.in_a dst in
@@ -98,7 +121,7 @@ let crosses (s : cut_state) ~src ~dst =
     if Hashtbl.length s.in_b = 0 then not (side s.in_a p) else side s.in_b p
   in
   let dst_b = in_b dst in
-  let src_b = match src with Some p -> in_b p | None -> Hashtbl.length s.in_b = 0 in
+  let src_b = match src with Some p -> in_b p | None -> true in
   (src_a && dst_b) || (src_b && dst_a)
 
 let severed t ~now ~src ~dst =
@@ -172,19 +195,25 @@ let search_lost t =
 
 let observe_heals t ~now =
   if t.enabled_ then begin
+    (* The observation point itself witnesses a window in progress;
+       only a fault that was ever observed active can heal — a clock
+       that jumps straight past the window healed nothing anyone
+       saw. *)
     List.iter
       (fun s ->
+        ignore (cut_active s ~now);
         match s.cut.Plan.heal_time with
-        | Some h when (not s.heal_counted) && now >= h ->
+        | Some h when s.cut_seen_active && (not s.heal_counted) && now >= h ->
             s.heal_counted <- true;
             Sim.Metrics.incr t.metrics_ Sim.Metrics.fault_healed
         | _ -> ())
       t.cuts;
     List.iter
-      (fun c ->
-        match c.crash.Plan.recover_at with
-        | Some r when (not c.recover_counted) && now >= r ->
-            c.recover_counted <- true;
+      (fun s ->
+        ignore (crash_active s ~now);
+        match s.crash.Plan.recover_at with
+        | Some r when s.crash_seen_active && (not s.recover_counted) && now >= r ->
+            s.recover_counted <- true;
             Sim.Metrics.incr t.metrics_ Sim.Metrics.fault_healed
         | _ -> ())
       t.crashes

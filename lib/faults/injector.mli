@@ -52,9 +52,10 @@ val crashed : t -> now:int -> Point.t -> bool
 
 val severed : t -> now:int -> src:Point.t option -> dst:Point.t -> bool
 (** Pure partition query (no draws, no counters): does an active cut
-    separate the endpoints at [now]? An unknown ([None]) sender
-    counts as outside every named side — i.e. inside an implicit
-    "everyone else" side when the cut has one. *)
+    separate the endpoints at [now]? An unknown ([None]) sender is
+    never inside [side_a], so it always sits on the far side of the
+    cut: client traffic into [side_a] is severed whether side B is
+    explicit or the implicit "everyone else". *)
 
 val search_lost : t -> bool
 (** One Bernoulli at the plan's {!Plan.wildcard_drop} rate — the
@@ -66,7 +67,11 @@ val observe_heals : t -> now:int -> unit
 (** Count each cut healed and each crash recovered by [now] into
     {!Sim.Metrics.fault_healed}, once per entry across the
     injector's lifetime. Callers invoke it at observation points
-    (e.g. each epoch boundary, or end of a network run). *)
+    (e.g. each epoch boundary, or end of a network run). A heal only
+    counts for a fault that some query — [decide], [crashed],
+    [severed], or an earlier [observe_heals] — observed inside its
+    active window; a clock jumping straight past the window heals
+    nothing. *)
 
 val metrics : t -> Sim.Metrics.t
 (** Where this injector accounts its counters. *)

@@ -44,7 +44,10 @@ let float t =
 
 let bool t = Int64.logand (bits64 t) 1L = 1L
 
-let bernoulli t p = float t < p
+(* Short-circuit the certain edges so a degenerate rate consumes no
+   draw: a p = 0 (or p >= 1) field in a composite schedule must not
+   perturb the stream consumed by the live fields. *)
+let bernoulli t p = if p <= 0. then false else if p >= 1. then true else float t < p
 
 let geometric t p =
   if p <= 0. || p > 1. then invalid_arg "Rng.geometric: p must be in (0,1]";

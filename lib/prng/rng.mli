@@ -39,7 +39,10 @@ val bool : t -> bool
 (** A fair coin. *)
 
 val bernoulli : t -> float -> bool
-(** [bernoulli t p] is [true] with probability [p]. *)
+(** [bernoulli t p] is [true] with probability [p]. The certain edges
+    are draw-free: [p <= 0.] and [p >= 1.] answer without consuming
+    from the stream, so degenerate rates in a composite schedule do
+    not perturb the draws of its live rates. *)
 
 val geometric : t -> float -> int
 (** [geometric t p] is the number of failures before the first success

@@ -6,15 +6,21 @@ type t = {
   engine : Sim.Engine.t;
   handlers : (int64, t -> now:int -> Message.t -> unit) Hashtbl.t;
   injector : Faults.Injector.t;
+  tracker : Reliability.Tracker.t;
   mutable sent : int;
   mutable delivered : int;
 }
 
-let create ?faults ?metrics rng ~latency =
+let create ?faults ?reliability ?metrics rng ~latency =
   let injector =
     match faults with
     | None -> Faults.Injector.disabled ()
     | Some plan -> Faults.Injector.create ?metrics plan
+  in
+  let tracker =
+    match reliability with
+    | None -> Reliability.Tracker.disabled ()
+    | Some policy -> Reliability.Tracker.create ?metrics policy
   in
   {
     rng;
@@ -22,6 +28,7 @@ let create ?faults ?metrics rng ~latency =
     engine = Sim.Engine.create ();
     handlers = Hashtbl.create 1024;
     injector;
+    tracker;
     sent = 0;
     delivered = 0;
   }
@@ -36,17 +43,35 @@ let deliver_after t ~delay ~to_ message =
           handler t ~now:(Sim.Engine.now t.engine) message
       | None -> ())
 
+(* Each attempt re-consults the injector at its own send time, so
+   retries are independently faultable; a retransmission is a real
+   message (it counts in [sent], which is what prices the reliability
+   layer's overhead). The backoff wait stands in for the sender's ack
+   timeout — in the simulation the verdict is known at once, so the
+   timeout collapses into the scheduled retry delay. *)
 let send ?src t ~to_ message =
-  t.sent <- t.sent + 1;
-  match
-    Faults.Injector.decide t.injector ~now:(Sim.Engine.now t.engine) ~src ~dst:to_
-  with
-  | Faults.Injector.Drop -> ()
-  | Faults.Injector.Deliver { extra_delay; copies } ->
-      for _ = 1 to copies do
-        let delay = Sim.Latency.sample t.rng t.latency + extra_delay in
-        deliver_after t ~delay ~to_ message
-      done
+  let rec attempt k =
+    t.sent <- t.sent + 1;
+    match
+      Faults.Injector.decide t.injector ~now:(Sim.Engine.now t.engine) ~src ~dst:to_
+    with
+    | Faults.Injector.Drop ->
+        if
+          k < Reliability.Tracker.budget t.tracker
+          && not (Reliability.Tracker.circuit_open t.tracker to_)
+        then begin
+          let backoff = Reliability.Tracker.next_backoff t.tracker ~attempt:k in
+          Sim.Engine.schedule_after t.engine ~delay:backoff (fun () -> attempt (k + 1))
+        end
+        else Reliability.Tracker.record_exhausted t.tracker to_
+    | Faults.Injector.Deliver { extra_delay; copies } ->
+        Reliability.Tracker.record_success t.tracker to_;
+        for _ = 1 to copies do
+          let delay = Sim.Latency.sample t.rng t.latency + extra_delay in
+          deliver_after t ~delay ~to_ message
+        done
+  in
+  attempt 0
 
 let run ?deadline t =
   Sim.Engine.run ?until:deadline t.engine;
@@ -56,3 +81,4 @@ let now t = Sim.Engine.now t.engine
 let messages_sent t = t.sent
 let messages_delivered t = t.delivered
 let fault_metrics t = Sim.Metrics.snapshot (Faults.Injector.metrics t.injector)
+let retry_metrics t = Sim.Metrics.snapshot (Reliability.Tracker.metrics t.tracker)

@@ -10,16 +10,35 @@
     nor receive. The fault schedule draws only from the plan's own
     seed (see {!Faults.Injector}), so enabling a zero-rate plan
     leaves a run byte-identical and the schedule is invariant under
-    the experiment layer's [--jobs] fan-out. *)
+    the experiment layer's [--jobs] fan-out.
+
+    A {!Reliability.Policy.t} makes the transport fight back: a send
+    whose attempt the injector drops is retransmitted after the
+    policy's backoff (the simulated ack timeout), each attempt
+    re-consulting the injector so retries are independently
+    faultable, until delivery, budget exhaustion, or the
+    destination's circuit opening. Retransmissions count as sent
+    messages — they are the layer's measurable overhead. The retry
+    schedule draws only from the policy's seed (see
+    {!Reliability.Tracker}), with the same zero anchor: a zero-budget
+    policy is byte-identical to none. *)
 
 open Idspace
 
 type t
 
-val create : ?faults:Faults.Plan.t -> ?metrics:Sim.Metrics.t -> Prng.Rng.t -> latency:Sim.Latency.t -> t
-(** [?faults] defaults to no fault injection. [?metrics] is where
-    fault counters ({!Sim.Metrics.fault_injected} etc.) accumulate;
-    a private table otherwise (see {!fault_metrics}). *)
+val create :
+  ?faults:Faults.Plan.t ->
+  ?reliability:Reliability.Policy.t ->
+  ?metrics:Sim.Metrics.t ->
+  Prng.Rng.t ->
+  latency:Sim.Latency.t ->
+  t
+(** [?faults] defaults to no fault injection, [?reliability] to no
+    retries. [?metrics] is where fault and retry counters
+    ({!Sim.Metrics.fault_injected}, {!Sim.Metrics.retry_attempted}
+    etc.) accumulate; private tables otherwise (see {!fault_metrics}
+    and {!retry_metrics}). *)
 
 val register : t -> Point.t -> (t -> now:int -> Message.t -> unit) -> unit
 (** Install the handler run at each delivery to this ID.
@@ -47,3 +66,7 @@ val messages_delivered : t -> int
 val fault_metrics : t -> Sim.Metrics.snapshot
 (** Current fault counters of this network's injector (empty when no
     plan was given). *)
+
+val retry_metrics : t -> Sim.Metrics.snapshot
+(** Current retry counters of this network's reliability tracker
+    (empty when no policy was given). *)

@@ -27,7 +27,7 @@ type bucket = {
 }
 
 let run_search rng g ~latency ~behaviour ~src ~key ?(deadline = 60_000) ?faults
-    ?metrics () =
+    ?reliability ?metrics () =
   let overlay = g.Tinygroups.Group_graph.overlay in
   let pop = g.Tinygroups.Group_graph.population in
   (* The adversary's best verifiable claim: its own ID nearest
@@ -38,7 +38,7 @@ let run_search rng g ~latency ~behaviour ~src ~key ?(deadline = 60_000) ?faults
     if Ring.cardinal bad_ring = 0 then None
     else Some (Ring.successor_exn bad_ring key)
   in
-  let net = Network.create ?faults ?metrics (Prng.Rng.split rng) ~latency in
+  let net = Network.create ?faults ?reliability ?metrics (Prng.Rng.split rng) ~latency in
   let qid = 1 in
   (* The client is a synthetic address off the ring. *)
   let client = Point.of_u62 0L in

@@ -44,6 +44,7 @@ val run_search :
   key:Point.t ->
   ?deadline:int ->
   ?faults:Faults.Plan.t ->
+  ?reliability:Reliability.Policy.t ->
   ?metrics:Sim.Metrics.t ->
   unit ->
   outcome
@@ -53,6 +54,9 @@ val run_search :
     [?faults] subjects the underlying {!Network} to the plan's
     environmental faults on top of the Byzantine [behaviour]; the
     fault schedule draws only from the plan's seed, so a zero-rate
-    plan yields the same outcome as no plan at all. [?metrics]
-    receives the fault counters ({!Sim.Metrics.fault_injected},
-    [fault_suppressed], [fault_healed]). *)
+    plan yields the same outcome as no plan at all. [?reliability]
+    arms the network's retransmission layer against those faults
+    (see {!Network.create}); a zero-budget policy is likewise
+    identical to none. [?metrics] receives the fault and retry
+    counters ({!Sim.Metrics.fault_injected},
+    {!Sim.Metrics.retry_attempted} etc.). *)

@@ -1,0 +1,60 @@
+type t = {
+  seed : int64;
+  max_retries : int;
+  base_backoff_ms : int;
+  multiplier : float;
+  max_backoff_ms : int;
+  jitter_ms : int;
+  circuit_threshold : int;
+}
+
+let none =
+  {
+    seed = 0L;
+    max_retries = 0;
+    base_backoff_ms = 10;
+    multiplier = 2.;
+    max_backoff_ms = 2_000;
+    jitter_ms = 0;
+    circuit_threshold = 0;
+  }
+
+let make ?(seed = 0L) ?(max_retries = 3) ?(base_backoff_ms = 10) ?(multiplier = 2.)
+    ?(max_backoff_ms = 2_000) ?(jitter_ms = 5) ?(circuit_threshold = 0) () =
+  if max_retries < 0 then
+    invalid_arg "Reliability.Policy: max_retries must be >= 0";
+  if base_backoff_ms < 0 then
+    invalid_arg "Reliability.Policy: base_backoff_ms must be >= 0";
+  if multiplier < 1. then invalid_arg "Reliability.Policy: multiplier must be >= 1";
+  if max_backoff_ms < base_backoff_ms then
+    invalid_arg "Reliability.Policy: max_backoff_ms must be >= base_backoff_ms";
+  if jitter_ms < 0 then invalid_arg "Reliability.Policy: jitter_ms must be >= 0";
+  if circuit_threshold < 0 then
+    invalid_arg "Reliability.Policy: circuit_threshold must be >= 0";
+  { seed; max_retries; base_backoff_ms; multiplier; max_backoff_ms; jitter_ms; circuit_threshold }
+
+let with_seed t seed = { t with seed }
+let with_budget t max_retries =
+  if max_retries < 0 then
+    invalid_arg "Reliability.Policy: max_retries must be >= 0";
+  { t with max_retries }
+
+let is_zero t = t.max_retries = 0
+
+(* The deterministic part of the schedule: jitter is the tracker's
+   business (it owns the seeded stream). *)
+let backoff_ms t ~attempt =
+  if attempt < 0 then invalid_arg "Reliability.Policy.backoff_ms: attempt must be >= 0";
+  let raw = float_of_int t.base_backoff_ms *. (t.multiplier ** float_of_int attempt) in
+  if raw >= float_of_int t.max_backoff_ms then t.max_backoff_ms else int_of_float raw
+
+let describe t =
+  if is_zero t then "no retries"
+  else
+    Printf.sprintf
+      "seed %Ld; %d retr%s, backoff %dms x%.1f (cap %dms, jitter %dms)%s" t.seed
+      t.max_retries
+      (if t.max_retries = 1 then "y" else "ies")
+      t.base_backoff_ms t.multiplier t.max_backoff_ms t.jitter_ms
+      (if t.circuit_threshold = 0 then ""
+       else Printf.sprintf ", circuit after %d" t.circuit_threshold)

@@ -1,0 +1,67 @@
+(** The reliable-delivery policy: how many times to retry a lost
+    message or search wave, and how long to wait between attempts.
+
+    The paper's guarantees (Theorem 3) assume messages between
+    correct nodes arrive — its robustness argument targets Byzantine
+    IDs, not lossy transport. Real deployments build that assumption
+    out of retransmission (cf. Gupta–Saia–Young's bounded-delay
+    channels), which is what this module configures: a bounded retry
+    budget, exponential backoff with a cap, seeded jitter, and a
+    per-destination circuit breaker.
+
+    A policy is pure data; {!Tracker} is its runtime. A policy with
+    [max_retries = 0] is inert: threading it through the stack is
+    byte-identical to not threading anything (the zero-retry anchor,
+    mirroring the fault layer's zero-rate anchor). *)
+
+type t = {
+  seed : int64;
+      (** Seed of the tracker's private jitter stream. Independent of
+          every simulation seed, so retry schedules replay from the
+          policy alone and are invariant under [--jobs]. *)
+  max_retries : int;  (** Extra attempts after the first; 0 disables. *)
+  base_backoff_ms : int;  (** Wait before the first retry. *)
+  multiplier : float;  (** Exponential growth factor, >= 1. *)
+  max_backoff_ms : int;  (** Cap on the deterministic backoff. *)
+  jitter_ms : int;
+      (** Uniform jitter in [0, jitter_ms] added per retry, drawn
+          from the tracker's own stream. *)
+  circuit_threshold : int;
+      (** Consecutive budget exhaustions against one destination that
+          open its circuit (no further retries there); 0 disables
+          circuit breaking. *)
+}
+
+val none : t
+(** [max_retries = 0]: the inert policy. *)
+
+val make :
+  ?seed:int64 ->
+  ?max_retries:int ->
+  ?base_backoff_ms:int ->
+  ?multiplier:float ->
+  ?max_backoff_ms:int ->
+  ?jitter_ms:int ->
+  ?circuit_threshold:int ->
+  unit ->
+  t
+(** Defaults: 3 retries, 10 ms base backoff doubling to a 2 s cap,
+    5 ms jitter, no circuit breaking, seed 0.
+    @raise Invalid_argument on negative budgets/delays, a multiplier
+    below 1, or a cap below the base. *)
+
+val with_seed : t -> int64 -> t
+val with_budget : t -> int -> t
+(** Replace [max_retries]; raises on a negative budget. *)
+
+val is_zero : t -> bool
+(** [max_retries = 0] — the policy that changes nothing. *)
+
+val backoff_ms : t -> attempt:int -> int
+(** The deterministic backoff before retry [attempt] (0-based):
+    [min max_backoff_ms (base * multiplier^attempt)]. Jitter comes on
+    top, from the tracker. *)
+
+val describe : t -> string
+(** One line naming the seed and schedule, for table notes and replay
+    instructions. *)

@@ -1,0 +1,84 @@
+open Idspace
+
+type t = {
+  active_ : bool;
+  policy_ : Policy.t;
+  rng : Prng.Rng.t;
+  metrics_ : Sim.Metrics.t;
+  (* Consecutive budget exhaustions per destination (62-bit key);
+     reset by any acked delivery to that destination. *)
+  failures : (int64, int) Hashtbl.t;
+  broken : (int64, unit) Hashtbl.t;
+}
+
+let disabled () =
+  {
+    active_ = false;
+    policy_ = Policy.none;
+    rng = Prng.Rng.of_int64 0L;
+    metrics_ = Sim.Metrics.create ();
+    failures = Hashtbl.create 1;
+    broken = Hashtbl.create 1;
+  }
+
+let create ?metrics (policy : Policy.t) =
+  {
+    active_ = not (Policy.is_zero policy);
+    policy_ = policy;
+    rng = Prng.Rng.of_int64 policy.Policy.seed;
+    metrics_ = (match metrics with Some m -> m | None -> Sim.Metrics.create ());
+    failures = Hashtbl.create 64;
+    broken = Hashtbl.create 8;
+  }
+
+let active t = t.active_
+let policy t = t.policy_
+let metrics t = t.metrics_
+let budget t = if t.active_ then t.policy_.Policy.max_retries else 0
+
+let circuit_open t dst = t.active_ && Hashtbl.mem t.broken (Point.to_u62 dst)
+
+let record_success t dst =
+  if t.active_ then begin
+    Sim.Metrics.incr t.metrics_ Sim.Metrics.retry_acked;
+    Hashtbl.remove t.failures (Point.to_u62 dst)
+  end
+
+let record_exhausted t dst =
+  if t.active_ then begin
+    Sim.Metrics.incr t.metrics_ Sim.Metrics.retry_exhausted;
+    let k = Point.to_u62 dst in
+    let n = 1 + Option.value ~default:0 (Hashtbl.find_opt t.failures k) in
+    Hashtbl.replace t.failures k n;
+    let threshold = t.policy_.Policy.circuit_threshold in
+    if threshold > 0 && n >= threshold && not (Hashtbl.mem t.broken k) then begin
+      Hashtbl.replace t.broken k ();
+      Sim.Metrics.incr t.metrics_ Sim.Metrics.retry_circuit_opens
+    end
+  end
+
+let next_backoff t ~attempt =
+  let base = Policy.backoff_ms t.policy_ ~attempt in
+  let jit = t.policy_.Policy.jitter_ms in
+  let jitter = if jit = 0 then 0 else Prng.Rng.int_in t.rng 0 jit in
+  let wait = base + jitter in
+  Sim.Metrics.incr t.metrics_ Sim.Metrics.retry_attempted;
+  Sim.Metrics.add t.metrics_ Sim.Metrics.retry_backoff_ms wait;
+  wait
+
+let with_retries t ~dst attempt =
+  let rec go k =
+    if attempt () then begin
+      record_success t dst;
+      true
+    end
+    else if k < budget t && not (circuit_open t dst) then begin
+      ignore (next_backoff t ~attempt:k);
+      go (k + 1)
+    end
+    else begin
+      record_exhausted t dst;
+      false
+    end
+  in
+  go 0

@@ -1,0 +1,71 @@
+(** The runtime of a {!Policy}: retry bookkeeping, backoff + jitter
+    draws, and per-destination circuit breaking.
+
+    A tracker owns a private {!Prng.Rng.t} created from
+    [policy.seed] alone — exactly the {!Faults.Injector} discipline.
+    It never reads the simulation's streams, so consulting it cannot
+    perturb latency samples or trial draws: retry schedules are a
+    pure function of the policy and the message sequence,
+    byte-identical across [--jobs].
+
+    A tracker built from a zero-budget policy (and the {!disabled}
+    tracker) is inert: no draws, no counters, no state — which makes
+    [?reliability] with budget 0 byte-identical to no reliability at
+    every layer (the zero-retry anchor).
+
+    Counters land in a {!Sim.Metrics.t} (the caller's, or a private
+    one) under {!Sim.Metrics.retry_attempted} / [retry_exhausted] /
+    [retry_backoff_ms] / [retry_circuit_opens] / [retry_acked]. *)
+
+open Idspace
+
+type t
+
+val disabled : unit -> t
+(** Never retries, never draws. What [?reliability:None] threads
+    through the stack. *)
+
+val create : ?metrics:Sim.Metrics.t -> Policy.t -> t
+(** Retry counters are added into [metrics] when given, otherwise
+    into a private table readable via {!metrics}. *)
+
+val active : t -> bool
+(** [false] for {!disabled} trackers and zero-budget policies: the
+    tracker will never retry, draw, or count. *)
+
+val policy : t -> Policy.t
+val metrics : t -> Sim.Metrics.t
+
+val budget : t -> int
+(** Extra attempts allowed after the first; 0 when inactive. *)
+
+val circuit_open : t -> Point.t -> bool
+(** Has this destination's circuit opened (too many consecutive
+    exhausted budgets)? No retries are attempted there until an acked
+    delivery... which cannot happen through retries, so an open
+    circuit is sticky for the tracker's lifetime unless a first
+    attempt succeeds. Always [false] when inactive. *)
+
+val record_success : t -> Point.t -> unit
+(** An attempt to [dst] was delivered (acked): reset its consecutive
+    failure count and count the ack. *)
+
+val record_exhausted : t -> Point.t -> unit
+(** The budget for one message/search to [dst] ran out undelivered:
+    count the timeout and advance the circuit breaker. *)
+
+val next_backoff : t -> attempt:int -> int
+(** The wait (ms) before retry [attempt] (0-based): the policy's
+    deterministic backoff plus one seeded jitter draw. Accounts
+    {!Sim.Metrics.retry_attempted} and adds the wait into
+    {!Sim.Metrics.retry_backoff_ms}. Only call on an active
+    tracker. *)
+
+val with_retries : t -> dst:Point.t -> (unit -> bool) -> bool
+(** [with_retries t ~dst attempt] runs [attempt] until it returns
+    [true] or the budget (and circuit) permit no more tries, charging
+    backoff between attempts; the synchronous shape used by the
+    analytic layers, where each call of [attempt] re-consults the
+    fault injector so every try is independently faultable. On an
+    inactive tracker this is exactly one draw-free call of
+    [attempt]. *)

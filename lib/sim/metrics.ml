@@ -52,6 +52,11 @@ let pp fmt t = pp_snapshot fmt (snapshot t)
 let fault_injected = "fault.injected"
 let fault_suppressed = "fault.suppressed"
 let fault_healed = "fault.healed"
+let retry_attempted = "retry.attempted"
+let retry_exhausted = "retry.exhausted"
+let retry_backoff_ms = "retry.backoff_ms"
+let retry_circuit_opens = "retry.circuit_opens"
+let retry_acked = "retry.acked"
 let msg_group_comm = "msg.group_comm"
 let msg_routing = "msg.routing"
 let msg_membership = "msg.membership"

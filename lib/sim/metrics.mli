@@ -67,6 +67,26 @@ val fault_healed : string
 (** Partitions healed and crashed members recovered, as observed by
     the fault injector. *)
 
+val retry_attempted : string
+(** Retransmissions scheduled by the reliability layer (one per
+    backoff wait, i.e. per attempt after the first). *)
+
+val retry_exhausted : string
+(** Messages or search waves whose whole retry budget ran out
+    undelivered — the reliability layer's timeouts. *)
+
+val retry_backoff_ms : string
+(** Total backoff-plus-jitter milliseconds charged across all
+    retries. *)
+
+val retry_circuit_opens : string
+(** Destinations whose circuit the reliability layer opened after
+    repeated budget exhaustions. *)
+
+val retry_acked : string
+(** Deliveries the reliability layer observed succeed (its ack
+    count), budgeted or not. *)
+
 val msg_group_comm : string
 (** Intra-group all-to-all messages (group communication, cost (i)). *)
 

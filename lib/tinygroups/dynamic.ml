@@ -122,7 +122,7 @@ let join rng metrics g ~old_pair ~member_oracle ~id ~bad =
   let groups = (id, grp) :: existing_groups g in
   let g' =
     Group_graph.assemble ~params ~population:new_pop ~overlay:new_overlay ~groups
-      ~confused:(List.sort_uniq Point.compare confused)
+      ~confused:(List.sort_uniq Point.compare confused) ()
   in
   let cost =
     {
@@ -176,7 +176,7 @@ let depart g ~id =
   in
   let g' =
     Group_graph.assemble ~params ~population:new_pop ~overlay:new_overlay ~groups
-      ~confused
+      ~confused ()
   in
   let cost =
     {

@@ -37,6 +37,7 @@ type t = {
   rng : Prng.Rng.t;
   metrics_ : Sim.Metrics.t;
   inj : Faults.Injector.t;
+  rel : Reliability.Tracker.t;
   h1 : Hashing.Oracle.t;
   h2 : Hashing.Oracle.t;
   mutable epoch_ : int;
@@ -64,7 +65,7 @@ let fresh_population rng config =
   Population.generate (Prng.Rng.split rng) ~n ~beta:config.params.Params.beta
     ~strategy:config.placement
 
-let init ?faults rng config =
+let init ?faults ?reliability rng config =
   let system_key = "tinygroups-repro" in
   let h1 = Hashing.Oracle.make ~system_key ~label:"h1" in
   let h2 = Hashing.Oracle.make ~system_key ~label:"h2" in
@@ -73,6 +74,11 @@ let init ?faults rng config =
     match faults with
     | None -> Faults.Injector.disabled ()
     | Some plan -> Faults.Injector.create ~metrics:metrics_ plan
+  in
+  let rel =
+    match reliability with
+    | None -> Reliability.Tracker.disabled ()
+    | Some policy -> Reliability.Tracker.create ~metrics:metrics_ policy
   in
   let population = fresh_population rng config in
   let overlay = build_overlay config.overlay (Population.ring population) in
@@ -92,6 +98,7 @@ let init ?faults rng config =
     rng;
     metrics_;
     inj;
+    rel;
     h1;
     h2;
     epoch_ = 0;
@@ -109,6 +116,7 @@ let build_next t ~old ~new_pop ~new_overlay ~member_oracle =
   let new_ring = Population.ring new_pop in
   let groups = ref [] in
   let confused = ref [] in
+  let suspect = ref [] in
   Ring.iter
     (fun w ->
       let ln_ln_estimate = Estimate.ln_ln_n new_ring w in
@@ -124,8 +132,8 @@ let build_next t ~old ~new_pop ~new_overlay ~member_oracle =
            crashed right now additionally cannot answer the
            solicitation. *)
         (match
-           Membership.solicit_member ~faults:t.inj (Prng.Rng.split t.rng) t.metrics_ old
-             ~point
+           Membership.solicit_member ~faults:t.inj ~reliability:t.rel
+             (Prng.Rng.split t.rng) t.metrics_ old ~point
          with
         | Some m when Faults.Injector.crashed t.inj ~now m ->
             Sim.Metrics.incr t.metrics_ Sim.Metrics.fault_suppressed
@@ -138,19 +146,25 @@ let build_next t ~old ~new_pop ~new_overlay ~member_oracle =
       let grp = Group.form params old_pop ~leader:w ~members in
       groups := (w, grp) :: !groups;
       (* Neighbour links per the new topology; any failed
-         establishment leaves the group confused (Lemma 8). *)
+         establishment leaves the group confused (Lemma 8) — unless a
+         reliability layer is armed, in which case a group that
+         exhausted its retry budget {e knows} the link is undelivered
+         rather than misdelivered, and marks the route suspect
+         (degraded, not poisoned) instead of joining the red set. *)
       let ok =
         List.for_all
           (fun u ->
             (not (Faults.Injector.severed t.inj ~now ~src:(Some w) ~dst:u))
-            && Membership.establish_neighbor ~faults:t.inj (Prng.Rng.split t.rng)
-                 t.metrics_ old ~target:u)
+            && Membership.establish_neighbor ~faults:t.inj ~reliability:t.rel
+                 (Prng.Rng.split t.rng) t.metrics_ old ~target:u)
           (new_overlay.Overlay.Overlay_intf.neighbors w)
       in
-      if not ok then confused := w :: !confused)
+      if not ok then
+        if Reliability.Tracker.active t.rel then suspect := w :: !suspect
+        else confused := w :: !confused)
     new_ring;
   Group_graph.assemble ~params ~population:new_pop ~overlay:new_overlay ~groups:!groups
-    ~confused:!confused
+    ~confused:!confused ~suspect:!suspect ()
 
 let advance t =
   let old = Membership.make_old_pair ~failure:t.config.failure t.g1 t.g2 in
@@ -169,7 +183,9 @@ let advance t =
       let attempts = t.config.spam_per_bad * Population.bad_count new_pop in
       for _ = 1 to attempts do
         let victim = victims.(Prng.Rng.int t.rng (Array.length victims)) in
-        if Membership.spam_accepted ~faults:t.inj (Prng.Rng.split t.rng) t.metrics_ old ~victim
+        if
+          Membership.spam_accepted ~faults:t.inj ~reliability:t.rel
+            (Prng.Rng.split t.rng) t.metrics_ old ~victim
         then
           t.spam_accepted_ <- t.spam_accepted_ + 1
       done

@@ -52,7 +52,8 @@ val default_config : n:int -> config
 
 type t
 
-val init : ?faults:Faults.Plan.t -> Prng.Rng.t -> config -> t
+val init :
+  ?faults:Faults.Plan.t -> ?reliability:Reliability.Policy.t -> Prng.Rng.t -> config -> t
 (** Build the initial graphs [G⁰] directly (correct wiring, honest
     member choice — the paper's initialisation assumption,
     Appendix X) over a freshly generated population.
@@ -68,7 +69,18 @@ val init : ?faults:Faults.Plan.t -> Prng.Rng.t -> config -> t
     (leaving the group confused, Lemma 8). Cut and crash windows are
     read in {e epoch indices}. The fault stream draws only from the
     plan's seed, so a zero-rate plan reproduces the no-faults run
-    exactly; fault counters land in {!metrics}. *)
+    exactly; fault counters land in {!metrics}.
+
+    [?reliability] arms every membership/neighbour search with a
+    retry budget (see {!Reliability.Tracker.with_retries}): a lost
+    wave is re-issued before the dual protocol gives up on it, and a
+    neighbour link whose establishment still fails marks the group
+    {e suspect} in the new graph rather than confused — the sender
+    that exhausted a retry budget knows the link is undelivered, not
+    misdelivered, so there is no route to poison
+    ({!Group_graph.census}'s [suspect_] column, not [red]). The
+    tracker draws only from the policy's seed; a zero-budget policy
+    reproduces the no-reliability run exactly. *)
 
 val advance : t -> unit
 (** Run one epoch: mint a fresh population, construct the new

@@ -9,6 +9,7 @@ type t = {
   overlay : Overlay.Overlay_intf.t;
   groups : (int64, Group.t) Hashtbl.t;
   confused : (int64, unit) Hashtbl.t;
+  suspect : (int64, unit) Hashtbl.t;
   mutable blue_cache : Point.t array option;
 }
 
@@ -32,9 +33,17 @@ let build_direct ~params ~population ~overlay ~member_oracle =
       let g = Group.form params population ~leader:w ~members in
       Hashtbl.replace groups (key w) g)
     ring;
-  { params; population; overlay; groups; confused = Hashtbl.create 16; blue_cache = None }
+  {
+    params;
+    population;
+    overlay;
+    groups;
+    confused = Hashtbl.create 16;
+    suspect = Hashtbl.create 16;
+    blue_cache = None;
+  }
 
-let assemble ~params ~population ~overlay ~groups ~confused =
+let assemble ~params ~population ~overlay ~groups ~confused ?(suspect = []) () =
   let ring = Population.ring population in
   let table = Hashtbl.create (2 * Ring.cardinal ring) in
   List.iter
@@ -49,12 +58,15 @@ let assemble ~params ~population ~overlay ~groups ~confused =
     invalid_arg "Group_graph.assemble: missing groups";
   let confused_table = Hashtbl.create 64 in
   List.iter (fun leader -> Hashtbl.replace confused_table (key leader) ()) confused;
+  let suspect_table = Hashtbl.create 16 in
+  List.iter (fun leader -> Hashtbl.replace suspect_table (key leader) ()) suspect;
   {
     params;
     population;
     overlay;
     groups = table;
     confused = confused_table;
+    suspect = suspect_table;
     blue_cache = None;
   }
 
@@ -64,6 +76,7 @@ let group_of t p =
   | None -> raise Not_found
 
 let is_confused t p = Hashtbl.mem t.confused (key p)
+let is_suspect t p = Hashtbl.mem t.suspect (key p)
 
 let color_of t p =
   let g = group_of t p in
@@ -83,12 +96,13 @@ type census = {
   weak : int;
   hijacked_ : int;
   confused_ : int;
+  suspect_ : int;
   red : int;
 }
 
 let census t =
   let total = ref 0 and good = ref 0 and weak = ref 0 and hij = ref 0 in
-  let conf = ref 0 and red = ref 0 in
+  let conf = ref 0 and susp = ref 0 and red = ref 0 in
   Hashtbl.iter
     (fun k (g : Group.t) ->
       incr total;
@@ -98,9 +112,18 @@ let census t =
       | Group.Hijacked -> incr hij);
       let is_conf = Hashtbl.mem t.confused k in
       if is_conf then incr conf;
+      if Hashtbl.mem t.suspect k then incr susp;
       if g.Group.health <> Group.Good || is_conf then incr red)
     t.groups;
-  { total = !total; good = !good; weak = !weak; hijacked_ = !hij; confused_ = !conf; red = !red }
+  {
+    total = !total;
+    good = !good;
+    weak = !weak;
+    hijacked_ = !hij;
+    confused_ = !conf;
+    suspect_ = !susp;
+    red = !red;
+  }
 
 let fraction_red t =
   let c = census t in

@@ -28,6 +28,12 @@ type t = private {
   groups : (int64, Group.t) Hashtbl.t;  (** leader (as u62) -> group *)
   confused : (int64, unit) Hashtbl.t;
       (** Leaders whose neighbour set is incorrectly established. *)
+  suspect : (int64, unit) Hashtbl.t;
+      (** Leaders that exhausted the reliability layer's retry budget
+          on some neighbour link and marked the route suspect instead
+          of treating it as (mis)established: a degraded-but-usable
+          group, counted by the census but neither red nor
+          route-poisoning. Empty without a reliability policy. *)
   mutable blue_cache : Idspace.Point.t array option;
       (** Memoised blue-leader array (the structure is immutable once
           assembled, so this never invalidates). *)
@@ -50,9 +56,13 @@ val assemble :
   overlay:Overlay.Overlay_intf.t ->
   groups:(Point.t * Group.t) list ->
   confused:Point.t list ->
+  ?suspect:Point.t list ->
+  unit ->
   t
 (** Wrap externally constructed groups (epoch protocol). [groups]
-    must contain exactly one entry per ID of the population. *)
+    must contain exactly one entry per ID of the population.
+    [?suspect] (default none) lists leaders whose links the
+    reliability layer gave up on — degraded, not poisoned. *)
 
 val group_of : t -> Point.t -> Group.t
 (** @raise Not_found for a point that is not a leader. *)
@@ -62,6 +72,10 @@ val color_of : t -> Point.t -> color
     confused — the conservative classification of §II. *)
 
 val is_confused : t -> Point.t -> bool
+
+val is_suspect : t -> Point.t -> bool
+(** Suspect routes degrade the group without making it red; see
+    {!assemble}. *)
 
 val hijacked : t -> Point.t -> bool
 (** The group has lost its good majority (or is confused): the
@@ -78,6 +92,9 @@ type census = {
   weak : int;
   hijacked_ : int;
   confused_ : int;  (** Confused leaders (possibly also unhealthy). *)
+  suspect_ : int;
+      (** Leaders with retry-exhausted (suspect) routes — degraded
+          but not red. *)
   red : int;  (** Not good or confused: the paper's red count. *)
 }
 

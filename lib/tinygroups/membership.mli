@@ -51,6 +51,7 @@ type resolution =
 
 val dual_search :
   ?faults:Faults.Injector.t ->
+  ?reliability:Reliability.Tracker.t ->
   Prng.Rng.t ->
   Sim.Metrics.t ->
   old_pair ->
@@ -66,10 +67,20 @@ val dual_search :
     request or response wave, indistinguishable from a hijack to the
     caller — so the dual-graph redundancy absorbs environmental
     losses with the same q_f² argument it uses against the
-    adversary. *)
+    adversary.
+
+    [?reliability] (here and below) re-issues a lost wave up to the
+    tracker's retry budget before declaring the search failed; each
+    attempt draws an independent loss verdict from [?faults]. Retry
+    and backoff accounting lands in the tracker's metrics; the
+    analytic layer does not re-charge per-wave messages for
+    retransmissions (consistent with its convention of not charging
+    lost waves). A zero-budget tracker is inert and byte-identical
+    to passing no tracker at all. *)
 
 val verification_search :
   ?faults:Faults.Injector.t ->
+  ?reliability:Reliability.Tracker.t ->
   Prng.Rng.t ->
   Sim.Metrics.t ->
   old_pair ->
@@ -84,6 +95,7 @@ val verification_search :
 
 val solicit_member :
   ?faults:Faults.Injector.t ->
+  ?reliability:Reliability.Tracker.t ->
   Prng.Rng.t ->
   Sim.Metrics.t ->
   old_pair ->
@@ -98,6 +110,7 @@ val solicit_member :
 
 val establish_neighbor :
   ?faults:Faults.Injector.t ->
+  ?reliability:Reliability.Tracker.t ->
   Prng.Rng.t ->
   Sim.Metrics.t ->
   old_pair ->
@@ -110,6 +123,7 @@ val establish_neighbor :
 
 val spam_accepted :
   ?faults:Faults.Injector.t ->
+  ?reliability:Reliability.Tracker.t ->
   Prng.Rng.t ->
   Sim.Metrics.t ->
   old_pair ->

@@ -41,7 +41,14 @@ let expected =
     ("e18", "20a09ba503dab18b03f710ca1bd3061f80c29d10c28eb68be27c089aa0da8157");
     ("e19", "def651f6299558bc59b35c7b9647c22aadeb5f8b00edfef0c2b2f05f9071bb6f");
     ("e20", "b8307ed22981a3c69014c77dd09691e43f9def8ddbeb257b2717905ff5cc41a3");
-    ("e21", "ec80faea09838bd2bc578a1ff523ff8f0d3294281f18fbe00a647f4917d5aec3");
+    (* e21 regenerated 2026-08: the injector bugfixes in this PR
+       (two-sided cuts now sever off-ring senders; heals are only
+       counted for faults actually observed active) legitimately
+       change E21's verdicts, and the bernoulli edge-draw fix stops
+       consuming PRNG draws at p=0/p>=1. Old digest:
+       ec80faea09838bd2bc578a1ff523ff8f0d3294281f18fbe00a647f4917d5aec3 *)
+    ("e21", "2cd43ec216ac96d01e577fd0f38cca76f626d83cea6c7df8249f2734b0237612");
+    ("e22", "496d229b98c01f7a8b67517f1ff14f8ed3cf1dc600e596a8bf6c13f74557fd3b");
     ("f1", "19f3190214c8202562f4298fadb015038be249a865dfcc2ccfd720a7515b6f1e");
   ]
 

@@ -78,6 +78,27 @@ let test_partition_windows () =
   Alcotest.(check bool) "before cut" false (sev ~now:4 ~src:(Some (pt 1)) ~dst:(pt 9));
   Alcotest.(check bool) "after heal" false (sev ~now:15 ~src:(Some (pt 1)) ~dst:(pt 9))
 
+(* Regression: with an explicit two-sided cut, an off-ring sender
+   (src = None, e.g. a client) used to count as neither side, so its
+   traffic into side A sailed through the partition. An unknown
+   sender must always sit on the far side of side A. *)
+let test_two_sided_cut_blocks_unknown_sender () =
+  let plan =
+    Faults.Plan.(
+      with_seed
+        (partition ~side_a:[ pt 1 ] ~side_b:[ pt 2 ] ~from_time:0 ~heal_time:10 ())
+        3L)
+  in
+  let inj = Faults.Injector.create plan in
+  let sev ~src ~dst = Faults.Injector.severed inj ~now:5 ~src ~dst in
+  Alcotest.(check bool) "named crossing severed" true
+    (sev ~src:(Some (pt 2)) ~dst:(pt 1));
+  Alcotest.(check bool) "client into side A severed" true (sev ~src:None ~dst:(pt 1));
+  Alcotest.(check bool) "client into side B connected" false
+    (sev ~src:None ~dst:(pt 2));
+  Alcotest.(check bool) "bystander traffic connected" false
+    (sev ~src:(Some (pt 3)) ~dst:(pt 4))
+
 let test_observe_heals_counts_once () =
   let plan =
     Faults.Plan.(
@@ -98,6 +119,35 @@ let test_observe_heals_counts_once () =
   Faults.Injector.observe_heals inj ~now:50;
   Faults.Injector.observe_heals inj ~now:60;
   Alcotest.(check int) "each heal counted once" 2 (healed ())
+
+(* Regression: heals used to be counted for faults whose active
+   window nothing ever entered — a clock that jumps straight past the
+   window "healed" an outage no query witnessed. Only a fault
+   observed active may heal. *)
+let test_unobserved_fault_never_heals () =
+  let plan =
+    Faults.Plan.(
+      with_seed
+        (partition ~side_a:[ pt 1 ] ~from_time:0 ~heal_time:10 ()
+        ++ crash_of ~id:(pt 2) ~down_from:0 ~recover_at:5 ())
+        3L)
+  in
+  let healed inj =
+    Sim.Metrics.found (Sim.Metrics.snapshot (Faults.Injector.metrics inj))
+      Sim.Metrics.fault_healed
+  in
+  (* First observation is already past both windows: nothing was ever
+     seen active, so nothing heals. *)
+  let inj = Faults.Injector.create plan in
+  Faults.Injector.observe_heals inj ~now:50;
+  Alcotest.(check int) "unobserved windows heal nothing" 0 (healed inj);
+  (* A liveness query inside the window is an observation, and
+     licenses the later heal. *)
+  let inj = Faults.Injector.create plan in
+  ignore (Faults.Injector.severed inj ~now:5 ~src:None ~dst:(pt 1));
+  ignore (Faults.Injector.crashed inj ~now:2 (pt 2));
+  Faults.Injector.observe_heals inj ~now:50;
+  Alcotest.(check int) "observed windows heal once" 2 (healed inj)
 
 (* --- Schedule determinism ---------------------------------------- *)
 
@@ -294,7 +344,11 @@ let () =
         [
           Alcotest.test_case "crash windows" `Quick test_crash_windows;
           Alcotest.test_case "partition windows" `Quick test_partition_windows;
+          Alcotest.test_case "two-sided cut vs unknown sender" `Quick
+            test_two_sided_cut_blocks_unknown_sender;
           Alcotest.test_case "heals counted once" `Quick test_observe_heals_counts_once;
+          Alcotest.test_case "unobserved fault never heals" `Quick
+            test_unobserved_fault_never_heals;
         ] );
       ( "determinism",
         [

@@ -168,7 +168,7 @@ let test_confusion_makes_red () =
   in
   let g2 =
     Tinygroups.Group_graph.assemble ~params ~population:pop
-      ~overlay:g.Tinygroups.Group_graph.overlay ~groups ~confused:[ confused_leader ]
+      ~overlay:g.Tinygroups.Group_graph.overlay ~groups ~confused:[ confused_leader ] ()
   in
   Alcotest.(check bool) "confused leader is red" true
     (Tinygroups.Group_graph.color_of g2 confused_leader = Tinygroups.Group_graph.Red);
@@ -189,7 +189,7 @@ let test_assemble_validations () =
       ignore
         (Tinygroups.Group_graph.assemble ~params ~population:pop
            ~overlay:g.Tinygroups.Group_graph.overlay ~groups:(List.tl all_groups)
-           ~confused:[]));
+           ~confused:[] ()));
   (* Duplicate leader. *)
   Alcotest.check_raises "duplicate"
     (Invalid_argument "Group_graph.assemble: duplicate leader") (fun () ->
@@ -197,7 +197,7 @@ let test_assemble_validations () =
         (Tinygroups.Group_graph.assemble ~params ~population:pop
            ~overlay:g.Tinygroups.Group_graph.overlay
            ~groups:(List.hd all_groups :: all_groups)
-           ~confused:[]))
+           ~confused:[] ()))
 
 let test_groups_per_id_positive () =
   let _, g = make ~n:512 () in

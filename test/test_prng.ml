@@ -119,6 +119,20 @@ let test_bernoulli () =
   let rate = float_of_int !hits /. float_of_int draws in
   Alcotest.(check bool) "rate near 0.3" true (Float.abs (rate -. 0.3) < 0.01)
 
+(* Regression: the p<=0 and p>=1 edges used to burn a draw on a
+   foregone conclusion, so a zero-rate consumer (e.g. a fault rule
+   with duplicate=0) perturbed the stream just by existing. The edges
+   must short-circuit without touching the state. *)
+let test_bernoulli_edges_consume_nothing () =
+  let a = rng 14 and b = rng 14 in
+  Alcotest.(check bool) "p=0 is false" false (Prng.Rng.bernoulli a 0.);
+  Alcotest.(check bool) "p<0 is false" false (Prng.Rng.bernoulli a (-1.));
+  Alcotest.(check bool) "p=1 is true" true (Prng.Rng.bernoulli a 1.);
+  Alcotest.(check bool) "p>1 is true" true (Prng.Rng.bernoulli a 1.5);
+  (* [a] drew four edge verdicts, [b] drew nothing: same position. *)
+  Alcotest.(check bool) "no draws consumed" true
+    (List.init 8 (fun _ -> Prng.Rng.float a) = List.init 8 (fun _ -> Prng.Rng.float b))
+
 let test_geometric_mean () =
   let a = rng 15 in
   let sum = ref 0 in
@@ -271,6 +285,8 @@ let () =
           Alcotest.test_case "float in [0,1)" `Quick test_float_range;
           Alcotest.test_case "float mean" `Slow test_float_mean;
           Alcotest.test_case "bernoulli rate" `Slow test_bernoulli;
+          Alcotest.test_case "bernoulli edges consume nothing" `Quick
+            test_bernoulli_edges_consume_nothing;
           Alcotest.test_case "geometric mean" `Slow test_geometric_mean;
           Alcotest.test_case "geometric p=1" `Quick test_geometric_p_one;
           Alcotest.test_case "exponential mean" `Slow test_exponential_mean;

@@ -67,7 +67,7 @@ let test_failure_truncates_at_first_red () =
   in
   let g2 =
     Tinygroups.Group_graph.assemble ~params ~population:pop ~overlay ~groups
-      ~confused:[ mid ]
+      ~confused:[ mid ] ()
   in
   let o = Tinygroups.Secure_route.search g2 ~failure:`Majority ~src ~key in
   (match o.Tinygroups.Secure_route.result with
