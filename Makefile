@@ -1,4 +1,4 @@
-.PHONY: all check check-seeds test bench bench-quick fmt clean
+.PHONY: all check check-seeds test bench bench-quick bench-hotpath fmt clean
 
 all:
 	dune build
@@ -26,6 +26,11 @@ bench:
 
 bench-quick:
 	dune exec bench/main.exe -- --scale quick --jobs 2 --skip-timings
+
+# Hot-path micro + e2e benches (quick scale, jobs 1) with the
+# committed before/after baseline; writes BENCH_hotpath.json.
+bench-hotpath:
+	dune exec bench/hotpath.exe
 
 fmt:
 	dune build @fmt --auto-promote

@@ -1,0 +1,189 @@
+(* Hot-path harness: wall-clock and GC allocation per core operation
+   of the simulation substrate (ring queries, group formation, graph
+   build, secure search) plus the three heaviest end-to-end
+   experiments (e20/e21/e22 at quick scale, jobs 1).
+
+   Every row lands in a JSON report (default BENCH_hotpath.json).
+   [baseline] below holds the same measurements taken on the
+   Set-ring + Hashtbl-table implementation immediately before the
+   flat-array overhaul (commit f3ea101, single-core container), so
+   the emitted report carries before/after pairs and speedups without
+   needing the old code around.
+
+   Usage:
+     dune exec bench/hotpath.exe                 # writes BENCH_hotpath.json
+     dune exec bench/hotpath.exe -- --out F.json
+     dune exec bench/hotpath.exe -- --no-e2e     # micro-ops only (CI smoke)
+*)
+
+let rng = Prng.Rng.create 4242
+
+type row = {
+  op : string;
+  iters : int;
+  ns_per_op : float;
+  bytes_per_op : float;
+}
+
+(* Measured on the pre-overhaul implementation; an empty list makes
+   the report emit measured rows only (used when (re)capturing). *)
+let baseline : (string * (float * float)) list =
+  (* (op, (ns_per_op, bytes_per_op)) *)
+  [
+    ("ring-successor", (173.2, 63.1));
+    ("ring-random-member", (30507.8, 262.4));
+    ("group-formation", (75514.8, 134803.8));
+    ("graph-build-n2048", (153.9e6, 275.5e6));
+    ("secure-search", (4751.8, 6420.9));
+    ("e20", (6.929e9, 10821.1e6));
+    ("e21", (4.316e9, 7145.2e6));
+    ("e22", (5.496e9, 9425.8e6));
+  ]
+
+let time_alloc ~iters f =
+  (* One warmup call keeps lazy setup (caches, oracle tables) out of
+     the measured window. *)
+  f ();
+  let a0 = Gc.allocated_bytes () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 2 to iters do
+    f ()
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let da = Gc.allocated_bytes () -. a0 in
+  let n = float_of_int (max 1 (iters - 1)) in
+  (dt *. 1e9 /. n, da /. n)
+
+let measure ~op ~iters f =
+  let ns_per_op, bytes_per_op = time_alloc ~iters f in
+  Printf.printf "%-24s %12.1f ns/op %14.1f bytes/op\n%!" op ns_per_op bytes_per_op;
+  { op; iters; ns_per_op; bytes_per_op }
+
+(* -- micro-ops ---------------------------------------------------- *)
+
+let ring_ops () =
+  let ring = Idspace.Ring.populate (Prng.Rng.split rng) 4096 in
+  let keys = Array.init 4096 (fun _ -> Idspace.Point.random rng) in
+  let i = ref 0 in
+  let r = Prng.Rng.split rng in
+  let successor =
+    measure ~op:"ring-successor" ~iters:200_000 (fun () ->
+        incr i;
+        ignore (Idspace.Ring.successor_exn ring keys.(!i land 4095)))
+  in
+  let random_member =
+    measure ~op:"ring-random-member" ~iters:200_000 (fun () ->
+        ignore (Idspace.Ring.random_member r ring))
+  in
+  [ successor; random_member ]
+
+let formation_ops () =
+  let pop =
+    Adversary.Population.generate (Prng.Rng.split rng) ~n:2048 ~beta:0.05
+      ~strategy:Adversary.Placement.Uniform
+  in
+  let ring = Adversary.Population.ring pop in
+  let params = Tinygroups.Params.default in
+  let r = Prng.Rng.split rng in
+  (* The real build path: the shared builder [build_direct] itself
+     runs (scratch-buffer draws, in-place sort/dedup). *)
+  let builder =
+    Tinygroups.Group_graph.Builder.create ~params ~population:pop
+      ~member_oracle:Experiments.Common.h1
+  in
+  let formation =
+    measure ~op:"group-formation" ~iters:20_000 (fun () ->
+        let w = Idspace.Point.random r in
+        ignore (Tinygroups.Group_graph.Builder.form_group builder w))
+  in
+  let build =
+    measure ~op:"graph-build-n2048" ~iters:5 (fun () ->
+        let overlay = Overlay.Chord.make ring in
+        ignore
+          (Tinygroups.Group_graph.build_direct ~params ~population:pop ~overlay
+             ~member_oracle:Experiments.Common.h1))
+  in
+  [ formation; build ]
+
+let search_ops () =
+  let _, g = Experiments.Common.build_tiny rng ~n:2048 ~beta:0.05 () in
+  let leaders = Tinygroups.Group_graph.leaders g in
+  let r = Prng.Rng.split rng in
+  [
+    measure ~op:"secure-search" ~iters:50_000 (fun () ->
+        let src = leaders.(Prng.Rng.int r (Array.length leaders)) in
+        let key = Idspace.Point.random r in
+        ignore (Tinygroups.Secure_route.search g ~failure:`Majority ~src ~key));
+  ]
+
+(* -- end-to-end --------------------------------------------------- *)
+
+let e2e_row id =
+  match Experiments.Registry.find id with
+  | None -> invalid_arg ("hotpath: unknown experiment " ^ id)
+  | Some spec ->
+      let a0 = Gc.allocated_bytes () in
+      let t0 = Unix.gettimeofday () in
+      (match
+         Experiments.Registry.run_table spec ~jobs:1 (Prng.Rng.create 1)
+           Experiments.Scale.Quick
+       with
+      | Some table -> ignore (Experiments.Table.render table)
+      | None -> ());
+      let dt = Unix.gettimeofday () -. t0 in
+      let da = Gc.allocated_bytes () -. a0 in
+      Printf.printf "%-24s %12.3f s      %11.1f MB allocated\n%!" id dt (da /. 1e6);
+      { op = id; iters = 1; ns_per_op = dt *. 1e9; bytes_per_op = da }
+
+(* -- report ------------------------------------------------------- *)
+
+let emit_json path rows =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"scale\": \"quick\",\n  \"jobs\": 1,\n  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      let before = List.assoc_opt r.op baseline in
+      let sep = if i = List.length rows - 1 then "" else "," in
+      match before with
+      | Some (b_ns, b_bytes) ->
+          Printf.fprintf oc
+            "    {\"op\": \"%s\", \"iters\": %d, \"ns_per_op\": %.1f, \
+             \"bytes_per_op\": %.1f, \"before_ns_per_op\": %.1f, \
+             \"before_bytes_per_op\": %.1f, \"speedup\": %.2f, \
+             \"alloc_ratio\": %.2f}%s\n"
+            r.op r.iters r.ns_per_op r.bytes_per_op b_ns b_bytes
+            (if r.ns_per_op > 0. then b_ns /. r.ns_per_op else 0.)
+            (if b_bytes > 0. then r.bytes_per_op /. b_bytes else 0.)
+            sep
+      | None ->
+          Printf.fprintf oc
+            "    {\"op\": \"%s\", \"iters\": %d, \"ns_per_op\": %.1f, \
+             \"bytes_per_op\": %.1f}%s\n"
+            r.op r.iters r.ns_per_op r.bytes_per_op sep)
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "[hotpath report: %s]\n" path
+
+let () =
+  let out = ref "BENCH_hotpath.json" in
+  let e2e = ref true in
+  let rec go = function
+    | [] -> ()
+    | "--out" :: p :: rest ->
+        out := p;
+        go rest
+    | "--no-e2e" :: rest ->
+        e2e := false;
+        go rest
+    | arg :: _ -> failwith ("unknown argument: " ^ arg)
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  Printf.printf "== hot-path benches (quick scale, jobs 1)\n%!";
+  (* [@] argument evaluation order is unspecified; bind each block so
+     the rows run (and print) in reading order. *)
+  let ring_rows = ring_ops () in
+  let formation_rows = formation_ops () in
+  let search_rows = search_ops () in
+  let e2e_rows = if !e2e then List.map e2e_row [ "e20"; "e21"; "e22" ] else [] in
+  emit_json !out (ring_rows @ formation_rows @ search_rows @ e2e_rows)

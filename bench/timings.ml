@@ -24,21 +24,20 @@ let group_build_test =
     Adversary.Population.generate (Prng.Rng.split rng) ~n:2048 ~beta:0.05
       ~strategy:Adversary.Placement.Uniform
   in
-  let ring = Adversary.Population.ring pop in
   let params = Tinygroups.Params.default in
   let r = Prng.Rng.split rng in
+  (* The shared builder is the exact code path [build_direct] runs —
+     the bench previously re-implemented the member draws inline and
+     had drifted from it (fixed draw count vs the per-ID ln ln n
+     estimate). *)
+  let builder =
+    Tinygroups.Group_graph.Builder.create ~params ~population:pop
+      ~member_oracle:Experiments.Common.h1
+  in
   Test.make ~name:"B2 group-formation n=2048"
     (Staged.stage (fun () ->
          let w = Idspace.Point.random r in
-         let draws = Tinygroups.Params.member_draws params ~n:2048 in
-         let members =
-           List.init draws (fun i ->
-               Idspace.Ring.successor_exn ring
-                 (Idspace.Point.of_u62
-                    (Hashing.Oracle.query_indexed Experiments.Common.h1
-                       (Idspace.Point.to_u62 w) (i + 1))))
-         in
-         ignore (Tinygroups.Group.form params pop ~leader:w ~members)))
+         ignore (Tinygroups.Group_graph.Builder.form_group builder w)))
 
 let membership_verify_test =
   (* B3: one dual-search membership solicitation through old graphs. *)
@@ -100,7 +99,7 @@ let kvstore_get_test =
   (* B8: one replicated read (search + votes + majority filter). *)
   let _, g = Experiments.Common.build_tiny rng ~n:1024 ~beta:0.05 () in
   let store = Kvstore.Store.create ~system_key:"bench" g in
-  let client = (Adversary.Population.good_ids g.Tinygroups.Group_graph.population).(0) in
+  let client = (Adversary.Population.good_ids (Tinygroups.Group_graph.population g)).(0) in
   let r = Prng.Rng.split rng in
   for i = 0 to 99 do
     ignore

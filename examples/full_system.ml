@@ -43,7 +43,7 @@ let () =
   let records = 300 in
   let good_client () =
     Adversary.Population.random_good rng
-      (Kvstore.Store.graph !store).Tinygroups.Group_graph.population
+      (Tinygroups.Group_graph.population (Kvstore.Store.graph !store))
   in
   for i = 0 to records - 1 do
     ignore

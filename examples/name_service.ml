@@ -30,7 +30,7 @@ let () =
   let domains = 500 in
   let client () =
     Adversary.Population.random_good rng
-      (Kvstore.Store.graph !store).Tinygroups.Group_graph.population
+      (Tinygroups.Group_graph.population (Kvstore.Store.graph !store))
   in
   let registered = ref 0 in
   for i = 0 to domains - 1 do

@@ -1,66 +1,86 @@
 open Idspace
 
-module Pset = Set.Make (struct
-  type t = Point.t
-
-  let compare = Point.compare
-end)
-
-type t = { ring : Ring.t; bad : Pset.t }
+(* Both sides live in flat sorted rings: [is_bad] is a binary search
+   over unboxed keys and [bad_ids]/[bad_ring] are O(1)-ish snapshots
+   instead of set traversals. [good_cache] memoises the good-ID array
+   (the population is immutable; functional updates build new records
+   with a fresh cache). *)
+type t = { ring : Ring.t; bad : Ring.t; mutable good_cache : Point.t array option }
 
 let make ~good ~bad =
-  let bad_set = Pset.of_list bad in
-  if Pset.cardinal bad_set <> List.length bad then
+  let bad_ring = Ring.of_list bad in
+  if Ring.cardinal bad_ring <> List.length bad then
     invalid_arg "Population.make: duplicate bad IDs";
   List.iter
     (fun g ->
-      if Pset.mem g bad_set then invalid_arg "Population.make: good/bad overlap")
+      if Ring.mem g bad_ring then invalid_arg "Population.make: good/bad overlap")
     good;
   let ring = Ring.of_list (good @ bad) in
   if Ring.cardinal ring <> List.length good + List.length bad then
     invalid_arg "Population.make: duplicate good IDs";
-  { ring; bad = bad_set }
+  { ring; bad = bad_ring; good_cache = None }
 
 let generate rng ~n ~beta ~strategy =
   if beta < 0. || beta >= 1. then invalid_arg "Population.generate: beta out of [0,1)";
   let bad_budget = int_of_float (ceil (beta *. float_of_int n)) in
   let bad = Placement.draw rng strategy ~budget:bad_budget in
-  let bad_set = Pset.of_list bad in
+  let bad_ring = Ring.of_list bad in
+  let seen = Hashtbl.create (2 * n) in
   let rec draw_good acc k =
     if k = 0 then acc
     else begin
       let p = Point.random rng in
-      if Pset.mem p bad_set || List.exists (Point.equal p) acc then draw_good acc k
-      else draw_good (p :: acc) (k - 1)
+      if Ring.mem p bad_ring || Hashtbl.mem seen (Point.to_key p) then draw_good acc k
+      else begin
+        Hashtbl.add seen (Point.to_key p) ();
+        draw_good (p :: acc) (k - 1)
+      end
     end
   in
   let good = draw_good [] (n - List.length bad) in
   make ~good ~bad
 
 let ring t = t.ring
+let bad_ring t = t.bad
 let n t = Ring.cardinal t.ring
-let is_bad t p = Pset.mem p t.bad
-let bad_count t = Pset.cardinal t.bad
+let is_bad t p = Ring.mem p t.bad
+let bad_count t = Ring.cardinal t.bad
 let beta_actual t = float_of_int (bad_count t) /. float_of_int (max 1 (n t))
 
 let all_ids t = Ring.to_sorted_array t.ring
 
-let good_ids t =
-  Array.of_list (Ring.fold (fun p acc -> if Pset.mem p t.bad then acc else p :: acc) t.ring [])
+(* Ascending iteration with prepend, like the seed's ring fold: the
+   array runs counter-clockwise. PRNG-indexed sweeps rely on the
+   layout, so it is digest-relevant. *)
+let good_ids_cached t =
+  match t.good_cache with
+  | Some g -> g
+  | None ->
+      let acc = ref [] in
+      Ring.iter (fun p -> if not (Ring.mem p t.bad) then acc := p :: !acc) t.ring;
+      let g = Array.of_list !acc in
+      t.good_cache <- Some g;
+      g
 
-let bad_ids t = Array.of_list (Pset.elements t.bad)
+let good_ids t = Array.copy (good_ids_cached t)
+
+let bad_ids t = Ring.to_sorted_array t.bad
 
 let add_good t p =
   if Ring.mem p t.ring then invalid_arg "Population.add_good: ID already present";
-  { t with ring = Ring.add p t.ring }
+  { t with ring = Ring.add p t.ring; good_cache = None }
 
 let add_bad t p =
   if Ring.mem p t.ring then invalid_arg "Population.add_bad: ID already present";
-  { ring = Ring.add p t.ring; bad = Pset.add p t.bad }
+  { ring = Ring.add p t.ring; bad = Ring.add p t.bad; good_cache = None }
 
-let remove t p = { ring = Ring.remove p t.ring; bad = Pset.remove p t.bad }
+let remove t p =
+  { ring = Ring.remove p t.ring; bad = Ring.remove p t.bad; good_cache = None }
+
+let remove_batch t ps =
+  { ring = Ring.remove_batch ps t.ring; bad = Ring.remove_batch ps t.bad; good_cache = None }
 
 let random_good rng t =
-  let good = good_ids t in
+  let good = good_ids_cached t in
   if Array.length good = 0 then invalid_arg "Population.random_good: no good IDs";
   good.(Prng.Rng.int rng (Array.length good))

@@ -22,6 +22,10 @@ val generate :
 val ring : t -> Ring.t
 (** All present IDs. *)
 
+val bad_ring : t -> Ring.t
+(** The bad IDs as a ring snapshot — lets verifiers binary-search
+    successors among bad IDs without rebuilding a ring per query. *)
+
 val n : t -> int
 
 val is_bad : t -> Point.t -> bool
@@ -41,6 +45,10 @@ val add_good : t -> Point.t -> t
 val add_bad : t -> Point.t -> t
 val remove : t -> Point.t -> t
 (** Functional updates for churn; removing an absent ID is a no-op. *)
+
+val remove_batch : t -> Point.t list -> t
+(** One merged pass over the rings — equivalent to folding {!remove}
+    over the list, in O(n + k log k) instead of O(nk). *)
 
 val random_good : Prng.Rng.t -> t -> Point.t
 (** A uniform good ID; raises [Invalid_argument] if none exist. *)

@@ -45,7 +45,7 @@ let run_trials_metrics rng ~metrics ~jobs ~trials f =
     out
 
 let warm_for_sharing g =
-  let ov = g.Tinygroups.Group_graph.overlay in
+  let ov = Tinygroups.Group_graph.overlay g in
   Idspace.Ring.iter
     (fun p -> ignore (ov.Overlay.Overlay_intf.neighbors p))
     ov.Overlay.Overlay_intf.ring;

@@ -31,7 +31,7 @@ let run_e3 ?(jobs = 1) rng scale =
         let logn_r = measure_search (Prng.Rng.split stream) logn ~searches in
         let flat_r =
           Baseline.Flat.search_success (Prng.Rng.split stream) tiny_pop
-            tiny.Tinygroups.Group_graph.overlay ~samples:searches
+            (Tinygroups.Group_graph.overlay tiny) ~samples:searches
         in
         (n, tiny_size, logn_size, tiny_r, logn_r, flat_r))
   in

@@ -20,17 +20,19 @@ type config = {
 let distinct_members g =
   let seen = Hashtbl.create 1024 in
   let out = ref [] in
-  Hashtbl.iter
+  (* Legacy iteration order: the crash rows below take the first k
+     members in first-seen order, which is digest-relevant. *)
+  Tinygroups.Group_graph.iter_groups
     (fun _ (grp : Tinygroups.Group.t) ->
       Array.iter
         (fun m ->
-          let k = Point.to_u62 m in
+          let k = Point.to_key m in
           if not (Hashtbl.mem seen k) then begin
             Hashtbl.add seen k ();
             out := m :: !out
           end)
         grp.Tinygroups.Group.members)
-    g.Tinygroups.Group_graph.groups;
+    g;
   List.rev !out
 
 let proto_plan spec g ~seed =

@@ -23,7 +23,7 @@ let trace buf graph ~src ~key =
        (Point.to_string src) (Point.to_string key)
        (Point.to_string
           (Ring.successor_exn
-             (Adversary.Population.ring graph.Tinygroups.Group_graph.population)
+             (Adversary.Population.ring (Tinygroups.Group_graph.population graph))
              key)));
   let rec walk = function
     | [] -> ()
@@ -67,8 +67,9 @@ let render rng =
         (Array.map (fun w -> (w, Tinygroups.Group_graph.group_of graph w)) leaders)
     in
     let sabotaged =
-      Tinygroups.Group_graph.assemble ~params:graph.Tinygroups.Group_graph.params
-        ~population:pop ~overlay:graph.Tinygroups.Group_graph.overlay ~groups
+      Tinygroups.Group_graph.assemble
+        ~params:(Tinygroups.Group_graph.params graph)
+        ~population:pop ~overlay:(Tinygroups.Group_graph.overlay graph) ~groups
         ~confused:[ mid ] ()
     in
     Buffer.add_string buf

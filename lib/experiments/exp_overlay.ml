@@ -14,13 +14,10 @@ let with_overlay g overlay =
          (fun w -> (w, Tinygroups.Group_graph.group_of g w))
          (Tinygroups.Group_graph.leaders g))
   in
-  let confused =
-    Hashtbl.fold
-      (fun k () acc -> Idspace.Point.of_u62 k :: acc)
-      g.Tinygroups.Group_graph.confused []
-  in
-  Tinygroups.Group_graph.assemble ~params:g.Tinygroups.Group_graph.params
-    ~population:g.Tinygroups.Group_graph.population ~overlay ~groups ~confused ()
+  let confused = Tinygroups.Group_graph.confused_leaders g in
+  Tinygroups.Group_graph.assemble
+    ~params:(Tinygroups.Group_graph.params g)
+    ~population:(Tinygroups.Group_graph.population g) ~overlay ~groups ~confused ()
 
 let run_e0 ?(jobs = 1) rng scale =
   let table =

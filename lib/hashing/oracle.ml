@@ -1,30 +1,40 @@
-type t = { key : string; label : string }
+type t = { key : string; hkey : Sha256.hmac_key; label : string }
 
 let u62_mask = Int64.sub (Int64.shift_left 1L 62) 1L
 
 let make ~system_key ~label =
   (* Bind the label into the HMAC key so families are independent. *)
   let key = (Sha256.hmac ~key:system_key label :> string) in
-  { key; label }
+  { key; hkey = Sha256.hmac_key key; label }
 
 let label t = t.label
 
 let truncate62 d = Int64.logand (Sha256.prefix_int64 d) u62_mask
 
-let query_string t s = truncate62 (Sha256.hmac ~key:t.key s)
+let query_string t s = truncate62 (Sha256.hmac_with t.hkey s)
+
+let set_i64 b off v =
+  for i = 0 to 7 do
+    Bytes.unsafe_set b (off + i)
+      (Char.unsafe_chr (Int64.to_int (Int64.shift_right_logical v (8 * (7 - i))) land 0xFF))
+  done
 
 let encode_i64 v =
   let b = Bytes.create 8 in
-  for i = 0 to 7 do
-    Bytes.set b i (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * (7 - i))) 0xFFL)))
-  done;
+  set_i64 b 0 v;
   Bytes.unsafe_to_string b
 
 let query_u62 t v = query_string t (encode_i64 v)
 
-let query_indexed t w i = query_string t (encode_i64 w ^ encode_i64 (Int64.of_int i))
+let encode_i64_pair a b =
+  let buf = Bytes.create 16 in
+  set_i64 buf 0 a;
+  set_i64 buf 8 b;
+  Bytes.unsafe_to_string buf
 
-let query_pair t a b = query_string t (encode_i64 a ^ encode_i64 b)
+let query_indexed t w i = query_string t (encode_i64_pair w (Int64.of_int i))
+
+let query_pair t a b = query_string t (encode_i64_pair a b)
 
 (* Keep only the top 53 bits: they are exactly representable, so the
    result is always strictly below 1 (a direct 62-bit conversion can

@@ -1,97 +1,92 @@
 type digest = string
 
+(* The implementation works on native ints masked to 32 bits: on
+   64-bit platforms every word of the schedule and the chaining state
+   fits untagged in an [int], so [compress] allocates nothing — the
+   boxed [Int32] formulation it replaces allocated a box per
+   intermediate, which dominated the oracle-heavy hot paths. *)
+
+let m32 = 0xFFFFFFFF
+
 (* Round constants: first 32 bits of the fractional parts of the cube
    roots of the first 64 primes (FIPS 180-4 §4.2.2). *)
 let k =
-  [| 0x428a2f98l; 0x71374491l; 0xb5c0fbcfl; 0xe9b5dba5l; 0x3956c25bl; 0x59f111f1l;
-     0x923f82a4l; 0xab1c5ed5l; 0xd807aa98l; 0x12835b01l; 0x243185bel; 0x550c7dc3l;
-     0x72be5d74l; 0x80deb1fel; 0x9bdc06a7l; 0xc19bf174l; 0xe49b69c1l; 0xefbe4786l;
-     0x0fc19dc6l; 0x240ca1ccl; 0x2de92c6fl; 0x4a7484aal; 0x5cb0a9dcl; 0x76f988dal;
-     0x983e5152l; 0xa831c66dl; 0xb00327c8l; 0xbf597fc7l; 0xc6e00bf3l; 0xd5a79147l;
-     0x06ca6351l; 0x14292967l; 0x27b70a85l; 0x2e1b2138l; 0x4d2c6dfcl; 0x53380d13l;
-     0x650a7354l; 0x766a0abbl; 0x81c2c92el; 0x92722c85l; 0xa2bfe8a1l; 0xa81a664bl;
-     0xc24b8b70l; 0xc76c51a3l; 0xd192e819l; 0xd6990624l; 0xf40e3585l; 0x106aa070l;
-     0x19a4c116l; 0x1e376c08l; 0x2748774cl; 0x34b0bcb5l; 0x391c0cb3l; 0x4ed8aa4al;
-     0x5b9cca4fl; 0x682e6ff3l; 0x748f82eel; 0x78a5636fl; 0x84c87814l; 0x8cc70208l;
-     0x90befffal; 0xa4506cebl; 0xbef9a3f7l; 0xc67178f2l |]
+  [| 0x428a2f98; 0x71374491; 0xb5c0fbcf; 0xe9b5dba5; 0x3956c25b; 0x59f111f1;
+     0x923f82a4; 0xab1c5ed5; 0xd807aa98; 0x12835b01; 0x243185be; 0x550c7dc3;
+     0x72be5d74; 0x80deb1fe; 0x9bdc06a7; 0xc19bf174; 0xe49b69c1; 0xefbe4786;
+     0x0fc19dc6; 0x240ca1cc; 0x2de92c6f; 0x4a7484aa; 0x5cb0a9dc; 0x76f988da;
+     0x983e5152; 0xa831c66d; 0xb00327c8; 0xbf597fc7; 0xc6e00bf3; 0xd5a79147;
+     0x06ca6351; 0x14292967; 0x27b70a85; 0x2e1b2138; 0x4d2c6dfc; 0x53380d13;
+     0x650a7354; 0x766a0abb; 0x81c2c92e; 0x92722c85; 0xa2bfe8a1; 0xa81a664b;
+     0xc24b8b70; 0xc76c51a3; 0xd192e819; 0xd6990624; 0xf40e3585; 0x106aa070;
+     0x19a4c116; 0x1e376c08; 0x2748774c; 0x34b0bcb5; 0x391c0cb3; 0x4ed8aa4a;
+     0x5b9cca4f; 0x682e6ff3; 0x748f82ee; 0x78a5636f; 0x84c87814; 0x8cc70208;
+     0x90befffa; 0xa4506ceb; 0xbef9a3f7; 0xc67178f2 |]
 
 type ctx = {
-  h : int32 array; (* 8 chaining words *)
-  buf : Bytes.t;   (* 64-byte block buffer *)
+  h : int array; (* 8 chaining words, each in [0, 2^32) *)
+  buf : Bytes.t; (* 64-byte block buffer *)
   mutable buf_len : int;
   mutable total : int64; (* bytes absorbed *)
-  w : int32 array; (* 64-entry message schedule, reused across blocks *)
+  w : int array; (* 64-entry message schedule, reused across blocks *)
 }
 
+let iv =
+  [| 0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f; 0x9b05688c;
+     0x1f83d9ab; 0x5be0cd19 |]
+
 let init () =
-  {
-    h =
-      [| 0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al; 0x510e527fl; 0x9b05688cl;
-         0x1f83d9abl; 0x5be0cd19l |];
-    buf = Bytes.create 64;
-    buf_len = 0;
-    total = 0L;
-    w = Array.make 64 0l;
-  }
+  { h = Array.copy iv; buf = Bytes.create 64; buf_len = 0; total = 0L; w = Array.make 64 0 }
 
-let rotr x n = Int32.logor (Int32.shift_right_logical x n) (Int32.shift_left x (32 - n))
-
-let ( +% ) = Int32.add
+let[@inline] rotr x n = ((x lsr n) lor (x lsl (32 - n))) land m32
 
 let compress ctx block off =
   let w = ctx.w in
   for t = 0 to 15 do
     let base = off + (4 * t) in
-    let b i = Int32.of_int (Char.code (Bytes.get block (base + i))) in
-    w.(t) <-
-      Int32.logor
-        (Int32.shift_left (b 0) 24)
-        (Int32.logor (Int32.shift_left (b 1) 16) (Int32.logor (Int32.shift_left (b 2) 8) (b 3)))
+    Array.unsafe_set w t
+      ((Char.code (Bytes.unsafe_get block base) lsl 24)
+      lor (Char.code (Bytes.unsafe_get block (base + 1)) lsl 16)
+      lor (Char.code (Bytes.unsafe_get block (base + 2)) lsl 8)
+      lor Char.code (Bytes.unsafe_get block (base + 3)))
   done;
   for t = 16 to 63 do
-    let s0 =
-      Int32.logxor
-        (Int32.logxor (rotr w.(t - 15) 7) (rotr w.(t - 15) 18))
-        (Int32.shift_right_logical w.(t - 15) 3)
-    in
-    let s1 =
-      Int32.logxor
-        (Int32.logxor (rotr w.(t - 2) 17) (rotr w.(t - 2) 19))
-        (Int32.shift_right_logical w.(t - 2) 10)
-    in
-    w.(t) <- w.(t - 16) +% s0 +% w.(t - 7) +% s1
+    let w15 = Array.unsafe_get w (t - 15) in
+    let w2 = Array.unsafe_get w (t - 2) in
+    let s0 = rotr w15 7 lxor rotr w15 18 lxor (w15 lsr 3) in
+    let s1 = rotr w2 17 lxor rotr w2 19 lxor (w2 lsr 10) in
+    Array.unsafe_set w t
+      ((Array.unsafe_get w (t - 16) + s0 + Array.unsafe_get w (t - 7) + s1) land m32)
   done;
   let h = ctx.h in
   let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
   let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
   for t = 0 to 63 do
-    let s1 = Int32.logxor (Int32.logxor (rotr !e 6) (rotr !e 11)) (rotr !e 25) in
-    let ch = Int32.logxor (Int32.logand !e !f) (Int32.logand (Int32.lognot !e) !g) in
-    let t1 = !hh +% s1 +% ch +% k.(t) +% w.(t) in
-    let s0 = Int32.logxor (Int32.logxor (rotr !a 2) (rotr !a 13)) (rotr !a 22) in
-    let maj =
-      Int32.logxor
-        (Int32.logxor (Int32.logand !a !b) (Int32.logand !a !c))
-        (Int32.logand !b !c)
+    let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
+    let ch = !e land !f lxor (lnot !e land !g) in
+    let t1 =
+      (!hh + s1 + ch + Array.unsafe_get k t + Array.unsafe_get w t) land m32
     in
-    let t2 = s0 +% maj in
+    let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
+    let maj = !a land !b lxor (!a land !c) lxor (!b land !c) in
+    let t2 = (s0 + maj) land m32 in
     hh := !g;
     g := !f;
     f := !e;
-    e := !d +% t1;
+    e := (!d + t1) land m32;
     d := !c;
     c := !b;
     b := !a;
-    a := t1 +% t2
+    a := (t1 + t2) land m32
   done;
-  h.(0) <- h.(0) +% !a;
-  h.(1) <- h.(1) +% !b;
-  h.(2) <- h.(2) +% !c;
-  h.(3) <- h.(3) +% !d;
-  h.(4) <- h.(4) +% !e;
-  h.(5) <- h.(5) +% !f;
-  h.(6) <- h.(6) +% !g;
-  h.(7) <- h.(7) +% !hh
+  h.(0) <- (h.(0) + !a) land m32;
+  h.(1) <- (h.(1) + !b) land m32;
+  h.(2) <- (h.(2) + !c) land m32;
+  h.(3) <- (h.(3) + !d) land m32;
+  h.(4) <- (h.(4) + !e) land m32;
+  h.(5) <- (h.(5) + !f) land m32;
+  h.(6) <- (h.(6) + !g) land m32;
+  h.(7) <- (h.(7) + !hh) land m32
 
 let feed_sub ctx src pos len =
   ctx.total <- Int64.add ctx.total (Int64.of_int len);
@@ -123,30 +118,31 @@ let feed_string ctx s = feed_sub ctx s 0 (String.length s)
 
 let finalize ctx =
   let bit_len = Int64.mul ctx.total 8L in
-  (* Append 0x80, zero-pad to 56 mod 64, then the 64-bit length. *)
-  let pad_len =
-    let rem = (ctx.buf_len + 1) mod 64 in
-    if rem <= 56 then 56 - rem + 1 else 64 - rem + 56 + 1
+  (* Append 0x80, zero-pad to 56 mod 64, then the 64-bit length — all
+     inside the block buffer, compressing as it fills. *)
+  let put byte =
+    Bytes.unsafe_set ctx.buf ctx.buf_len (Char.unsafe_chr byte);
+    ctx.buf_len <- ctx.buf_len + 1;
+    if ctx.buf_len = 64 then begin
+      compress ctx ctx.buf 0;
+      ctx.buf_len <- 0
+    end
   in
-  let pad = Bytes.make (pad_len + 8) '\x00' in
-  Bytes.set pad 0 '\x80';
-  for i = 0 to 7 do
-    Bytes.set pad
-      (pad_len + i)
-      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bit_len (8 * (7 - i))) 0xFFL)))
+  put 0x80;
+  while ctx.buf_len <> 56 do
+    put 0x00
   done;
-  (* Bypass the total counter: padding is not message bytes. *)
-  let saved = ctx.total in
-  feed_sub ctx (Bytes.to_string pad) 0 (Bytes.length pad);
-  ctx.total <- saved;
+  for i = 7 downto 0 do
+    put (Int64.to_int (Int64.shift_right_logical bit_len (8 * i)) land 0xFF)
+  done;
   assert (ctx.buf_len = 0);
   let out = Bytes.create 32 in
   for i = 0 to 7 do
     let word = ctx.h.(i) in
-    Bytes.set out (4 * i) (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical word 24) 0xFFl)));
-    Bytes.set out ((4 * i) + 1) (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical word 16) 0xFFl)));
-    Bytes.set out ((4 * i) + 2) (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical word 8) 0xFFl)));
-    Bytes.set out ((4 * i) + 3) (Char.chr (Int32.to_int (Int32.logand word 0xFFl)))
+    Bytes.unsafe_set out (4 * i) (Char.unsafe_chr ((word lsr 24) land 0xFF));
+    Bytes.unsafe_set out ((4 * i) + 1) (Char.unsafe_chr ((word lsr 16) land 0xFF));
+    Bytes.unsafe_set out ((4 * i) + 2) (Char.unsafe_chr ((word lsr 8) land 0xFF));
+    Bytes.unsafe_set out ((4 * i) + 3) (Char.unsafe_chr (word land 0xFF))
   done;
   Bytes.unsafe_to_string out
 
@@ -178,14 +174,37 @@ let prefix_int64 d =
   done;
   !acc
 
-let hmac ~key msg =
+(* HMAC with the two pad blocks pre-absorbed: an [hmac_key] stores the
+   chaining states after compressing [key ^ ipad] and [key ^ opad], so
+   each MAC costs exactly the compressions of the message and the
+   32-byte inner digest. States are immutable once built — safe to
+   share across domains. *)
+type hmac_key = { ipad_state : int array; opad_state : int array }
+
+let hmac_key key =
   let block = 64 in
-  let key = if String.length key > block then (digest_string key :> string) else key in
-  let pad fill =
+  let key = if String.length key > block then digest_string key else key in
+  let absorb fill =
     let b = Bytes.make block fill in
     String.iteri (fun i c -> Bytes.set b i (Char.chr (Char.code c lxor Char.code fill))) key;
-    Bytes.unsafe_to_string b
+    let ctx = init () in
+    compress ctx b 0;
+    ctx.h
   in
-  let ipad = pad '\x36' and opad = pad '\x5c' in
-  let inner = digest_string (ipad ^ msg) in
-  digest_string (opad ^ (inner :> string))
+  { ipad_state = absorb '\x36'; opad_state = absorb '\x5c' }
+
+let hmac_feed state =
+  let ctx = init () in
+  Array.blit state 0 ctx.h 0 8;
+  ctx.total <- 64L;
+  ctx
+
+let hmac_with hkey msg =
+  let ctx = hmac_feed hkey.ipad_state in
+  feed_string ctx msg;
+  let inner = finalize ctx in
+  let ctx = hmac_feed hkey.opad_state in
+  feed_string ctx inner;
+  finalize ctx
+
+let hmac ~key msg = hmac_with (hmac_key key) msg

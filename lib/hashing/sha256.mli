@@ -41,3 +41,15 @@ val finalize : ctx -> digest
 val hmac : key:string -> string -> digest
 (** [hmac ~key msg] is HMAC-SHA256 (RFC 2104); used to derive the
     independent labelled oracle families. *)
+
+type hmac_key
+(** A key with its HMAC pad blocks pre-absorbed (the chaining states
+    after [key ^ ipad] and [key ^ opad]). Immutable — safe to share
+    across domains. *)
+
+val hmac_key : string -> hmac_key
+
+val hmac_with : hmac_key -> string -> digest
+(** [hmac_with (hmac_key k) msg = hmac ~key:k msg], skipping the two
+    pad-block compressions on every call — the oracle families MAC
+    millions of short messages under a handful of fixed keys. *)

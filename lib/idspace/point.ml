@@ -21,6 +21,11 @@ let random rng = Int64.logand (Prng.Rng.bits64 rng) mask
 let equal = Int64.equal
 let compare = Int64.compare
 
+(* Points are < 2^62 and native ints have 63 bits on every platform we
+   target, so the conversion is exact and allocation-free. *)
+let to_key = Int64.to_int
+let key_mask = (1 lsl 62) - 1
+
 let distance_cw a b = Int64.logand (Int64.sub b a) mask
 
 let distance a b =

@@ -37,6 +37,17 @@ val equal : t -> t -> bool
 val compare : t -> t -> int
 (** Total order by ring position (not rotation-invariant). *)
 
+val to_key : t -> int
+(** The point as a native [int] in [0, 2^62) — exact, since [int] has
+    63 bits on 64-bit platforms. The unboxed mirror of {!to_u62};
+    comparisons and modular arithmetic on keys avoid the boxed
+    [int64] operations of {!distance_cw} on hot paths. *)
+
+val key_mask : int
+(** [2^62 - 1] as a native [int]: [(b - a) land key_mask] is the
+    clockwise distance between the keys of [a] and [b], mirroring
+    {!distance_cw} without allocation. *)
+
 val distance_cw : t -> t -> int64
 (** [distance_cw a b] is the clockwise distance from [a] to [b]:
     the number of ID-space units traversed moving clockwise from [a]

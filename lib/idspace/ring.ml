@@ -1,45 +1,176 @@
-module Pset = Set.Make (struct
-  type t = Point.t
+(* Immutable sorted-array snapshot of the ID population.
 
-  let compare = Point.compare
-end)
+   Two parallel arrays: the points themselves (sorted ascending, so
+   rank k is the k-th ID clockwise from 0) and their native-int keys.
+   Every query is a binary search over the unboxed key array — no
+   pointer chasing, no boxed comparisons — and [random_member] is one
+   array index. Churn produces a fresh snapshot by merging (O(n)),
+   which the per-event [Dynamic] costs already dominate. *)
 
-type t = Pset.t
+type t = {
+  pts : Point.t array;  (* sorted ascending, distinct *)
+  keys : int array;  (* Point.to_key pts.(i), same order *)
+}
 
-let empty = Pset.empty
-let of_list ps = Pset.of_list ps
-let of_array ps = Pset.of_list (Array.to_list ps)
-let add = Pset.add
-let remove = Pset.remove
-let mem = Pset.mem
-let cardinal = Pset.cardinal
+let empty = { pts = [||]; keys = [||] }
+
+let of_sorted_distinct pts = { pts; keys = Array.map Point.to_key pts }
+
+let of_list ps =
+  match List.sort_uniq Point.compare ps with
+  | [] -> empty
+  | ps -> of_sorted_distinct (Array.of_list ps)
+
+let of_array ps = of_list (Array.to_list ps)
+
+let cardinal t = Array.length t.pts
+
+(* First index whose key is >= k; [Array.length keys] when none. *)
+let lower_bound keys k =
+  let lo = ref 0 and hi = ref (Array.length keys) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) lsr 1 in
+    if Array.unsafe_get keys mid < k then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* First index whose key is > k. *)
+let upper_bound keys k =
+  let lo = ref 0 and hi = ref (Array.length keys) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) lsr 1 in
+    if Array.unsafe_get keys mid <= k then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let mem p t =
+  let k = Point.to_key p in
+  let i = lower_bound t.keys k in
+  i < Array.length t.keys && Array.unsafe_get t.keys i = k
+
+let add p t =
+  let k = Point.to_key p in
+  let n = Array.length t.pts in
+  let i = lower_bound t.keys k in
+  if i < n && t.keys.(i) = k then t
+  else begin
+    let pts = Array.make (n + 1) p and keys = Array.make (n + 1) k in
+    Array.blit t.pts 0 pts 0 i;
+    Array.blit t.keys 0 keys 0 i;
+    Array.blit t.pts i pts (i + 1) (n - i);
+    Array.blit t.keys i keys (i + 1) (n - i);
+    { pts; keys }
+  end
+
+let remove p t =
+  let k = Point.to_key p in
+  let n = Array.length t.pts in
+  let i = lower_bound t.keys k in
+  if i >= n || t.keys.(i) <> k then t
+  else if n = 1 then empty
+  else
+    {
+      pts = Array.init (n - 1) (fun j -> t.pts.(if j < i then j else j + 1));
+      keys = Array.init (n - 1) (fun j -> t.keys.(if j < i then j else j + 1));
+    }
+
+let add_batch ps t =
+  match List.sort_uniq Point.compare ps with
+  | [] -> t
+  | ps ->
+      let inc = Array.of_list ps in
+      let m = Array.length inc and n = Array.length t.pts in
+      let out = Array.make (n + m) inc.(0) in
+      let i = ref 0 and j = ref 0 and o = ref 0 in
+      let push p =
+        out.(!o) <- p;
+        incr o
+      in
+      while !i < n && !j < m do
+        let c = Point.compare t.pts.(!i) inc.(!j) in
+        if c < 0 then begin
+          push t.pts.(!i);
+          incr i
+        end
+        else if c > 0 then begin
+          push inc.(!j);
+          incr j
+        end
+        else begin
+          push t.pts.(!i);
+          incr i;
+          incr j
+        end
+      done;
+      while !i < n do
+        push t.pts.(!i);
+        incr i
+      done;
+      while !j < m do
+        push inc.(!j);
+        incr j
+      done;
+      if !o = n then t else of_sorted_distinct (Array.sub out 0 !o)
+
+let remove_batch ps t =
+  match List.sort_uniq Point.compare ps with
+  | [] -> t
+  | ps ->
+      let gone = Array.of_list ps in
+      let m = Array.length gone and n = Array.length t.pts in
+      let out = Array.make n Point.zero in
+      let j = ref 0 and o = ref 0 in
+      for i = 0 to n - 1 do
+        let p = t.pts.(i) in
+        while !j < m && Point.compare gone.(!j) p < 0 do
+          incr j
+        done;
+        if !j < m && Point.equal gone.(!j) p then incr j
+        else begin
+          out.(!o) <- p;
+          incr o
+        end
+      done;
+      if !o = n then t
+      else if !o = 0 then empty
+      else of_sorted_distinct (Array.sub out 0 !o)
 
 let successor t x =
-  if Pset.is_empty t then None
+  let n = Array.length t.pts in
+  if n = 0 then None
   else
-    match Pset.find_first_opt (fun id -> Point.compare id x >= 0) t with
-    | Some id -> Some id
-    | None -> Some (Pset.min_elt t) (* wrap past 1 back to the smallest ID *)
+    let i = lower_bound t.keys (Point.to_key x) in
+    Some (Array.unsafe_get t.pts (if i = n then 0 else i))
 
 let successor_exn t x =
-  match successor t x with Some id -> id | None -> raise Not_found
+  let n = Array.length t.pts in
+  if n = 0 then raise Not_found;
+  let i = lower_bound t.keys (Point.to_key x) in
+  Array.unsafe_get t.pts (if i = n then 0 else i)
 
 let strict_successor t x =
-  if Pset.is_empty t then None
+  let n = Array.length t.pts in
+  if n = 0 then None
   else
-    match Pset.find_first_opt (fun id -> Point.compare id x > 0) t with
-    | Some id -> Some id
-    | None -> Some (Pset.min_elt t)
+    let i = upper_bound t.keys (Point.to_key x) in
+    Some (Array.unsafe_get t.pts (if i = n then 0 else i))
+
+let strict_successor_exn t x =
+  let n = Array.length t.pts in
+  if n = 0 then raise Not_found;
+  let i = upper_bound t.keys (Point.to_key x) in
+  Array.unsafe_get t.pts (if i = n then 0 else i)
 
 let predecessor t x =
-  if Pset.is_empty t then None
+  let n = Array.length t.pts in
+  if n = 0 then None
   else
-    match Pset.find_last_opt (fun id -> Point.compare id x < 0) t with
-    | Some id -> Some id
-    | None -> Some (Pset.max_elt t)
+    (* Elements strictly below x occupy [0, lower_bound x). *)
+    let i = lower_bound t.keys (Point.to_key x) in
+    Some (Array.unsafe_get t.pts (if i = 0 then n - 1 else i - 1))
 
 let responsibility t id =
-  if not (Pset.mem id t) then None
+  if not (mem id t) then None
   else
     match predecessor t id with
     | None -> None
@@ -47,34 +178,53 @@ let responsibility t id =
         if Point.equal p id then Some Interval.full
         else Some (Interval.make ~from:p ~until:id)
 
-let to_sorted_array t = Array.of_list (Pset.elements t)
+let nth t i = t.pts.(i)
 
-let fold f t init = Pset.fold f t init
-let iter f t = Pset.iter f t
+let rank t p =
+  let k = Point.to_key p in
+  let i = lower_bound t.keys k in
+  if i < Array.length t.keys && Array.unsafe_get t.keys i = k then i else -1
+
+let successor_rank t k =
+  let n = Array.length t.keys in
+  if n = 0 then raise Not_found;
+  let i = lower_bound t.keys k in
+  if i = n then 0 else i
+
+let to_sorted_array t = Array.copy t.pts
+
+let fold f t init =
+  let acc = ref init in
+  for i = 0 to Array.length t.pts - 1 do
+    acc := f (Array.unsafe_get t.pts i) !acc
+  done;
+  !acc
+
+let iter f t = Array.iter f t.pts
 
 let random_member rng t =
-  let n = Pset.cardinal t in
+  let n = Array.length t.pts in
   if n = 0 then invalid_arg "Ring.random_member: empty ring";
-  let k = Prng.Rng.int rng n in
-  let found = ref None in
-  let i = ref 0 in
-  (try
-     Pset.iter
-       (fun id ->
-         if !i = k then begin
-           found := Some id;
-           raise Exit
-         end;
-         incr i)
-       t
-   with Exit -> ());
-  match !found with Some id -> id | None -> assert false
+  t.pts.(Prng.Rng.int rng n)
 
 let populate rng n =
-  let rec grow acc k =
-    if k = 0 then acc
-    else
+  if n = 0 then empty
+  else begin
+    (* Same draw sequence as the historical Set-based accumulator: a
+       colliding draw is rejected against the points accepted so far
+       and redrawn. *)
+    let seen = Hashtbl.create (2 * n) in
+    let out = Array.make n Point.zero in
+    let filled = ref 0 in
+    while !filled < n do
       let p = Point.random rng in
-      if Pset.mem p acc then grow acc k else grow (Pset.add p acc) (k - 1)
-  in
-  grow Pset.empty n
+      let k = Point.to_key p in
+      if not (Hashtbl.mem seen k) then begin
+        Hashtbl.add seen k ();
+        out.(!filled) <- p;
+        incr filled
+      end
+    done;
+    Array.sort Point.compare out;
+    of_sorted_distinct out
+  end

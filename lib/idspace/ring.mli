@@ -3,8 +3,10 @@
     [suc(x)] — the first ID at or clockwise of a point [x] — is the
     primitive every construction in the paper builds on: key
     responsibility (P2), group membership draws [suc(h1(w,i))]
-    (§III-A), and Chord-style finger targets. Backed by a balanced
-    set; all operations are logarithmic. *)
+    (§III-A), and Chord-style finger targets. Backed by an immutable
+    sorted array with an unboxed native-int key mirror: queries are
+    cache-friendly binary searches, {!random_member} and {!nth} are
+    O(1), and churn merges batches in O(n). *)
 
 type t
 (** An immutable snapshot of the ID population. *)
@@ -16,6 +18,17 @@ val of_array : Point.t array -> t
 
 val add : Point.t -> t -> t
 val remove : Point.t -> t -> t
+(** Single-point churn; O(n) snapshot copy. Adding a present point or
+    removing an absent one returns the ring unchanged. *)
+
+val add_batch : Point.t list -> t -> t
+(** [add_batch ps t] merges all of [ps] in one O(n + |ps| log |ps|)
+    pass — the churn-batch form of k× {!add}. Duplicates (within
+    [ps] or against [t]) are absorbed. *)
+
+val remove_batch : Point.t list -> t -> t
+(** One-pass counterpart of k× {!remove}. *)
+
 val mem : Point.t -> t -> bool
 
 val cardinal : t -> int
@@ -32,6 +45,10 @@ val strict_successor : t -> Point.t -> Point.t option
 (** First ID strictly clockwise of [x]; wraps around. With one ID [p],
     [strict_successor t p = Some p]. *)
 
+val strict_successor_exn : t -> Point.t -> Point.t
+(** Allocation-free {!strict_successor}.
+    @raise Not_found when empty. *)
+
 val predecessor : t -> Point.t -> Point.t option
 (** First ID strictly counter-clockwise of [x]; wraps around. *)
 
@@ -41,16 +58,29 @@ val responsibility : t -> Point.t -> Interval.t option
     [None] if [id] is absent. With a single ID the arc is the whole
     ring. *)
 
+val nth : t -> int -> Point.t
+(** The ID at sorted position [i] (its {e rank}), O(1). Ranks are
+    stable for a given snapshot: [nth t (rank t p) = p]. *)
+
+val rank : t -> Point.t -> int
+(** Sorted position of an ID, or [-1] when absent. *)
+
+val successor_rank : t -> int -> int
+(** [successor_rank t k] is the rank of [suc(x)] for the point whose
+    native key ({!Point.to_key}) is [k] — the unboxed successor query
+    used by the group builder.
+    @raise Not_found when empty. *)
+
 val to_sorted_array : t -> Point.t array
-(** All IDs in increasing ring position. *)
+(** All IDs in increasing ring position (a fresh array). *)
 
 val fold : (Point.t -> 'a -> 'a) -> t -> 'a -> 'a
 val iter : (Point.t -> unit) -> t -> unit
+(** Ascending ring position, like the sorted array. *)
 
 val random_member : Prng.Rng.t -> t -> Point.t
-(** Uniform member of a non-empty ring. O(n) — intended for test and
-    experiment setup, not inner loops (draw from
-    {!to_sorted_array} when sampling repeatedly). *)
+(** Uniform member of a non-empty ring: one PRNG draw, one array
+    index. *)
 
 val populate : Prng.Rng.t -> int -> t
 (** [populate rng n] is a ring of [n] independent uniform IDs (the

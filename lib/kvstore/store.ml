@@ -40,7 +40,7 @@ let names t =
 
 let key_of t name = Point.of_u62 (Hashing.Oracle.query_string t.oracle name)
 
-let ring t = Adversary.Population.ring t.graph.Tinygroups.Group_graph.population
+let ring t = Adversary.Population.ring (Tinygroups.Group_graph.population t.graph)
 
 let home t name = Ring.successor_exn (ring t) (key_of t name)
 
@@ -186,7 +186,7 @@ let coverage rng t ~samples =
   if record_count t = 0 then invalid_arg "Store.coverage: empty store";
   if samples <= 0 then invalid_arg "Store.coverage: samples must be positive";
   let names = Array.of_list (names t) in
-  let goods = Adversary.Population.good_ids t.graph.Tinygroups.Group_graph.population in
+  let goods = Adversary.Population.good_ids (Tinygroups.Group_graph.population t.graph) in
   let ok = ref 0 in
   for _ = 1 to samples do
     let name = names.(Prng.Rng.int rng (Array.length names)) in

@@ -25,15 +25,20 @@ let neighbors_of ring w =
 
 let make ring =
   if Ring.cardinal ring = 0 then invalid_arg "Chord.make: empty ring";
-  let table : (int64, Point.t list) Hashtbl.t = Hashtbl.create 1024 in
+  (* Neighbour memo indexed by ring rank — a flat array instead of a
+     boxed-int64 hash table. Off-ring queries (rare; e.g. a probe for
+     an ID mid-join) compute uncached. *)
+  let memo : Point.t list option array = Array.make (Ring.cardinal ring) None in
   let neighbors w =
-    let key = Point.to_u62 w in
-    match Hashtbl.find_opt table key with
-    | Some ns -> ns
-    | None ->
-        let ns = neighbors_of ring w in
-        Hashtbl.add table key ns;
-        ns
+    let r = Ring.rank ring w in
+    if r < 0 then neighbors_of ring w
+    else
+      match memo.(r) with
+      | Some ns -> ns
+      | None ->
+          let ns = neighbors_of ring w in
+          memo.(r) <- Some ns;
+          ns
   in
   let n = Ring.cardinal ring in
   let max_hops =
@@ -48,6 +53,11 @@ let make ring =
     let resp = Ring.successor_exn ring key in
     if Point.equal src resp then [ src ]
     else begin
+      (* Clockwise distances fit in a native int (u62), so the whole
+         greedy step runs on unboxed arithmetic: [(b - a) land
+         key_mask] is [distance_cw a b] even when the subtraction
+         wraps negative. *)
+      let kkey = Point.to_key key in
       let rec go current acc hops =
         if hops > hard_bound then failwith "Chord.route: hop bound exceeded"
         else begin
@@ -56,30 +66,29 @@ let make ring =
             | Some s -> s
             | None -> assert false
           in
-          if Point.in_cw_range ~from:current ~until:scur key then
+          let kcur = Point.to_key current in
+          let arc = (Point.to_key scur - kcur) land Point.key_mask in
+          let dkey = (kkey - kcur) land Point.key_mask in
+          if arc = 0 || (dkey > 0 && dkey <= arc) then
             (* key lands in (current, successor]: successor is
                responsible; final hop. *)
             List.rev (scur :: acc)
           else begin
             (* Closest preceding finger: the neighbour farthest
-               clockwise that does not reach the key. *)
-            let best =
-              List.fold_left
-                (fun best u ->
-                  let d = Point.distance_cw current u in
-                  if
-                    d > 0L
-                    && Point.in_cw_range ~from:current ~until:key u
-                    && (not (Point.equal u key))
-                    && d < Point.distance_cw current key
-                  then
-                    match best with
-                    | Some (_, bd) when bd >= d -> best
-                    | _ -> Some (u, d)
-                  else best)
-                None (neighbors current)
-            in
-            let next = match best with Some (u, _) -> u | None -> scur in
+               clockwise that does not reach the key. [0 < d < dkey]
+               subsumes the seed's range/inequality checks; strictly
+               greater [d] replaces, so ties keep the earlier
+               neighbour, exactly as before. *)
+            let best_u = ref current and best_d = ref (-1) in
+            List.iter
+              (fun u ->
+                let d = (Point.to_key u - kcur) land Point.key_mask in
+                if d > 0 && d < dkey && d > !best_d then begin
+                  best_u := u;
+                  best_d := d
+                end)
+              (neighbors current);
+            let next = if !best_d >= 0 then !best_u else scur in
             go next (next :: acc) (hops + 1)
           end
         end

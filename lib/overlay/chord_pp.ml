@@ -18,6 +18,7 @@ let make ?(salt = 0) ring =
              (Int64.of_int salt)
              (Int64.logxor (Point.to_u62 src) (mix (Point.to_u62 key))))
       in
+      let kkey = Point.to_key key in
       let rec go current acc hops =
         if hops > hard_bound then failwith "Chord_pp.route: hop bound exceeded"
         else begin
@@ -26,23 +27,20 @@ let make ?(salt = 0) ring =
             | Some s -> s
             | None -> assert false
           in
-          if Point.in_cw_range ~from:current ~until:scur key then
+          let kcur = Point.to_key current in
+          let arc = (Point.to_key scur - kcur) land Point.key_mask in
+          let dist_key = (kkey - kcur) land Point.key_mask in
+          if arc = 0 || (dist_key > 0 && dist_key <= arc) then
             List.rev (scur :: acc)
           else begin
             (* Candidate fingers that land strictly before the key,
-               with their progress. *)
-            let dist_key = Point.distance_cw current key in
+               with their unboxed clockwise progress ([0 < d <
+               dist_key] subsumes the seed's range checks). *)
             let candidates =
               List.filter_map
                 (fun u ->
-                  let d = Point.distance_cw current u in
-                  if
-                    d > 0L
-                    && Point.in_cw_range ~from:current ~until:key u
-                    && (not (Point.equal u key))
-                    && d < dist_key
-                  then Some (u, d)
-                  else None)
+                  let d = (Point.to_key u - kcur) land Point.key_mask in
+                  if d > 0 && d < dist_key then Some (u, d) else None)
                 (neighbors current)
             in
             let next =
@@ -50,15 +48,16 @@ let make ?(salt = 0) ring =
               | [] -> scur
               | _ ->
                   let greedy =
-                    List.fold_left (fun acc (_, d) -> if d > acc then d else acc) 0L
+                    List.fold_left (fun acc (_, d) -> if d > acc then d else acc) 0
                       candidates
                   in
                   (* Any finger making at least half the greedy
                      progress is eligible; pick one by the query's
-                     deterministic coin. *)
+                     deterministic coin. [2d >= greedy] phrased
+                     overflow-safely (2d can exceed a 63-bit int). *)
                   let eligible =
                     List.filter
-                      (fun (_, d) -> Int64.mul d 2L >= greedy)
+                      (fun (_, d) -> d >= (greedy + 1) / 2)
                       candidates
                   in
                   let eligible = List.sort (fun (a, _) (b, _) -> Point.compare a b) eligible in

@@ -54,15 +54,18 @@ let neighbors_of ring w =
 let make ring =
   let n = Ring.cardinal ring in
   if n = 0 then invalid_arg "Debruijn.make: empty ring";
-  let table : (int64, Point.t list) Hashtbl.t = Hashtbl.create 1024 in
+  (* Rank-indexed neighbour memo (see {!Chord.make}). *)
+  let memo : Point.t list option array = Array.make n None in
   let neighbors w =
-    let k = Point.to_u62 w in
-    match Hashtbl.find_opt table k with
-    | Some ns -> ns
-    | None ->
-        let ns = neighbors_of ring w in
-        Hashtbl.add table k ns;
-        ns
+    let r = Ring.rank ring w in
+    if r < 0 then neighbors_of ring w
+    else
+      match memo.(r) with
+      | Some ns -> ns
+      | None ->
+          let ns = neighbors_of ring w in
+          memo.(r) <- Some ns;
+          ns
   in
   let steps = halving_steps n in
   let route ~src ~key =

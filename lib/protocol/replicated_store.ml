@@ -65,7 +65,7 @@ let put t ~client ~name ~value =
       t.next_version <- t.next_version + 1;
       let version = t.next_version in
       let grp = Tinygroups.Group_graph.group_of t.graph home in
-      let pop = t.graph.Tinygroups.Group_graph.population in
+      let pop = Tinygroups.Group_graph.population t.graph in
       let net = Network.create (Prng.Rng.split t.rng) ~latency:t.latency in
       let stored = ref 0 in
       let last_delivery = ref 0 in
@@ -113,7 +113,7 @@ let get t ~client ~name =
   | Error _ -> Get_blocked
   | Ok (home, search_stats) ->
       let grp = Tinygroups.Group_graph.group_of t.graph home in
-      let pop = t.graph.Tinygroups.Group_graph.population in
+      let pop = Tinygroups.Group_graph.population t.graph in
       let net = Network.create (Prng.Rng.split t.rng) ~latency:t.latency in
       let client_addr = Point.of_u62 1L in
       let votes = ref [] in

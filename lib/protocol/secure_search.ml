@@ -28,13 +28,13 @@ type bucket = {
 
 let run_search rng g ~latency ~behaviour ~src ~key ?(deadline = 60_000) ?faults
     ?reliability ?metrics () =
-  let overlay = g.Tinygroups.Group_graph.overlay in
-  let pop = g.Tinygroups.Group_graph.population in
+  let overlay = Tinygroups.Group_graph.overlay g in
+  let pop = Tinygroups.Group_graph.population g in
   (* The adversary's best verifiable claim: its own ID nearest
      clockwise of the key — any other forgery fails the client's PoW
      check (IDs are verifiable, §I-C). *)
   let plant =
-    let bad_ring = Ring.of_array (Population.bad_ids pop) in
+    let bad_ring = Population.bad_ring pop in
     if Ring.cardinal bad_ring = 0 then None
     else Some (Ring.successor_exn bad_ring key)
   in
@@ -174,17 +174,17 @@ let run_search rng g ~latency ~behaviour ~src ~key ?(deadline = 60_000) ?faults
   in
   (* Register every distinct member of every group once. *)
   let registered = Hashtbl.create 1024 in
-  Hashtbl.iter
+  Tinygroups.Group_graph.iter_groups
     (fun _ (grp : Tinygroups.Group.t) ->
       Array.iter
         (fun m ->
-          let k = Point.to_u62 m in
+          let k = Point.to_key m in
           if not (Hashtbl.mem registered k) then begin
             Hashtbl.add registered k ();
             register_member m
           end)
         grp.Tinygroups.Group.members)
-    g.Tinygroups.Group_graph.groups;
+    g;
   (* Fire the query into the source group and run the world. *)
   Array.iter
     (fun m ->

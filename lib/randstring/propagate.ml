@@ -37,7 +37,7 @@ let component graph =
   Array.iteri (fun i w -> Hashtbl.replace index (Point.to_u62 w) i) leaders;
   let alive = Array.map (fun w -> not (Group_graph.hijacked graph w)) leaders in
   let adj = Array.make n [] in
-  let overlay = graph.Group_graph.overlay in
+  let overlay = Group_graph.overlay graph in
   Array.iteri
     (fun i w ->
       if alive.(i) then
@@ -95,7 +95,7 @@ let run rng graph ~epoch_steps config =
   let open Tinygroups in
   let leaders, adj, in_giant = component graph in
   let n = Array.length leaders in
-  let pop = graph.Group_graph.population in
+  let pop = Group_graph.population graph in
   let ln_n = log (float_of_int (max 3 n)) in
   let rounds_per_phase = max 1 (int_of_float (ceil (config.d_prime *. ln_n))) in
   let is_participant =
@@ -130,7 +130,7 @@ let run rng graph ~epoch_steps config =
     leaders;
   (* The adversary's strings: its best outputs over its full budget. *)
   let adv_evals =
-    let beta = graph.Group_graph.params.Params.beta in
+    let beta = (Group_graph.params graph).Params.beta in
     int_of_float
       (beta /. (1. -. beta) *. float_of_int n *. float_of_int epoch_steps *. 1.5)
   in

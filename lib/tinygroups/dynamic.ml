@@ -52,9 +52,9 @@ let capture_candidates ring ~id =
   List.sort_uniq Point.compare !acc
 
 let captured_by g ~id =
-  let pop = g.Group_graph.population in
+  let pop = Group_graph.population g in
   let ring = Ring.add id (Population.ring pop) in
-  let overlay = rebuild_overlay g.Group_graph.overlay ring in
+  let overlay = rebuild_overlay (Group_graph.overlay g) ring in
   List.filter
     (fun v ->
       Ring.mem v (Population.ring pop)
@@ -65,16 +65,13 @@ let existing_groups g =
   Array.to_list
     (Array.map (fun w -> (w, Group_graph.group_of g w)) (Group_graph.leaders g))
 
-let confused_leaders g =
-  Hashtbl.fold (fun k () acc -> Point.of_u62 k :: acc) g.Group_graph.confused []
-
 let join rng metrics g ~old_pair ~member_oracle ~id ~bad =
-  let pop = g.Group_graph.population in
+  let pop = Group_graph.population g in
   if Ring.mem id (Population.ring pop) then invalid_arg "Dynamic.join: ID already present";
-  let params = g.Group_graph.params in
+  let params = Group_graph.params g in
   let new_pop = if bad then Population.add_bad pop id else Population.add_good pop id in
   let new_ring = Population.ring new_pop in
-  let new_overlay = rebuild_overlay g.Group_graph.overlay new_ring in
+  let new_overlay = rebuild_overlay (Group_graph.overlay g) new_ring in
   let before = Sim.Metrics.snapshot metrics in
   let searches = ref 0 in
   (* 1. Solicit members for the newcomer's group through the old
@@ -95,7 +92,7 @@ let join rng metrics g ~old_pair ~member_oracle ~id ~bad =
     | None -> ()
   done;
   let members = if !members = [] then [ id ] else !members in
-  let old_member_pop = Membership.(old_pair.g1.Group_graph.population) in
+  let old_member_pop = Group_graph.population Membership.(old_pair.g1) in
   let grp = Group.form params old_member_pop ~leader:id ~members in
   (* 2. Establish the newcomer's neighbour links. *)
   let neighbors = new_overlay.Overlay.Overlay_intf.neighbors id in
@@ -117,7 +114,7 @@ let join rng metrics g ~old_pair ~member_oracle ~id ~bad =
       captured
   in
   let confused =
-    (if ok then [] else [ id ]) @ newly_confused @ confused_leaders g
+    (if ok then [] else [ id ]) @ newly_confused @ Group_graph.confused_leaders g
   in
   let groups = (id, grp) :: existing_groups g in
   let g' =
@@ -141,20 +138,20 @@ let join rng metrics g ~old_pair ~member_oracle ~id ~bad =
   (g', cost)
 
 let depart g ~id =
-  let pop = g.Group_graph.population in
+  let pop = Group_graph.population g in
   if not (Ring.mem id (Population.ring pop)) then invalid_arg "Dynamic.depart: unknown ID";
-  let params = g.Group_graph.params in
+  let params = Group_graph.params g in
   (* Reverse neighbours null their link to the departing group. *)
   let reverse =
     List.filter
       (fun v ->
         (not (Point.equal v id))
-        && List.exists (Point.equal id) (g.Group_graph.overlay.Overlay.Overlay_intf.neighbors v))
+        && List.exists (Point.equal id) ((Group_graph.overlay g).Overlay.Overlay_intf.neighbors v))
       (capture_candidates (Population.ring pop) ~id)
   in
   let new_pop = Population.remove pop id in
   let new_ring = Population.ring new_pop in
-  let new_overlay = rebuild_overlay g.Group_graph.overlay new_ring in
+  let new_overlay = rebuild_overlay (Group_graph.overlay g) new_ring in
   let n_hint = Population.n new_pop in
   (* Groups containing the departing ID lose a member. *)
   let member_updates = ref 0 in
@@ -172,7 +169,7 @@ let depart g ~id =
       (existing_groups g)
   in
   let confused =
-    List.filter (fun w -> not (Point.equal w id)) (confused_leaders g)
+    List.filter (fun w -> not (Point.equal w id)) (Group_graph.confused_leaders g)
   in
   let g' =
     Group_graph.assemble ~params ~population:new_pop ~overlay:new_overlay ~groups
@@ -187,3 +184,76 @@ let depart g ~id =
     }
   in
   (g', cost)
+
+let depart_many g ~ids =
+  let pop = Group_graph.population g in
+  let ring0 = Population.ring pop in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun id ->
+      if (not (Ring.mem id ring0)) || Hashtbl.mem seen (Point.to_key id) then
+        invalid_arg "Dynamic.depart: unknown ID";
+      Hashtbl.add seen (Point.to_key id) ())
+    ids;
+  if ids = [] then (g, { searches = 0; messages = 0; affected_groups = 0; member_updates = 0 })
+  else begin
+    let params = Group_graph.params g in
+    let overlay0 = Group_graph.overlay g in
+    let affected =
+      List.fold_left
+        (fun acc id ->
+          acc
+          + List.length
+              (List.filter
+                 (fun v ->
+                   (not (Point.equal v id))
+                   && List.exists (Point.equal id) (overlay0.Overlay.Overlay_intf.neighbors v))
+                 (capture_candidates ring0 ~id)))
+        0 ids
+    in
+    (* One merged ring pass and one overlay rebuild for the whole
+       batch — the point of batching; the per-ID fold pays both k
+       times. *)
+    let new_pop = Population.remove_batch pop ids in
+    let new_overlay = rebuild_overlay overlay0 (Population.ring new_pop) in
+    (* Replay the membership drops exactly as the one-at-a-time fold
+       would: the drop for the j-th departure classifies against
+       n_hint = n - j - 1, and departed leaders leave the (ascending)
+       group list in place, so the assembled graph is identical to
+       folding {!depart} — including its iteration order. *)
+    let member_updates = ref 0 in
+    let n0 = Population.n pop in
+    let groups = ref (existing_groups g) in
+    List.iteri
+      (fun j id ->
+        let n_hint = n0 - j - 1 in
+        groups :=
+          List.filter_map
+            (fun (w, grp) ->
+              if Point.equal w id then None
+              else if Group.contains grp id then begin
+                incr member_updates;
+                match Group.drop_member params ~n_hint grp id with
+                | Some grp' -> Some (w, grp')
+                | None -> Some (w, grp)
+              end
+              else Some (w, grp))
+            !groups)
+      ids;
+    let confused =
+      List.filter
+        (fun w -> not (Hashtbl.mem seen (Point.to_key w)))
+        (Group_graph.confused_leaders g)
+    in
+    let g' =
+      Group_graph.assemble ~params ~population:new_pop ~overlay:new_overlay ~groups:!groups
+        ~confused ()
+    in
+    ( g',
+      {
+        searches = 0;
+        messages = 0;
+        affected_groups = affected;
+        member_updates = !member_updates;
+      } )
+  end

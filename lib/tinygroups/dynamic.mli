@@ -49,6 +49,14 @@ val join :
 val depart : Group_graph.t -> id:Point.t -> Group_graph.t * cost
 (** Remove [id]. Raises [Invalid_argument] if absent. *)
 
+val depart_many : Group_graph.t -> ids:Point.t list -> Group_graph.t * cost
+(** Remove a batch of IDs with one merged ring pass and one overlay
+    rebuild. The resulting graph equals folding {!depart} over [ids]
+    in order; the cost aggregates, except [affected_groups], which is
+    counted against the starting overlay rather than the k
+    intermediate ones. Raises [Invalid_argument] on an absent or
+    duplicated ID. *)
+
 val captured_by : Group_graph.t -> id:Point.t -> Point.t list
 (** The existing leaders whose Chord-style linking rule would link to
     [id] once it joins (the reverse-neighbour set); exposed for tests

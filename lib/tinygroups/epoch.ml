@@ -112,7 +112,7 @@ let init ?faults ?reliability rng config =
    neighbour links through the old pair. *)
 let build_next t ~old ~new_pop ~new_overlay ~member_oracle =
   let params = t.config.params in
-  let old_pop = Membership.(old.g1.Group_graph.population) in
+  let old_pop = Group_graph.population Membership.(old.g1) in
   let new_ring = Population.ring new_pop in
   let groups = ref [] in
   let confused = ref [] in
@@ -178,7 +178,7 @@ let advance t =
   in
   (* The state-inflation attack: bad IDs spam verification. *)
   if t.config.spam_per_bad > 0 then begin
-    let victims = Population.good_ids (Membership.(old.g1.Group_graph.population)) in
+    let victims = Population.good_ids (Group_graph.population Membership.(old.g1)) in
     if Array.length victims > 0 then begin
       let attempts = t.config.spam_per_bad * Population.bad_count new_pop in
       for _ = 1 to attempts do

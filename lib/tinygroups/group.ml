@@ -22,15 +22,19 @@ let classify params ~n_hint ~size ~bad =
     if bad <= tol && size >= min_size then Good else Weak
   end
 
-let form params pop ~leader ~members =
-  let distinct = List.sort_uniq Point.compare members in
-  let members = Array.of_list distinct in
+(* [members] must be sorted by ring position and duplicate-free; the
+   array is owned by the group afterwards. *)
+let of_sorted_members params pop ~leader ~members =
   let size = Array.length members in
   if size = 0 then invalid_arg "Group.form: empty member set";
   let member_bad = Array.map (Population.is_bad pop) members in
   let bad = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 member_bad in
   let health = classify params ~n_hint:(Some (Population.n pop)) ~size ~bad in
   { leader; members; member_bad; bad_members = bad; health }
+
+let form params pop ~leader ~members =
+  of_sorted_members params pop ~leader
+    ~members:(Array.of_list (List.sort_uniq Point.compare members))
 
 let size t = Array.length t.members
 let good_members t = size t - t.bad_members

@@ -40,6 +40,13 @@ val form :
     counts bad ones against [pop]'s ground truth and classifies
     health. *)
 
+val of_sorted_members :
+  Params.t -> Population.t -> leader:Point.t -> members:Point.t array -> t
+(** Allocation-lean {!form} for callers that already hold the member
+    set sorted by ring position and duplicate-free (the group
+    builder's scratch path). The array is owned by the group
+    afterwards. *)
+
 val size : t -> int
 val good_members : t -> int
 

@@ -3,92 +3,299 @@ open Adversary
 
 type color = Blue | Red
 
+(* Flat representation, aligned to the population's sorted ring: the
+   group led by the ID of rank [r] lives at [group_by_rank.(r)], and
+   confused/suspect are rank-indexed bitmaps. Leader lookup goes
+   through a linear-probing open-addressing table over unboxed u62
+   keys (load factor <= 1/2), so [group_of] is a couple of int-array
+   probes instead of a boxed-int64 hash + bucket chase. *)
 type t = {
   params : Params.t;
   population : Population.t;
   overlay : Overlay.Overlay_intf.t;
-  groups : (int64, Group.t) Hashtbl.t;
-  confused : (int64, unit) Hashtbl.t;
-  suspect : (int64, unit) Hashtbl.t;
+  ring : Ring.t;  (* = Population.ring population, the rank space *)
+  slot_key : int array;  (* open addressing; -1 = empty *)
+  slot_rank : int array;
+  slot_mask : int;
+  group_by_rank : Group.t array;
+  confused_bits : Bytes.t;
+  suspect_bits : Bytes.t;
+  insertion : int array;
+      (* ranks in the order the constructor supplied the groups;
+         feeds the legacy iteration order below *)
+  mutable legacy_order_ : int array option;
   mutable blue_cache : Point.t array option;
 }
 
-let key p = Point.to_u62 p
+let params t = t.params
+let population t = t.population
+let overlay t = t.overlay
 
-let member_points ~member_oracle ~draws w =
-  List.init draws (fun i -> Point.of_u62 (Hashing.Oracle.query_indexed member_oracle (Point.to_u62 w) (i + 1)))
+(* -- bitmaps ------------------------------------------------------- *)
+
+let bitmap n = Bytes.make ((n + 7) lsr 3) '\x00'
+
+let bit_get b i = Char.code (Bytes.unsafe_get b (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let bit_set b i =
+  Bytes.unsafe_set b (i lsr 3)
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get b (i lsr 3)) lor (1 lsl (i land 7))))
+
+(* -- leader -> rank table ------------------------------------------ *)
+
+let table_capacity n =
+  let c = ref 16 in
+  while !c < 2 * n do
+    c := !c * 2
+  done;
+  !c
+
+let make_slots ring =
+  let n = Ring.cardinal ring in
+  let cap = table_capacity n in
+  let mask = cap - 1 in
+  let slot_key = Array.make cap (-1) in
+  let slot_rank = Array.make cap 0 in
+  for r = 0 to n - 1 do
+    let k = Point.to_key (Ring.nth ring r) in
+    let i = ref (k land mask) in
+    while slot_key.(!i) >= 0 do
+      i := (!i + 1) land mask
+    done;
+    slot_key.(!i) <- k;
+    slot_rank.(!i) <- r
+  done;
+  (slot_key, slot_rank, mask)
+
+(* Rank of a leader, or -1 when the point leads no group. *)
+let rank_of t p =
+  let k = Point.to_key p in
+  let mask = t.slot_mask in
+  let i = ref (k land mask) in
+  let rank = ref (-2) in
+  while !rank = -2 do
+    let sk = Array.unsafe_get t.slot_key !i in
+    if sk = k then rank := Array.unsafe_get t.slot_rank !i
+    else if sk < 0 then rank := -1
+    else i := (!i + 1) land mask
+  done;
+  !rank
+
+(* -- construction -------------------------------------------------- *)
+
+let make ~params ~population ~overlay ~group_by_rank ~insertion ~confused ~suspect =
+  let ring = Population.ring population in
+  let n = Ring.cardinal ring in
+  let slot_key, slot_rank, slot_mask = make_slots ring in
+  let confused_bits = bitmap n and suspect_bits = bitmap n in
+  let mark bits what p =
+    let r = Ring.rank ring p in
+    if r < 0 then invalid_arg ("Group_graph.assemble: " ^ what ^ " leader not in population");
+    bit_set bits r
+  in
+  List.iter (mark confused_bits "confused") confused;
+  List.iter (mark suspect_bits "suspect") suspect;
+  {
+    params;
+    population;
+    overlay;
+    ring;
+    slot_key;
+    slot_rank;
+    slot_mask;
+    group_by_rank;
+    confused_bits;
+    suspect_bits;
+    insertion;
+    legacy_order_ = None;
+    blue_cache = None;
+  }
+
+module Builder = struct
+  type b = {
+    params : Params.t;
+    population : Population.t;
+    member_oracle : Hashing.Oracle.t;
+    ring : Ring.t;
+    mutable scratch : int array;  (* successor ranks of the draws *)
+  }
+
+  let create ~params ~population ~member_oracle =
+    { params; population; member_oracle; ring = Population.ring population; scratch = Array.make 64 0 }
+
+  (* Fill [scratch] with the ranks of [suc(oracle(w, i))] for
+     [i = 1 .. draws], in draw order; returns [draws]. This is the
+     one member-draw code path — build, benches and the join protocol
+     estimate all route through it. *)
+  let draw_ranks b w =
+    let ln_ln_estimate = Estimate.ln_ln_n b.ring w in
+    let draws = Params.member_draws_estimated b.params ~ln_ln_estimate in
+    if Array.length b.scratch < draws then b.scratch <- Array.make (2 * draws) 0;
+    let wk = Point.to_u62 w in
+    for i = 1 to draws do
+      let u = Hashing.Oracle.query_indexed b.member_oracle wk i in
+      b.scratch.(i - 1) <- Ring.successor_rank b.ring (Int64.to_int u)
+    done;
+    draws
+
+  let draw_members b w =
+    let draws = draw_ranks b w in
+    List.init draws (fun i -> Ring.nth b.ring b.scratch.(i))
+
+  let form_group b w =
+    let draws = draw_ranks b w in
+    if draws = 0 then Group.form b.params b.population ~leader:w ~members:[]
+    else begin
+      let s = b.scratch in
+      (* Sort the dozen-or-so ranks in place (rank order is ring
+         order) and squeeze out duplicates — no per-group lists. *)
+      for i = 1 to draws - 1 do
+        let v = s.(i) in
+        let j = ref (i - 1) in
+        while !j >= 0 && s.(!j) > v do
+          s.(!j + 1) <- s.(!j);
+          decr j
+        done;
+        s.(!j + 1) <- v
+      done;
+      let m = ref 1 in
+      for i = 1 to draws - 1 do
+        if s.(i) <> s.(!m - 1) then begin
+          s.(!m) <- s.(i);
+          incr m
+        end
+      done;
+      let members = Array.init !m (fun i -> Ring.nth b.ring s.(i)) in
+      Group.of_sorted_members b.params b.population ~leader:w ~members
+    end
+end
+
+let draw_members ~params ~population ~member_oracle w =
+  Builder.draw_members (Builder.create ~params ~population ~member_oracle) w
 
 let build_direct ~params ~population ~overlay ~member_oracle =
   let ring = Population.ring population in
   let n = Ring.cardinal ring in
   if n < 3 then invalid_arg "Group_graph.build_direct: population too small";
-  let groups = Hashtbl.create (2 * n) in
-  Ring.iter
-    (fun w ->
-      let ln_ln_estimate = Estimate.ln_ln_n ring w in
-      let draws = Params.member_draws_estimated params ~ln_ln_estimate in
-      let members =
-        List.map (Ring.successor_exn ring) (member_points ~member_oracle ~draws w)
-      in
-      let g = Group.form params population ~leader:w ~members in
-      Hashtbl.replace groups (key w) g)
-    ring;
-  {
-    params;
-    population;
-    overlay;
-    groups;
-    confused = Hashtbl.create 16;
-    suspect = Hashtbl.create 16;
-    blue_cache = None;
-  }
+  let b = Builder.create ~params ~population ~member_oracle in
+  let group_by_rank = Array.init n (fun rank -> Builder.form_group b (Ring.nth ring rank)) in
+  make ~params ~population ~overlay ~group_by_rank
+    ~insertion:(Array.init n Fun.id) ~confused:[] ~suspect:[]
 
 let assemble ~params ~population ~overlay ~groups ~confused ?(suspect = []) () =
   let ring = Population.ring population in
-  let table = Hashtbl.create (2 * Ring.cardinal ring) in
+  let n = Ring.cardinal ring in
+  let slots = Array.make n None in
+  let insertion = Array.make n 0 in
+  let count = ref 0 in
   List.iter
     (fun (leader, g) ->
-      if not (Ring.mem leader ring) then
-        invalid_arg "Group_graph.assemble: leader not in population";
-      if Hashtbl.mem table (key leader) then
-        invalid_arg "Group_graph.assemble: duplicate leader";
-      Hashtbl.replace table (key leader) g)
+      let r = Ring.rank ring leader in
+      if r < 0 then invalid_arg "Group_graph.assemble: leader not in population";
+      if slots.(r) <> None then invalid_arg "Group_graph.assemble: duplicate leader";
+      slots.(r) <- Some g;
+      insertion.(!count) <- r;
+      incr count)
     groups;
-  if Hashtbl.length table <> Ring.cardinal ring then
-    invalid_arg "Group_graph.assemble: missing groups";
-  let confused_table = Hashtbl.create 64 in
-  List.iter (fun leader -> Hashtbl.replace confused_table (key leader) ()) confused;
-  let suspect_table = Hashtbl.create 16 in
-  List.iter (fun leader -> Hashtbl.replace suspect_table (key leader) ()) suspect;
-  {
-    params;
-    population;
-    overlay;
-    groups = table;
-    confused = confused_table;
-    suspect = suspect_table;
-    blue_cache = None;
-  }
+  if !count <> n then invalid_arg "Group_graph.assemble: missing groups";
+  let group_by_rank =
+    Array.map (function Some g -> g | None -> assert false) slots
+  in
+  make ~params ~population ~overlay ~group_by_rank ~insertion ~confused ~suspect
+
+(* -- queries ------------------------------------------------------- *)
 
 let group_of t p =
-  match Hashtbl.find_opt t.groups (key p) with
-  | Some g -> g
-  | None -> raise Not_found
+  let r = rank_of t p in
+  if r < 0 then raise Not_found;
+  Array.unsafe_get t.group_by_rank r
 
-let is_confused t p = Hashtbl.mem t.confused (key p)
-let is_suspect t p = Hashtbl.mem t.suspect (key p)
+let is_confused t p =
+  let r = rank_of t p in
+  r >= 0 && bit_get t.confused_bits r
+
+let is_suspect t p =
+  let r = rank_of t p in
+  r >= 0 && bit_get t.suspect_bits r
 
 let color_of t p =
-  let g = group_of t p in
-  if g.Group.health = Group.Good && not (is_confused t p) then Blue else Red
+  let r = rank_of t p in
+  if r < 0 then raise Not_found;
+  let g = Array.unsafe_get t.group_by_rank r in
+  if g.Group.health = Group.Good && not (bit_get t.confused_bits r) then Blue else Red
 
 let hijacked t p =
-  let g = group_of t p in
-  g.Group.health = Group.Hijacked || is_confused t p
+  let r = rank_of t p in
+  if r < 0 then raise Not_found;
+  let g = Array.unsafe_get t.group_by_rank r in
+  g.Group.health = Group.Hijacked || bit_get t.confused_bits r
 
-let leaders t = Ring.to_sorted_array (Population.ring t.population)
+let mark_confused t p =
+  let r = rank_of t p in
+  if r < 0 then invalid_arg "Group_graph.mark_confused: not a leader";
+  bit_set t.confused_bits r;
+  t.blue_cache <- None
 
-let n_groups t = Hashtbl.length t.groups
+let mark_suspect t p =
+  let r = rank_of t p in
+  if r < 0 then invalid_arg "Group_graph.mark_suspect: not a leader";
+  bit_set t.suspect_bits r;
+  t.blue_cache <- None
+
+let leaders t = Ring.to_sorted_array t.ring
+
+let n_groups t = Array.length t.group_by_rank
+
+let confused_leaders t =
+  let acc = ref [] in
+  for r = Array.length t.group_by_rank - 1 downto 0 do
+    if bit_get t.confused_bits r then acc := Ring.nth t.ring r :: !acc
+  done;
+  !acc
+
+(* -- legacy iteration order ---------------------------------------- *)
+
+(* The seed implementation stored groups in a stdlib [Hashtbl] and
+   several order-sensitive sweeps (PRNG-consuming departure trials,
+   float accumulations, first-k victim picks) consumed its iteration
+   order. That order is fully determined: capacity is the power of two
+   >= max(16, 2n), a key's bucket is [Hashtbl.hash key land (cap-1)]
+   (seed 0), and iteration visits buckets ascending with each bucket
+   in reverse insertion order. We replay it from the recorded
+   insertion sequence so every golden digest survives the flat
+   rewrite. New code should not depend on this order. *)
+let legacy_order t =
+  match t.legacy_order_ with
+  | Some o -> o
+  | None ->
+      let n = Array.length t.insertion in
+      let cmask = table_capacity n - 1 in
+      let bucket =
+        Array.map
+          (fun rank -> Hashtbl.hash (Point.to_u62 (Ring.nth t.ring rank)) land cmask)
+          t.insertion
+      in
+      let idx = Array.init n Fun.id in
+      Array.sort
+        (fun j1 j2 ->
+          let c = compare bucket.(j1) bucket.(j2) in
+          if c <> 0 then c else compare j2 j1)
+        idx;
+      let order = Array.map (fun j -> t.insertion.(j)) idx in
+      t.legacy_order_ <- Some order;
+      order
+
+let iter_groups f t =
+  Array.iter
+    (fun rank -> f (Ring.nth t.ring rank) (Array.unsafe_get t.group_by_rank rank))
+    (legacy_order t)
+
+let fold_groups f t init =
+  let acc = ref init in
+  iter_groups (fun leader g -> acc := f leader g !acc) t;
+  !acc
+
+(* -- aggregates ---------------------------------------------------- *)
 
 type census = {
   total : int;
@@ -101,22 +308,22 @@ type census = {
 }
 
 let census t =
-  let total = ref 0 and good = ref 0 and weak = ref 0 and hij = ref 0 in
+  let total = Array.length t.group_by_rank in
+  let good = ref 0 and weak = ref 0 and hij = ref 0 in
   let conf = ref 0 and susp = ref 0 and red = ref 0 in
-  Hashtbl.iter
-    (fun k (g : Group.t) ->
-      incr total;
-      (match g.Group.health with
-      | Group.Good -> incr good
-      | Group.Weak -> incr weak
-      | Group.Hijacked -> incr hij);
-      let is_conf = Hashtbl.mem t.confused k in
-      if is_conf then incr conf;
-      if Hashtbl.mem t.suspect k then incr susp;
-      if g.Group.health <> Group.Good || is_conf then incr red)
-    t.groups;
+  for r = 0 to total - 1 do
+    let g = Array.unsafe_get t.group_by_rank r in
+    (match g.Group.health with
+    | Group.Good -> incr good
+    | Group.Weak -> incr weak
+    | Group.Hijacked -> incr hij);
+    let is_conf = bit_get t.confused_bits r in
+    if is_conf then incr conf;
+    if bit_get t.suspect_bits r then incr susp;
+    if g.Group.health <> Group.Good || is_conf then incr red
+  done;
   {
-    total = !total;
+    total;
     good = !good;
     weak = !weak;
     hijacked_ = !hij;
@@ -133,12 +340,17 @@ let blue_leaders t =
   match t.blue_cache with
   | Some blue -> blue
   | None ->
-      let blue =
-        Array.of_list
-          (Ring.fold
-             (fun p acc -> if color_of t p = Blue then p :: acc else acc)
-             (Population.ring t.population) [])
-      in
+      (* Same construction as the seed: ascending fold with prepend,
+         i.e. the array runs counter-clockwise. Sweeps index it with
+         raw PRNG draws, so the layout is digest-relevant. *)
+      let acc = ref [] in
+      let n = Array.length t.group_by_rank in
+      for r = 0 to n - 1 do
+        let g = Array.unsafe_get t.group_by_rank r in
+        if g.Group.health = Group.Good && not (bit_get t.confused_bits r) then
+          acc := Ring.nth t.ring r :: !acc
+      done;
+      let blue = Array.of_list !acc in
       t.blue_cache <- Some blue;
       blue
 
@@ -147,17 +359,17 @@ let random_blue_leader rng t =
   if Array.length blue = 0 then None else Some blue.(Prng.Rng.int rng (Array.length blue))
 
 let mean_group_size t =
-  let total = Hashtbl.fold (fun _ g acc -> acc + Group.size g) t.groups 0 in
-  float_of_int total /. float_of_int (max 1 (Hashtbl.length t.groups))
+  let total = Array.fold_left (fun acc g -> acc + Group.size g) 0 t.group_by_rank in
+  float_of_int total /. float_of_int (max 1 (Array.length t.group_by_rank))
 
 let groups_per_id t =
   let counts : (Point.t, int) Hashtbl.t = Hashtbl.create (2 * n_groups t) in
-  Hashtbl.iter
+  iter_groups
     (fun _ (g : Group.t) ->
       Array.iter
         (fun m ->
           let c = Option.value ~default:0 (Hashtbl.find_opt counts m) in
           Hashtbl.replace counts m (c + 1))
         g.Group.members)
-    t.groups;
+    t;
   counts

@@ -7,6 +7,12 @@
     {e and} its neighbour set was established correctly, {b red}
     otherwise (S1–S3). The adversary owns every red group.
 
+    Representation: the graph is flat and aligned to the population's
+    sorted ring — a [Group.t array] indexed by ring rank, rank-indexed
+    confused/suspect bitmaps, and a linear-probing open-addressing
+    table over unboxed u62 keys for leader lookup. No boxed [int64]
+    keys anywhere on the hot path.
+
     Two constructors exist:
     - {!build_direct} wires members straight from the hash oracle and
       the true ring — the static case of §II and the assumed-correct
@@ -21,23 +27,43 @@ open Adversary
 
 type color = Blue | Red
 
-type t = private {
-  params : Params.t;
-  population : Population.t;
-  overlay : Overlay.Overlay_intf.t;
-  groups : (int64, Group.t) Hashtbl.t;  (** leader (as u62) -> group *)
-  confused : (int64, unit) Hashtbl.t;
-      (** Leaders whose neighbour set is incorrectly established. *)
-  suspect : (int64, unit) Hashtbl.t;
-      (** Leaders that exhausted the reliability layer's retry budget
-          on some neighbour link and marked the route suspect instead
-          of treating it as (mis)established: a degraded-but-usable
-          group, counted by the census but neither red nor
-          route-poisoning. Empty without a reliability policy. *)
-  mutable blue_cache : Idspace.Point.t array option;
-      (** Memoised blue-leader array (the structure is immutable once
-          assembled, so this never invalidates). *)
-}
+type t
+
+val params : t -> Params.t
+val population : t -> Population.t
+val overlay : t -> Overlay.Overlay_intf.t
+
+(** Incremental group formation sharing one scratch buffer across
+    groups: member draws land as successor {e ranks} in a reusable
+    int array, are sorted and deduplicated in place, and only the
+    final member array is allocated. {!build_direct}, the benches and
+    the join protocol's draw estimate all route through this — there
+    is exactly one member-draw code path. *)
+module Builder : sig
+  type b
+
+  val create :
+    params:Params.t ->
+    population:Population.t ->
+    member_oracle:Hashing.Oracle.t ->
+    b
+
+  val draw_members : b -> Point.t -> Point.t list
+  (** The successors of [oracle(w, i)], [i = 1 .. draws], in draw
+      order (duplicates included), where [draws] comes from [w]'s
+      decentralised [ln ln n] estimate — exactly the multiset
+      {!form_group} builds its member set from. *)
+
+  val form_group : b -> Point.t -> Group.t
+end
+
+val draw_members :
+  params:Params.t ->
+  population:Population.t ->
+  member_oracle:Hashing.Oracle.t ->
+  Point.t ->
+  Point.t list
+(** One-shot {!Builder.draw_members} for callers without a builder. *)
 
 val build_direct :
   params:Params.t ->
@@ -81,10 +107,34 @@ val hijacked : t -> Point.t -> bool
 (** The group has lost its good majority (or is confused): the
     physical notion of adversary control. *)
 
+val mark_confused : t -> Point.t -> unit
+(** Flag a leader as confused after construction (fault injection,
+    diagnosed link corruption). Invalidates the blue-leader cache.
+    @raise Invalid_argument if the point is not a leader. *)
+
+val mark_suspect : t -> Point.t -> unit
+(** Flag a leader's routes as retry-exhausted after construction.
+    Invalidates the blue-leader cache.
+    @raise Invalid_argument if the point is not a leader. *)
+
 val leaders : t -> Point.t array
 (** All leaders, i.e. the population's IDs. *)
 
 val n_groups : t -> int
+
+val confused_leaders : t -> Point.t list
+(** The confused leaders, ascending by ring position. *)
+
+val iter_groups : (Point.t -> Group.t -> unit) -> t -> unit
+(** Visit every (leader, group) pair in the {e legacy order}: the
+    iteration order of the seed implementation's [(int64, Group.t)
+    Hashtbl], replayed from the recorded insertion sequence.
+    Order-sensitive sweeps (PRNG-consuming trials, float
+    accumulations, first-k picks) depend on it for golden-digest
+    stability; new code should treat the order as arbitrary. *)
+
+val fold_groups : (Point.t -> Group.t -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold in the same legacy order as {!iter_groups}. *)
 
 type census = {
   total : int;
@@ -103,7 +153,8 @@ val census : t -> census
 val fraction_red : t -> float
 
 val blue_leaders : t -> Point.t array
-(** All blue-group leaders (memoised). *)
+(** All blue-group leaders (memoised; invalidated by {!mark_confused}
+    and {!mark_suspect}). Callers must not mutate the array. *)
 
 val random_blue_leader : Prng.Rng.t -> t -> Point.t option
 (** A uniform blue-group leader; [None] if every group is red. *)

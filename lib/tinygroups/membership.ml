@@ -9,14 +9,12 @@ type old_pair = {
 }
 
 let make_old_pair ?(failure = `Conservative) g1 g2 =
-  let bad_ring =
-    lazy (Ring.of_array (Population.bad_ids g1.Group_graph.population))
-  in
+  let bad_ring = lazy (Population.bad_ring (Group_graph.population g1)) in
   { g1; g2; failure; bad_ring }
 
 type resolution = Resolved of Point.t | Hijacked_lookup
 
-let old_population pair = pair.g1.Group_graph.population
+let old_population pair = Group_graph.population pair.g1
 
 let graphs pair = pair.g1 :: Option.to_list pair.g2
 
@@ -78,7 +76,7 @@ let dual_search ?faults ?reliability rng metrics pair ~point =
 (* The verifier searches from its own group when it leads one in the
    old graphs, otherwise from its bootstrap group. *)
 let verifier_src graph verifier =
-  if Ring.mem verifier (Population.ring graph.Group_graph.population) then Some verifier
+  if Ring.mem verifier (Population.ring (Group_graph.population graph)) then Some verifier
   else None
 
 let verification_search ?faults ?reliability rng metrics pair ~verifier ~point =
@@ -147,6 +145,6 @@ let bootstrap_pool rng graph ~count =
     Array.iter (fun m -> pool := Pset.add m !pool) g.Group.members
   done;
   let ids = Array.of_list (Pset.elements !pool) in
-  let pop = graph.Group_graph.population in
+  let pop = Group_graph.population graph in
   let bad = Array.fold_left (fun acc m -> if Population.is_bad pop m then acc + 1 else acc) 0 ids in
   (ids, 2 * bad < Array.length ids)

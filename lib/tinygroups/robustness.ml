@@ -10,12 +10,9 @@ type search_report = {
   mean_group_hops : float;
 }
 
-let good_leaders g =
-  let pop = g.Group_graph.population in
-  Array.of_list
-    (Ring.fold
-       (fun p acc -> if Population.is_bad pop p then acc else p :: acc)
-       (Population.ring pop) [])
+(* [Population.good_ids] uses the same ascending-prepend construction
+   the fold here used, so the PRNG-indexed layout is unchanged. *)
+let good_leaders g = Population.good_ids (Group_graph.population g)
 
 let search_success rng g ~failure ~samples =
   if samples <= 0 then invalid_arg "Robustness.search_success";
@@ -85,7 +82,9 @@ type departure_report = {
 let departures_survival rng g ~fraction =
   if fraction < 0. || fraction > 1. then invalid_arg "Robustness.departures_survival";
   let groups = ref 0 and survived = ref 0 in
-  Hashtbl.iter
+  (* Legacy iteration order: the PRNG draws below happen per good
+     group in visit order, so the order is digest-relevant. *)
+  Group_graph.iter_groups
     (fun _ (grp : Group.t) ->
       if grp.Group.health = Group.Good then begin
         incr groups;
@@ -102,7 +101,7 @@ let departures_survival rng g ~fraction =
         let remaining_size = size - departed in
         if remaining_size > 0 && 2 * !remaining_good > remaining_size then incr survived
       end)
-    g.Group_graph.groups;
+    g;
   {
     groups = !groups;
     survived = !survived;
@@ -115,29 +114,31 @@ type state_report = {
 }
 
 let state_costs g =
-  let overlay = g.Group_graph.overlay in
+  let overlay = Group_graph.overlay g in
   (* Per-group cost borne by each of its members: intra-group links
      plus all-to-all links toward every neighbouring group. *)
-  let group_cost : (int64, int) Hashtbl.t = Hashtbl.create (2 * Group_graph.n_groups g) in
-  Hashtbl.iter
-    (fun k (grp : Group.t) ->
+  let group_cost : (int, int) Hashtbl.t = Hashtbl.create (2 * Group_graph.n_groups g) in
+  Group_graph.iter_groups
+    (fun w (grp : Group.t) ->
       let intra = Group.size grp - 1 in
       let neighbor_links =
         List.fold_left
           (fun acc v ->
-            match Hashtbl.find_opt g.Group_graph.groups (Point.to_u62 v) with
-            | Some gv -> acc + Group.size gv
-            | None -> acc)
+            match Group_graph.group_of g v with
+            | gv -> acc + Group.size gv
+            | exception Not_found -> acc)
           0
           (overlay.Overlay.Overlay_intf.neighbors grp.Group.leader)
       in
-      Hashtbl.replace group_cost k (intra + neighbor_links))
-    g.Group_graph.groups;
+      Hashtbl.replace group_cost (Point.to_key w) (intra + neighbor_links))
+    g;
   let links : (Point.t, int) Hashtbl.t = Hashtbl.create 4096 in
   let memberships : (Point.t, int) Hashtbl.t = Hashtbl.create 4096 in
-  Hashtbl.iter
-    (fun k (grp : Group.t) ->
-      let cost = Hashtbl.find group_cost k in
+  (* Legacy order again: the [replace] sequence fixes the fold order
+     of [links]/[memberships] below, which feeds the summaries. *)
+  Group_graph.iter_groups
+    (fun w (grp : Group.t) ->
+      let cost = Hashtbl.find group_cost (Point.to_key w) in
       Array.iteri
         (fun i m ->
           if not (Group.member_is_bad grp i) then begin
@@ -146,7 +147,7 @@ let state_costs g =
               (1 + Option.value ~default:0 (Hashtbl.find_opt memberships m))
           end)
         grp.Group.members)
-    g.Group_graph.groups;
+    g;
   (* The population summarised is the set of good IDs that serve in at
      least one group — in an epoch-built graph the member population
      (the previous epoch's IDs) is distinct from the leader

@@ -42,14 +42,14 @@ let walk_path g ~failure ~id_path ~edge_cost =
   walk None [] 0 id_path
 
 let search g ~failure ~src ~key =
-  let overlay = g.Group_graph.overlay in
+  let overlay = Group_graph.overlay g in
   let id_path = overlay.Overlay.Overlay_intf.route ~src ~key in
   (* Recursive: each group hands off to the next with one all-to-all
      exchange across the edge. *)
   walk_path g ~failure ~id_path ~edge_cost:(fun ~prev ~src:_ ~hop -> prev * hop)
 
 let search_iterative g ~failure ~src ~key =
-  let overlay = g.Group_graph.overlay in
+  let overlay = Group_graph.overlay g in
   let id_path = overlay.Overlay.Overlay_intf.route ~src ~key in
   (* Iterative: the source group round-trips with every hop group. *)
   walk_path g ~failure ~id_path ~edge_cost:(fun ~prev:_ ~src ~hop -> 2 * src * hop)

@@ -23,7 +23,7 @@ let test_join_adds_id () =
     (Tinygroups.Group_graph.n_groups g');
   Alcotest.(check bool) "id is a leader now" true
     (Idspace.Ring.mem id
-       (Adversary.Population.ring g'.Tinygroups.Group_graph.population));
+       (Adversary.Population.ring (Tinygroups.Group_graph.population g')));
   Alcotest.(check bool) "join did searches" true (cost.Tinygroups.Dynamic.searches > 0);
   Alcotest.(check bool) "join cost messages" true (cost.Tinygroups.Dynamic.messages > 0);
   (* The newcomer's group exists and has members from the old
@@ -57,7 +57,7 @@ let test_join_captured_groups_link_back () =
     (fun v ->
       Alcotest.(check bool) "links to newcomer" true
         (List.exists (Point.equal id)
-           (g'.Tinygroups.Group_graph.overlay.Overlay.Overlay_intf.neighbors v)))
+           ((Tinygroups.Group_graph.overlay g').Overlay.Overlay_intf.neighbors v)))
     captured
 
 let test_depart_removes_and_updates_members () =
@@ -65,9 +65,9 @@ let test_depart_removes_and_updates_members () =
   let victim = (Tinygroups.Group_graph.leaders g).(7) in
   (* Count the groups the victim serves in beforehand. *)
   let serving =
-    Hashtbl.fold
+    Tinygroups.Group_graph.fold_groups
       (fun _ grp acc -> if Tinygroups.Group.contains grp victim then acc + 1 else acc)
-      g.Tinygroups.Group_graph.groups 0
+      g 0
   in
   let g', cost = Tinygroups.Dynamic.depart g ~id:victim in
   Alcotest.(check int) "one fewer group" (Tinygroups.Group_graph.n_groups g - 1)
@@ -77,11 +77,54 @@ let test_depart_removes_and_updates_members () =
   (* No remaining group contains the departed ID (unless it was the
      group's sole member, which cannot happen for formed groups of
      size >= 3). *)
-  Hashtbl.iter
+  Tinygroups.Group_graph.iter_groups
     (fun _ grp ->
       if Tinygroups.Group.size grp >= 2 then
         Alcotest.(check bool) "member excised" false (Tinygroups.Group.contains grp victim))
-    g'.Tinygroups.Group_graph.groups
+    g'
+
+(* Deep graph equality: same leaders in the same legacy iteration
+   order, identical member sets and health per group, identical
+   confused sets and census. *)
+let graphs_equal g1 g2 =
+  let collect g =
+    Tinygroups.Group_graph.fold_groups
+      (fun w grp acc ->
+        (w, grp.Tinygroups.Group.members, grp.Tinygroups.Group.health) :: acc)
+      g []
+  in
+  Tinygroups.Group_graph.leaders g1 = Tinygroups.Group_graph.leaders g2
+  && collect g1 = collect g2
+  && Tinygroups.Group_graph.confused_leaders g1
+     = Tinygroups.Group_graph.confused_leaders g2
+  && Tinygroups.Group_graph.census g1 = Tinygroups.Group_graph.census g2
+
+let test_depart_many_equals_sequential () =
+  (* Churn batching: the merged-ring batch departure must produce the
+     same graph as one-at-a-time application (the golden digests for
+     e10/e17/e20 cover the integrated per-event path; this pins the
+     batch form at the unit level). *)
+  let g, _ = setup ~n:128 ~beta:0.05 () in
+  let leaders = Tinygroups.Group_graph.leaders g in
+  let ids = [ leaders.(3); leaders.(40); leaders.(77); leaders.(11); leaders.(126) ] in
+  let batched, bcost = Tinygroups.Dynamic.depart_many g ~ids in
+  let sequential, supd =
+    List.fold_left
+      (fun (h, upd) id ->
+        let h', c = Tinygroups.Dynamic.depart h ~id in
+        (h', upd + c.Tinygroups.Dynamic.member_updates))
+      (g, 0) ids
+  in
+  Alcotest.(check bool) "same graph as the one-at-a-time fold" true
+    (graphs_equal batched sequential);
+  Alcotest.(check int) "same membership-update count"
+    supd bcost.Tinygroups.Dynamic.member_updates;
+  Alcotest.check_raises "absent ID rejected"
+    (Invalid_argument "Dynamic.depart: unknown ID") (fun () ->
+      ignore (Tinygroups.Dynamic.depart_many g ~ids:[ Point.of_float 0.5757575 ]));
+  Alcotest.check_raises "duplicate ID rejected"
+    (Invalid_argument "Dynamic.depart: unknown ID") (fun () ->
+      ignore (Tinygroups.Dynamic.depart_many g ~ids:[ leaders.(3); leaders.(3) ]))
 
 let test_depart_unknown_rejected () =
   let g, _ = setup () in
@@ -112,7 +155,7 @@ let test_churn_sequence_stays_healthy () =
   let live = ref g in
   for i = 0 to 14 do
     let id = Point.of_float (0.001 +. (0.066 *. float_of_int i)) in
-    if not (Idspace.Ring.mem id (Adversary.Population.ring !live.Tinygroups.Group_graph.population)) then begin
+    if not (Idspace.Ring.mem id (Adversary.Population.ring (Tinygroups.Group_graph.population !live))) then begin
       let g', _ =
         Tinygroups.Dynamic.join (Prng.Rng.split rng) metrics !live ~old_pair
           ~member_oracle:h2 ~id ~bad:(i mod 5 = 0)
@@ -179,6 +222,8 @@ let () =
         [
           Alcotest.test_case "removes and updates" `Quick test_depart_removes_and_updates_members;
           Alcotest.test_case "unknown rejected" `Quick test_depart_unknown_rejected;
+          Alcotest.test_case "batch = one-at-a-time" `Quick
+            test_depart_many_equals_sequential;
           Alcotest.test_case "churn sequence" `Slow test_churn_sequence_stays_healthy;
         ] );
       ( "timed-route",

@@ -41,7 +41,7 @@ let test_members_come_from_old_population () =
   let e = Tinygroups.Epoch.init (rng ()) (Tinygroups.Epoch.default_config ~n:256) in
   let old_ring =
     Adversary.Population.ring
-      Tinygroups.Group_graph.((Tinygroups.Epoch.primary e).population)
+      (Tinygroups.Group_graph.population (Tinygroups.Epoch.primary e))
   in
   Tinygroups.Epoch.advance e;
   let g = Tinygroups.Epoch.primary e in

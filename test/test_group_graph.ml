@@ -137,7 +137,7 @@ let test_lemma5_withholding_adversary () =
     (!ok > samples * 95 / 100);
   (* The realised adversary share is indeed below its entitlement. *)
   Alcotest.(check bool) "withheld IDs stayed out" true
-    (Adversary.Population.beta_actual g.Tinygroups.Group_graph.population < 0.08)
+    (Adversary.Population.beta_actual (Tinygroups.Group_graph.population g) < 0.08)
 
 let test_blue_leaders_cache () =
   let _, g = make ~beta:0.2 () in
@@ -168,7 +168,7 @@ let test_confusion_makes_red () =
   in
   let g2 =
     Tinygroups.Group_graph.assemble ~params ~population:pop
-      ~overlay:g.Tinygroups.Group_graph.overlay ~groups ~confused:[ confused_leader ] ()
+      ~overlay:(Tinygroups.Group_graph.overlay g) ~groups ~confused:[ confused_leader ] ()
   in
   Alcotest.(check bool) "confused leader is red" true
     (Tinygroups.Group_graph.color_of g2 confused_leader = Tinygroups.Group_graph.Red);
@@ -176,6 +176,39 @@ let test_confusion_makes_red () =
     (Tinygroups.Group_graph.hijacked g2 confused_leader);
   let c = Tinygroups.Group_graph.census g2 in
   Alcotest.(check int) "census sees one confused" 1 c.confused_
+
+let test_mark_confused_invalidates_blue_cache () =
+  (* Regression: the blue-leader cache must not serve a stale array
+     after a post-build marking. *)
+  let _, g = make ~n:64 ~beta:0.0 () in
+  let blue_before = Array.copy (Tinygroups.Group_graph.blue_leaders g) in
+  let victim = blue_before.(7) in
+  let src = blue_before.(20) in
+  Alcotest.(check bool) "search reaches the victim's arc before marking" true
+    (Tinygroups.Secure_route.succeeded
+       (Tinygroups.Secure_route.search g ~failure:`Majority ~src ~key:victim));
+  Tinygroups.Group_graph.mark_confused g victim;
+  let blue_after = Tinygroups.Group_graph.blue_leaders g in
+  Alcotest.(check int) "one fewer blue leader"
+    (Array.length blue_before - 1)
+    (Array.length blue_after);
+  Alcotest.(check bool) "marked leader dropped from the cache" false
+    (Array.exists (Point.equal victim) blue_after);
+  Alcotest.(check bool) "marked leader is red" true
+    (Tinygroups.Group_graph.color_of g victim = Tinygroups.Group_graph.Red);
+  Alcotest.(check bool) "census counts the confusion" true
+    ((Tinygroups.Group_graph.census g).confused_ = 1);
+  (* A search routed after the marking sees the new colors: the
+     victim's own arc is now behind a red group. *)
+  Alcotest.(check bool) "search into the marked arc now fails" false
+    (Tinygroups.Secure_route.succeeded
+       (Tinygroups.Secure_route.search g ~failure:`Majority ~src ~key:victim));
+  (* mark_suspect also invalidates (cheap safety even though suspects
+     stay blue); the census must pick the flag up. *)
+  Tinygroups.Group_graph.mark_suspect g src;
+  Alcotest.(check bool) "suspect flagged" true (Tinygroups.Group_graph.is_suspect g src);
+  Alcotest.(check bool) "suspect stays blue" true
+    (Array.exists (Point.equal src) (Tinygroups.Group_graph.blue_leaders g))
 
 let test_assemble_validations () =
   let pop, g = make ~n:32 ~beta:0.0 () in
@@ -188,14 +221,14 @@ let test_assemble_validations () =
     (Invalid_argument "Group_graph.assemble: missing groups") (fun () ->
       ignore
         (Tinygroups.Group_graph.assemble ~params ~population:pop
-           ~overlay:g.Tinygroups.Group_graph.overlay ~groups:(List.tl all_groups)
+           ~overlay:(Tinygroups.Group_graph.overlay g) ~groups:(List.tl all_groups)
            ~confused:[] ()));
   (* Duplicate leader. *)
   Alcotest.check_raises "duplicate"
     (Invalid_argument "Group_graph.assemble: duplicate leader") (fun () ->
       ignore
         (Tinygroups.Group_graph.assemble ~params ~population:pop
-           ~overlay:g.Tinygroups.Group_graph.overlay
+           ~overlay:(Tinygroups.Group_graph.overlay g)
            ~groups:(List.hd all_groups :: all_groups)
            ~confused:[] ()))
 
@@ -205,9 +238,9 @@ let test_groups_per_id_positive () =
   let total = Hashtbl.fold (fun _ c acc -> acc + c) counts 0 in
   (* Total memberships = sum of group sizes. *)
   let expected =
-    Hashtbl.fold
+    Tinygroups.Group_graph.fold_groups
       (fun _ grp acc -> acc + Tinygroups.Group.size grp)
-      g.Tinygroups.Group_graph.groups 0
+      g 0
   in
   Alcotest.(check int) "membership bookkeeping balances" expected total
 
@@ -254,6 +287,8 @@ let () =
       ( "assemble",
         [
           Alcotest.test_case "confusion makes red (S2)" `Quick test_confusion_makes_red;
+          Alcotest.test_case "mark_confused invalidates blue cache" `Quick
+            test_mark_confused_invalidates_blue_cache;
           Alcotest.test_case "validations" `Quick test_assemble_validations;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_determinism ]);

@@ -8,7 +8,7 @@ let build ?(n = 512) ?(beta = 0.05) () =
   g
 
 let any_good_client g =
-  (Adversary.Population.good_ids g.Tinygroups.Group_graph.population).(0)
+  (Adversary.Population.good_ids (Tinygroups.Group_graph.population g)).(0)
 
 let test_put_get_roundtrip () =
   let g = build ~beta:0.0 () in
@@ -62,7 +62,7 @@ let test_home_is_successor () =
   let name = "somefile" in
   let expected =
     Idspace.Ring.successor_exn
-      (Adversary.Population.ring g.Tinygroups.Group_graph.population)
+      (Adversary.Population.ring (Tinygroups.Group_graph.population g))
       (Kvstore.Store.key_of store name)
   in
   Alcotest.(check bool) "home = suc(key)" true

@@ -57,7 +57,7 @@ let run g ~behaviour ~src ~key =
 let test_search_resolves_clean () =
   let g = build ~beta:0.0 () in
   let leaders = Tinygroups.Group_graph.leaders g in
-  let ring = Adversary.Population.ring g.Tinygroups.Group_graph.population in
+  let ring = Adversary.Population.ring (Tinygroups.Group_graph.population g) in
   for _ = 1 to 20 do
     let src = leaders.(Prng.Rng.int rng (Array.length leaders)) in
     let key = Point.random rng in
