@@ -1,4 +1,4 @@
-.PHONY: all check check-seeds test bench bench-quick bench-hotpath fmt clean
+.PHONY: all check check-seeds test bench bench-quick bench-hotpath regen-goldens fmt clean
 
 all:
 	dune build
@@ -31,6 +31,13 @@ bench-quick:
 # committed before/after baseline; writes BENCH_hotpath.json.
 bench-hotpath:
 	dune exec bench/hotpath.exe
+
+# Re-bless the golden digest table: run every registry entry at
+# (Quick scale, seed 1, jobs 1) and rewrite test/golden_digests.txt.
+# A digest change must land with its cause recorded in the provenance
+# appendix of EXPERIMENTS.md.
+regen-goldens:
+	dune exec bin/regen_goldens.exe
 
 fmt:
 	dune build @fmt --auto-promote

@@ -4,11 +4,16 @@
    experiments (e20/e21/e22 at quick scale, jobs 1).
 
    Every row lands in a JSON report (default BENCH_hotpath.json).
-   [baseline] below holds the same measurements taken on the
-   Set-ring + Hashtbl-table implementation immediately before the
-   flat-array overhaul (commit f3ea101, single-core container), so
-   the emitted report carries before/after pairs and speedups without
-   needing the old code around.
+   [baseline] below holds the same measurements taken on the commit
+   immediately before the digest-regeneration PR (b8f348d —
+   flat-array ring, legacy-order shims still in place, boxed-Int64
+   chord++ coins), re-measured in a side worktree with baseline and
+   current runs interleaved A/B on the same single-core container
+   (per-row median of 3 pairs; wall-clock noise on this box is ~±8%,
+   so only same-window interleaved medians give a fair before/after
+   pairing — single runs jitter more than any real jobs=1 delta).
+   The emitted report carries before/after pairs and speedups
+   without needing the old code around.
 
    Usage:
      dune exec bench/hotpath.exe                 # writes BENCH_hotpath.json
@@ -30,14 +35,17 @@ type row = {
 let baseline : (string * (float * float)) list =
   (* (op, (ns_per_op, bytes_per_op)) *)
   [
-    ("ring-successor", (173.2, 63.1));
-    ("ring-random-member", (30507.8, 262.4));
-    ("group-formation", (75514.8, 134803.8));
-    ("graph-build-n2048", (153.9e6, 275.5e6));
-    ("secure-search", (4751.8, 6420.9));
-    ("e20", (6.929e9, 10821.1e6));
-    ("e21", (4.316e9, 7145.2e6));
-    ("e22", (5.496e9, 9425.8e6));
+    ("ring-successor", (183.4, 0.0));
+    ("ring-random-member", (33.3, 167.8));
+    ("group-formation", (30004.1, 19820.1));
+    ("graph-build-n2048", (60.16e6, 40.26e6));
+    ("secure-search", (4255.7, 2198.7));
+    ("e4", (0.691e9, 487.0e6));
+    ("e10", (0.496e9, 334.8e6));
+    ("e17", (0.812e9, 1121.4e6));
+    ("e20", (4.585e9, 3596.3e6));
+    ("e21", (2.798e9, 2421.7e6));
+    ("e22", (4.063e9, 3368.2e6));
   ]
 
 let time_alloc ~iters f =
@@ -101,7 +109,7 @@ let formation_ops () =
         let overlay = Overlay.Chord.make ring in
         ignore
           (Tinygroups.Group_graph.build_direct ~params ~population:pop ~overlay
-             ~member_oracle:Experiments.Common.h1))
+             ~member_oracle:Experiments.Common.h1 ()))
   in
   [ formation; build ]
 
@@ -185,5 +193,7 @@ let () =
   let ring_rows = ring_ops () in
   let formation_rows = formation_ops () in
   let search_rows = search_ops () in
-  let e2e_rows = if !e2e then List.map e2e_row [ "e20"; "e21"; "e22" ] else [] in
+  let e2e_rows =
+    if !e2e then List.map e2e_row [ "e4"; "e10"; "e17"; "e20"; "e21"; "e22" ] else []
+  in
   emit_json !out (ring_rows @ formation_rows @ search_rows @ e2e_rows)

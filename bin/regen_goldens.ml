@@ -1,0 +1,57 @@
+(* Regenerate the golden-digest table consumed by
+   test/test_experiments.ml: run every registry entry at Quick scale,
+   seed 1, jobs 1, hash the rendered output, and rewrite the digest
+   file in place.
+
+   Usage:
+     dune exec bin/regen_goldens.exe                       # writes test/golden_digests.txt
+     dune exec bin/regen_goldens.exe -- --out FILE
+     make regen-goldens
+
+   The rewrite is intentionally the only way to bless new digests in
+   bulk: a digest change must arrive in a commit that also explains
+   it (see the provenance appendix in EXPERIMENTS.md). *)
+
+let scale = Experiments.Scale.Quick
+let seed = 1
+
+let render (spec : Experiments.Registry.spec) =
+  match
+    Experiments.Registry.run_table spec ~jobs:1 (Prng.Rng.create seed) scale
+  with
+  | Some table -> Experiments.Table.render table
+  | None -> (
+      match spec.Experiments.Registry.kind with
+      | Experiments.Registry.Text run -> run (Prng.Rng.create seed)
+      | _ -> failwith (spec.Experiments.Registry.id ^ ": no output"))
+
+let () =
+  let out = ref "test/golden_digests.txt" in
+  let rec go = function
+    | [] -> ()
+    | "--out" :: p :: rest ->
+        out := p;
+        go rest
+    | arg :: _ -> failwith ("unknown argument: " ^ arg)
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  let rows =
+    List.map
+      (fun spec ->
+        let id = spec.Experiments.Registry.id in
+        let t0 = Unix.gettimeofday () in
+        let digest = Hashing.Sha256.(to_hex (digest_string (render spec))) in
+        Printf.printf "%-4s %s  (%.1fs)\n%!" id digest (Unix.gettimeofday () -. t0);
+        (id, digest))
+      Experiments.Registry.all
+  in
+  let oc = open_out !out in
+  Printf.fprintf oc
+    "# Golden SHA-256 digests of each experiment's rendered output at\n\
+     # (Quick scale, seed 1, jobs 1), one `id digest` pair per line.\n\
+     # Consumed by test/test_experiments.ml; regenerate in bulk with\n\
+     # `make regen-goldens` and record the cause of every change in\n\
+     # the provenance appendix of EXPERIMENTS.md.\n";
+  List.iter (fun (id, digest) -> Printf.fprintf oc "%s %s\n" id digest) rows;
+  close_out oc;
+  Printf.printf "[%d digests written to %s]\n" (List.length rows) !out

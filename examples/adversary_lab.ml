@@ -90,10 +90,10 @@ let () =
   in
   let overlay = Overlay.Chord.make (Adversary.Population.ring pop) in
   let g1 =
-    Tinygroups.Group_graph.build_direct ~params ~population:pop ~overlay ~member_oracle:h1
+    Tinygroups.Group_graph.build_direct ~params ~population:pop ~overlay ~member_oracle:h1 ()
   in
   let g2 =
-    Tinygroups.Group_graph.build_direct ~params ~population:pop ~overlay ~member_oracle:h2
+    Tinygroups.Group_graph.build_direct ~params ~population:pop ~overlay ~member_oracle:h2 ()
   in
   let pair = Tinygroups.Membership.make_old_pair ~failure:`Majority g1 (Some g2) in
   let goods = Adversary.Population.good_ids pop in

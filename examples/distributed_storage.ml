@@ -24,7 +24,7 @@ let () =
   let graph =
     Tinygroups.Group_graph.build_direct ~params:Tinygroups.Params.default ~population:pop
       ~overlay
-      ~member_oracle:(Hashing.Oracle.make ~system_key:"storage-demo" ~label:"h1")
+      ~member_oracle:(Hashing.Oracle.make ~system_key:"storage-demo" ~label:"h1") ()
   in
   let files = Workload.Resources.synthetic ~system_key:"storage-demo" ~count:2000 ~prefix:"file-" in
   let next_file = Workload.Resources.sampler rng files (Workload.Resources.Zipf 0.9) in

@@ -23,7 +23,7 @@ let () =
   let graph =
     Tinygroups.Group_graph.build_direct ~params:Tinygroups.Params.default ~population:pop
       ~overlay
-      ~member_oracle:(Hashing.Oracle.make ~system_key:"compute-demo" ~label:"h1")
+      ~member_oracle:(Hashing.Oracle.make ~system_key:"compute-demo" ~label:"h1") ()
   in
   let ring = Adversary.Population.ring pop in
   let jobs = Workload.Resources.synthetic ~system_key:"compute-demo" ~count:n ~prefix:"job-" in

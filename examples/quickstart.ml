@@ -29,7 +29,7 @@ let () =
   (* 3. The group graph: one group of ~d2 lnln n members per ID. *)
   let graph =
     Tinygroups.Group_graph.build_direct ~params:Tinygroups.Params.default ~population:pop
-      ~overlay ~member_oracle:(Hashing.Oracle.make ~system_key:"quickstart" ~label:"h1")
+      ~overlay ~member_oracle:(Hashing.Oracle.make ~system_key:"quickstart" ~label:"h1") ()
   in
   let c = Tinygroups.Group_graph.census graph in
   Printf.printf "group graph: %d groups, mean size %.1f (ln n = %.1f, lnln n = %.1f)\n"

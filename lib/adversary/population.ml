@@ -49,16 +49,17 @@ let beta_actual t = float_of_int (bad_count t) /. float_of_int (max 1 (n t))
 
 let all_ids t = Ring.to_sorted_array t.ring
 
-(* Ascending iteration with prepend, like the seed's ring fold: the
-   array runs counter-clockwise. PRNG-indexed sweeps rely on the
-   layout, so it is digest-relevant. *)
+(* Ascending ring order (the seed's counter-clockwise prepend layout
+   was retired with the legacy-order shims at the 2026-08 digest
+   regeneration). PRNG-indexed sweeps rely on the layout, so it is
+   digest-relevant. *)
 let good_ids_cached t =
   match t.good_cache with
   | Some g -> g
   | None ->
       let acc = ref [] in
       Ring.iter (fun p -> if not (Ring.mem p t.bad) then acc := p :: !acc) t.ring;
-      let g = Array.of_list !acc in
+      let g = Array.of_list (List.rev !acc) in
       t.good_cache <- Some g;
       g
 
@@ -79,6 +80,23 @@ let remove t p =
 
 let remove_batch t ps =
   { ring = Ring.remove_batch ps t.ring; bad = Ring.remove_batch ps t.bad; good_cache = None }
+
+let add_batch t ~good ~bad =
+  let all = good @ bad in
+  List.iter
+    (fun p ->
+      if Ring.mem p t.ring then
+        invalid_arg "Population.add_batch: ID already present")
+    all;
+  let ring = Ring.add_batch all t.ring in
+  (* [Ring.add_batch] absorbs intra-list duplicates; folding
+     {!add_good}/{!add_bad} would raise on them, so keep the
+     equivalence. *)
+  if Ring.cardinal ring <> Ring.cardinal t.ring + List.length all then
+    invalid_arg "Population.add_batch: duplicate IDs in batch";
+  { ring; bad = Ring.add_batch bad t.bad; good_cache = None }
+
+let add_good_batch t ps = add_batch t ~good:ps ~bad:[]
 
 let random_good rng t =
   let good = good_ids_cached t in

@@ -50,5 +50,15 @@ val remove_batch : t -> Point.t list -> t
 (** One merged pass over the rings — equivalent to folding {!remove}
     over the list, in O(n + k log k) instead of O(nk). *)
 
+val add_batch : t -> good:Point.t list -> bad:Point.t list -> t
+(** One merged pass over the rings — equivalent to folding
+    {!add_good} and {!add_bad} over the two lists, in O(n + k log k)
+    instead of O(nk). Raises [Invalid_argument] if any ID is already
+    present or the lists contain duplicates (where the fold would
+    raise too). *)
+
+val add_good_batch : t -> Point.t list -> t
+(** [add_batch ~bad:[]]. *)
+
 val random_good : Prng.Rng.t -> t -> Point.t
 (** A uniform good ID; raises [Invalid_argument] if none exist. *)

@@ -2,7 +2,7 @@ let default_c = 2.0
 
 let build ?(c = default_c) ~params ~population ~overlay ~member_oracle () =
   let params = Tinygroups.Params.with_sizing params (Tinygroups.Params.Log c) in
-  Tinygroups.Group_graph.build_direct ~params ~population ~overlay ~member_oracle
+  Tinygroups.Group_graph.build_direct ~params ~population ~overlay ~member_oracle ()
 
 let group_size ?(c = default_c) ~n () =
   let params = Tinygroups.Params.with_sizing Tinygroups.Params.default (Tinygroups.Params.Log c) in

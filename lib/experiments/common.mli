@@ -5,6 +5,7 @@ open Adversary
 
 val build_tiny :
   Prng.Rng.t ->
+  ?jobs:int ->
   ?params:Tinygroups.Params.t ->
   ?overlay:Tinygroups.Epoch.overlay_kind ->
   n:int ->
@@ -12,10 +13,13 @@ val build_tiny :
   unit ->
   Population.t * Tinygroups.Group_graph.t
 (** One freshly generated population and its directly built
-    tiny-group graph (member oracle ["h1"]). *)
+    tiny-group graph (member oracle ["h1"]). [?jobs] (default 1) fans
+    the formation loop out ({!Tinygroups.Group_graph.build_direct});
+    the result is identical at every value. *)
 
 val build_sized :
   Prng.Rng.t ->
+  ?jobs:int ->
   sizing:Tinygroups.Params.sizing ->
   n:int ->
   beta:float ->

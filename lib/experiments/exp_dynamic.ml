@@ -1,9 +1,10 @@
-let run_epochs ?faults ?reliability rng ~mode ~n ~beta ~epochs ~searches =
+let run_epochs ?faults ?reliability ?(build_jobs = 1) rng ~mode ~n ~beta ~epochs ~searches =
   let cfg =
     {
       (Tinygroups.Epoch.default_config ~n) with
       Tinygroups.Epoch.mode;
       params = { Tinygroups.Params.default with Tinygroups.Params.beta };
+      build_jobs;
     }
   in
   let e = Tinygroups.Epoch.init ?faults ?reliability rng cfg in
@@ -47,12 +48,14 @@ let epoch_table ~title rows =
     rows;
   table
 
-let run_e4 ?jobs:_ rng scale =
+let run_e4 ?(jobs = 1) rng scale =
   (* One epoch chain is inherently sequential: each epoch's state
-     feeds the next, so E4 never fans out. *)
+     feeds the next, so E4 never fans out across trials. The [jobs]
+     budget instead parallelises the initial direct build (epoch
+     advancement itself stays sequential; see {!Epoch.config}). *)
   let n = Scale.dynamic_n scale in
   let rows =
-    run_epochs rng ~mode:Tinygroups.Epoch.Paired ~n ~beta:0.05
+    run_epochs ~build_jobs:jobs rng ~mode:Tinygroups.Epoch.Paired ~n ~beta:0.05
       ~epochs:(Scale.epochs scale) ~searches:(Scale.searches scale / 2)
   in
   let table =

@@ -16,6 +16,7 @@ val run_e5 : ?jobs:int -> Prng.Rng.t -> Scale.t -> Table.t
 val run_epochs :
   ?faults:Faults.Plan.t ->
   ?reliability:Reliability.Policy.t ->
+  ?build_jobs:int ->
   Prng.Rng.t ->
   mode:Tinygroups.Epoch.mode ->
   n:int ->

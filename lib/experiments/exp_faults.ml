@@ -20,7 +20,7 @@ type config = {
 let distinct_members g =
   let seen = Hashtbl.create 1024 in
   let out = ref [] in
-  (* Legacy iteration order: the crash rows below take the first k
+  (* Ring iteration order: the crash rows below take the first k
      members in first-seen order, which is digest-relevant. *)
   Tinygroups.Group_graph.iter_groups
     (fun _ (grp : Tinygroups.Group.t) ->

@@ -26,10 +26,13 @@ let run_e17 ?(jobs = 1) rng scale =
       (fun per_message_ms -> List.map (fun c -> (per_message_ms, c)) sizings)
       [ 0; 8 ]
   in
+  (* Leftover domain budget after the config fan-out goes to each
+     cell's direct build. *)
+  let build_jobs = max 1 (jobs / List.length configs) in
   let rows =
     Common.map_configs rng ~jobs configs
       (fun (per_message_ms, (label, sizing)) stream ->
-        let _, g = Common.build_sized stream ~sizing ~n ~beta () in
+        let _, g = Common.build_sized stream ~jobs:build_jobs ~sizing ~n ~beta () in
         let leaders = Tinygroups.Group_graph.leaders g in
         let times = Array.make searches 0. in
         let hop_total = ref 0 and hop_count = ref 0 and msgs = ref 0 in

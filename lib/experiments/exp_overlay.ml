@@ -130,7 +130,7 @@ let run_e16 ?(jobs = 1) rng scale =
   let base_overlay = Overlay.Chord.make ring in
   let g0 =
     Tinygroups.Group_graph.build_direct ~params ~population:pop ~overlay:base_overlay
-      ~member_oracle:Common.h1
+      ~member_oracle:Common.h1 ()
   in
   let chord_view = g0 in
   let salted salt = with_overlay g0 (Overlay.Chord_pp.make ~salt ring) in

@@ -26,10 +26,10 @@ let run_e14 ?(jobs = 1) rng scale =
   in
   let overlay = Overlay.Chord.make (Adversary.Population.ring pop) in
   let g1 =
-    Tinygroups.Group_graph.build_direct ~params ~population:pop ~overlay ~member_oracle:h1
+    Tinygroups.Group_graph.build_direct ~params ~population:pop ~overlay ~member_oracle:h1 ()
   in
   let g2 =
-    Tinygroups.Group_graph.build_direct ~params ~population:pop ~overlay ~member_oracle:h2
+    Tinygroups.Group_graph.build_direct ~params ~population:pop ~overlay ~member_oracle:h2 ()
   in
   (* Both graphs are shared read-only across the fan-out below. *)
   Common.warm_for_sharing g1;

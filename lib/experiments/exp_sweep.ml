@@ -41,10 +41,13 @@ let run_e10 ?(jobs = 1) rng scale =
     in
     List.sort_uniq compare (List.filter (fun g -> g >= 2) candidates)
   in
+  (* Leftover domain budget after the size fan-out goes to each
+     cell's direct build. *)
+  let build_jobs = max 1 (jobs / List.length sizes) in
   let rows =
     Common.map_configs rng ~jobs sizes (fun size stream ->
         let sizing = Tinygroups.Params.Fixed size in
-        let _, g = Common.build_sized stream ~sizing ~n ~beta () in
+        let _, g = Common.build_sized stream ~jobs:build_jobs ~sizing ~n ~beta () in
         let c = Tinygroups.Group_graph.census g in
         let pf =
           float_of_int c.Tinygroups.Group_graph.hijacked_

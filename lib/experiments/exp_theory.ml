@@ -31,6 +31,9 @@ let run_e20 ?(jobs = 1) rng scale =
         Float.min 0.45 (critical +. 0.05);
       ]
   in
+  (* Leftover domain budget after the beta fan-out goes to each
+     cell's initial direct build. *)
+  let build_jobs = max 1 (jobs / List.length betas) in
   let rows =
     Common.map_configs rng ~jobs betas (fun beta stream ->
         let m = { model with Tinygroups.Theory.beta } in
@@ -40,6 +43,7 @@ let run_e20 ?(jobs = 1) rng scale =
             (Tinygroups.Epoch.default_config ~n) with
             Tinygroups.Epoch.params =
               { Tinygroups.Params.default with Tinygroups.Params.beta };
+            build_jobs;
           }
         in
         let e = Tinygroups.Epoch.init (Prng.Rng.split stream) cfg in

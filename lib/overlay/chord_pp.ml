@@ -10,14 +10,11 @@ let make ?(salt = 0) ring =
     let resp = Ring.successor_exn ring key in
     if Point.equal src resp then [ src ]
     else begin
-      (* Per-query deterministic randomness. *)
-      let mix = Prng.Splitmix.mix in
-      let seed =
-        mix
-          (Int64.logxor
-             (Int64.of_int salt)
-             (Int64.logxor (Point.to_u62 src) (mix (Point.to_u62 key))))
-      in
+      (* Per-query deterministic randomness, all on native ints: the
+         coin draws run on the same unboxed fast path as the distance
+         math (chord/debruijn style) — no Int64 anywhere per hop. *)
+      let mix = Prng.Splitmix.mix_int in
+      let seed = mix (salt lxor Point.to_key src lxor mix (Point.to_key key)) in
       let kkey = Point.to_key key in
       let rec go current acc hops =
         if hops > hard_bound then failwith "Chord_pp.route: hop bound exceeded"
@@ -62,13 +59,8 @@ let make ?(salt = 0) ring =
                   in
                   let eligible = List.sort (fun (a, _) (b, _) -> Point.compare a b) eligible in
                   let k = List.length eligible in
-                  let coin =
-                    mix (Int64.add seed (Int64.of_int (hops * 2654435761)))
-                  in
-                  let idx =
-                    Int64.to_int
-                      (Int64.rem (Int64.logand coin Int64.max_int) (Int64.of_int k))
-                  in
+                  (* [mix_int] output is non-negative (62 bits). *)
+                  let idx = mix (seed + (hops * 2654435761)) mod k in
                   fst (List.nth eligible idx)
             in
             go next (next :: acc) (hops + 1)

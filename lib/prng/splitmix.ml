@@ -18,3 +18,17 @@ let next t =
 let split t =
   let s = next t in
   create (mix s)
+
+(* Native-int finalizer over the u62 domain: the SplitMix64
+   xor-shift-multiply shape with the constants truncated to 62 bits
+   (kept odd, so each multiply is a bijection mod 2^62). Unlike {!mix}
+   it never boxes — the per-hop coin draws of salted Chord++ run
+   entirely on this. The exact output sequence is frozen by the
+   draw-parity case in test/test_overlay.ml. *)
+let mask62 = (1 lsl 62) - 1
+
+let mix_int z =
+  let z = z land mask62 in
+  let z = (z lxor (z lsr 31)) * 0x2F58476D1CE4E5B9 land mask62 in
+  let z = (z lxor (z lsr 29)) * 0x14D049BB133111EB land mask62 in
+  z lxor (z lsr 32)

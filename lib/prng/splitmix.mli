@@ -23,3 +23,10 @@ val split : t -> t
 val mix : int64 -> int64
 (** [mix z] is the stateless SplitMix64 finalizer; a good 64-bit
     integer hash. *)
+
+val mix_int : int -> int
+(** [mix_int z] is the native-int counterpart of {!mix} on the u62
+    domain: the input is masked to its low 62 bits and finalized with
+    xor-shift-multiply rounds whose odd constants are truncated to 62
+    bits. Allocation-free; the overlay coin draws depend on its exact
+    output sequence (frozen by a draw-parity test). *)

@@ -137,6 +137,124 @@ let join rng metrics g ~old_pair ~member_oracle ~id ~bad =
         cost.searches cost.messages cost.affected_groups (Group.size grp));
   (g', cost)
 
+let join_many rng metrics g ~old_pair ~member_oracle ~ids =
+  let pop0 = Group_graph.population g in
+  let ring0 = Population.ring pop0 in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (id, _) ->
+      if Ring.mem id ring0 || Hashtbl.mem seen (Point.to_key id) then
+        invalid_arg "Dynamic.join: ID already present";
+      Hashtbl.add seen (Point.to_key id) ())
+    ids;
+  if ids = [] then (g, { searches = 0; messages = 0; affected_groups = 0; member_updates = 0 })
+  else begin
+    let params = Group_graph.params g in
+    let overlay0 = Group_graph.overlay g in
+    let old_member_pop = Group_graph.population Membership.(old_pair.g1) in
+    let before = Sim.Metrics.snapshot metrics in
+    let searches = ref 0 and affected = ref 0 and member_updates = ref 0 in
+    let new_groups = ref [] and new_confused = ref [] in
+    (* Replay the per-ID protocol exactly as the one-at-a-time fold
+       would — the j-th newcomer estimates, links and is verified
+       against the ring holding the first j-1 newcomers, and the PRNG
+       split order per step is identical — but keep only the growing
+       ring: the intermediate populations, overlay memos, group lists
+       and graph assemblies of the fold are never built. Joins never
+       modify existing groups, so the batch pays one {!Ring.add} per
+       newcomer plus a single final population merge, overlay rebuild
+       and assembly. *)
+    let ring = ref ring0 in
+    List.iter
+      (fun (id, _bad) ->
+        let prev_ring = !ring in
+        let new_ring = Ring.add id prev_ring in
+        ring := new_ring;
+        let new_overlay = rebuild_overlay overlay0 new_ring in
+        (* 1. Solicit members through the old graphs. *)
+        let draws =
+          Params.member_draws_estimated params
+            ~ln_ln_estimate:(Estimate.ln_ln_n new_ring id)
+        in
+        let members = ref [] in
+        for i = 1 to draws do
+          let point =
+            Point.of_u62 (Hashing.Oracle.query_indexed member_oracle (Point.to_u62 id) i)
+          in
+          searches := !searches + 4;
+          match Membership.solicit_member (Prng.Rng.split rng) metrics old_pair ~point with
+          | Some m -> members := m :: !members
+          | None -> ()
+        done;
+        let members = if !members = [] then [ id ] else !members in
+        let grp = Group.form params old_member_pop ~leader:id ~members in
+        (* 2. Establish the newcomer's neighbour links. *)
+        let neighbors = new_overlay.Overlay.Overlay_intf.neighbors id in
+        let ok =
+          List.for_all
+            (fun u ->
+              searches := !searches + 4;
+              Membership.establish_neighbor (Prng.Rng.split rng) metrics old_pair ~target:u)
+            neighbors
+        in
+        (* 3. Captured groups verify the newcomer link ([captured_by]
+           on the intermediate graph, computed against the shared
+           overlay — neighbour sets are pure in (construction, ring),
+           so the fold's separate rebuild returns the same lists). *)
+        let captured =
+          List.filter
+            (fun v ->
+              Ring.mem v prev_ring
+              && List.exists (Point.equal id) (new_overlay.Overlay.Overlay_intf.neighbors v))
+            (capture_candidates new_ring ~id)
+        in
+        let newly_confused =
+          List.filter
+            (fun _ ->
+              searches := !searches + 4;
+              not
+                (Membership.establish_neighbor (Prng.Rng.split rng) metrics old_pair
+                   ~target:id))
+            captured
+        in
+        if not ok then new_confused := id :: !new_confused;
+        new_confused := newly_confused @ !new_confused;
+        new_groups := (id, grp) :: !new_groups;
+        affected := !affected + List.length captured;
+        member_updates := !member_updates + Group.size grp)
+      ids;
+    let good, bad =
+      List.partition_map
+        (fun (id, bad) -> if bad then Either.Right id else Either.Left id)
+        ids
+    in
+    let new_pop = Population.add_batch pop0 ~good ~bad in
+    let new_overlay = rebuild_overlay overlay0 (Population.ring new_pop) in
+    let confused =
+      List.sort_uniq Point.compare (!new_confused @ Group_graph.confused_leaders g)
+    in
+    let groups = !new_groups @ existing_groups g in
+    let g' =
+      Group_graph.assemble ~params ~population:new_pop ~overlay:new_overlay ~groups
+        ~confused ()
+    in
+    let cost =
+      {
+        searches = !searches;
+        messages =
+          Sim.Metrics.found
+            (Sim.Metrics.diff (Sim.Metrics.snapshot metrics) before)
+            Sim.Metrics.msg_membership;
+        affected_groups = !affected;
+        member_updates = !member_updates;
+      }
+    in
+    Log.debug (fun m ->
+        m "join_many: %d newcomers, %d searches, %d msgs, %d captured groups"
+          (List.length ids) cost.searches cost.messages cost.affected_groups);
+    (g', cost)
+  end
+
 let depart g ~id =
   let pop = Group_graph.population g in
   if not (Ring.mem id (Population.ring pop)) then invalid_arg "Dynamic.depart: unknown ID";

@@ -46,6 +46,23 @@ val join :
     epoch construction. Raises [Invalid_argument] if [id] is already
     present. *)
 
+val join_many :
+  Prng.Rng.t ->
+  Sim.Metrics.t ->
+  Group_graph.t ->
+  old_pair:Membership.old_pair ->
+  member_oracle:Hashing.Oracle.t ->
+  ids:(Point.t * bool) list ->
+  Group_graph.t * cost
+(** Admit a batch of [(id, bad)] newcomers with one merged population
+    pass, one overlay rebuild and one graph assembly. The per-ID
+    protocol (solicitation draws, link establishment, captured-group
+    verification, and their PRNG split order) is replayed exactly as
+    the one-at-a-time fold of {!join} would run it — the j-th
+    newcomer sees a ring holding the first j-1 — so the resulting
+    graph and aggregate cost equal the fold's (pinned by a test).
+    Raises [Invalid_argument] on a present or duplicated ID. *)
+
 val depart : Group_graph.t -> id:Point.t -> Group_graph.t * cost
 (** Remove [id]. Raises [Invalid_argument] if absent. *)
 

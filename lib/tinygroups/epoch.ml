@@ -18,6 +18,7 @@ type config = {
   placement : Placement.t;
   spam_per_bad : int;
   size_drift : float;
+  build_jobs : int;
 }
 
 let default_config ~n =
@@ -30,6 +31,7 @@ let default_config ~n =
     placement = Placement.Uniform;
     spam_per_bad = 0;
     size_drift = 0.;
+    build_jobs = 1;
   }
 
 type t = {
@@ -82,16 +84,21 @@ let init ?faults ?reliability rng config =
   in
   let population = fresh_population rng config in
   let overlay = build_overlay config.overlay (Population.ring population) in
+  (* Only the assumed-correct initial graphs fan out over domains:
+     [build_next] consumes faults/reliability PRNG draws in ring
+     order and must stay sequential to keep results jobs-invariant. *)
+  let jobs = max 1 config.build_jobs in
   let g1 =
-    Group_graph.build_direct ~params:config.params ~population ~overlay ~member_oracle:h1
+    Group_graph.build_direct ~jobs ~params:config.params ~population ~overlay
+      ~member_oracle:h1 ()
   in
   let g2 =
     match config.mode with
     | Single -> None
     | Paired ->
         Some
-          (Group_graph.build_direct ~params:config.params ~population ~overlay
-             ~member_oracle:h2)
+          (Group_graph.build_direct ~jobs ~params:config.params ~population ~overlay
+             ~member_oracle:h2 ())
   in
   {
     config;

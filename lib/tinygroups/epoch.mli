@@ -38,6 +38,13 @@ type config = {
           notes its results persist while the system size stays
           [Theta(n)]; 0 (the default) reproduces the fixed-size
           model. *)
+  build_jobs : int;
+      (** Domains for {!Group_graph.build_direct}'s deterministic
+          rank-split when {!init} builds the assumed-correct initial
+          graphs (default 1). Epoch advancement ([build_next]) is
+          always sequential — it consumes fault-injection and
+          reliability PRNG draws in ring order — so results are
+          identical at every [build_jobs]. *)
 }
 
 val default_config : n:int -> config

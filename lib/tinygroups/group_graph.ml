@@ -20,10 +20,6 @@ type t = {
   group_by_rank : Group.t array;
   confused_bits : Bytes.t;
   suspect_bits : Bytes.t;
-  insertion : int array;
-      (* ranks in the order the constructor supplied the groups;
-         feeds the legacy iteration order below *)
-  mutable legacy_order_ : int array option;
   mutable blue_cache : Point.t array option;
 }
 
@@ -83,7 +79,7 @@ let rank_of t p =
 
 (* -- construction -------------------------------------------------- *)
 
-let make ~params ~population ~overlay ~group_by_rank ~insertion ~confused ~suspect =
+let make ~params ~population ~overlay ~group_by_rank ~confused ~suspect =
   let ring = Population.ring population in
   let n = Ring.cardinal ring in
   let slot_key, slot_rank, slot_mask = make_slots ring in
@@ -106,8 +102,6 @@ let make ~params ~population ~overlay ~group_by_rank ~insertion ~confused ~suspe
     group_by_rank;
     confused_bits;
     suspect_bits;
-    insertion;
-    legacy_order_ = None;
     blue_cache = None;
   }
 
@@ -173,20 +167,46 @@ end
 let draw_members ~params ~population ~member_oracle w =
   Builder.draw_members (Builder.create ~params ~population ~member_oracle) w
 
-let build_direct ~params ~population ~overlay ~member_oracle =
+let build_direct ?(jobs = 1) ~params ~population ~overlay ~member_oracle () =
   let ring = Population.ring population in
   let n = Ring.cardinal ring in
   if n < 3 then invalid_arg "Group_graph.build_direct: population too small";
-  let b = Builder.create ~params ~population ~member_oracle in
-  let group_by_rank = Array.init n (fun rank -> Builder.form_group b (Ring.nth ring rank)) in
-  make ~params ~population ~overlay ~group_by_rank
-    ~insertion:(Array.init n Fun.id) ~confused:[] ~suspect:[]
+  let jobs = max 1 (min jobs n) in
+  let group_by_rank =
+    if jobs = 1 then begin
+      let b = Builder.create ~params ~population ~member_oracle in
+      Array.init n (fun rank -> Builder.form_group b (Ring.nth ring rank))
+    end
+    else begin
+      (* Deterministic rank-split: every group is a pure function of
+         (ring, oracle, rank), so slicing [0, n) into [jobs]
+         contiguous rank ranges — fixed before any work is scheduled
+         — makes the fan-out trivially schedule-independent. Each
+         slice gets its own builder (the scratch buffer is the only
+         mutable state) and the slices are concatenated in rank
+         order, so the result is byte-identical at every [jobs]. *)
+      let chunk = (n + jobs - 1) / jobs in
+      let slices =
+        List.init jobs (fun i -> (i * chunk, min n ((i + 1) * chunk)))
+      in
+      let pieces =
+        Parallel.Pool.with_pool ~jobs (fun pool ->
+            Parallel.Pool.map pool
+              (fun (lo, hi) ->
+                let b = Builder.create ~params ~population ~member_oracle in
+                Array.init (hi - lo) (fun i ->
+                    Builder.form_group b (Ring.nth ring (lo + i))))
+              slices)
+      in
+      Array.concat pieces
+    end
+  in
+  make ~params ~population ~overlay ~group_by_rank ~confused:[] ~suspect:[]
 
 let assemble ~params ~population ~overlay ~groups ~confused ?(suspect = []) () =
   let ring = Population.ring population in
   let n = Ring.cardinal ring in
   let slots = Array.make n None in
-  let insertion = Array.make n 0 in
   let count = ref 0 in
   List.iter
     (fun (leader, g) ->
@@ -194,14 +214,13 @@ let assemble ~params ~population ~overlay ~groups ~confused ?(suspect = []) () =
       if r < 0 then invalid_arg "Group_graph.assemble: leader not in population";
       if slots.(r) <> None then invalid_arg "Group_graph.assemble: duplicate leader";
       slots.(r) <- Some g;
-      insertion.(!count) <- r;
       incr count)
     groups;
   if !count <> n then invalid_arg "Group_graph.assemble: missing groups";
   let group_by_rank =
     Array.map (function Some g -> g | None -> assert false) slots
   in
-  make ~params ~population ~overlay ~group_by_rank ~insertion ~confused ~suspect
+  make ~params ~population ~overlay ~group_by_rank ~confused ~suspect
 
 (* -- queries ------------------------------------------------------- *)
 
@@ -253,42 +272,20 @@ let confused_leaders t =
   done;
   !acc
 
-(* -- legacy iteration order ---------------------------------------- *)
+(* -- iteration ------------------------------------------------------ *)
 
-(* The seed implementation stored groups in a stdlib [Hashtbl] and
-   several order-sensitive sweeps (PRNG-consuming departure trials,
-   float accumulations, first-k victim picks) consumed its iteration
-   order. That order is fully determined: capacity is the power of two
-   >= max(16, 2n), a key's bucket is [Hashtbl.hash key land (cap-1)]
-   (seed 0), and iteration visits buckets ascending with each bucket
-   in reverse insertion order. We replay it from the recorded
-   insertion sequence so every golden digest survives the flat
-   rewrite. New code should not depend on this order. *)
-let legacy_order t =
-  match t.legacy_order_ with
-  | Some o -> o
-  | None ->
-      let n = Array.length t.insertion in
-      let cmask = table_capacity n - 1 in
-      let bucket =
-        Array.map
-          (fun rank -> Hashtbl.hash (Point.to_u62 (Ring.nth t.ring rank)) land cmask)
-          t.insertion
-      in
-      let idx = Array.init n Fun.id in
-      Array.sort
-        (fun j1 j2 ->
-          let c = compare bucket.(j1) bucket.(j2) in
-          if c <> 0 then c else compare j2 j1)
-        idx;
-      let order = Array.map (fun j -> t.insertion.(j)) idx in
-      t.legacy_order_ <- Some order;
-      order
-
+(* Ring order, rank 0 upward — the seed implementation's Hashtbl
+   bucket order (and the lazy permutation that replayed it after the
+   flat rewrite) was retired at the 2026-08 digest regeneration; see
+   DESIGN.md §7 and the provenance appendix in EXPERIMENTS.md. The
+   order is part of the digest contract: order-sensitive sweeps
+   (PRNG-consuming trials, float accumulations, first-k picks)
+   consume it, and a qcheck case pins it to [leaders]. *)
 let iter_groups f t =
-  Array.iter
-    (fun rank -> f (Ring.nth t.ring rank) (Array.unsafe_get t.group_by_rank rank))
-    (legacy_order t)
+  let n = Array.length t.group_by_rank in
+  for rank = 0 to n - 1 do
+    f (Ring.nth t.ring rank) (Array.unsafe_get t.group_by_rank rank)
+  done
 
 let fold_groups f t init =
   let acc = ref init in
@@ -340,12 +337,13 @@ let blue_leaders t =
   match t.blue_cache with
   | Some blue -> blue
   | None ->
-      (* Same construction as the seed: ascending fold with prepend,
-         i.e. the array runs counter-clockwise. Sweeps index it with
-         raw PRNG draws, so the layout is digest-relevant. *)
+      (* Ascending ring order, like every other leader enumeration
+         (the seed's counter-clockwise layout went with the legacy
+         shims at the digest regeneration). Sweeps index it with raw
+         PRNG draws, so the layout is digest-relevant. *)
       let acc = ref [] in
       let n = Array.length t.group_by_rank in
-      for r = 0 to n - 1 do
+      for r = n - 1 downto 0 do
         let g = Array.unsafe_get t.group_by_rank r in
         if g.Group.health = Group.Good && not (bit_get t.confused_bits r) then
           acc := Ring.nth t.ring r :: !acc

@@ -66,15 +66,25 @@ val draw_members :
 (** One-shot {!Builder.draw_members} for callers without a builder. *)
 
 val build_direct :
+  ?jobs:int ->
   params:Params.t ->
   population:Population.t ->
   overlay:Overlay.Overlay_intf.t ->
   member_oracle:Hashing.Oracle.t ->
+  unit ->
   t
 (** Form [G_w] for every ID [w] with members
     [suc(oracle(w, i))], [i = 1 .. draws], where [draws] comes from
     [w]'s decentralised [ln ln n] estimate. The overlay must be built
-    over [population]'s ring. *)
+    over [population]'s ring.
+
+    [?jobs] (default 1) fans the formation loop over that many
+    domains of a {!Parallel.Pool} with a deterministic rank-split:
+    the rank space is cut into [jobs] contiguous slices fixed before
+    any work is scheduled, each slice runs its own {!Builder}, and
+    the slices are concatenated in rank order. Every group is a pure
+    function of (ring, oracle, rank), so the result is byte-identical
+    at every [jobs] — pinned by a test at jobs [1] vs [4]. *)
 
 val assemble :
   params:Params.t ->
@@ -126,15 +136,14 @@ val confused_leaders : t -> Point.t list
 (** The confused leaders, ascending by ring position. *)
 
 val iter_groups : (Point.t -> Group.t -> unit) -> t -> unit
-(** Visit every (leader, group) pair in the {e legacy order}: the
-    iteration order of the seed implementation's [(int64, Group.t)
-    Hashtbl], replayed from the recorded insertion sequence.
-    Order-sensitive sweeps (PRNG-consuming trials, float
-    accumulations, first-k picks) depend on it for golden-digest
-    stability; new code should treat the order as arbitrary. *)
+(** Visit every (leader, group) pair in {e ring order} — ascending
+    ring rank, i.e. the order of {!leaders}. The order is part of the
+    golden-digest contract: order-sensitive sweeps (PRNG-consuming
+    trials, float accumulations, first-k picks) consume it, and a
+    qcheck case pins it to {!leaders}. *)
 
 val fold_groups : (Point.t -> Group.t -> 'a -> 'a) -> t -> 'a -> 'a
-(** Fold in the same legacy order as {!iter_groups}. *)
+(** Fold in the same ring order as {!iter_groups}. *)
 
 type census = {
   total : int;
@@ -153,8 +162,10 @@ val census : t -> census
 val fraction_red : t -> float
 
 val blue_leaders : t -> Point.t array
-(** All blue-group leaders (memoised; invalidated by {!mark_confused}
-    and {!mark_suspect}). Callers must not mutate the array. *)
+(** All blue-group leaders in ascending ring order (memoised;
+    invalidated by {!mark_confused} and {!mark_suspect}). Sweeps
+    index the array with raw PRNG draws, so the layout is
+    digest-relevant. Callers must not mutate the array. *)
 
 val random_blue_leader : Prng.Rng.t -> t -> Point.t option
 (** A uniform blue-group leader; [None] if every group is red. *)

@@ -10,8 +10,8 @@ type search_report = {
   mean_group_hops : float;
 }
 
-(* [Population.good_ids] uses the same ascending-prepend construction
-   the fold here used, so the PRNG-indexed layout is unchanged. *)
+(* Ascending ring order; the PRNG-indexed layout is digest-relevant
+   (see [Population.good_ids]). *)
 let good_leaders g = Population.good_ids (Group_graph.population g)
 
 let search_success rng g ~failure ~samples =
@@ -82,7 +82,7 @@ type departure_report = {
 let departures_survival rng g ~fraction =
   if fraction < 0. || fraction > 1. then invalid_arg "Robustness.departures_survival";
   let groups = ref 0 and survived = ref 0 in
-  (* Legacy iteration order: the PRNG draws below happen per good
+  (* Ring iteration order: the PRNG draws below happen per good
      group in visit order, so the order is digest-relevant. *)
   Group_graph.iter_groups
     (fun _ (grp : Group.t) ->
@@ -134,7 +134,7 @@ let state_costs g =
     g;
   let links : (Point.t, int) Hashtbl.t = Hashtbl.create 4096 in
   let memberships : (Point.t, int) Hashtbl.t = Hashtbl.create 4096 in
-  (* Legacy order again: the [replace] sequence fixes the fold order
+  (* Ring order again: the [replace] sequence fixes the fold order
      of [links]/[memberships] below, which feeds the summaries. *)
   Group_graph.iter_groups
     (fun w (grp : Group.t) ->

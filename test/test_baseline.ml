@@ -33,7 +33,7 @@ let test_logn_fewer_hijacks_per_group () =
   let pop = population ~n:1024 ~beta:0.25 () in
   let overlay = Overlay.Chord.make (Adversary.Population.ring pop) in
   let tiny =
-    Tinygroups.Group_graph.build_direct ~params ~population:pop ~overlay ~member_oracle:h1
+    Tinygroups.Group_graph.build_direct ~params ~population:pop ~overlay ~member_oracle:h1 ()
   in
   let logn = Baseline.Logn_groups.build ~params ~population:pop ~overlay ~member_oracle:h1 () in
   let hij g = (Tinygroups.Group_graph.census g).Tinygroups.Group_graph.hijacked_ in

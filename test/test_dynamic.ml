@@ -83,7 +83,7 @@ let test_depart_removes_and_updates_members () =
         Alcotest.(check bool) "member excised" false (Tinygroups.Group.contains grp victim))
     g'
 
-(* Deep graph equality: same leaders in the same legacy iteration
+(* Deep graph equality: same leaders in the same ring iteration
    order, identical member sets and health per group, identical
    confused sets and census. *)
 let graphs_equal g1 g2 =
@@ -125,6 +125,59 @@ let test_depart_many_equals_sequential () =
   Alcotest.check_raises "duplicate ID rejected"
     (Invalid_argument "Dynamic.depart: unknown ID") (fun () ->
       ignore (Tinygroups.Dynamic.depart_many g ~ids:[ leaders.(3); leaders.(3) ]))
+
+let test_join_many_equals_sequential () =
+  (* The batched admission must replay the per-ID protocol (PRNG
+     split order included) exactly as the one-at-a-time fold: same
+     graph, same bad ring, same aggregate cost. *)
+  let g, old_pair = setup ~n:128 ~beta:0.05 () in
+  let ids =
+    [
+      (Point.of_float 0.111111, false);
+      (Point.of_float 0.222222, true);
+      (Point.of_float 0.333333, false);
+      (Point.of_float 0.444444, false);
+    ]
+  in
+  let rng_b = Prng.Rng.create 99 and rng_s = Prng.Rng.create 99 in
+  let m_b = Sim.Metrics.create () and m_s = Sim.Metrics.create () in
+  let batched, bcost =
+    Tinygroups.Dynamic.join_many rng_b m_b g ~old_pair ~member_oracle:h2 ~ids
+  in
+  let sequential, s_searches, s_msgs, s_affected, s_upd =
+    List.fold_left
+      (fun (h, srch, msgs, aff, upd) (id, bad) ->
+        let h', c = Tinygroups.Dynamic.join rng_s m_s h ~old_pair ~member_oracle:h2 ~id ~bad in
+        ( h',
+          srch + c.Tinygroups.Dynamic.searches,
+          msgs + c.Tinygroups.Dynamic.messages,
+          aff + c.Tinygroups.Dynamic.affected_groups,
+          upd + c.Tinygroups.Dynamic.member_updates ))
+      (g, 0, 0, 0, 0) ids
+  in
+  Alcotest.(check bool) "same graph as the one-at-a-time fold" true
+    (graphs_equal batched sequential);
+  Alcotest.(check bool) "same bad ring" true
+    (Adversary.Population.bad_ids (Tinygroups.Group_graph.population batched)
+    = Adversary.Population.bad_ids (Tinygroups.Group_graph.population sequential));
+  Alcotest.(check int) "same search count" s_searches bcost.Tinygroups.Dynamic.searches;
+  Alcotest.(check int) "same message count" s_msgs bcost.Tinygroups.Dynamic.messages;
+  Alcotest.(check int) "same affected-group count" s_affected
+    bcost.Tinygroups.Dynamic.affected_groups;
+  Alcotest.(check int) "same membership-update count" s_upd
+    bcost.Tinygroups.Dynamic.member_updates;
+  let present = (Tinygroups.Group_graph.leaders g).(0) in
+  Alcotest.check_raises "present ID rejected"
+    (Invalid_argument "Dynamic.join: ID already present") (fun () ->
+      ignore
+        (Tinygroups.Dynamic.join_many (Prng.Rng.split rng) metrics g ~old_pair
+           ~member_oracle:h2 ~ids:[ (present, false) ]));
+  Alcotest.check_raises "duplicate ID rejected"
+    (Invalid_argument "Dynamic.join: ID already present") (fun () ->
+      ignore
+        (Tinygroups.Dynamic.join_many (Prng.Rng.split rng) metrics g ~old_pair
+           ~member_oracle:h2
+           ~ids:[ (Point.of_float 0.55, false); (Point.of_float 0.55, true) ]))
 
 let test_depart_unknown_rejected () =
   let g, _ = setup () in
@@ -217,6 +270,8 @@ let () =
           Alcotest.test_case "captured groups link back" `Quick
             test_join_captured_groups_link_back;
           Alcotest.test_case "newcomer searchable" `Quick test_join_then_search_works;
+          Alcotest.test_case "batch = one-at-a-time" `Quick
+            test_join_many_equals_sequential;
         ] );
       ( "depart",
         [

@@ -1,11 +1,15 @@
 (* Golden-output regression net over the experiment registry.
 
    Every entry of [Experiments.Registry.all] runs at Quick scale,
-   seed 1, jobs 1, and its rendered output must hash to the
-   checked-in digest below. Any behavioural change to an experiment
-   — intended or not — shows up here as a digest mismatch, and the
-   failing test prints the full rendered output plus its actual
-   digest so updating the expectation is a copy-paste.
+   seed 1, jobs 1, and its rendered output must hash to the digest
+   checked in at test/golden_digests.txt. Any behavioural change to
+   an experiment — intended or not — shows up here as a digest
+   mismatch, and the failing test prints the full rendered output
+   plus its actual digest.
+
+   To re-bless after an intended change, run `make regen-goldens`
+   (which rewrites the digest file in bulk) and record the cause of
+   every changed row in the provenance appendix of EXPERIMENTS.md.
 
    The digests pin the *rendered* artifact (every cell, note and
    header), which is the strongest equality the drivers can observe:
@@ -15,42 +19,34 @@
 let scale = Experiments.Scale.Quick
 let seed = 1
 
-(* Expected SHA-256 of each experiment's rendered output at
-   (Quick, seed 1, jobs 1). Regenerate a line by running the test
-   and copying the printed digest. *)
+(* "id digest" pairs; '#' starts a comment line. The dune rule copies
+   the file next to the test binary; the fallback path serves a bare
+   `dune exec test/test_experiments.exe` from the project root. *)
 let expected =
-  [
-    ("e0", "adaa9f9a0cd0be25ed71d3e9eebb76a84d682b21b863b5827e61673ca8c6d7dd");
-    ("e1", "04a082f917d4e5800d92ab54c546dc96dad0519420b1aea14d788d3235d5ab68");
-    ("e2", "96b683e33643f4d2db353345ea28c1c3f161d77c359106146f571ae10663ab34");
-    ("e3", "a2b12af9f68e01737e1041e5b862e0897f496fa10d5eb9ede30ee691ac85ed8c");
-    ("e4", "22c36a0070e7f77f006efa3740b6f11124a76537bbf8b19c419cf972b5ca5b0c");
-    ("e5", "f268ac2bfa7de5ebdd0f0be68db88c99d3ab04338126f442627aed155a2f454c");
-    ("e6", "ac75a00b94d61dfa427abb08a0e30f6d685723ae209fbe362e14c44ec2c963ba");
-    ("e7", "6b4137fab41552ddf53bb289b6bcd83e9645b65d164b0eb45a6066c4806cc245");
-    ("e8", "77eca063f34482ab1a3cda94a219e11a602f92a1800bdae7c5911d6aadac52dd");
-    ("e9", "294ecda5878750a53d7a8ea63e4833c0d433ad867a947139cb5d3c16881f7b2e");
-    ("e10", "d50f62d92a7bd14a616c5618a3e49cdb45fb828da2d583d881fd3ffdc918484d");
-    ("e11", "1948cff729608f3d0448f5f61e317c91925fd416ecd1a179a531be57386524fb");
-    ("e12", "fd1544eab8726be4b22c3d86dc2a296a07669debaf1846adf3f311ab7ae43b2d");
-    ("e13", "71d66aebd7e6a6e0bc71278058cd7bd58d678dff6f1157e6d2d30a932c1e22ee");
-    ("e14", "e74efec3f1a7a3166922a6665c557d757f1da6cd89967c440d80b4360ffe50e0");
-    ("e15", "eb5f361e81f350276af1c2a419cbd0d74a2c718b55cb4dd5c4cd595b0c0a60ac");
-    ("e16", "7a7d3a24743c2d895fc63a8cda270c72585784fa9016dc53f3f17838b3ba82e0");
-    ("e17", "d9b3f462ac6a8d40b8a7d9055489e1de64013319625a338706484236ef3d628f");
-    ("e18", "20a09ba503dab18b03f710ca1bd3061f80c29d10c28eb68be27c089aa0da8157");
-    ("e19", "def651f6299558bc59b35c7b9647c22aadeb5f8b00edfef0c2b2f05f9071bb6f");
-    ("e20", "b8307ed22981a3c69014c77dd09691e43f9def8ddbeb257b2717905ff5cc41a3");
-    (* e21 regenerated 2026-08: the injector bugfixes in this PR
-       (two-sided cuts now sever off-ring senders; heals are only
-       counted for faults actually observed active) legitimately
-       change E21's verdicts, and the bernoulli edge-draw fix stops
-       consuming PRNG draws at p=0/p>=1. Old digest:
-       ec80faea09838bd2bc578a1ff523ff8f0d3294281f18fbe00a647f4917d5aec3 *)
-    ("e21", "2cd43ec216ac96d01e577fd0f38cca76f626d83cea6c7df8249f2734b0237612");
-    ("e22", "496d229b98c01f7a8b67517f1ff14f8ed3cf1dc600e596a8bf6c13f74557fd3b");
-    ("f1", "19f3190214c8202562f4298fadb015038be249a865dfcc2ccfd720a7515b6f1e");
-  ]
+  let path =
+    if Sys.file_exists "golden_digests.txt" then "golden_digests.txt"
+    else "test/golden_digests.txt"
+  in
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+    | line -> (
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then go acc
+        else
+          match String.index_opt line ' ' with
+          | Some i ->
+              let id = String.sub line 0 i in
+              let digest =
+                String.trim (String.sub line (i + 1) (String.length line - i - 1))
+              in
+              go ((id, digest) :: acc)
+          | None -> failwith ("golden_digests.txt: malformed line: " ^ line))
+  in
+  go []
 
 let render (spec : Experiments.Registry.spec) =
   match

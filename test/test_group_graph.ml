@@ -11,7 +11,7 @@ let oracle = Hashing.Oracle.make ~system_key:"gg-test" ~label:"h1"
 let make ?(n = 512) ?(beta = 0.05) ?(strategy = Adversary.Placement.Uniform) () =
   let pop = Adversary.Population.generate (Prng.Rng.split rng) ~n ~beta ~strategy in
   let overlay = Overlay.Chord.make (Adversary.Population.ring pop) in
-  (pop, Tinygroups.Group_graph.build_direct ~params ~population:pop ~overlay ~member_oracle:oracle)
+  (pop, Tinygroups.Group_graph.build_direct ~params ~population:pop ~overlay ~member_oracle:oracle ())
 
 let test_one_group_per_id () =
   let pop, g = make () in
@@ -244,6 +244,47 @@ let test_groups_per_id_positive () =
   in
   Alcotest.(check int) "membership bookkeeping balances" expected total
 
+let test_parallel_build_identical () =
+  (* The deterministic rank-split: fanning the formation loop over
+     domains must be invisible — same groups, same order, same
+     census at jobs = 1 and jobs = 4. *)
+  let pop =
+    Adversary.Population.generate (Prng.Rng.split rng) ~n:512 ~beta:0.05
+      ~strategy:Adversary.Placement.Uniform
+  in
+  let overlay = Overlay.Chord.make (Adversary.Population.ring pop) in
+  let build jobs =
+    Tinygroups.Group_graph.build_direct ~jobs ~params ~population:pop ~overlay
+      ~member_oracle:oracle ()
+  in
+  let g1 = build 1 and g4 = build 4 in
+  let collect g =
+    Tinygroups.Group_graph.fold_groups
+      (fun w grp acc ->
+        (w, grp.Tinygroups.Group.members, grp.Tinygroups.Group.health) :: acc)
+      g []
+  in
+  Alcotest.(check bool) "identical groups at jobs 1 vs 4" true
+    (collect g1 = collect g4);
+  Alcotest.(check bool) "identical census" true
+    (Tinygroups.Group_graph.census g1 = Tinygroups.Group_graph.census g4)
+
+let prop_iter_order_is_ring_order =
+  QCheck.Test.make ~name:"iter_groups visits leaders in ring order" ~count:10
+    QCheck.small_int (fun seed ->
+      let pop =
+        Adversary.Population.generate (Prng.Rng.create seed) ~n:96 ~beta:0.1
+          ~strategy:Adversary.Placement.Uniform
+      in
+      let overlay = Overlay.Chord.make (Adversary.Population.ring pop) in
+      let g =
+        Tinygroups.Group_graph.build_direct ~params ~population:pop ~overlay
+          ~member_oracle:oracle ()
+      in
+      let visited = ref [] in
+      Tinygroups.Group_graph.iter_groups (fun w _ -> visited := w :: !visited) g;
+      Array.of_list (List.rev !visited) = Tinygroups.Group_graph.leaders g)
+
 let prop_determinism =
   QCheck.Test.make ~name:"construction is deterministic in the population" ~count:10
     QCheck.small_int (fun seed ->
@@ -255,7 +296,7 @@ let prop_determinism =
         in
         let overlay = Overlay.Chord.make (Adversary.Population.ring pop) in
         Tinygroups.Group_graph.build_direct ~params ~population:pop ~overlay
-          ~member_oracle:oracle
+          ~member_oracle:oracle ()
       in
       let g1 = mk r1 and g2 = mk r2 in
       let c1 = Tinygroups.Group_graph.census g1 in
@@ -271,6 +312,8 @@ let () =
           Alcotest.test_case "members from hash points" `Quick test_group_membership_from_oracle;
           Alcotest.test_case "sizes ~ d2 lnln n" `Quick test_group_sizes_near_d2_lnln;
           Alcotest.test_case "membership bookkeeping" `Quick test_groups_per_id_positive;
+          Alcotest.test_case "parallel build identical" `Quick
+            test_parallel_build_identical;
         ] );
       ( "colors",
         [
@@ -291,5 +334,9 @@ let () =
             test_mark_confused_invalidates_blue_cache;
           Alcotest.test_case "validations" `Quick test_assemble_validations;
         ] );
-      ("properties", [ QCheck_alcotest.to_alcotest prop_determinism ]);
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_determinism;
+          QCheck_alcotest.to_alcotest prop_iter_order_is_ring_order;
+        ] );
     ]

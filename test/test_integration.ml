@@ -96,7 +96,7 @@ let test_storage_semantics_cross_module () =
   let overlay = Overlay.Chord.make (Adversary.Population.ring pop) in
   let g =
     Tinygroups.Group_graph.build_direct ~params:Tinygroups.Params.default ~population:pop
-      ~overlay ~member_oracle:Experiments.Common.h1
+      ~overlay ~member_oracle:Experiments.Common.h1 ()
   in
   let checked = ref 0 in
   Array.iter

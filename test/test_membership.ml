@@ -15,7 +15,7 @@ let build ?(n = 512) ?(beta = 0.05) oracle =
       ~strategy:Adversary.Placement.Uniform
   in
   let overlay = Overlay.Chord.make (Adversary.Population.ring pop) in
-  Tinygroups.Group_graph.build_direct ~params ~population:pop ~overlay ~member_oracle:oracle
+  Tinygroups.Group_graph.build_direct ~params ~population:pop ~overlay ~member_oracle:oracle ()
 
 let make_pair ?(n = 512) ?(beta = 0.05) () =
   let pop =
@@ -24,10 +24,10 @@ let make_pair ?(n = 512) ?(beta = 0.05) () =
   in
   let overlay = Overlay.Chord.make (Adversary.Population.ring pop) in
   let g1 =
-    Tinygroups.Group_graph.build_direct ~params ~population:pop ~overlay ~member_oracle:h1
+    Tinygroups.Group_graph.build_direct ~params ~population:pop ~overlay ~member_oracle:h1 ()
   in
   let g2 =
-    Tinygroups.Group_graph.build_direct ~params ~population:pop ~overlay ~member_oracle:h2
+    Tinygroups.Group_graph.build_direct ~params ~population:pop ~overlay ~member_oracle:h2 ()
   in
   (pop, Tinygroups.Membership.make_old_pair ~failure:`Majority g1 (Some g2))
 
@@ -96,10 +96,10 @@ let test_single_graph_weaker () =
   in
   let overlay = Overlay.Chord.make (Adversary.Population.ring pop) in
   let g1 =
-    Tinygroups.Group_graph.build_direct ~params ~population:pop ~overlay ~member_oracle:h1
+    Tinygroups.Group_graph.build_direct ~params ~population:pop ~overlay ~member_oracle:h1 ()
   in
   let g2 =
-    Tinygroups.Group_graph.build_direct ~params ~population:pop ~overlay ~member_oracle:h2
+    Tinygroups.Group_graph.build_direct ~params ~population:pop ~overlay ~member_oracle:h2 ()
   in
   let paired = Tinygroups.Membership.make_old_pair ~failure:`Majority g1 (Some g2) in
   let single = Tinygroups.Membership.make_old_pair ~failure:`Majority g1 None in
@@ -157,7 +157,7 @@ let prop_solicit_deterministic_world =
       let overlay = Overlay.Chord.make (Adversary.Population.ring pop) in
       let g1 =
         Tinygroups.Group_graph.build_direct ~params ~population:pop ~overlay
-          ~member_oracle:h1
+          ~member_oracle:h1 ()
       in
       let pair = Tinygroups.Membership.make_old_pair g1 None in
       let m = Sim.Metrics.create () in

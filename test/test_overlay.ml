@@ -189,6 +189,106 @@ let prop_debruijn_all_hops_are_links =
       let key = Point.of_float keyf in
       Overlay.Overlay_intf.path_ok ov (ov.Overlay.Overlay_intf.route ~src ~key) key)
 
+(* -- chord++ draw parity ------------------------------------------- *)
+
+(* Frozen reference of the native-int SplitMix finalizer the salted
+   chord++ coin draws run on. Golden digests depend on the exact
+   output sequence, so the constants (62-bit truncations of the
+   SplitMix64 multipliers, kept odd) and shifts are restated here
+   verbatim: a well-meaning "upgrade" of the production mixer must
+   fail this test, not silently re-roll every coin. *)
+let ref_mix_int z =
+  let mask62 = (1 lsl 62) - 1 in
+  let z = z land mask62 in
+  let z = (z lxor (z lsr 31)) * 0x2F58476D1CE4E5B9 land mask62 in
+  let z = (z lxor (z lsr 29)) * 0x14D049BB133111EB land mask62 in
+  z lxor (z lsr 32)
+
+let test_mix_int_frozen_values () =
+  (* Pinned outputs: these fail if reference and production drift in
+     tandem. (0 is the finalizer's fixed point; -1 masks to 2^62-1.) *)
+  List.iter
+    (fun (z, want) ->
+      Alcotest.(check int) (Printf.sprintf "mix_int %d" z) want (Prng.Splitmix.mix_int z))
+    [
+      (0, 0x0);
+      (1, 0x1bda8eef98a1e434);
+      (2, 0x32e78b7028c06cd1);
+      (42, 0x14be4cc3c17dc526);
+      (2654435761, 0x3576245845410e4c);
+      (0x3FFFFFFFFFFFFFFF, 0x1aa0115cd7159a1);
+      (-1, 0x1aa0115cd7159a1);
+      (123456789123456789, 0x3e860e03e0668d31);
+    ]
+
+(* Reference walk of the chord++ route: same greedy/eligible logic
+   against the overlay's own neighbour lists, coins drawn from
+   [ref_mix_int]. Any change to the production draw sequence (seed
+   derivation, per-hop stride, mixer rounds) diverges here. *)
+let ref_route_pp ring neighbors ~salt ~src ~key =
+  let resp = Ring.successor_exn ring key in
+  if Point.equal src resp then [ src ]
+  else begin
+    let seed =
+      ref_mix_int (salt lxor Point.to_key src lxor ref_mix_int (Point.to_key key))
+    in
+    let kkey = Point.to_key key in
+    let rec go current acc hops =
+      let scur =
+        match Ring.strict_successor ring current with Some s -> s | None -> assert false
+      in
+      let kcur = Point.to_key current in
+      let arc = (Point.to_key scur - kcur) land Point.key_mask in
+      let dist_key = (kkey - kcur) land Point.key_mask in
+      if arc = 0 || (dist_key > 0 && dist_key <= arc) then List.rev (scur :: acc)
+      else begin
+        let candidates =
+          List.filter_map
+            (fun u ->
+              let d = (Point.to_key u - kcur) land Point.key_mask in
+              if d > 0 && d < dist_key then Some (u, d) else None)
+            (neighbors current)
+        in
+        let next =
+          match candidates with
+          | [] -> scur
+          | _ ->
+              let greedy =
+                List.fold_left (fun acc (_, d) -> if d > acc then d else acc) 0 candidates
+              in
+              let eligible =
+                List.filter (fun (_, d) -> d >= (greedy + 1) / 2) candidates
+              in
+              let eligible =
+                List.sort (fun (a, _) (b, _) -> Point.compare a b) eligible
+              in
+              let k = List.length eligible in
+              let idx = ref_mix_int (seed + (hops * 2654435761)) mod k in
+              fst (List.nth eligible idx)
+        in
+        go next (next :: acc) (hops + 1)
+      end
+    in
+    go src [ src ] 0
+  end
+
+let test_chord_pp_draw_parity () =
+  let ring = mk_ring 512 in
+  let members = Ring.to_sorted_array ring in
+  List.iter
+    (fun salt ->
+      let ov = Overlay.Chord_pp.make ~salt ring in
+      for _ = 1 to 100 do
+        let src = members.(Prng.Rng.int rng (Array.length members)) in
+        let key = Point.random rng in
+        let got = ov.Overlay.Overlay_intf.route ~src ~key in
+        let want =
+          ref_route_pp ring ov.Overlay.Overlay_intf.neighbors ~salt ~src ~key
+        in
+        Alcotest.(check bool) "path equals frozen-reference walk" true (got = want)
+      done)
+    [ 0; 1; 7 ]
+
 let () =
   Alcotest.run "overlay"
     [
@@ -217,6 +317,12 @@ let () =
           Alcotest.test_case "no self loops" `Quick test_neighbors_exclude_self;
           Alcotest.test_case "forged paths rejected" `Quick test_is_neighbor_and_path_ok_reject;
           Alcotest.test_case "empty ring rejected" `Quick test_empty_ring_rejected;
+        ] );
+      ( "chord++-coins",
+        [
+          Alcotest.test_case "mix_int frozen values" `Quick test_mix_int_frozen_values;
+          Alcotest.test_case "route = frozen-reference draws" `Quick
+            test_chord_pp_draw_parity;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

@@ -12,7 +12,7 @@ let make ?(n = 512) ?(beta = 0.05) ?(params = params) () =
       ~strategy:Adversary.Placement.Uniform
   in
   let overlay = Overlay.Chord.make (Adversary.Population.ring pop) in
-  Tinygroups.Group_graph.build_direct ~params ~population:pop ~overlay ~member_oracle:h1
+  Tinygroups.Group_graph.build_direct ~params ~population:pop ~overlay ~member_oracle:h1 ()
 
 let test_search_success_beta_zero () =
   let g = make ~beta:0.0 () in

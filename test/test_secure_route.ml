@@ -18,7 +18,7 @@ let make ?(n = 512) ?(beta = 0.05) () =
   ( pop,
     overlay,
     Tinygroups.Group_graph.build_direct ~params ~population:pop ~overlay
-      ~member_oracle:oracle )
+      ~member_oracle:oracle () )
 
 let test_success_reaches_responsible () =
   let pop, _, g = make ~beta:0.0 () in
