@@ -1,4 +1,4 @@
-.PHONY: all check check-seeds test bench bench-quick bench-hotpath regen-goldens fmt clean
+.PHONY: all check check-seeds test bench bench-quick bench-hotpath bench-hotpath-capture bench-serve regen-goldens fmt clean
 
 all:
 	dune build
@@ -31,6 +31,17 @@ bench-quick:
 # committed before/after baseline; writes BENCH_hotpath.json.
 bench-hotpath:
 	dune exec bench/hotpath.exe
+
+# Re-capture the hot-path baseline: three interleaved passes, prints
+# the per-row medians as a paste-ready [baseline] literal for
+# bench/hotpath.ml (use when a perf PR resets the reference point).
+bench-hotpath-capture:
+	dune exec bench/hotpath.exe -- --capture
+
+# The closed-loop serving tier (E23) at quick scale, seed 1, jobs 1;
+# rewrites the committed BENCH_serve.json artifact.
+bench-serve:
+	dune exec bin/tinygroups_cli.exe -- serve --scale quick --seed 1 --jobs 1 --out BENCH_serve.json
 
 # Re-bless the golden digest table: run every registry entry at
 # (Quick scale, seed 1, jobs 1) and rewrite test/golden_digests.txt.

@@ -19,6 +19,11 @@
      dune exec bench/hotpath.exe                 # writes BENCH_hotpath.json
      dune exec bench/hotpath.exe -- --out F.json
      dune exec bench/hotpath.exe -- --no-e2e     # micro-ops only (CI smoke)
+     dune exec bench/hotpath.exe -- --capture    # 3 passes; prints the
+                                                 # per-row medians as a
+                                                 # paste-ready [baseline]
+                                                 # literal for this file
+     dune exec bench/hotpath.exe -- --capture --reps 5
 *)
 
 let rng = Prng.Rng.create 4242
@@ -173,9 +178,45 @@ let emit_json path rows =
   close_out oc;
   Printf.printf "[hotpath report: %s]\n" path
 
+(* --capture support: re-measure the suite a few times and print the
+   per-row medians as OCaml source, ready to paste over [baseline]
+   above when a perf PR resets the reference point. Medians across
+   passes because single runs jitter (see the header comment); the
+   passes run back to back in one process, which is as interleaved as
+   a single-binary capture can get. *)
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+let print_baseline_literal passes =
+  let ops =
+    List.map (fun r -> r.op) (List.hd passes)
+  in
+  Printf.printf "\n(* Captured %d-pass medians; paste over [baseline]: *)\n"
+    (List.length passes);
+  Printf.printf "let baseline : (string * (float * float)) list =\n";
+  Printf.printf "  (* (op, (ns_per_op, bytes_per_op)) *)\n  [\n";
+  List.iter
+    (fun op ->
+      let of_pass sel =
+        median
+          (List.filter_map
+             (fun rows ->
+               List.find_opt (fun r -> r.op = op) rows |> Option.map sel)
+             passes)
+      in
+      let ns = of_pass (fun r -> r.ns_per_op)
+      and bytes = of_pass (fun r -> r.bytes_per_op) in
+      Printf.printf "    (%S, (%.1f, %.1f));\n" op ns bytes)
+    ops;
+  Printf.printf "  ]\n%!"
+
 let () =
   let out = ref "BENCH_hotpath.json" in
   let e2e = ref true in
+  let capture = ref false in
+  let reps = ref 3 in
   let rec go = function
     | [] -> ()
     | "--out" :: p :: rest ->
@@ -184,16 +225,35 @@ let () =
     | "--no-e2e" :: rest ->
         e2e := false;
         go rest
+    | "--capture" :: rest ->
+        capture := true;
+        go rest
+    | "--reps" :: n :: rest ->
+        reps := max 1 (int_of_string n);
+        go rest
     | arg :: _ -> failwith ("unknown argument: " ^ arg)
   in
   go (List.tl (Array.to_list Sys.argv));
   Printf.printf "== hot-path benches (quick scale, jobs 1)\n%!";
-  (* [@] argument evaluation order is unspecified; bind each block so
-     the rows run (and print) in reading order. *)
-  let ring_rows = ring_ops () in
-  let formation_rows = formation_ops () in
-  let search_rows = search_ops () in
-  let e2e_rows =
-    if !e2e then List.map e2e_row [ "e4"; "e10"; "e17"; "e20"; "e21"; "e22" ] else []
+  let one_pass () =
+    (* [@] argument evaluation order is unspecified; bind each block so
+       the rows run (and print) in reading order. *)
+    let ring_rows = ring_ops () in
+    let formation_rows = formation_ops () in
+    let search_rows = search_ops () in
+    let e2e_rows =
+      if !e2e then List.map e2e_row [ "e4"; "e10"; "e17"; "e20"; "e21"; "e22" ]
+      else []
+    in
+    ring_rows @ formation_rows @ search_rows @ e2e_rows
   in
-  emit_json !out (ring_rows @ formation_rows @ search_rows @ e2e_rows)
+  if not !capture then emit_json !out (one_pass ())
+  else begin
+    let passes =
+      List.init !reps (fun i ->
+          Printf.printf "-- capture pass %d/%d\n%!" (i + 1) !reps;
+          one_pass ())
+    in
+    emit_json !out (List.hd passes);
+    print_baseline_literal passes
+  end

@@ -98,18 +98,21 @@ let cuckoo_step_test =
 let kvstore_get_test =
   (* B8: one replicated read (search + votes + majority filter). *)
   let _, g = Experiments.Common.build_tiny rng ~n:1024 ~beta:0.05 () in
-  let store = Kvstore.Store.create ~system_key:"bench" g in
-  let client = (Adversary.Population.good_ids (Tinygroups.Group_graph.population g)).(0) in
+  (* Cache off: B8 measures the full secure-route read path. *)
+  let store = Kvstore.Store.create ~route_cache:false ~system_key:"bench" g in
+  let client =
+    Kvstore.Store.connect store
+      ~id:(Adversary.Population.good_ids (Tinygroups.Group_graph.population g)).(0)
+  in
   let r = Prng.Rng.split rng in
   for i = 0 to 99 do
     ignore
-      (Kvstore.Store.put r store ~client ~name:(Printf.sprintf "k%d" i) ~value:"v")
+      (Kvstore.Store.put client ~name:(Printf.sprintf "k%d" i) ~value:"v")
   done;
   Test.make ~name:"B8 kvstore-get n=1024"
     (Staged.stage (fun () ->
          ignore
-           (Kvstore.Store.get r store ~client
-              ~name:(Printf.sprintf "k%d" (Prng.Rng.int r 100)))))
+           (Kvstore.Store.get client ~name:(Printf.sprintf "k%d" (Prng.Rng.int r 100)))))
 
 let commit_reveal_test =
   (* B9: one group random-number generation (the [8] task). *)

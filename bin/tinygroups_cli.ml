@@ -165,9 +165,16 @@ let run_spec spec seed scale jobs =
         (Experiments.Registry.run_table spec ~jobs (Prng.Rng.create seed) scale)
   | Experiments.Registry.Text run -> print_string (run (Prng.Rng.create seed))
 
-let run_faulty_spec spec seed scale jobs faults reliability =
+(* Combine the fault-plan and retry-policy flag groups into one
+   {!Sim.Conditions.t} — the only shape the registry accepts. *)
+let conditions_term =
+  Term.(
+    const (fun faults reliability -> Sim.Conditions.make ?faults ?reliability ())
+    $ fault_plan_term $ retry_policy_term)
+
+let run_faulty_spec spec seed scale jobs conditions =
   Option.iter Experiments.Table.print
-    (Experiments.Registry.run_table spec ~jobs ?faults ?reliability
+    (Experiments.Registry.run_table spec ~jobs ~conditions
        (Prng.Rng.create seed) scale)
 
 let experiment_cmd spec =
@@ -175,8 +182,8 @@ let experiment_cmd spec =
     match spec.Experiments.Registry.kind with
     | Experiments.Registry.Faulty _ ->
         Term.(
-          const (run_faulty_spec spec) $ seed_arg $ scale_arg $ jobs_arg $ fault_plan_term
-          $ retry_policy_term)
+          const (run_faulty_spec spec) $ seed_arg $ scale_arg $ jobs_arg
+          $ conditions_term)
     | _ -> Term.(const (run_spec spec) $ seed_arg $ scale_arg $ jobs_arg)
   in
   Cmd.v (Cmd.info spec.Experiments.Registry.id ~doc:spec.Experiments.Registry.doc) term
@@ -211,8 +218,36 @@ let epochs_cmd =
     (Cmd.info "epochs" ~doc)
     Term.(const run $ seed_arg $ n_arg $ beta_arg $ epochs_arg $ single_arg)
 
+let serve_cmd =
+  let doc =
+    "Run the closed-loop KV serving tier (E23) and optionally write the JSON \
+     benchmark artifact (the committed BENCH_serve.json)."
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"PATH" ~doc:"Write the report as JSON to $(docv).")
+  in
+  let run seed scale jobs conditions out =
+    let report =
+      Experiments.Exp_serve.run ~jobs ~conditions (Prng.Rng.create seed) scale
+    in
+    Experiments.Table.print (Experiments.Exp_serve.to_table report);
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc (Experiments.Exp_serve.to_json report);
+        close_out oc;
+        Printf.printf "wrote %s\n" path)
+      out
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(const run $ seed_arg $ scale_arg $ jobs_arg $ conditions_term $ out_arg)
+
 let all_cmd =
-  let doc = "Run every experiment in the registry (E0-E22 and F1)." in
+  let doc = "Run every experiment in the registry (E0-E23 and F1)." in
   let run seed scale jobs =
     List.iter
       (fun spec -> run_spec spec seed scale jobs)
@@ -227,6 +262,6 @@ let () =
   in
   let info = Cmd.info "tinygroups" ~version:"1.0.0" ~doc in
   let cmds =
-    List.map experiment_cmd Experiments.Registry.all @ [ epochs_cmd; all_cmd ]
+    List.map experiment_cmd Experiments.Registry.all @ [ epochs_cmd; serve_cmd; all_cmd ]
   in
   exit (Cmd.eval (Cmd.group info cmds))

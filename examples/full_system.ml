@@ -42,12 +42,14 @@ let () =
   in
   let records = 300 in
   let good_client () =
-    Adversary.Population.random_good rng
-      (Tinygroups.Group_graph.population (Kvstore.Store.graph !store))
+    Kvstore.Store.connect !store
+      ~id:
+        (Adversary.Population.random_good rng
+           (Tinygroups.Group_graph.population (Kvstore.Store.graph !store)))
   in
   for i = 0 to records - 1 do
     ignore
-      (Kvstore.Store.put rng !store ~client:(good_client ())
+      (Kvstore.Store.put (good_client ())
          ~name:(Printf.sprintf "svc-%d" i)
          ~value:(Printf.sprintf "endpoint-%d" i))
   done;
@@ -100,7 +102,7 @@ let () =
     let served = ref 0 in
     for _ = 1 to lookups do
       let name = Printf.sprintf "svc-%d" (zipf_idx ()) in
-      match Kvstore.Store.get rng !store ~client:(good_client ()) ~name with
+      match Kvstore.Store.get (good_client ()) ~name with
       | Kvstore.Store.Found _ | Kvstore.Store.Recovered _ -> incr served
       | _ -> ()
     done;

@@ -29,14 +29,16 @@ let () =
   let store = ref (Kvstore.Store.create ~system_key:"names" (Tinygroups.Epoch.primary epochs)) in
   let domains = 500 in
   let client () =
-    Adversary.Population.random_good rng
-      (Tinygroups.Group_graph.population (Kvstore.Store.graph !store))
+    Kvstore.Store.connect !store
+      ~id:
+        (Adversary.Population.random_good rng
+           (Tinygroups.Group_graph.population (Kvstore.Store.graph !store)))
   in
   let registered = ref 0 in
   for i = 0 to domains - 1 do
     let name = Printf.sprintf "host-%d.example" i in
     let address = Printf.sprintf "10.%d.%d.%d" (i / 255) (i mod 255) (1 + (i mod 200)) in
-    match Kvstore.Store.put rng !store ~client:(client ()) ~name ~value:address with
+    match Kvstore.Store.put (client ()) ~name ~value:address with
     | Kvstore.Store.Stored _ -> incr registered
     | Kvstore.Store.Write_blocked _ -> ()
   done;
@@ -64,7 +66,7 @@ let () =
   Printf.printf "\nresolving %s:\n" name;
   Printf.printf "  key   = %s\n" (Idspace.Point.to_string (Kvstore.Store.key_of !store name));
   Printf.printf "  home  = G_%s\n" (Idspace.Point.to_string (Kvstore.Store.home !store name));
-  (match Kvstore.Store.get rng !store ~client:(client ()) ~name with
+  (match Kvstore.Store.get (client ()) ~name with
   | Kvstore.Store.Found { value; messages; _ } ->
       Printf.printf "  value = %s   (%d messages end to end)\n" value messages
   | Kvstore.Store.Recovered { value; messages; _ } ->

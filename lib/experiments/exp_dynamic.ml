@@ -1,4 +1,4 @@
-let run_epochs ?faults ?reliability ?(build_jobs = 1) rng ~mode ~n ~beta ~epochs ~searches =
+let run_epochs ?conditions ?(build_jobs = 1) rng ~mode ~n ~beta ~epochs ~searches =
   let cfg =
     {
       (Tinygroups.Epoch.default_config ~n) with
@@ -7,7 +7,7 @@ let run_epochs ?faults ?reliability ?(build_jobs = 1) rng ~mode ~n ~beta ~epochs
       build_jobs;
     }
   in
-  let e = Tinygroups.Epoch.init ?faults ?reliability rng cfg in
+  let e = Tinygroups.Epoch.init ?conditions rng cfg in
   let observe epoch =
     let g = Tinygroups.Epoch.primary e in
     let c = Tinygroups.Group_graph.census g in

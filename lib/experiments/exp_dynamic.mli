@@ -14,8 +14,7 @@ val run_e4 : ?jobs:int -> Prng.Rng.t -> Scale.t -> Table.t
 val run_e5 : ?jobs:int -> Prng.Rng.t -> Scale.t -> Table.t
 
 val run_epochs :
-  ?faults:Faults.Plan.t ->
-  ?reliability:Reliability.Policy.t ->
+  ?conditions:Sim.Conditions.t ->
   ?build_jobs:int ->
   Prng.Rng.t ->
   mode:Tinygroups.Epoch.mode ->
@@ -26,6 +25,6 @@ val run_epochs :
   (int * Tinygroups.Group_graph.census * float) list
 (** Shared driver: census and measured search success after each
     epoch (epoch 0 is the initial build). Exposed for the examples,
-    the CLI and E21/E22's faulty-epoch ablations ([?faults] and
-    [?reliability] are threaded to {!Tinygroups.Epoch.init};
+    the CLI and E21/E22's faulty-epoch ablations ([?conditions]
+    is threaded to {!Tinygroups.Epoch.init};
     cut/crash windows are epoch indices). *)

@@ -87,7 +87,8 @@ let default_configs scale =
   in
   match scale with Scale.Quick -> base | _ -> base @ extra
 
-let run_e21 ?(jobs = 1) ?faults ?reliability rng scale =
+let run_e21 ?(jobs = 1) ?(conditions = Sim.Conditions.none) rng scale =
+  let { Sim.Conditions.faults; reliability } = conditions in
   let n = match scale with Scale.Quick -> 512 | _ -> 1024 in
   let searches = match scale with Scale.Quick -> 40 | Scale.Standard -> 120 | Scale.Full -> 300 in
   let epochs = Scale.epochs scale in
@@ -161,8 +162,9 @@ let run_e21 ?(jobs = 1) ?faults ?reliability rng scale =
           in
           let o =
             Protocol.Secure_search.run_search (Prng.Rng.split stream) g ~latency
-              ~behaviour:Protocol.Secure_search.Colluding ~src ~key ~faults:plan
-              ?reliability ~metrics:fm ()
+              ~behaviour:Protocol.Secure_search.Colluding ~src ~key
+              ~conditions:(Sim.Conditions.make ~faults:plan ?reliability ())
+              ~metrics:fm ()
           in
           msgs := !msgs + o.Protocol.Secure_search.messages;
           match o.Protocol.Secure_search.result with
@@ -178,7 +180,9 @@ let run_e21 ?(jobs = 1) ?faults ?reliability rng scale =
           | Some plan ->
               let plan = Faults.Plan.with_seed plan cfg.plan_seed in
               let chain =
-                Exp_dynamic.run_epochs ~faults:plan ?reliability (Prng.Rng.split stream)
+                Exp_dynamic.run_epochs
+                  ~conditions:(Sim.Conditions.make ~faults:plan ?reliability ())
+                  (Prng.Rng.split stream)
                   ~mode:Tinygroups.Epoch.Paired ~n:epoch_n ~beta ~epochs
                   ~searches:(Scale.searches scale / 2)
               in

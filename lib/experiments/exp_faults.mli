@@ -12,16 +12,16 @@
     The zero-rate row is the anchor: it reproduces the fault-free
     runs byte-for-byte (asserted by [test/test_faults.ml]), so any
     degradation in later rows is attributable to the fault plan
-    alone. [?faults] replaces the default sweep with a baseline row
-    plus the given plan (the CLI's [--fault-*] flags); [?reliability]
+    alone. The fault plan of [?conditions] replaces the default sweep
+    with a baseline row
+    plus the given plan (the CLI's [--fault-*] flags); its policy
     re-runs every row with the retransmission layer armed (the
     [--retry-*] flags) — the systematic drop-rate × retry-budget
     sweep lives in E22. *)
 
 val run_e21 :
   ?jobs:int ->
-  ?faults:Faults.Plan.t ->
-  ?reliability:Reliability.Policy.t ->
+  ?conditions:Sim.Conditions.t ->
   Prng.Rng.t ->
   Scale.t ->
   Table.t

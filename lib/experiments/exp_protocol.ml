@@ -1,4 +1,5 @@
-let run_e19 ?(jobs = 1) ?faults ?reliability rng scale =
+let run_e19 ?(jobs = 1) ?(conditions = Sim.Conditions.none) rng scale =
+  let { Sim.Conditions.faults; reliability } = conditions in
   let n = match scale with Scale.Quick -> 512 | _ -> 1024 in
   let searches = match scale with Scale.Quick -> 60 | _ -> 200 in
   let table =
@@ -58,7 +59,9 @@ let run_e19 ?(jobs = 1) ?faults ?reliability rng scale =
                 reliability
             in
             Protocol.Secure_search.run_search (Prng.Rng.split stream) g ~latency
-              ~behaviour ~src ~key ?faults ?reliability ()
+              ~behaviour ~src ~key
+              ~conditions:(Sim.Conditions.make ?faults ?reliability ())
+              ()
           in
           let analytic = Tinygroups.Secure_route.search g ~failure:`Majority ~src ~key in
           let a_ok = Tinygroups.Secure_route.succeeded analytic in

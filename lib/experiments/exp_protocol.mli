@@ -9,16 +9,16 @@
 
 val run_e19 :
   ?jobs:int ->
-  ?faults:Faults.Plan.t ->
-  ?reliability:Reliability.Policy.t ->
+  ?conditions:Sim.Conditions.t ->
   Prng.Rng.t ->
   Scale.t ->
   Table.t
-(** [?faults] runs the same validation over a faulty transport (the
+(** The fault plan of [?conditions] runs the same validation over a
+    faulty transport (the
     CLI's [--fault-*] flags); a zero-rate plan renders byte-identically
     to no plan at all. Agreement with the fault-blind analytic model
     degrades as the fault rate grows — that gap is E21's subject.
-    [?reliability] arms the network's retransmission layer (the
+    Its reliability policy arms the network's retransmission layer (the
     [--retry-*] flags); a zero-budget policy likewise renders
     byte-identically to none. Per-search schedules decorrelate by
     varying both the plan seed and the policy seed with the search

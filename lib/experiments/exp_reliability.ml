@@ -46,7 +46,8 @@ let house_policy =
 
 let jitter_seed_offset = 0x5eed_0000L
 
-let run_e22 ?(jobs = 1) ?faults ?reliability rng scale =
+let run_e22 ?(jobs = 1) ?(conditions = Sim.Conditions.none) rng scale =
+  let { Sim.Conditions.faults; reliability } = conditions in
   let n = match scale with Scale.Quick -> 512 | _ -> 1024 in
   let searches =
     match scale with Scale.Quick -> 40 | Scale.Standard -> 120 | Scale.Full -> 300
@@ -136,8 +137,9 @@ let run_e22 ?(jobs = 1) ?faults ?reliability rng scale =
           in
           let o =
             Protocol.Secure_search.run_search (Prng.Rng.split stream) g ~latency
-              ~behaviour:Protocol.Secure_search.Colluding ~src ~key ~faults:plan
-              ~reliability:policy ~metrics:fm ()
+              ~behaviour:Protocol.Secure_search.Colluding ~src ~key
+              ~conditions:(Sim.Conditions.make ~faults:plan ~reliability:policy ())
+              ~metrics:fm ()
           in
           msgs := !msgs + o.Protocol.Secure_search.messages;
           match o.Protocol.Secure_search.result with
@@ -154,8 +156,11 @@ let run_e22 ?(jobs = 1) ?faults ?reliability rng scale =
         in
         let chain =
           Exp_dynamic.run_epochs
-            ~faults:(Faults.Plan.with_seed cfg.plan cfg.row_seed)
-            ~reliability:epoch_policy (Prng.Rng.split stream)
+            ~conditions:
+              (Sim.Conditions.make
+                 ~faults:(Faults.Plan.with_seed cfg.plan cfg.row_seed)
+                 ~reliability:epoch_policy ())
+            (Prng.Rng.split stream)
             ~mode:Tinygroups.Epoch.Paired ~n:epoch_n ~beta ~epochs
             ~searches:(Scale.searches scale / 2)
         in

@@ -20,13 +20,13 @@
 
 val run_e22 :
   ?jobs:int ->
-  ?faults:Faults.Plan.t ->
-  ?reliability:Reliability.Policy.t ->
+  ?conditions:Sim.Conditions.t ->
   Prng.Rng.t ->
   Scale.t ->
   Table.t
-(** [?faults] replaces the default drop sweep with the given plan
-    (one plan, all budgets); [?reliability] replaces the house retry
+(** The fault plan of [?conditions] replaces the default drop sweep
+    with the given plan
+    (one plan, all budgets); its reliability policy replaces the house retry
     schedule and restricts the budget sweep to [{0, its budget}] —
     the anchor stays, since it is the overhead baseline. Output is
     identical for every [jobs] under the same seed. *)

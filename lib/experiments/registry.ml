@@ -1,12 +1,7 @@
 type kind =
   | Table of (jobs:int -> Prng.Rng.t -> Scale.t -> Table.t)
   | Faulty of
-      (jobs:int ->
-      faults:Faults.Plan.t option ->
-      reliability:Reliability.Policy.t option ->
-      Prng.Rng.t ->
-      Scale.t ->
-      Table.t)
+      (jobs:int -> conditions:Sim.Conditions.t -> Prng.Rng.t -> Scale.t -> Table.t)
   | Text of (Prng.Rng.t -> string)
 
 type spec = { id : string; doc : string; kind : kind }
@@ -20,8 +15,8 @@ let faulty id doc run =
     doc;
     kind =
       Faulty
-        (fun ~jobs ~faults ~reliability rng scale ->
-          run ?jobs:(Some jobs) ?faults ?reliability rng scale);
+        (fun ~jobs ~conditions rng scale ->
+          run ?jobs:(Some jobs) ?conditions:(Some conditions) rng scale);
   }
 
 let all =
@@ -52,13 +47,15 @@ let all =
     faulty "e21" "Fault injection: robustness vs environmental faults." Exp_faults.run_e21;
     faulty "e22" "Reliability ablation: drop rate x retry budget."
       Exp_reliability.run_e22;
+    faulty "e23" "Closed-loop KV serving tier: route-cache ablation under churn."
+      Exp_serve.run_e23;
     { id = "f1"; doc = "Figure 1 rendered as a search trace."; kind = Text Exp_figure1.render };
   ]
 
 let find id = List.find_opt (fun s -> s.id = id) all
 
-let run_table spec ~jobs ?faults ?reliability rng scale =
+let run_table spec ~jobs ?(conditions = Sim.Conditions.none) rng scale =
   match spec.kind with
   | Table run -> Some (run ~jobs rng scale)
-  | Faulty run -> Some (run ~jobs ~faults ~reliability rng scale)
+  | Faulty run -> Some (run ~jobs ~conditions rng scale)
   | Text _ -> None

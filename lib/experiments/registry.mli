@@ -12,16 +12,12 @@ type kind =
           count for its internal fan-out; output is identical for
           every value of [jobs] under the same seed. *)
   | Faulty of
-      (jobs:int ->
-      faults:Faults.Plan.t option ->
-      reliability:Reliability.Policy.t option ->
-      Prng.Rng.t ->
-      Scale.t ->
-      Table.t)
-      (** A table-producing experiment that additionally accepts a
-          fault plan and a retry policy (the CLI exposes [--fault-*]
-          and [--retry-*] flags for these; [~faults:None
-          ~reliability:None] is the canonical fault-free table). *)
+      (jobs:int -> conditions:Sim.Conditions.t -> Prng.Rng.t -> Scale.t -> Table.t)
+      (** A table-producing experiment that additionally accepts
+          runtime conditions — a fault plan plus a retry policy (the
+          CLI exposes [--fault-*] and [--retry-*] flags for these;
+          {!Sim.Conditions.none} is the canonical fault-free
+          table). *)
   | Text of (Prng.Rng.t -> string)
       (** A free-form text artifact (Figure 1's search trace). *)
 
@@ -40,12 +36,11 @@ val find : string -> spec option
 val run_table :
   spec ->
   jobs:int ->
-  ?faults:Faults.Plan.t ->
-  ?reliability:Reliability.Policy.t ->
+  ?conditions:Sim.Conditions.t ->
   Prng.Rng.t ->
   Scale.t ->
   Table.t option
 (** Run a [Table] or [Faulty] spec uniformly ([None] for [Text]
     artifacts); the shape both drivers and the golden-output tests
-    share. [?faults] and [?reliability] are ignored by plain [Table]
-    experiments. *)
+    share. [?conditions] (default {!Sim.Conditions.none}) is ignored
+    by plain [Table] experiments. *)

@@ -20,7 +20,7 @@ type t = {
   enabled_ : bool;
   plan_ : Plan.t;
   rng : Prng.Rng.t;
-  metrics_ : Sim.Metrics.t;
+  metrics_ : Metrics_core.t;
   cuts : cut_state list;
   crashes : crash_state list;
   crashed_ids : (int64, crash_state list) Hashtbl.t;
@@ -37,7 +37,7 @@ let disabled () =
     enabled_ = false;
     plan_ = Plan.none;
     rng = Prng.Rng.of_int64 0L;
-    metrics_ = Sim.Metrics.create ();
+    metrics_ = Metrics_core.create ();
     cuts = [];
     crashes = [];
     crashed_ids = Hashtbl.create 1;
@@ -61,7 +61,7 @@ let create ?metrics (plan : Plan.t) =
     enabled_ = true;
     plan_ = plan;
     rng = Prng.Rng.of_int64 plan.Plan.seed;
-    metrics_ = (match metrics with Some m -> m | None -> Sim.Metrics.create ());
+    metrics_ = (match metrics with Some m -> m | None -> Metrics_core.create ());
     cuts =
       List.map
         (fun (c : Plan.cut) ->
@@ -144,7 +144,7 @@ let decide t ~now ~src ~dst =
       crashed t ~now dst || match src with Some s -> crashed t ~now s | None -> false
     in
     if endpoint_crashed || severed t ~now ~src ~dst then begin
-      Sim.Metrics.incr m Sim.Metrics.fault_suppressed;
+      Metrics_core.incr m Metrics_core.fault_suppressed;
       Drop
     end
     else begin
@@ -158,22 +158,22 @@ let decide t ~now ~src ~dst =
           if (not !dropped) && rule_matches r ~src ~dst then begin
             let rr = r.Plan.rates in
             if Prng.Rng.bernoulli t.rng rr.Plan.drop then begin
-              Sim.Metrics.incr m Sim.Metrics.fault_injected;
-              Sim.Metrics.incr m Sim.Metrics.fault_suppressed;
+              Metrics_core.incr m Metrics_core.fault_injected;
+              Metrics_core.incr m Metrics_core.fault_suppressed;
               dropped := true
             end
             else begin
               if Prng.Rng.bernoulli t.rng rr.Plan.duplicate then begin
-                Sim.Metrics.incr m Sim.Metrics.fault_injected;
+                Metrics_core.incr m Metrics_core.fault_injected;
                 incr copies
               end;
               if Prng.Rng.bernoulli t.rng rr.Plan.delay then begin
-                Sim.Metrics.incr m Sim.Metrics.fault_injected;
+                Metrics_core.incr m Metrics_core.fault_injected;
                 let lo, hi = rr.Plan.delay_ms in
                 extra := !extra + Prng.Rng.int_in t.rng lo hi
               end;
               if Prng.Rng.bernoulli t.rng rr.Plan.reorder then begin
-                Sim.Metrics.incr m Sim.Metrics.fault_injected;
+                Metrics_core.incr m Metrics_core.fault_injected;
                 extra := !extra + Prng.Rng.int_in t.rng 1 rr.Plan.reorder_ms
               end
             end
@@ -188,8 +188,8 @@ let search_lost t =
   &&
   let lost = Prng.Rng.bernoulli t.rng t.wildcard_drop in
   if lost then begin
-    Sim.Metrics.incr t.metrics_ Sim.Metrics.fault_injected;
-    Sim.Metrics.incr t.metrics_ Sim.Metrics.fault_suppressed
+    Metrics_core.incr t.metrics_ Metrics_core.fault_injected;
+    Metrics_core.incr t.metrics_ Metrics_core.fault_suppressed
   end;
   lost
 
@@ -205,7 +205,7 @@ let observe_heals t ~now =
         match s.cut.Plan.heal_time with
         | Some h when s.cut_seen_active && (not s.heal_counted) && now >= h ->
             s.heal_counted <- true;
-            Sim.Metrics.incr t.metrics_ Sim.Metrics.fault_healed
+            Metrics_core.incr t.metrics_ Metrics_core.fault_healed
         | _ -> ())
       t.cuts;
     List.iter
@@ -214,7 +214,7 @@ let observe_heals t ~now =
         match s.crash.Plan.recover_at with
         | Some r when s.crash_seen_active && (not s.recover_counted) && now >= r ->
             s.recover_counted <- true;
-            Sim.Metrics.incr t.metrics_ Sim.Metrics.fault_healed
+            Metrics_core.incr t.metrics_ Metrics_core.fault_healed
         | _ -> ())
       t.crashes
   end

@@ -8,8 +8,8 @@
     byte-identical to running without one, and the schedule invariant
     under [--jobs].
 
-    Counters are accounted into a {!Sim.Metrics.t} (the caller's, or
-    a private one) under {!Sim.Metrics.fault_injected} /
+    Counters are accounted into a {!Metrics_core.t} (the caller's, or
+    a private one) under {!Metrics_core.fault_injected} /
     [fault_suppressed] / [fault_healed]. *)
 
 open Idspace
@@ -20,7 +20,7 @@ val disabled : unit -> t
 (** Never injects, never draws; {!decide} always answers plain
     delivery. What [?faults:None] threads through the stack. *)
 
-val create : ?metrics:Sim.Metrics.t -> Plan.t -> t
+val create : ?metrics:Metrics_core.t -> Plan.t -> t
 (** Fault counters are added into [metrics] when given (e.g. an
     epoch's cost accumulator), otherwise into a private table
     readable via {!metrics}. *)
@@ -65,7 +65,7 @@ val search_lost : t -> bool
 
 val observe_heals : t -> now:int -> unit
 (** Count each cut healed and each crash recovered by [now] into
-    {!Sim.Metrics.fault_healed}, once per entry across the
+    {!Metrics_core.fault_healed}, once per entry across the
     injector's lifetime. Callers invoke it at observation points
     (e.g. each epoch boundary, or end of a network run). A heal only
     counts for a fault that some query — [decide], [crashed],
@@ -73,5 +73,5 @@ val observe_heals : t -> now:int -> unit
     active window; a clock jumping straight past the window heals
     nothing. *)
 
-val metrics : t -> Sim.Metrics.t
+val metrics : t -> Metrics_core.t
 (** Where this injector accounts its counters. *)

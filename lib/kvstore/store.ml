@@ -8,20 +8,36 @@ type record = {
   mutable replica : Replica.t;  (* live per-member states at the home group *)
 }
 
+type op_stats = { hops : int; route_cached : bool }
+
 type t = {
   oracle : Hashing.Oracle.t;
   graph : Tinygroups.Group_graph.t;
   records : (string, record) Hashtbl.t;
+  cache : (string, Point.t) Hashtbl.t option;
+      (* name -> home leader; valid for this [graph] only (the graph
+         is immutable within an epoch, so entries cannot go stale —
+         [rehome] starts a fresh store with an empty cache). *)
+  metrics : Sim.Metrics.t;
+  epoch_index : int;
+  mutable last : op_stats;
 }
 
-let create ~system_key graph =
+let create ?metrics ?(route_cache = true) ~system_key graph =
   {
     oracle = Hashing.Oracle.make ~system_key ~label:"kvstore-keys";
     graph;
     records = Hashtbl.create 256;
+    cache = (if route_cache then Some (Hashtbl.create 256) else None);
+    metrics = (match metrics with Some m -> m | None -> Sim.Metrics.create ());
+    epoch_index = 0;
+    last = { hops = 0; route_cached = false };
   }
 
 let graph t = t.graph
+let epoch_index t = t.epoch_index
+let metrics t = t.metrics
+let last_op_stats t = t.last
 
 let live t name =
   match Hashtbl.find_opt t.records name with
@@ -57,12 +73,48 @@ type write_result =
   | Stored of { version : int; replicas : int; messages : int }
   | Write_blocked of { red_group : Point.t }
 
-let write_value _rng t ~client ~name ~value =
+(* Resolve a name's home group: through the route cache when it
+   holds the name (one direct all-members contact instead of the
+   multi-hop secure walk — the client already knows who to talk to),
+   else by secure routing, priming the cache on success. Cache hits
+   skip the walk's red-group checks by design: the group itself still
+   votes, so a lost majority surfaces at the operation layer. *)
+type routed =
+  | Route_ok of { owner : Point.t; messages : int; stats : op_stats }
+  | Route_blocked of Point.t
+
+let route t ~client ~name ~key =
+  match Option.map (fun c -> Hashtbl.find_opt c name) t.cache with
+  | Some (Some owner) ->
+      Sim.Metrics.incr t.metrics Sim.Metrics.kv_route_cache_hit;
+      let size = Tinygroups.Group.size (Tinygroups.Group_graph.group_of t.graph owner) in
+      Route_ok { owner; messages = size; stats = { hops = 1; route_cached = true } }
+  | Some None | None -> (
+      Sim.Metrics.incr t.metrics Sim.Metrics.kv_route_cache_miss;
+      let o = Tinygroups.Secure_route.search t.graph ~failure:`Majority ~src:client ~key in
+      match o.Tinygroups.Secure_route.result with
+      | Error red -> Route_blocked red
+      | Ok owner ->
+          Option.iter (fun c -> Hashtbl.replace c name owner) t.cache;
+          Route_ok
+            {
+              owner;
+              messages = o.Tinygroups.Secure_route.messages;
+              stats =
+                {
+                  hops = List.length o.Tinygroups.Secure_route.group_path;
+                  route_cached = false;
+                };
+            })
+
+let write_value t ~client ~name ~value =
   let key = key_of t name in
-  let o = Tinygroups.Secure_route.search t.graph ~failure:`Majority ~src:client ~key in
-  match o.Tinygroups.Secure_route.result with
-  | Error red -> Write_blocked { red_group = red }
-  | Ok owner ->
+  match route t ~client ~name ~key with
+  | Route_blocked red ->
+      t.last <- { hops = 0; route_cached = false };
+      Write_blocked { red_group = red }
+  | Route_ok { owner; messages = route_msgs; stats } ->
+      t.last <- stats;
       let record =
         match Hashtbl.find_opt t.records name with
         | Some r -> r
@@ -76,15 +128,15 @@ let write_value _rng t ~client ~name ~value =
       record.value <- value;
       Replica.write record.replica ~version ~value;
       let size = Array.length (Replica.members record.replica) in
-      let messages = o.Tinygroups.Secure_route.messages + (size * size) in
+      let messages = route_msgs + (size * size) in
       Stored
         { version; replicas = Replica.good_fresh record.replica ~version; messages }
 
-let put rng t ~client ~name ~value =
+let put_as t ~client ~name ~value =
   if String.equal value tombstone then invalid_arg "Store.put: reserved value";
-  write_value rng t ~client ~name ~value
+  write_value t ~client ~name ~value
 
-let delete rng t ~client ~name = write_value rng t ~client ~name ~value:tombstone
+let delete_as t ~client ~name = write_value t ~client ~name ~value:tombstone
 
 type read_result =
   | Found of { value : string; version : int; repaired : int; messages : int }
@@ -111,14 +163,15 @@ let majority_vote votes =
       else best)
     tally None
 
-let get rng t ~client ~name =
-  ignore rng;
+let get_as t ~client ~name =
   let key = key_of t name in
-  let o = Tinygroups.Secure_route.search t.graph ~failure:`Majority ~src:client ~key in
-  match o.Tinygroups.Secure_route.result with
-  | Error red -> Read_blocked { red_group = red }
-  | Ok owner -> (
-      let base_msgs grp_size = o.Tinygroups.Secure_route.messages + grp_size in
+  match route t ~client ~name ~key with
+  | Route_blocked red ->
+      t.last <- { hops = 0; route_cached = false };
+      Read_blocked { red_group = red }
+  | Route_ok { owner; messages = route_msgs; stats } -> (
+      t.last <- stats;
+      let base_msgs grp_size = route_msgs + grp_size in
       match Hashtbl.find_opt t.records name with
       | None ->
           let size = Tinygroups.Group.size (Tinygroups.Group_graph.group_of t.graph owner) in
@@ -156,11 +209,18 @@ let degrade rng t ~loss_rate =
   Hashtbl.iter (fun _ r -> Replica.degrade rng r.replica ~loss_rate) t.records
 
 let rehome t new_graph =
+  Option.iter
+    (fun _ -> Sim.Metrics.incr t.metrics Sim.Metrics.kv_route_cache_invalidated)
+    t.cache;
   let fresh =
     {
       oracle = t.oracle;
       graph = new_graph;
       records = Hashtbl.create (max 256 (Hashtbl.length t.records));
+      cache = Option.map (fun _ -> Hashtbl.create 256) t.cache;
+      metrics = t.metrics;
+      epoch_index = t.epoch_index + 1;
+      last = { hops = 0; route_cached = false };
     }
   in
   Hashtbl.iter
@@ -191,8 +251,23 @@ let coverage rng t ~samples =
   for _ = 1 to samples do
     let name = names.(Prng.Rng.int rng (Array.length names)) in
     let client = goods.(Prng.Rng.int rng (Array.length goods)) in
-    match get rng t ~client ~name with
+    match get_as t ~client ~name with
     | Found _ | Recovered _ -> incr ok
     | Corrupted _ | Not_found _ | Read_blocked _ -> ()
   done;
   float_of_int !ok /. float_of_int samples
+
+(* --- Client sessions --------------------------------------------- *)
+
+type client = {
+  mutable store : t;
+  id : Point.t;
+}
+
+let connect t ~id = { store = t; id }
+let client_id c = c.id
+let client_store c = c.store
+let retarget c t = c.store <- t
+let put c ~name ~value = put_as c.store ~client:c.id ~name ~value
+let get c ~name = get_as c.store ~client:c.id ~name
+let delete c ~name = delete_as c.store ~client:c.id ~name

@@ -11,14 +11,14 @@ type t = {
   mutable delivered : int;
 }
 
-let create ?faults ?reliability ?metrics rng ~latency =
+let create ?(conditions = Sim.Conditions.none) ?metrics rng ~latency =
   let injector =
-    match faults with
+    match conditions.Sim.Conditions.faults with
     | None -> Faults.Injector.disabled ()
     | Some plan -> Faults.Injector.create ?metrics plan
   in
   let tracker =
-    match reliability with
+    match conditions.Sim.Conditions.reliability with
     | None -> Reliability.Tracker.disabled ()
     | Some policy -> Reliability.Tracker.create ?metrics policy
   in

@@ -4,7 +4,8 @@
     Deterministic given the seed; counts every message. Recipients
     are registered handlers keyed by ID.
 
-    A {!Faults.Plan.t} turns the transport adversarial: messages can
+    The fault plan of a {!Sim.Conditions.t} turns the transport
+    adversarial: messages can
     be dropped, duplicated, delayed or reordered per link, partitions
     sever sets of IDs until they heal, and crashed IDs neither send
     nor receive. The fault schedule draws only from the plan's own
@@ -12,7 +13,8 @@
     leaves a run byte-identical and the schedule is invariant under
     the experiment layer's [--jobs] fan-out.
 
-    A {!Reliability.Policy.t} makes the transport fight back: a send
+    The reliability policy of the same record makes the transport
+    fight back: a send
     whose attempt the injector drops is retransmitted after the
     policy's backoff (the simulated ack timeout), each attempt
     re-consulting the injector so retries are independently
@@ -28,14 +30,13 @@ open Idspace
 type t
 
 val create :
-  ?faults:Faults.Plan.t ->
-  ?reliability:Reliability.Policy.t ->
+  ?conditions:Sim.Conditions.t ->
   ?metrics:Sim.Metrics.t ->
   Prng.Rng.t ->
   latency:Sim.Latency.t ->
   t
-(** [?faults] defaults to no fault injection, [?reliability] to no
-    retries. [?metrics] is where fault and retry counters
+(** [?conditions] defaults to {!Sim.Conditions.none}: no fault
+    injection, no retries. [?metrics] is where fault and retry counters
     ({!Sim.Metrics.fault_injected}, {!Sim.Metrics.retry_attempted}
     etc.) accumulate; private tables otherwise (see {!fault_metrics}
     and {!retry_metrics}). *)

@@ -26,8 +26,8 @@ type bucket = {
   mutable arrivals : int list;  (* reversed arrival times *)
 }
 
-let run_search rng g ~latency ~behaviour ~src ~key ?(deadline = 60_000) ?faults
-    ?reliability ?metrics () =
+let run_search rng g ~latency ~behaviour ~src ~key ?(deadline = 60_000)
+    ?conditions ?metrics () =
   let overlay = Tinygroups.Group_graph.overlay g in
   let pop = Tinygroups.Group_graph.population g in
   (* The adversary's best verifiable claim: its own ID nearest
@@ -38,7 +38,7 @@ let run_search rng g ~latency ~behaviour ~src ~key ?(deadline = 60_000) ?faults
     if Ring.cardinal bad_ring = 0 then None
     else Some (Ring.successor_exn bad_ring key)
   in
-  let net = Network.create ?faults ?reliability ?metrics (Prng.Rng.split rng) ~latency in
+  let net = Network.create ?conditions ?metrics (Prng.Rng.split rng) ~latency in
   let qid = 1 in
   (* The client is a synthetic address off the ring. *)
   let client = Point.of_u62 0L in

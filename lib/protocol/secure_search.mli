@@ -43,20 +43,19 @@ val run_search :
   src:Point.t ->
   key:Point.t ->
   ?deadline:int ->
-  ?faults:Faults.Plan.t ->
-  ?reliability:Reliability.Policy.t ->
+  ?conditions:Sim.Conditions.t ->
   ?metrics:Sim.Metrics.t ->
   unit ->
   outcome
 (** Execute one search from the group led by [src] (which must be a
     leader) for [key]; the deadline defaults to 60_000 ms.
 
-    [?faults] subjects the underlying {!Network} to the plan's
-    environmental faults on top of the Byzantine [behaviour]; the
-    fault schedule draws only from the plan's seed, so a zero-rate
-    plan yields the same outcome as no plan at all. [?reliability]
-    arms the network's retransmission layer against those faults
-    (see {!Network.create}); a zero-budget policy is likewise
-    identical to none. [?metrics] receives the fault and retry
-    counters ({!Sim.Metrics.fault_injected},
+    The fault plan of [?conditions] subjects the underlying
+    {!Network} to environmental faults on top of the Byzantine
+    [behaviour]; the fault schedule draws only from the plan's seed,
+    so a zero-rate plan yields the same outcome as no plan at all.
+    Its reliability policy arms the network's retransmission layer
+    against those faults (see {!Network.create}); a zero-budget
+    policy is likewise identical to none. [?metrics] receives the
+    fault and retry counters ({!Sim.Metrics.fault_injected},
     {!Sim.Metrics.retry_attempted} etc.). *)

@@ -4,7 +4,7 @@ type t = {
   active_ : bool;
   policy_ : Policy.t;
   rng : Prng.Rng.t;
-  metrics_ : Sim.Metrics.t;
+  metrics_ : Metrics_core.t;
   (* Consecutive budget exhaustions per destination (62-bit key);
      reset by any acked delivery to that destination. *)
   failures : (int64, int) Hashtbl.t;
@@ -16,7 +16,7 @@ let disabled () =
     active_ = false;
     policy_ = Policy.none;
     rng = Prng.Rng.of_int64 0L;
-    metrics_ = Sim.Metrics.create ();
+    metrics_ = Metrics_core.create ();
     failures = Hashtbl.create 1;
     broken = Hashtbl.create 1;
   }
@@ -26,7 +26,7 @@ let create ?metrics (policy : Policy.t) =
     active_ = not (Policy.is_zero policy);
     policy_ = policy;
     rng = Prng.Rng.of_int64 policy.Policy.seed;
-    metrics_ = (match metrics with Some m -> m | None -> Sim.Metrics.create ());
+    metrics_ = (match metrics with Some m -> m | None -> Metrics_core.create ());
     failures = Hashtbl.create 64;
     broken = Hashtbl.create 8;
   }
@@ -40,20 +40,20 @@ let circuit_open t dst = t.active_ && Hashtbl.mem t.broken (Point.to_u62 dst)
 
 let record_success t dst =
   if t.active_ then begin
-    Sim.Metrics.incr t.metrics_ Sim.Metrics.retry_acked;
+    Metrics_core.incr t.metrics_ Metrics_core.retry_acked;
     Hashtbl.remove t.failures (Point.to_u62 dst)
   end
 
 let record_exhausted t dst =
   if t.active_ then begin
-    Sim.Metrics.incr t.metrics_ Sim.Metrics.retry_exhausted;
+    Metrics_core.incr t.metrics_ Metrics_core.retry_exhausted;
     let k = Point.to_u62 dst in
     let n = 1 + Option.value ~default:0 (Hashtbl.find_opt t.failures k) in
     Hashtbl.replace t.failures k n;
     let threshold = t.policy_.Policy.circuit_threshold in
     if threshold > 0 && n >= threshold && not (Hashtbl.mem t.broken k) then begin
       Hashtbl.replace t.broken k ();
-      Sim.Metrics.incr t.metrics_ Sim.Metrics.retry_circuit_opens
+      Metrics_core.incr t.metrics_ Metrics_core.retry_circuit_opens
     end
   end
 
@@ -62,8 +62,8 @@ let next_backoff t ~attempt =
   let jit = t.policy_.Policy.jitter_ms in
   let jitter = if jit = 0 then 0 else Prng.Rng.int_in t.rng 0 jit in
   let wait = base + jitter in
-  Sim.Metrics.incr t.metrics_ Sim.Metrics.retry_attempted;
-  Sim.Metrics.add t.metrics_ Sim.Metrics.retry_backoff_ms wait;
+  Metrics_core.incr t.metrics_ Metrics_core.retry_attempted;
+  Metrics_core.add t.metrics_ Metrics_core.retry_backoff_ms wait;
   wait
 
 let with_retries t ~dst attempt =

@@ -13,8 +13,8 @@
     [?reliability] with budget 0 byte-identical to no reliability at
     every layer (the zero-retry anchor).
 
-    Counters land in a {!Sim.Metrics.t} (the caller's, or a private
-    one) under {!Sim.Metrics.retry_attempted} / [retry_exhausted] /
+    Counters land in a {!Metrics_core.t} (the caller's, or a private
+    one) under {!Metrics_core.retry_attempted} / [retry_exhausted] /
     [retry_backoff_ms] / [retry_circuit_opens] / [retry_acked]. *)
 
 open Idspace
@@ -25,7 +25,7 @@ val disabled : unit -> t
 (** Never retries, never draws. What [?reliability:None] threads
     through the stack. *)
 
-val create : ?metrics:Sim.Metrics.t -> Policy.t -> t
+val create : ?metrics:Metrics_core.t -> Policy.t -> t
 (** Retry counters are added into [metrics] when given, otherwise
     into a private table readable via {!metrics}. *)
 
@@ -34,7 +34,7 @@ val active : t -> bool
     tracker will never retry, draw, or count. *)
 
 val policy : t -> Policy.t
-val metrics : t -> Sim.Metrics.t
+val metrics : t -> Metrics_core.t
 
 val budget : t -> int
 (** Extra attempts allowed after the first; 0 when inactive. *)
@@ -57,8 +57,8 @@ val record_exhausted : t -> Point.t -> unit
 val next_backoff : t -> attempt:int -> int
 (** The wait (ms) before retry [attempt] (0-based): the policy's
     deterministic backoff plus one seeded jitter draw. Accounts
-    {!Sim.Metrics.retry_attempted} and adds the wait into
-    {!Sim.Metrics.retry_backoff_ms}. Only call on an active
+    {!Metrics_core.retry_attempted} and adds the wait into
+    {!Metrics_core.retry_backoff_ms}. Only call on an active
     tracker. *)
 
 val with_retries : t -> dst:Point.t -> (unit -> bool) -> bool

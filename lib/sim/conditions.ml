@@ -1,0 +1,33 @@
+type t = {
+  faults : Faults.Plan.t option;
+  reliability : Reliability.Policy.t option;
+}
+
+let none = { faults = None; reliability = None }
+let make ?faults ?reliability () = { faults; reliability }
+let is_none t = t.faults = None && t.reliability = None
+
+let describe t =
+  match (t.faults, t.reliability) with
+  | None, None -> "benign"
+  | Some p, None -> Faults.Plan.describe p
+  | None, Some r -> Reliability.Policy.describe r
+  | Some p, Some r ->
+      Printf.sprintf "%s; %s" (Faults.Plan.describe p)
+        (Reliability.Policy.describe r)
+
+type active = {
+  injector : Faults.Injector.t option;
+  tracker : Reliability.Tracker.t option;
+}
+
+let inert = { injector = None; tracker = None }
+
+let activate ?metrics t =
+  {
+    injector = Option.map (fun p -> Faults.Injector.create ?metrics p) t.faults;
+    tracker =
+      Option.map (fun p -> Reliability.Tracker.create ?metrics p) t.reliability;
+  }
+
+let of_instances ?injector ?tracker () = { injector; tracker }

@@ -68,3 +68,117 @@ let render t ~width =
       Buffer.add_string buf (Printf.sprintf "%8.4f | %s %d\n" lo (String.make bar_len '#') c))
     t.counts;
   Buffer.contents buf
+
+module Log = struct
+  (* Bucket i (1 <= i <= inner) covers [lo * r^(i-1), lo * r^i) with
+     r = 10^(1/per_decade); bucket 0 is the underflow sink [<lo],
+     bucket inner+1 the overflow sink [>= hi']. Geometric buckets
+     bound the relative quantile error by r - 1, independent of the
+     sample's magnitude — the property that lets one geometry span
+     sub-millisecond cache hits and multi-second timeout spikes. *)
+  type t = {
+    lo : float;
+    per_decade : int;
+    inner : int;  (* bucket count between the two sinks *)
+    counts : int array;
+    mutable total : int;
+    mutable min_seen : float;
+    mutable max_seen : float;
+  }
+
+  let create ?(lo = 0.1) ?(hi = 1e7) ?(per_decade = 25) () =
+    if lo <= 0. then invalid_arg "Histogram.Log.create: lo > 0 required";
+    if hi <= lo then invalid_arg "Histogram.Log.create: hi > lo required";
+    if per_decade < 1 then invalid_arg "Histogram.Log.create: per_decade >= 1";
+    let inner =
+      int_of_float (ceil (float_of_int per_decade *. log10 (hi /. lo)))
+    in
+    {
+      lo;
+      per_decade;
+      inner;
+      counts = Array.make (inner + 2) 0;
+      total = 0;
+      min_seen = infinity;
+      max_seen = neg_infinity;
+    }
+
+  let same_geometry a b =
+    a.lo = b.lo && a.per_decade = b.per_decade && a.inner = b.inner
+
+  let bucket_of t x =
+    if x < t.lo then 0
+    else begin
+      let i = 1 + int_of_float (float_of_int t.per_decade *. log10 (x /. t.lo)) in
+      if i > t.inner then t.inner + 1 else i
+    end
+
+  (* Lower edge of bucket i; the underflow sink starts at 0. *)
+  let edge t i =
+    if i <= 0 then 0.
+    else t.lo *. (10. ** (float_of_int (i - 1) /. float_of_int t.per_decade))
+
+  let add t x =
+    let x = if Float.is_nan x then 0. else Float.max x 0. in
+    let i = bucket_of t x in
+    t.counts.(i) <- t.counts.(i) + 1;
+    t.total <- t.total + 1;
+    if x < t.min_seen then t.min_seen <- x;
+    if x > t.max_seen then t.max_seen <- x
+
+  let total t = t.total
+  let min_value t = if t.total = 0 then 0. else t.min_seen
+  let max_value t = if t.total = 0 then 0. else t.max_seen
+
+  let quantile t q =
+    if t.total = 0 then invalid_arg "Histogram.Log.quantile: empty";
+    if Float.is_nan q || q < 0. || q > 1. then
+      invalid_arg "Histogram.Log.quantile: q in [0,1]";
+    (* Target the same order statistic Descriptive.quantile
+       interpolates around: 0-based rank q * (total - 1). The extreme
+       ranks are tracked exactly, no interpolation. *)
+    let rank = q *. float_of_int (t.total - 1) in
+    if rank <= 0. then t.min_seen
+    else if rank >= float_of_int (t.total - 1) then t.max_seen
+    else begin
+    let i = ref 0 and below = ref 0 in
+    while float_of_int (!below + t.counts.(!i)) <= rank && !i < t.inner + 1 do
+      below := !below + t.counts.(!i);
+      incr i
+    done;
+    let i = !i in
+    let c = t.counts.(i) in
+    (* Interpolate within the bucket, clamped by the exact extremes
+       so single-bucket distributions report exactly. *)
+    let b_lo = Float.max (edge t i) t.min_seen in
+    let b_hi = Float.min (edge t (i + 1)) t.max_seen in
+    if c = 0 || b_hi <= b_lo then Float.min b_hi t.max_seen
+    else begin
+      let frac = (rank -. float_of_int !below +. 1.) /. float_of_int (c + 1) in
+      let frac = Float.max 0. (Float.min 1. frac) in
+      b_lo +. (frac *. (b_hi -. b_lo))
+    end
+    end
+
+  let merge a b =
+    if not (same_geometry a b) then
+      invalid_arg "Histogram.Log.merge: differing bucket geometry";
+    let t =
+      {
+        lo = a.lo;
+        per_decade = a.per_decade;
+        inner = a.inner;
+        counts = Array.make (a.inner + 2) 0;
+        total = a.total + b.total;
+        min_seen = Float.min a.min_seen b.min_seen;
+        max_seen = Float.max a.max_seen b.max_seen;
+      }
+    in
+    Array.iteri (fun i c -> t.counts.(i) <- c + b.counts.(i)) a.counts;
+    t
+
+  let buckets t = t.inner + 2
+
+  let relative_error t =
+    (10. ** (1. /. float_of_int t.per_decade)) -. 1.
+end

@@ -36,3 +36,56 @@ val max_deviation : t -> float
 
 val render : t -> width:int -> string
 (** ASCII bar rendering, one line per bin. *)
+
+(** Log-bucketed histograms for latency percentiles.
+
+    The serving tier needs p50/p99/p999 over millions of operation
+    latencies without storing every sample. Geometric buckets
+    ([per_decade] per factor of 10) bound the {e relative} quantile
+    error by [10^(1/per_decade) - 1] regardless of magnitude, so one
+    geometry spans sub-millisecond cache hits and multi-second
+    timeout spikes. Exact minimum and maximum are tracked on the
+    side, so extreme quantiles never extrapolate past observed
+    values. *)
+module Log : sig
+  type t
+
+  val create : ?lo:float -> ?hi:float -> ?per_decade:int -> unit -> t
+  (** [create ()] covers [0.1 .. 1e7] (milliseconds, say) at 25
+      buckets per decade (≈ 9.6% relative resolution). Values below
+      [lo] land in an underflow sink whose range is closed by the
+      exact minimum; values at or above [hi] in an overflow sink
+      closed by the exact maximum. Negative and NaN samples clamp
+      to 0. Requires [0 < lo < hi] and [per_decade >= 1]. *)
+
+  val add : t -> float -> unit
+
+  val total : t -> int
+  val min_value : t -> float
+  (** Exact smallest sample added (0 when empty). *)
+
+  val max_value : t -> float
+  (** Exact largest sample added (0 when empty). *)
+
+  val quantile : t -> float -> float
+  (** [quantile t q] estimates the same order statistic
+      {!Descriptive.quantile} interpolates around (0-based rank
+      [q * (total - 1)]), by linear interpolation inside the bucket
+      holding that rank. Within {!relative_error} of the true sample
+      quantile (plus one bucket of interpolation slack at bucket
+      boundaries). Raises [Invalid_argument] when empty or
+      [q] is outside [0, 1]. *)
+
+  val merge : t -> t -> t
+  (** Pure combination of two histograms of identical geometry —
+      associative and commutative up to float min/max, which is what
+      lets per-cohort histograms fold in any grouping. Raises
+      [Invalid_argument] on differing geometry. *)
+
+  val buckets : t -> int
+  (** Total bucket count including the two sinks. *)
+
+  val relative_error : t -> float
+  (** The geometry's worst-case relative quantile error,
+      [10^(1/per_decade) - 1]. *)
+end

@@ -40,6 +40,8 @@ type t = {
   metrics_ : Sim.Metrics.t;
   inj : Faults.Injector.t;
   rel : Reliability.Tracker.t;
+  conds : Sim.Conditions.active;
+      (* [inj]/[rel] wrapped once, handed to every membership call. *)
   h1 : Hashing.Oracle.t;
   h2 : Hashing.Oracle.t;
   mutable epoch_ : int;
@@ -67,18 +69,18 @@ let fresh_population rng config =
   Population.generate (Prng.Rng.split rng) ~n ~beta:config.params.Params.beta
     ~strategy:config.placement
 
-let init ?faults ?reliability rng config =
+let init ?(conditions = Sim.Conditions.none) rng config =
   let system_key = "tinygroups-repro" in
   let h1 = Hashing.Oracle.make ~system_key ~label:"h1" in
   let h2 = Hashing.Oracle.make ~system_key ~label:"h2" in
   let metrics_ = Sim.Metrics.create () in
   let inj =
-    match faults with
+    match conditions.Sim.Conditions.faults with
     | None -> Faults.Injector.disabled ()
     | Some plan -> Faults.Injector.create ~metrics:metrics_ plan
   in
   let rel =
-    match reliability with
+    match conditions.Sim.Conditions.reliability with
     | None -> Reliability.Tracker.disabled ()
     | Some policy -> Reliability.Tracker.create ~metrics:metrics_ policy
   in
@@ -106,6 +108,7 @@ let init ?faults ?reliability rng config =
     metrics_;
     inj;
     rel;
+    conds = Sim.Conditions.of_instances ~injector:inj ~tracker:rel ();
     h1;
     h2;
     epoch_ = 0;
@@ -135,11 +138,11 @@ let build_next t ~old ~new_pop ~new_overlay ~member_oracle =
           Point.of_u62 (Hashing.Oracle.query_indexed member_oracle (Point.to_u62 w) i)
         in
         (* Environmental faults apply per individual search inside
-           the dual protocol ([?faults] below); a member that is
-           crashed right now additionally cannot answer the
-           solicitation. *)
+           the dual protocol (the activated conditions below); a
+           member that is crashed right now additionally cannot
+           answer the solicitation. *)
         (match
-           Membership.solicit_member ~faults:t.inj ~reliability:t.rel
+           Membership.solicit_member ~conditions:t.conds
              (Prng.Rng.split t.rng) t.metrics_ old ~point
          with
         | Some m when Faults.Injector.crashed t.inj ~now m ->
@@ -162,7 +165,7 @@ let build_next t ~old ~new_pop ~new_overlay ~member_oracle =
         List.for_all
           (fun u ->
             (not (Faults.Injector.severed t.inj ~now ~src:(Some w) ~dst:u))
-            && Membership.establish_neighbor ~faults:t.inj ~reliability:t.rel
+            && Membership.establish_neighbor ~conditions:t.conds
                  (Prng.Rng.split t.rng) t.metrics_ old ~target:u)
           (new_overlay.Overlay.Overlay_intf.neighbors w)
       in
@@ -191,7 +194,7 @@ let advance t =
       for _ = 1 to attempts do
         let victim = victims.(Prng.Rng.int t.rng (Array.length victims)) in
         if
-          Membership.spam_accepted ~faults:t.inj ~reliability:t.rel
+          Membership.spam_accepted ~conditions:t.conds
             (Prng.Rng.split t.rng) t.metrics_ old ~victim
         then
           t.spam_accepted_ <- t.spam_accepted_ + 1

@@ -59,13 +59,13 @@ val default_config : n:int -> config
 
 type t
 
-val init :
-  ?faults:Faults.Plan.t -> ?reliability:Reliability.Policy.t -> Prng.Rng.t -> config -> t
+val init : ?conditions:Sim.Conditions.t -> Prng.Rng.t -> config -> t
 (** Build the initial graphs [G⁰] directly (correct wiring, honest
     member choice — the paper's initialisation assumption,
     Appendix X) over a freshly generated population.
 
-    [?faults] subjects every subsequent {!advance} to the plan's
+    The fault plan of [?conditions] (default
+    {!Sim.Conditions.none}) subjects every subsequent {!advance} to its
     environmental faults at the analytic layer's granularity: each
     {e individual} search inside the dual membership protocol is lost
     with the plan's {!Faults.Plan.wildcard_drop} rate (a dropped
@@ -78,7 +78,8 @@ val init :
     plan's seed, so a zero-rate plan reproduces the no-faults run
     exactly; fault counters land in {!metrics}.
 
-    [?reliability] arms every membership/neighbour search with a
+    The reliability policy of the same record arms every
+    membership/neighbour search with a
     retry budget (see {!Reliability.Tracker.with_retries}): a lost
     wave is re-issued before the dual protocol gives up on it, and a
     neighbour link whose establishment still fails marks the group

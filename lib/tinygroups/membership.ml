@@ -20,22 +20,23 @@ let graphs pair = pair.g1 :: Option.to_list pair.g2
 
 (* One search in one old graph; [src] must be a leader there. Returns
    whether the search escaped the adversary, charging its messages.
-   An environmental fault ([?faults]) loses the whole request or
-   response wave of this one search: no verifiable answer comes back
-   from this graph, which the caller cannot distinguish from a
-   hijack. The dual-graph redundancy then absorbs single losses the
-   same way it absorbs single hijacks (q_f^2). A reliability tracker
-   ([?reliability]) re-issues a lost wave up to its budget, each
-   attempt drawing its own loss verdict from the injector — so only
-   a whole budget of consecutive losses still reads as a hijack. *)
-let one_search ?faults ?reliability rng metrics graph ~failure ~src ~point =
+   An environmental fault (the conditions' injector) loses the whole
+   request or response wave of this one search: no verifiable answer
+   comes back from this graph, which the caller cannot distinguish
+   from a hijack. The dual-graph redundancy then absorbs single
+   losses the same way it absorbs single hijacks (q_f^2). The
+   conditions' reliability tracker re-issues a lost wave up to its
+   budget, each attempt drawing its own loss verdict from the
+   injector — so only a whole budget of consecutive losses still
+   reads as a hijack. *)
+let one_search ~conds rng metrics graph ~failure ~src ~point =
   let wave_delivered () =
-    match faults with
+    match conds.Sim.Conditions.injector with
     | Some inj -> not (Faults.Injector.search_lost inj)
     | None -> true
   in
   let delivered =
-    match reliability with
+    match conds.Sim.Conditions.tracker with
     | Some tracker -> Reliability.Tracker.with_retries tracker ~dst:point wave_delivered
     | None -> wave_delivered ()
   in
@@ -55,20 +56,20 @@ let one_search ?faults ?reliability rng metrics graph ~failure ~src ~point =
 
 (* Run one search per old graph from [pick_src graph] and count how
    many the adversary hijacked. *)
-let hijack_count ?faults ?reliability rng metrics pair ~pick_src ~point =
+let hijack_count ~conds rng metrics pair ~pick_src ~point =
   List.fold_left
     (fun acc graph ->
       if
-        one_search ?faults ?reliability rng metrics graph ~failure:pair.failure
+        one_search ~conds rng metrics graph ~failure:pair.failure
           ~src:(pick_src graph) ~point
       then acc
       else acc + 1)
     0 (graphs pair)
 
-let dual_search ?faults ?reliability rng metrics pair ~point =
+let dual_search ?(conditions = Sim.Conditions.inert) rng metrics pair ~point =
   let total = List.length (graphs pair) in
   let hijacked =
-    hijack_count ?faults ?reliability rng metrics pair ~pick_src:(fun _ -> None) ~point
+    hijack_count ~conds:conditions rng metrics pair ~pick_src:(fun _ -> None) ~point
   in
   if hijacked = total then Hijacked_lookup
   else Resolved (Ring.successor_exn (Population.ring (old_population pair)) point)
@@ -79,10 +80,11 @@ let verifier_src graph verifier =
   if Ring.mem verifier (Population.ring (Group_graph.population graph)) then Some verifier
   else None
 
-let verification_search ?faults ?reliability rng metrics pair ~verifier ~point =
+let verification_search ?(conditions = Sim.Conditions.inert) rng metrics pair
+    ~verifier ~point =
   let total = List.length (graphs pair) in
   let hijacked =
-    hijack_count ?faults ?reliability rng metrics pair
+    hijack_count ~conds:conditions rng metrics pair
       ~pick_src:(fun g -> verifier_src g verifier)
       ~point
   in
@@ -95,8 +97,8 @@ let adversary_plant pair ~point =
   if Ring.cardinal bad_ring = 0 then None
   else Some (Ring.successor_exn bad_ring point)
 
-let solicit_member ?faults ?reliability rng metrics pair ~point =
-  match dual_search ?faults ?reliability rng metrics pair ~point with
+let solicit_member ?(conditions = Sim.Conditions.inert) rng metrics pair ~point =
+  match dual_search ~conditions rng metrics pair ~point with
   | Hijacked_lookup -> (
       match adversary_plant pair ~point with
       | Some plant -> Some plant
@@ -107,24 +109,25 @@ let solicit_member ?faults ?reliability rng metrics pair ~point =
   | Resolved m ->
       if Population.is_bad (old_population pair) m then Some m
         (* Bad IDs gladly join any group. *)
-      else if verification_search ?faults ?reliability rng metrics pair ~verifier:m ~point
+      else if verification_search ~conditions rng metrics pair ~verifier:m ~point
       then Some m
       else None
 
-let establish_neighbor ?faults ?reliability rng metrics pair ~target =
-  match dual_search ?faults ?reliability rng metrics pair ~point:target with
+let establish_neighbor ?(conditions = Sim.Conditions.inert) rng metrics pair
+    ~target =
+  match dual_search ~conditions rng metrics pair ~point:target with
   | Hijacked_lookup -> false
   | Resolved _ ->
-      verification_search ?faults ?reliability rng metrics pair ~verifier:target
+      verification_search ~conditions rng metrics pair ~verifier:target
         ~point:target
 
-let spam_accepted ?faults ?reliability rng metrics pair ~victim =
+let spam_accepted ?(conditions = Sim.Conditions.inert) rng metrics pair ~victim =
   (* A bogus request names a point that does not map to the victim;
      the honest answer is a rejection, so acceptance requires at
      least one hijacked verification search parroting the spam. *)
   let point = Point.random rng in
   let hijacked =
-    hijack_count ?faults ?reliability rng metrics pair
+    hijack_count ~conds:conditions rng metrics pair
       ~pick_src:(fun g -> verifier_src g victim)
       ~point
   in

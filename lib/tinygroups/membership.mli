@@ -50,8 +50,7 @@ type resolution =
       (** Every search was hijacked: the answer is the adversary's. *)
 
 val dual_search :
-  ?faults:Faults.Injector.t ->
-  ?reliability:Reliability.Tracker.t ->
+  ?conditions:Sim.Conditions.active ->
   Prng.Rng.t ->
   Sim.Metrics.t ->
   old_pair ->
@@ -62,16 +61,18 @@ val dual_search :
     Appendix IX). A graph with no blue group counts as a failed
     search.
 
-    [?faults] (here and below) loses each {e individual} search with
-    the plan's {!Faults.Plan.wildcard_drop} probability — a dropped
-    request or response wave, indistinguishable from a hijack to the
-    caller — so the dual-graph redundancy absorbs environmental
-    losses with the same q_f² argument it uses against the
-    adversary.
+    [?conditions] (here and below) carries the activated
+    environmental layers ({!Sim.Conditions.active}, defaulting to
+    {!Sim.Conditions.inert}). Its injector loses each {e individual}
+    search with the plan's {!Faults.Plan.wildcard_drop} probability —
+    a dropped request or response wave, indistinguishable from a
+    hijack to the caller — so the dual-graph redundancy absorbs
+    environmental losses with the same q_f² argument it uses against
+    the adversary.
 
-    [?reliability] (here and below) re-issues a lost wave up to the
+    Its tracker re-issues a lost wave up to the
     tracker's retry budget before declaring the search failed; each
-    attempt draws an independent loss verdict from [?faults]. Retry
+    attempt draws an independent loss verdict from the injector. Retry
     and backoff accounting lands in the tracker's metrics; the
     analytic layer does not re-charge per-wave messages for
     retransmissions (consistent with its convention of not charging
@@ -79,8 +80,7 @@ val dual_search :
     to passing no tracker at all. *)
 
 val verification_search :
-  ?faults:Faults.Injector.t ->
-  ?reliability:Reliability.Tracker.t ->
+  ?conditions:Sim.Conditions.active ->
   Prng.Rng.t ->
   Sim.Metrics.t ->
   old_pair ->
@@ -94,8 +94,7 @@ val verification_search :
     adversary. *)
 
 val solicit_member :
-  ?faults:Faults.Injector.t ->
-  ?reliability:Reliability.Tracker.t ->
+  ?conditions:Sim.Conditions.active ->
   Prng.Rng.t ->
   Sim.Metrics.t ->
   old_pair ->
@@ -109,8 +108,7 @@ val solicit_member :
     fully hijacked lookup. *)
 
 val establish_neighbor :
-  ?faults:Faults.Injector.t ->
-  ?reliability:Reliability.Tracker.t ->
+  ?conditions:Sim.Conditions.active ->
   Prng.Rng.t ->
   Sim.Metrics.t ->
   old_pair ->
@@ -122,8 +120,7 @@ val establish_neighbor :
     failure cases). *)
 
 val spam_accepted :
-  ?faults:Faults.Injector.t ->
-  ?reliability:Reliability.Tracker.t ->
+  ?conditions:Sim.Conditions.active ->
   Prng.Rng.t ->
   Sim.Metrics.t ->
   old_pair ->

@@ -22,13 +22,19 @@ let lookup_key t name = Point.of_u62 (Hashing.Oracle.query_string t.oracle name)
 
 type popularity = Uniform_pop | Zipf of float
 
-let sampler rng t pop =
+(* A distribution precomputes the (potentially large) cumulative
+   weight table once, so many independent per-user streams can share
+   it; [draw] takes the stream explicitly. *)
+type dist =
+  | Uniform_dist of int
+  | Zipf_dist of { cumulative : float array; total : float }
+
+let distribution t pop =
   let n = count t in
-  if n = 0 then invalid_arg "Resources.sampler: empty universe";
+  if n = 0 then invalid_arg "Resources.distribution: empty universe";
   match pop with
-  | Uniform_pop -> fun () -> Prng.Rng.int rng n
+  | Uniform_pop -> Uniform_dist n
   | Zipf s ->
-      (* Inverse-CDF sampling over precomputed cumulative weights. *)
       let weights = Array.init n (fun i -> 1. /. (float_of_int (i + 1) ** s)) in
       let cumulative = Array.make n 0. in
       let total =
@@ -40,12 +46,22 @@ let sampler rng t pop =
           weights;
         !acc
       in
-      fun () ->
-        let target = Prng.Rng.float rng *. total in
-        (* Binary search for the first cumulative weight >= target. *)
-        let lo = ref 0 and hi = ref (n - 1) in
-        while !lo < !hi do
-          let mid = (!lo + !hi) / 2 in
-          if cumulative.(mid) < target then lo := mid + 1 else hi := mid
-        done;
-        !lo
+      Zipf_dist { cumulative; total }
+
+let draw rng = function
+  | Uniform_dist n -> Prng.Rng.int rng n
+  | Zipf_dist { cumulative; total } ->
+      (* Inverse CDF: binary search for the first cumulative weight
+         >= target. *)
+      let target = Prng.Rng.float rng *. total in
+      let n = Array.length cumulative in
+      let lo = ref 0 and hi = ref (n - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if cumulative.(mid) < target then lo := mid + 1 else hi := mid
+      done;
+      !lo
+
+let sampler rng t pop =
+  let d = distribution t pop in
+  fun () -> draw rng d

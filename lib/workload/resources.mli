@@ -33,3 +33,12 @@ val sampler : Prng.Rng.t -> t -> popularity -> unit -> int
 (** [sampler rng t pop] draws resource indices: uniformly, or
     Zipf-distributed with the given exponent over the universe in
     index order (index 0 most popular). *)
+
+type dist
+(** A popularity distribution with its cumulative weights
+    precomputed — immutable, so one table can serve many independent
+    PRNG streams (closed-loop users each draw from their own). *)
+
+val distribution : t -> popularity -> dist
+val draw : Prng.Rng.t -> dist -> int
+(** One resource index from an explicit stream. *)

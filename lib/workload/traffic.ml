@@ -1,0 +1,86 @@
+type op = Get | Put | Delete
+
+type mix = {
+  get : float;
+  put : float;
+  delete : float;
+}
+
+let default_mix = { get = 0.80; put = 0.15; delete = 0.05 }
+
+type spec = {
+  users : int;
+  ops_per_user : int;
+  think_ms : float;
+  mix : mix;
+  dist : Resources.dist;
+}
+
+type stats = {
+  ops : int;
+  makespan_ms : int;
+}
+
+type user_state = {
+  idx : int;
+  decide : Prng.Rng.t;  (* op class, key, think times *)
+  latency : Prng.Rng.t;  (* handed to [execute] for service modelling *)
+  mutable seq : int;
+}
+
+let check_mix m =
+  if
+    m.get < 0. || m.put < 0. || m.delete < 0.
+    || Float.abs (m.get +. m.put +. m.delete -. 1.) > 1e-9
+  then invalid_arg "Traffic.run: mix must be non-negative and sum to 1"
+
+let pick_op m rng =
+  let x = Prng.Rng.float rng in
+  if x < m.get then Get else if x < m.get +. m.put then Put else Delete
+
+let think spec u =
+  if spec.think_ms <= 0. then 0
+  else int_of_float (Prng.Rng.exponential u.decide (1. /. spec.think_ms))
+
+let run rng spec ~execute =
+  check_mix spec.mix;
+  if spec.users < 0 || spec.ops_per_user < 0 then
+    invalid_arg "Traffic.run: negative users or ops_per_user";
+  if spec.users = 0 || spec.ops_per_user = 0 then { ops = 0; makespan_ms = 0 }
+  else begin
+    (* Two substreams per user, forked in user order before any
+       event runs: the schedule is fixed by the seed alone. *)
+    let streams = Parallel.Fanout.streams rng (2 * spec.users) in
+    let users =
+      Array.init spec.users (fun i ->
+          { idx = i; decide = streams.(2 * i); latency = streams.((2 * i) + 1); seq = 0 })
+    in
+    let heap : user_state Sim.Heap.t = Sim.Heap.create () in
+    let pushes = ref 0 in
+    let push ~time u =
+      Sim.Heap.push heap ~time ~seq:!pushes u;
+      incr pushes
+    in
+    (* Stagger arrivals by one think time each, like users showing up
+       independently rather than in a thundering herd. *)
+    Array.iter (fun u -> push ~time:(think spec u) u) users;
+    let ops = ref 0 and makespan = ref 0 in
+    let rec loop () =
+      match Sim.Heap.pop heap with
+      | None -> ()
+      | Some (now, _, u) ->
+          let op = pick_op spec.mix u.decide in
+          let key = Resources.draw u.decide spec.dist in
+          let service =
+            max 1 (execute ~user:u.idx ~seq:u.seq ~now ~op ~key u.latency)
+          in
+          let done_at = now + service in
+          incr ops;
+          if done_at > !makespan then makespan := done_at;
+          u.seq <- u.seq + 1;
+          if u.seq < spec.ops_per_user then push ~time:(done_at + think spec u) u;
+          loop ()
+    in
+    loop ();
+    { ops = !ops; makespan_ms = !makespan }
+  end

@@ -1,0 +1,59 @@
+(** Closed-loop load generation for the serving tier.
+
+    Simulated users issue get/put/delete operations against a store:
+    each user waits an exponential think time, issues one operation,
+    waits for its completion, thinks again — the classic closed-loop
+    model whose offered load self-throttles under latency spikes
+    (unlike an open-loop generator, which melts down the tail the
+    moment service slows).
+
+    Time is virtual (integer milliseconds) and every random choice is
+    drawn from per-user substreams forked off the caller's stream
+    with {!Parallel.Fanout.streams} before any scheduling happens, so
+    a run is a pure function of its seed: byte-identical results at
+    any [--jobs] when whole engines are fanned out across domains,
+    and identical operation sequences whatever the executor's timing
+    answers are (operation/key choices and service-latency modelling
+    live on separate substreams). *)
+
+type op = Get | Put | Delete
+
+type mix = {
+  get : float;
+  put : float;
+  delete : float;
+}
+(** Operation-class probabilities; must sum to 1 (±1e-9). *)
+
+val default_mix : mix
+(** The content-serving default: 80% get, 15% put, 5% delete. *)
+
+type spec = {
+  users : int;
+  ops_per_user : int;
+  think_ms : float;  (** Mean of the exponential think time; 0 = none. *)
+  mix : mix;
+  dist : Resources.dist;  (** Key popularity (typically Zipf). *)
+}
+
+type stats = {
+  ops : int;  (** Operations completed ([users * ops_per_user]). *)
+  makespan_ms : int;
+      (** Virtual time at which the last user finished — with [ops],
+          the closed-loop throughput. *)
+}
+
+val run :
+  Prng.Rng.t ->
+  spec ->
+  execute:
+    (user:int -> seq:int -> now:int -> op:op -> key:int -> Prng.Rng.t -> int) ->
+  stats
+(** Drive all users to completion. [execute] performs one operation
+    ([seq] is the user's 0-based operation index) and returns its
+    service time in milliseconds (clamped to >= 1); the supplied
+    stream is the user's private latency-model substream. Users
+    interleave deterministically on a virtual-time event heap —
+    [execute] is called in global (completion-time, arrival-order)
+    order, so a shared mutable store observes one reproducible
+    operation sequence. *)

@@ -208,7 +208,8 @@ let test_faulty_fanout_jobs_invariant () =
           Protocol.Secure_search.run_search (Prng.Rng.split stream) g ~latency
             ~behaviour:Protocol.Secure_search.Colluding
             ~src:leaders.(i mod Array.length leaders)
-            ~key:(Point.random stream) ~faults:plan ()
+            ~key:(Point.random stream)
+            ~conditions:(Sim.Conditions.make ~faults:plan ()) ()
         in
         (o.Protocol.Secure_search.result, o.Protocol.Secure_search.messages))
   in
@@ -222,7 +223,7 @@ let test_replay_from_seed () =
     let o =
       Protocol.Secure_search.run_search (Prng.Rng.create 17) g ~latency
         ~behaviour:Protocol.Secure_search.Silent ~src:leaders.(0) ~key:(pt 12345)
-        ~faults:plan ()
+        ~conditions:(Sim.Conditions.make ~faults:plan ()) ()
     in
     (o.Protocol.Secure_search.result, o.Protocol.Secure_search.messages)
   in
@@ -234,7 +235,7 @@ let seed_arb =
   QCheck.(map ~rev:Int64.to_int Int64.of_int (int_range 1 1_000_000))
 
 (* A zero-rate plan under ANY seed is byte-identical to no plan at
-   all, at every layer that takes [?faults]. *)
+   all, at every layer that takes [?conditions]. *)
 let prop_zero_plan_search =
   QCheck.Test.make ~count:10 ~name:"zero-rate plan = no plan (run_search)" seed_arb
     (fun seed ->
@@ -244,7 +245,7 @@ let prop_zero_plan_search =
         let o =
           Protocol.Secure_search.run_search (Prng.Rng.create 23) g ~latency
             ~behaviour:Protocol.Secure_search.Colluding ~src:leaders.(1)
-            ~key:(pt 999) ?faults ()
+            ~key:(pt 999) ~conditions:(Sim.Conditions.make ?faults ()) ()
         in
         (o.Protocol.Secure_search.result, o.Protocol.Secure_search.latency_ms,
          o.Protocol.Secure_search.messages)
@@ -254,7 +255,8 @@ let prop_zero_plan_search =
 
 let test_zero_plan_epochs () =
   let chain faults =
-    Experiments.Exp_dynamic.run_epochs ?faults (Prng.Rng.create 11)
+    Experiments.Exp_dynamic.run_epochs
+      ~conditions:(Sim.Conditions.make ?faults ()) (Prng.Rng.create 11)
       ~mode:Tinygroups.Epoch.Paired ~n:128 ~beta:0.05 ~epochs:2 ~searches:50
   in
   Alcotest.(check bool) "epoch chain identical" true
@@ -263,7 +265,8 @@ let test_zero_plan_epochs () =
 let test_zero_plan_e19_render () =
   let render faults =
     Experiments.Table.render
-      (Experiments.Exp_protocol.run_e19 ~jobs:1 ?faults (Prng.Rng.create 1)
+      (Experiments.Exp_protocol.run_e19 ~jobs:1
+         ~conditions:(Sim.Conditions.make ?faults ()) (Prng.Rng.create 1)
          Experiments.Scale.Quick)
   in
   Alcotest.(check string) "E19 render identical" (render None)
@@ -281,7 +284,11 @@ let test_e21_jobs_invariant () =
 (* --- Saturation: nothing gets through ---------------------------- *)
 
 let deliveries plan ~with_src =
-  let net = Protocol.Network.create ?faults:plan (Prng.Rng.create 2) ~latency in
+  let net =
+    Protocol.Network.create
+      ~conditions:(Sim.Conditions.make ?faults:plan ())
+      (Prng.Rng.create 2) ~latency
+  in
   let ids = List.init 4 (fun i -> pt (i + 1)) in
   List.iter (fun id -> Protocol.Network.register net id (fun _ ~now:_ _ -> ())) ids;
   List.iter
@@ -328,7 +335,7 @@ let test_drop_one_search_times_out () =
   let o =
     Protocol.Secure_search.run_search (Prng.Rng.create 23) g ~latency
       ~behaviour:Protocol.Secure_search.Silent ~src:leaders.(0) ~key:(pt 4242)
-      ~deadline:2_000 ~faults:plan ()
+      ~deadline:2_000 ~conditions:(Sim.Conditions.make ~faults:plan ()) ()
   in
   Alcotest.(check bool) "timeout" true (o.Protocol.Secure_search.result = `Timeout)
 

@@ -13,14 +13,14 @@ let any_good_client g =
 let test_put_get_roundtrip () =
   let g = build ~beta:0.0 () in
   let store = Kvstore.Store.create ~system_key:"kv-test" g in
-  let client = any_good_client g in
-  (match Kvstore.Store.put rng store ~client ~name:"alice" ~value:"wonderland" with
+  let client = Kvstore.Store.connect store ~id:(any_good_client g) in
+  (match Kvstore.Store.put client ~name:"alice" ~value:"wonderland" with
   | Kvstore.Store.Stored { version; replicas; messages } ->
       Alcotest.(check bool) "write costs messages" true (messages > 0);
       Alcotest.(check int) "first version" 1 version;
       Alcotest.(check bool) "replicated" true (replicas >= 3)
   | Kvstore.Store.Write_blocked _ -> Alcotest.fail "no adversary, no blocking");
-  match Kvstore.Store.get rng store ~client ~name:"alice" with
+  match Kvstore.Store.get client ~name:"alice" with
   | Kvstore.Store.Found { value; version; _ } ->
       Alcotest.(check string) "roundtrip" "wonderland" value;
       Alcotest.(check int) "version" 1 version
@@ -29,18 +29,18 @@ let test_put_get_roundtrip () =
 let test_get_missing () =
   let g = build ~beta:0.0 () in
   let store = Kvstore.Store.create ~system_key:"kv-test" g in
-  match Kvstore.Store.get rng store ~client:(any_good_client g) ~name:"nobody" with
+  match Kvstore.Store.get (Kvstore.Store.connect store ~id:(any_good_client g)) ~name:"nobody" with
   | Kvstore.Store.Not_found _ -> ()
   | _ -> Alcotest.fail "expected Not_found"
 
 let test_overwrite () =
   let g = build ~beta:0.0 () in
   let store = Kvstore.Store.create ~system_key:"kv-test" g in
-  let client = any_good_client g in
-  ignore (Kvstore.Store.put rng store ~client ~name:"k" ~value:"v1");
-  ignore (Kvstore.Store.put rng store ~client ~name:"k" ~value:"v2");
+  let client = Kvstore.Store.connect store ~id:(any_good_client g) in
+  ignore (Kvstore.Store.put client ~name:"k" ~value:"v1");
+  ignore (Kvstore.Store.put client ~name:"k" ~value:"v2");
   Alcotest.(check int) "one record" 1 (Kvstore.Store.record_count store);
-  match Kvstore.Store.get rng store ~client ~name:"k" with
+  match Kvstore.Store.get client ~name:"k" with
   | Kvstore.Store.Found { value; version; _ } ->
       Alcotest.(check string) "latest wins" "v2" value;
       Alcotest.(check int) "version bumped" 2 version
@@ -71,10 +71,10 @@ let test_home_is_successor () =
 let test_coverage_under_attack () =
   let g = build ~n:1024 ~beta:0.08 () in
   let store = Kvstore.Store.create ~system_key:"kv-test" g in
-  let client = any_good_client g in
+  let client = Kvstore.Store.connect store ~id:(any_good_client g) in
   for i = 0 to 199 do
     ignore
-      (Kvstore.Store.put rng store ~client ~name:(Printf.sprintf "doc-%d" i)
+      (Kvstore.Store.put client ~name:(Printf.sprintf "doc-%d" i)
          ~value:(Printf.sprintf "body-%d" i))
   done;
   let c = Kvstore.Store.coverage (Prng.Rng.split rng) store ~samples:300 in
@@ -84,10 +84,10 @@ let test_rehome_preserves_records () =
   let r = Prng.Rng.create 88 in
   let e = Tinygroups.Epoch.init r (Tinygroups.Epoch.default_config ~n:512) in
   let store = Kvstore.Store.create ~system_key:"kv-test" (Tinygroups.Epoch.primary e) in
-  let client = any_good_client (Tinygroups.Epoch.primary e) in
+  let client = Kvstore.Store.connect store ~id:(any_good_client (Tinygroups.Epoch.primary e)) in
   for i = 0 to 49 do
     ignore
-      (Kvstore.Store.put r store ~client ~name:(Printf.sprintf "n%d" i) ~value:"data")
+      (Kvstore.Store.put client ~name:(Printf.sprintf "n%d" i) ~value:"data")
   done;
   Tinygroups.Epoch.advance e;
   let migrated = Kvstore.Store.rehome store (Tinygroups.Epoch.primary e) in
@@ -104,51 +104,51 @@ let test_coverage_empty_rejected () =
 let test_delete_tombstones () =
   let g = build ~beta:0.0 () in
   let store = Kvstore.Store.create ~system_key:"kv-test" g in
-  let client = any_good_client g in
-  ignore (Kvstore.Store.put rng store ~client ~name:"gone" ~value:"soon");
+  let client = Kvstore.Store.connect store ~id:(any_good_client g) in
+  ignore (Kvstore.Store.put client ~name:"gone" ~value:"soon");
   Alcotest.(check int) "one live record" 1 (Kvstore.Store.record_count store);
-  (match Kvstore.Store.delete rng store ~client ~name:"gone" with
+  (match Kvstore.Store.delete client ~name:"gone" with
   | Kvstore.Store.Stored { version; _ } -> Alcotest.(check int) "tombstone versioned" 2 version
   | Kvstore.Store.Write_blocked _ -> Alcotest.fail "no blocking at beta 0");
   Alcotest.(check int) "no live records" 0 (Kvstore.Store.record_count store);
-  (match Kvstore.Store.get rng store ~client ~name:"gone" with
+  (match Kvstore.Store.get client ~name:"gone" with
   | Kvstore.Store.Not_found _ -> ()
   | _ -> Alcotest.fail "deleted record must read Not_found");
   (* Re-creating after deletion works and keeps bumping versions. *)
-  (match Kvstore.Store.put rng store ~client ~name:"gone" ~value:"back" with
+  (match Kvstore.Store.put client ~name:"gone" ~value:"back" with
   | Kvstore.Store.Stored { version; _ } -> Alcotest.(check int) "recreated" 3 version
   | Kvstore.Store.Write_blocked _ -> Alcotest.fail "no blocking");
-  match Kvstore.Store.get rng store ~client ~name:"gone" with
+  match Kvstore.Store.get client ~name:"gone" with
   | Kvstore.Store.Found { value; _ } -> Alcotest.(check string) "back" "back" value
   | _ -> Alcotest.fail "expected the recreated record"
 
 let test_degrade_triggers_read_repair () =
   let g = build ~beta:0.0 () in
   let store = Kvstore.Store.create ~system_key:"kv-test" g in
-  let client = any_good_client g in
-  ignore (Kvstore.Store.put rng store ~client ~name:"frail" ~value:"data");
+  let client = Kvstore.Store.connect store ~id:(any_good_client g) in
+  ignore (Kvstore.Store.put client ~name:"frail" ~value:"data");
   (* Lose some replicas but keep a majority: the read succeeds and
      repairs the losses. *)
   Kvstore.Store.degrade (Prng.Rng.split rng) store ~loss_rate:0.3;
-  (match Kvstore.Store.get rng store ~client ~name:"frail" with
+  (match Kvstore.Store.get client ~name:"frail" with
   | Kvstore.Store.Found { repaired; _ } | Kvstore.Store.Recovered { repaired; _ } ->
       ignore repaired
   | _ -> Alcotest.fail "majority survives 30% loss w.h.p.");
   (* After the repairing read, a second read repairs nothing. *)
-  match Kvstore.Store.get rng store ~client ~name:"frail" with
+  match Kvstore.Store.get client ~name:"frail" with
   | Kvstore.Store.Found { repaired; _ } -> Alcotest.(check int) "fully healed" 0 repaired
   | _ -> Alcotest.fail "expected Found after repair"
 
 let test_heavy_loss_recovers_from_survivors () =
   let g = build ~beta:0.0 () in
   let store = Kvstore.Store.create ~system_key:"kv-test" g in
-  let client = any_good_client g in
+  let client = Kvstore.Store.connect store ~id:(any_good_client g) in
   let recovered = ref 0 and found = ref 0 and lost = ref 0 in
   for i = 0 to 39 do
     let name = Printf.sprintf "r%d" i in
-    ignore (Kvstore.Store.put rng store ~client ~name ~value:"v");
+    ignore (Kvstore.Store.put client ~name ~value:"v");
     Kvstore.Store.degrade (Prng.Rng.split rng) store ~loss_rate:0.7;
-    match Kvstore.Store.get rng store ~client ~name with
+    match Kvstore.Store.get client ~name with
     | Kvstore.Store.Recovered _ -> incr recovered
     | Kvstore.Store.Found _ -> incr found
     | _ -> incr lost
@@ -164,11 +164,11 @@ let test_heavy_loss_recovers_from_survivors () =
 let test_version_and_names () =
   let g = build ~beta:0.0 () in
   let store = Kvstore.Store.create ~system_key:"kv-test" g in
-  let client = any_good_client g in
+  let client = Kvstore.Store.connect store ~id:(any_good_client g) in
   Alcotest.(check (option int)) "absent" None (Kvstore.Store.version_of store "a");
-  ignore (Kvstore.Store.put rng store ~client ~name:"a" ~value:"1");
-  ignore (Kvstore.Store.put rng store ~client ~name:"b" ~value:"2");
-  ignore (Kvstore.Store.put rng store ~client ~name:"a" ~value:"3");
+  ignore (Kvstore.Store.put client ~name:"a" ~value:"1");
+  ignore (Kvstore.Store.put client ~name:"b" ~value:"2");
+  ignore (Kvstore.Store.put client ~name:"a" ~value:"3");
   Alcotest.(check (option int)) "bumped" (Some 2) (Kvstore.Store.version_of store "a");
   Alcotest.(check (list string)) "live names" [ "a"; "b" ]
     (List.sort compare (Kvstore.Store.names store))
@@ -178,8 +178,55 @@ let test_put_reserved_value_rejected () =
   let store = Kvstore.Store.create ~system_key:"kv-test" g in
   Alcotest.check_raises "reserved" (Invalid_argument "Store.put: reserved value") (fun () ->
       ignore
-        (Kvstore.Store.put rng store ~client:(any_good_client g) ~name:"x"
-           ~value:"\x00<deleted>"))
+        (Kvstore.Store.put
+           (Kvstore.Store.connect store ~id:(any_good_client g))
+           ~name:"x" ~value:"\x00<deleted>"))
+
+let test_client_sessions_and_route_cache () =
+  let g = build ~beta:0.0 () in
+  let m = Sim.Metrics.create () in
+  let store = Kvstore.Store.create ~metrics:m ~system_key:"kv-test" g in
+  let client = Kvstore.Store.connect store ~id:(any_good_client g) in
+  Alcotest.(check bool) "client remembers its id" true
+    (Idspace.Point.equal (Kvstore.Store.client_id client) (any_good_client g));
+  ignore (Kvstore.Store.put client ~name:"hot" ~value:"v1");
+  Alcotest.(check bool) "first route misses the cache" true
+    (Sim.Metrics.get m Sim.Metrics.kv_route_cache_miss > 0);
+  Alcotest.(check bool) "miss is not reported cached" false
+    (Kvstore.Store.last_op_stats store).Kvstore.Store.route_cached;
+  (match Kvstore.Store.get client ~name:"hot" with
+  | Kvstore.Store.Found { value; _ } -> Alcotest.(check string) "cached read" "v1" value
+  | _ -> Alcotest.fail "expected Found via the cache");
+  Alcotest.(check bool) "second route hits the cache" true
+    (Sim.Metrics.get m Sim.Metrics.kv_route_cache_hit > 0);
+  let stats = Kvstore.Store.last_op_stats store in
+  Alcotest.(check bool) "hit reported" true stats.Kvstore.Store.route_cached;
+  Alcotest.(check int) "hit takes one hop" 1 stats.Kvstore.Store.hops;
+  (* Rehome invalidates: the session retargets, the next route walks. *)
+  let hits_before = Sim.Metrics.get m Sim.Metrics.kv_route_cache_hit in
+  let migrated = Kvstore.Store.rehome store (Kvstore.Store.graph store) in
+  Alcotest.(check int) "epoch index bumped" 1 (Kvstore.Store.epoch_index migrated);
+  Alcotest.(check int) "invalidation counted" 1
+    (Sim.Metrics.get m Sim.Metrics.kv_route_cache_invalidated);
+  Kvstore.Store.retarget client migrated;
+  Alcotest.(check bool) "retargeted" true (Kvstore.Store.client_store client == migrated);
+  (match Kvstore.Store.get client ~name:"hot" with
+  | Kvstore.Store.Found { value; _ } -> Alcotest.(check string) "post-rehome read" "v1" value
+  | _ -> Alcotest.fail "expected Found after rehome");
+  Alcotest.(check int) "fresh cache did not hit" hits_before
+    (Sim.Metrics.get m Sim.Metrics.kv_route_cache_hit)
+
+let test_route_cache_disabled () =
+  let g = build ~beta:0.0 () in
+  let m = Sim.Metrics.create () in
+  let store = Kvstore.Store.create ~metrics:m ~route_cache:false ~system_key:"kv-test" g in
+  let client = Kvstore.Store.connect store ~id:(any_good_client g) in
+  ignore (Kvstore.Store.put client ~name:"k" ~value:"v");
+  ignore (Kvstore.Store.get client ~name:"k");
+  ignore (Kvstore.Store.get client ~name:"k");
+  Alcotest.(check int) "never hits" 0 (Sim.Metrics.get m Sim.Metrics.kv_route_cache_hit);
+  Alcotest.(check int) "every route misses" 3
+    (Sim.Metrics.get m Sim.Metrics.kv_route_cache_miss)
 
 (* Model-based property: random put/delete/get sequences agree with a
    reference map when there is no adversary. *)
@@ -189,7 +236,7 @@ let prop_store_matches_reference =
     (fun ops ->
       let g = build ~n:128 ~beta:0.0 () in
       let store = Kvstore.Store.create ~system_key:"kv-model" g in
-      let client = any_good_client g in
+      let client = Kvstore.Store.connect store ~id:(any_good_client g) in
       let reference = Hashtbl.create 16 in
       List.for_all
         (fun (k, v) ->
@@ -198,11 +245,11 @@ let prop_store_matches_reference =
           | Some value ->
               Hashtbl.replace reference name (string_of_int value);
               ignore
-                (Kvstore.Store.put rng store ~client ~name ~value:(string_of_int value))
+                (Kvstore.Store.put client ~name ~value:(string_of_int value))
           | None ->
               Hashtbl.remove reference name;
-              ignore (Kvstore.Store.delete rng store ~client ~name));
-          match (Kvstore.Store.get rng store ~client ~name, Hashtbl.find_opt reference name) with
+              ignore (Kvstore.Store.delete client ~name));
+          match (Kvstore.Store.get client ~name, Hashtbl.find_opt reference name) with
           | Kvstore.Store.Found { value; _ }, Some expected -> String.equal value expected
           | Kvstore.Store.Not_found _, None -> true
           | _ -> false)
@@ -274,6 +321,9 @@ let () =
             test_heavy_loss_recovers_from_survivors;
           Alcotest.test_case "versions and names" `Quick test_version_and_names;
           Alcotest.test_case "reserved value rejected" `Quick test_put_reserved_value_rejected;
+          Alcotest.test_case "client sessions and route cache" `Quick
+            test_client_sessions_and_route_cache;
+          Alcotest.test_case "route cache disabled" `Quick test_route_cache_disabled;
         ] );
       ("model", [ QCheck_alcotest.to_alcotest prop_store_matches_reference ]);
       ( "group-ops",

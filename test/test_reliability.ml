@@ -130,7 +130,7 @@ let test_circuit_breaker_opens () =
 let seed_arb = QCheck.(map ~rev:Int64.to_int Int64.of_int (int_range 1 1_000_000))
 
 (* A budget-0 policy under ANY seed is byte-identical to no policy at
-   all, at every layer that takes [?reliability] — mirroring the
+   all, at every layer that takes [?conditions] — mirroring the
    fault layer's zero-rate anchor. Layer 1: the message network. *)
 let prop_zero_policy_search =
   QCheck.Test.make ~count:10 ~name:"budget-0 policy = no policy (run_search)" seed_arb
@@ -142,7 +142,7 @@ let prop_zero_policy_search =
         let o =
           Protocol.Secure_search.run_search (Prng.Rng.create 23) g ~latency
             ~behaviour:Protocol.Secure_search.Colluding ~src:leaders.(1) ~key:(pt 999)
-            ~faults:plan ?reliability ()
+            ~conditions:(Sim.Conditions.make ~faults:plan ?reliability ()) ()
         in
         ( o.Protocol.Secure_search.result,
           o.Protocol.Secure_search.latency_ms,
@@ -154,8 +154,11 @@ let prop_zero_policy_search =
 let test_zero_policy_epochs () =
   let chain reliability =
     Experiments.Exp_dynamic.run_epochs
-      ~faults:(Faults.Plan.with_seed (Faults.Plan.uniform ~drop:0.05 ()) 3L)
-      ?reliability (Prng.Rng.create 11) ~mode:Tinygroups.Epoch.Paired ~n:128 ~beta:0.05
+      ~conditions:
+        (Sim.Conditions.make
+           ~faults:(Faults.Plan.with_seed (Faults.Plan.uniform ~drop:0.05 ()) 3L)
+           ?reliability ())
+      (Prng.Rng.create 11) ~mode:Tinygroups.Epoch.Paired ~n:128 ~beta:0.05
       ~epochs:2 ~searches:50
   in
   Alcotest.(check bool) "epoch chain identical" true
@@ -165,7 +168,8 @@ let test_zero_policy_epochs () =
 let test_zero_policy_e19_render () =
   let render reliability =
     Experiments.Table.render
-      (Experiments.Exp_protocol.run_e19 ~jobs:1 ?reliability (Prng.Rng.create 1)
+      (Experiments.Exp_protocol.run_e19 ~jobs:1
+         ~conditions:(Sim.Conditions.make ?reliability ()) (Prng.Rng.create 1)
          Experiments.Scale.Quick)
   in
   Alcotest.(check string) "E19 render identical" (render None)
@@ -210,7 +214,9 @@ let test_budget_recovers_deliveries () =
   let count reliability =
     let plan = Faults.Plan.with_seed (Faults.Plan.uniform ~drop:0.5 ()) 9L in
     let net =
-      Protocol.Network.create ~faults:plan ?reliability (Prng.Rng.create 2) ~latency
+      Protocol.Network.create
+        ~conditions:(Sim.Conditions.make ~faults:plan ?reliability ())
+        (Prng.Rng.create 2) ~latency
     in
     let ids = List.init 8 (fun i -> pt (i + 1)) in
     List.iter (fun id -> Protocol.Network.register net id (fun _ ~now:_ _ -> ())) ids;

@@ -164,6 +164,101 @@ let test_histogram_render () =
   Alcotest.(check int) "one line per bin" 3
     (List.length (String.split_on_char '\n' (String.trim s)))
 
+(* Log-bucketed latency histograms. *)
+
+module L = Stats.Histogram.Log
+
+let test_log_exact_extremes () =
+  let h = L.create () in
+  List.iter (L.add h) [ 3.7; 120.; 0.02; 9500.; 3.7 ];
+  feq "min exact" 0.02 (L.min_value h);
+  feq "max exact" 9500. (L.max_value h);
+  feq "q0 is the min" 0.02 (L.quantile h 0.);
+  feq "q1 is the max" 9500. (L.quantile h 1.);
+  Alcotest.(check int) "total" 5 (L.total h)
+
+let test_log_single_value_exact () =
+  let h = L.create () in
+  for _ = 1 to 100 do
+    L.add h 42.
+  done;
+  List.iter (fun q -> feq (Printf.sprintf "q%.2f" q) 42. (L.quantile h q))
+    [ 0.; 0.25; 0.5; 0.99; 1. ]
+
+let test_log_relative_error_bound () =
+  (* A dense sample: every estimated quantile lands within the
+     geometry's advertised relative resolution of the true sample
+     quantile. *)
+  let h = L.create () in
+  let xs = Array.init 10_000 (fun i -> 1. +. (0.37 *. float_of_int i)) in
+  Array.iter (L.add h) xs;
+  let tol = 2. *. L.relative_error h in
+  List.iter
+    (fun q ->
+      let truth = Stats.Descriptive.quantile xs q in
+      let est = L.quantile h q in
+      Alcotest.(check bool)
+        (Printf.sprintf "q%.3f: |%.1f - %.1f| within %.0f%%" q est truth (100. *. tol))
+        true
+        (Float.abs (est -. truth) <= (tol *. truth) +. 1e-6))
+    [ 0.; 0.1; 0.5; 0.9; 0.99; 0.999; 1. ]
+
+let test_log_merge_refuses_geometry () =
+  let a = L.create () and b = L.create ~per_decade:10 () in
+  L.add a 1.;
+  L.add b 1.;
+  Alcotest.check_raises "geometry"
+    (Invalid_argument "Histogram.Log.merge: differing bucket geometry") (fun () ->
+      ignore (L.merge a b))
+
+(* Within a bucket the estimate can only interpolate, so against
+   sparse adversarial samples the sharp guarantee is a sandwich: the
+   estimate lies between the two order statistics bracketing the
+   target rank, widened by one bucket of relative resolution. *)
+let prop_log_quantile_brackets =
+  QCheck.Test.make
+    ~name:"Log.quantile brackets Descriptive's order statistics (within resolution)"
+    ~count:300
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 80) (float_range 0.01 1e6))
+        (float_range 0. 1.))
+    (fun (xs, q) ->
+      let h = L.create () in
+      List.iter (L.add h) xs;
+      let sorted = Array.of_list xs in
+      Array.sort compare sorted;
+      let n = Array.length sorted in
+      let rank = q *. float_of_int (n - 1) in
+      let lo = sorted.(int_of_float (Float.floor rank)) in
+      let hi = sorted.(min (n - 1) (int_of_float (Float.ceil rank))) in
+      let r = L.relative_error h in
+      let est = L.quantile h q in
+      est >= (lo /. (1. +. r)) -. 1e-9 && est <= (hi *. (1. +. r)) +. 1e-9)
+
+let prop_log_merge_associative =
+  QCheck.Test.make ~name:"Log.merge is associative" ~count:200
+    QCheck.(
+      triple
+        (list_of_size (Gen.int_range 0 40) (float_range 0.01 1e6))
+        (list_of_size (Gen.int_range 0 40) (float_range 0.01 1e6))
+        (list_of_size (Gen.int_range 0 40) (float_range 0.01 1e6)))
+    (fun (xs, ys, zs) ->
+      let mk l =
+        let h = L.create () in
+        List.iter (L.add h) l;
+        h
+      in
+      let a = mk xs and b = mk ys and c = mk zs in
+      let left = L.merge (L.merge a b) c and right = L.merge a (L.merge b c) in
+      L.total left = L.total right
+      && L.min_value left = L.min_value right
+      && L.max_value left = L.max_value right
+      && (L.total left = 0
+          || List.for_all
+               (fun q -> L.quantile left q = L.quantile right q)
+               [ 0.; 0.25; 0.5; 0.9; 0.99; 1. ]))
+
 let test_wilson () =
   let i = Stats.Ci.wilson95 ~successes:50 ~trials:100 in
   Alcotest.(check bool) "contains p-hat" true (i.lo < 0.5 && i.hi > 0.5);
@@ -230,6 +325,16 @@ let () =
           Alcotest.test_case "max deviation" `Quick test_histogram_max_deviation;
           Alcotest.test_case "render" `Quick test_histogram_render;
         ] );
+      ( "log-histogram",
+        [
+          Alcotest.test_case "exact extremes" `Quick test_log_exact_extremes;
+          Alcotest.test_case "single value exact" `Quick test_log_single_value_exact;
+          Alcotest.test_case "dense relative-error bound" `Quick
+            test_log_relative_error_bound;
+          Alcotest.test_case "merge geometry check" `Quick test_log_merge_refuses_geometry;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_log_quantile_brackets; prop_log_merge_associative ] );
       ( "ci",
         [
           Alcotest.test_case "wilson" `Quick test_wilson;
