@@ -6,16 +6,17 @@ all:
 check: check-seeds
 
 # The full test suite plus a seed sweep of the fault-injection
-# experiments: E21/E22 and their fault-free anchor E19 at three
-# distinct seeds, so seed-dependent regressions (not just seed-1
-# goldens) surface before a commit.
+# experiments: E21/E22, their fault-free anchor E19, and the
+# agreement sublayer E24 at three distinct seeds, so seed-dependent
+# regressions (not just seed-1 goldens) surface before a commit.
 check-seeds:
 	dune build && dune runtest
 	@for seed in 1 7 1337; do \
-	  echo "== seed sweep: e19/e21/e22 at seed $$seed =="; \
+	  echo "== seed sweep: e19/e21/e22/e24 at seed $$seed =="; \
 	  dune exec bin/tinygroups_cli.exe -- e19 --scale quick --seed $$seed --jobs 1 > /dev/null || exit 1; \
 	  dune exec bin/tinygroups_cli.exe -- e21 --scale quick --seed $$seed --jobs 1 > /dev/null || exit 1; \
 	  dune exec bin/tinygroups_cli.exe -- e22 --scale quick --seed $$seed --jobs 1 > /dev/null || exit 1; \
+	  dune exec bin/tinygroups_cli.exe -- e24 --scale quick --seed $$seed --jobs 1 > /dev/null || exit 1; \
 	done
 	@echo "seed sweep OK"
 

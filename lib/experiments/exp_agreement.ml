@@ -1,0 +1,252 @@
+(* E24: Phase-King vs sampler-BA vs BRB on message/bit complexity,
+   plus the flood vs BRB-routed transports of the random-string
+   propagation. Every row gets its own Fanout stream, so the table is
+   jobs-invariant like the rest of the registry. *)
+
+open Agreement
+
+type config =
+  | Ba of { n : int; proto : [ `Phase_king | `Sampler | `Brb ] }
+  | Prop of { n : int; transport : Randstring.Propagate.transport }
+
+let ba_sizes = function
+  | Scale.Quick -> [ 32; 64; 128 ]
+  | Scale.Standard -> [ 32; 64; 128; 256 ]
+  | Scale.Full -> [ 32; 64; 128; 256; 512 ]
+
+let prop_sizes = function
+  | Scale.Quick -> [ 256; 512 ]
+  | Scale.Standard -> [ 512; 1024 ]
+  | Scale.Full -> [ 512; 1024; 2048 ]
+
+let proto_name = function
+  | `Phase_king -> "phase-king"
+  | `Sampler -> "sampler-ba"
+  | `Brb -> "brb"
+
+let transport_name = function
+  | Randstring.Propagate.Flood -> "randstring/flood"
+  | Randstring.Propagate.Brb_routed -> "randstring/brb"
+
+(* A Byzantine contingent inside every protocol's tolerance:
+   t = n/8 satisfies Phase-King's 4t < n, BRB's 3f < n and the
+   sampler's 8t < n bound (t = n/8 sits exactly at the sampler edge;
+   round down by one when it would touch it). *)
+let byz_count n = max 1 ((n / 8) - if n mod 8 = 0 then 1 else 0)
+
+let run_e24 ?(jobs = 1) ?(conditions = Sim.Conditions.none) rng scale =
+  let table =
+    Table.create
+      ~title:
+        "E24 (agreement sublayer): Phase-King vs sampler-BA vs BRB — message and \
+         bit complexity across n, plus flood vs BRB-routed string propagation"
+      ~columns:
+        [ "protocol"; "n"; "byz"; "rounds"; "messages"; "bits"; "bits/node"; "ok" ]
+  in
+  let configs =
+    List.concat_map
+      (fun n ->
+        List.map (fun proto -> Ba { n; proto }) [ `Phase_king; `Sampler; `Brb ])
+      (ba_sizes scale)
+    @ List.concat_map
+        (fun n ->
+          List.map
+            (fun transport -> Prop { n; transport })
+            [ Randstring.Propagate.Flood; Randstring.Propagate.Brb_routed ])
+        (prop_sizes scale)
+  in
+  let rows =
+    Common.map_configs rng ~jobs configs (fun cfg stream ->
+        match cfg with
+        | Ba { n; proto } -> (
+            let t = byz_count n in
+            let byzantine = Array.init n (fun i -> i < t) in
+            Prng.Rng.shuffle stream byzantine;
+            match proto with
+            | `Phase_king ->
+                let inputs = Array.init n (fun _ -> Prng.Rng.bool stream) in
+                let o =
+                  Phase_king.run stream ~inputs ~byzantine
+                    ~behaviour:Phase_king.Equivocate
+                in
+                let agreed =
+                  let seen = ref None and ok = ref true in
+                  Array.iteri
+                    (fun i d ->
+                      match d with
+                      | Some v when not byzantine.(i) -> (
+                          match !seen with
+                          | None -> seen := Some v
+                          | Some w -> if v <> w then ok := false)
+                      | _ -> ())
+                    o.Phase_king.decisions;
+                  !ok
+                in
+                (* Binary BA: 1 bit per message. *)
+                ( proto_name proto,
+                  n,
+                  t,
+                  o.Phase_king.rounds,
+                  o.Phase_king.messages,
+                  o.Phase_king.messages,
+                  agreed )
+            | `Sampler ->
+                let inputs = Array.init n (fun _ -> Prng.Rng.bool stream) in
+                let o =
+                  Sampler_ba.run ~conditions stream ~inputs ~byzantine
+                    ~behaviour:(Sampler_ba.Collude_against true)
+                in
+                let agreed =
+                  let seen = ref None and ok = ref true in
+                  Array.iteri
+                    (fun i d ->
+                      match d with
+                      | Some v when not byzantine.(i) -> (
+                          match !seen with
+                          | None -> seen := Some v
+                          | Some w -> if v <> w then ok := false)
+                      | _ -> ())
+                    o.Sampler_ba.decisions;
+                  !ok
+                in
+                ( proto_name proto,
+                  n,
+                  t,
+                  o.Sampler_ba.rounds,
+                  o.Sampler_ba.messages,
+                  o.Sampler_ba.bits,
+                  agreed )
+            | `Brb ->
+                (* A correct sender: index 0 is never Byzantine here
+                   (shuffle then clear slot 0, keeping t within f). *)
+                byzantine.(0) <- false;
+                let t =
+                  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 byzantine
+                in
+                let o =
+                  Brb.run ~conditions stream ~n ~sender:0 ~byzantine
+                    ~behaviour:Brb.Equivocate ~payload:1
+                in
+                let ok =
+                  let all = ref true in
+                  Array.iteri
+                    (fun i d ->
+                      if (not byzantine.(i)) && d <> Some 1 then all := false)
+                    o.Brb.delivered;
+                  !all
+                in
+                ( proto_name proto,
+                  n,
+                  t,
+                  o.Brb.rounds,
+                  o.Brb.messages,
+                  o.Brb.bits,
+                  ok ))
+        | Prop { n; transport } ->
+            let _, g = Common.build_tiny stream ~n ~beta:0.05 () in
+            let r =
+              Randstring.Propagate.run (Prng.Rng.split stream) g ~epoch_steps:2048
+                { Randstring.Propagate.default_config with transport }
+            in
+            ( transport_name transport,
+              n,
+              0,
+              r.Randstring.Propagate.rounds,
+              r.Randstring.Propagate.messages,
+              r.Randstring.Propagate.messages * Brb.message_bits,
+              r.Randstring.Propagate.agreement ))
+  in
+  List.iter
+    (fun (proto, n, t, rounds, messages, bits, ok) ->
+      Table.add_row table
+        [
+          proto;
+          Table.fint n;
+          Table.fint t;
+          Table.fint rounds;
+          Table.fint messages;
+          Table.fint bits;
+          Table.ffloat ~digits:1 (float_of_int bits /. float_of_int n);
+          (if ok then "yes" else "NO");
+        ])
+    rows;
+  Table.add_note table
+    "Binary-BA rows run with t = n/8 Byzantine (inside every protocol's bound:";
+  Table.add_note table
+    "4t < n phase-king, 3f < n brb, 8t < n sampler); 1 bit per BA message, BRB";
+  Table.add_note table
+    (Printf.sprintf "messages carry %d bits (2-bit tag + 62-bit payload)."
+       Brb.message_bits);
+  Table.add_note table
+    "bits/node is the King-Saia currency: phase-king's doubles with n (all-to-";
+  Table.add_note table
+    "all), sampler-ba's grows like sqrt(n) log n — asserted in test_agreement.ml.";
+  Table.add_note table
+    "The sampler's global coin is drawn from a shared stream (standing in for";
+  Table.add_note table
+    "King-Saia's spectral coin); brb/sampler rows run under the CLI's --fault-*/";
+  Table.add_note table
+    "--retry-* conditions, phase-king models only the strategic adversary.";
+  Table.add_note table
+    "randstring rows: identical filter dynamics (paired PRNG streams), transport";
+  Table.add_note table
+    "cost |Gi|*|Gj| per forward (flood) vs g + 2g(g-1) (brb relay, Brb.relay_messages).";
+  table
+
+(* The pinned expected-message-count cases (IN4150 style): each runs
+   at its own fixed seed, so rows are independent of list order and
+   of each other. The golden literal in test/test_agreement.ml must
+   equal this function's output; `regen_goldens.exe --agreement-table`
+   prints the current values as a paste-ready literal. *)
+let message_count_rows () =
+  let pk ~g ~t ~behaviour label =
+    let rng = Prng.Rng.create 4242 in
+    let byzantine = Array.init g (fun i -> i < t) in
+    Prng.Rng.shuffle rng byzantine;
+    let inputs = Array.init g (fun _ -> Prng.Rng.bool rng) in
+    let o = Phase_king.run rng ~inputs ~byzantine ~behaviour in
+    (Printf.sprintf "phase-king g=%d t=%d %s" g t label, o.Phase_king.messages)
+  in
+  let ba ~n ~t ~behaviour label =
+    let rng = Prng.Rng.create 4242 in
+    let byzantine = Array.init n (fun i -> i < t) in
+    Prng.Rng.shuffle rng byzantine;
+    let inputs = Array.init n (fun _ -> Prng.Rng.bool rng) in
+    let o = Sampler_ba.run rng ~inputs ~byzantine ~behaviour in
+    (Printf.sprintf "sampler-ba n=%d t=%d %s" n t label, o.Sampler_ba.messages)
+  in
+  let brb ~n ~f ~sender_byz ~behaviour label =
+    let rng = Prng.Rng.create 4242 in
+    let byzantine = Array.init n (fun i -> i < f) in
+    Prng.Rng.shuffle rng byzantine;
+    byzantine.(0) <- sender_byz;
+    let o = Brb.run rng ~n ~sender:0 ~byzantine ~behaviour ~payload:7 in
+    (Printf.sprintf "brb n=%d f=%d %s" n f label, o.Brb.messages)
+  in
+  let prop ~n transport =
+    let rng = Prng.Rng.create 4242 in
+    let _, g = Common.build_tiny rng ~n ~beta:0.05 () in
+    let r =
+      Randstring.Propagate.run (Prng.Rng.split rng) g ~epoch_steps:1024
+        { Randstring.Propagate.default_config with transport }
+    in
+    ( Printf.sprintf "%s n=%d" (transport_name transport) n,
+      r.Randstring.Propagate.messages )
+  in
+  [
+    ("brb n=8 benign (closed form)", Brb.benign_messages ~n:8);
+    ("brb n=16 benign (closed form)", Brb.benign_messages ~n:16);
+    ("brb relay g=11 (closed form)", Brb.relay_messages ~group_size:11);
+    pk ~g:9 ~t:0 ~behaviour:Phase_king.Silent "fault-free";
+    pk ~g:9 ~t:2 ~behaviour:Phase_king.Silent "silent";
+    pk ~g:9 ~t:2 ~behaviour:Phase_king.Equivocate "equivocate";
+    pk ~g:13 ~t:3 ~behaviour:(Phase_king.Collude_against true) "collude-1";
+    ba ~n:64 ~t:7 ~behaviour:Sampler_ba.Silent "silent";
+    ba ~n:64 ~t:7 ~behaviour:(Sampler_ba.Collude_against true) "collude-1";
+    ba ~n:128 ~t:15 ~behaviour:(Sampler_ba.Collude_against false) "collude-0";
+    brb ~n:16 ~f:5 ~sender_byz:false ~behaviour:Brb.Silent "correct sender, byz silent";
+    brb ~n:16 ~f:5 ~sender_byz:true ~behaviour:Brb.Equivocate "equivocating sender";
+    brb ~n:16 ~f:5 ~sender_byz:true ~behaviour:Brb.Forge "forged quorum attempt";
+    prop ~n:256 Randstring.Propagate.Flood;
+    prop ~n:256 Randstring.Propagate.Brb_routed;
+  ]

@@ -1,0 +1,30 @@
+(** E24 — the scalable agreement sublayer, measured.
+
+    One table, two sections. The {e binary-BA} section runs
+    Phase-King, the King–Saia-style sampler BA and BRB side by side
+    at growing [n] with a [t = n/8] Byzantine contingent, reporting
+    message count, protocol bits and — the headline — {b bits per
+    node}: Phase-King's grows linearly in [n] (all-to-all), the
+    sampler's like [sqrt n · log n]. The {e propagation} section
+    re-runs Lemma 12's global random-string protocol over identical
+    PRNG streams with the flood transport vs the BRB-routed
+    transport, isolating the constant-factor price of carrying BRB's
+    delivery guarantees.
+
+    Fault conditions (the registry's [Faulty] kind) are threaded
+    into the BRB and sampler runs; Phase-King models only the
+    strategic adversary and ignores them (noted in the table). *)
+
+val run_e24 :
+  ?jobs:int ->
+  ?conditions:Sim.Conditions.t ->
+  Prng.Rng.t ->
+  Scale.t ->
+  Table.t
+
+val message_count_rows : unit -> (string * int) list
+(** The pinned expected-message-count table (IN4150 exemplar style,
+    SNIPPETS.md §1): deterministic protocol executions at fixed
+    seeds, one [(case label, exact messages)] pair each. The golden
+    copy lives in [test/test_agreement.ml]; regenerate the literal
+    with [dune exec bin/regen_goldens.exe -- --agreement-table]. *)

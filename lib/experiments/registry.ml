@@ -49,6 +49,8 @@ let all =
       Exp_reliability.run_e22;
     faulty "e23" "Closed-loop KV serving tier: route-cache ablation under churn."
       Exp_serve.run_e23;
+    faulty "e24" "Agreement sublayer: Phase-King vs sampler-BA vs BRB complexity."
+      Exp_agreement.run_e24;
     { id = "f1"; doc = "Figure 1 rendered as a search trace."; kind = Text Exp_figure1.render };
   ]
 

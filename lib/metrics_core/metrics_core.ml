@@ -65,3 +65,6 @@ let pow_hash_evals = "pow.hash_evals"
 let kv_route_cache_hit = "kv.route_cache_hit"
 let kv_route_cache_miss = "kv.route_cache_miss"
 let kv_route_cache_invalidated = "kv.route_cache_invalidated"
+let msg_agreement = "msg.agreement"
+let ba_bits_sent = "ba.bits_sent"
+let brb_delivered = "brb.delivered"

@@ -116,3 +116,17 @@ val kv_route_cache_miss : string
 val kv_route_cache_invalidated : string
 (** Cache generations discarded — one per [rehome], since the cache
     is only valid for the store's current epoch graph. *)
+
+val msg_agreement : string
+(** Point-to-point messages of the scalable agreement sublayer
+    (BRB send/echo/ready traffic and sampler-BA polls), including
+    retransmissions charged by the reliability layer. *)
+
+val ba_bits_sent : string
+(** Protocol bits sent by the agreement sublayer — the currency of
+    King–Saia's [~O(sqrt n)]-bit bound. Binary BA messages carry one
+    bit; BRB messages carry a tag plus the payload word. *)
+
+val brb_delivered : string
+(** BRB deliver events (application-layer handoffs); at most one per
+    correct process per broadcast by the no-duplication property. *)

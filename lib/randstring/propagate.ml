@@ -5,15 +5,19 @@ let log_src = Logs.Src.create "randstring.propagate" ~doc:"Global random-string 
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+type transport = Flood | Brb_routed
+
 type config = {
   d_prime : float;
   b : float;
   c0 : float;
   d0 : float;
   delay_release : bool;
+  transport : transport;
 }
 
-let default_config = { d_prime = 2.; b = 1.; c0 = 2.; d0 = 2.; delay_release = true }
+let default_config =
+  { d_prime = 2.; b = 1.; c0 = 2.; d0 = 2.; delay_release = true; transport = Flood }
 
 type result = {
   participants : int;
@@ -175,7 +179,23 @@ let run rng graph ~epoch_steps config =
               List.iter
                 (fun item ->
                   incr forwards;
-                  messages := !messages + (group_size.(i) * group_size.(j));
+                  (* Per-forward transport cost: the flood transport
+                     expands a group-to-group hand-off into the
+                     |G_i| x |G_j| all-to-all exchange; the BRB-routed
+                     transport has the sender's leader SEND into G_j
+                     and G_j run the echo/ready rounds internally —
+                     reliable delivery whose guarantees the law suite
+                     (test_brb.ml) establishes, at the relay cost's
+                     constant factor. The filter dynamics are
+                     transport-independent, so only the cost column
+                     moves. *)
+                  (messages :=
+                     !messages
+                     +
+                     match config.transport with
+                     | Flood -> group_size.(i) * group_size.(j)
+                     | Brb_routed ->
+                         Agreement.Brb.relay_messages ~group_size:group_size.(j));
                   if is_participant.(j) && Bins.offer bins.(j) item then
                     next_outbox.(j) <- item :: next_outbox.(j))
                 items)

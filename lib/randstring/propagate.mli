@@ -21,16 +21,37 @@
     (ii) solution sets have [O(ln n)] strings,
     (iii) total message cost is [~O(n ln T)]. *)
 
+(** How a string forward crosses a group boundary. *)
+type transport =
+  | Flood
+      (** The paper's transport: every member of the sending group
+          transmits to every member of the receiving group —
+          [|G_i| * |G_j|] messages per forward, with the receiver's
+          majority filter standing in for reliability. *)
+  | Brb_routed
+      (** The forward rides Byzantine Reliable Broadcast
+          ({!Agreement.Brb}): the sender's leader SENDs into the
+          receiving group, which runs the echo/ready rounds
+          internally — [Agreement.Brb.relay_messages] messages per
+          forward. Delivery then carries BRB's validity/agreement
+          guarantees (established by the law suite) instead of
+          resting on the all-to-all majority argument. The filter
+          dynamics are transport-independent; only the message
+          accounting moves, which is what E24 compares. *)
+
 type config = {
   d_prime : float;  (** Rounds per phase = [d_prime * ln n]. *)
   b : float;  (** Bin-count coefficient. *)
   c0 : float;  (** Bin-counter cap coefficient. *)
   d0 : float;  (** Solution-set size = [d0 * ln n]. *)
   delay_release : bool;  (** Adversary withholds until Phase 2's last round. *)
+  transport : transport;  (** Cross-group forwarding primitive. *)
 }
 
 val default_config : config
-(** [d' = 2], [b = 1], [c0 = 2], [d0 = 2], delayed release on. *)
+(** [d' = 2], [b = 1], [c0 = 2], [d0 = 2], delayed release on,
+    {!Flood} transport (the paper's cost model, and the golden
+    anchor for E8). *)
 
 type result = {
   participants : int;

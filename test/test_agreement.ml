@@ -228,6 +228,94 @@ let test_commit_reveal_validation () =
         (Agreement.Commit_reveal.run rng ~good:0 ~bad:3
            ~plan:{ Agreement.Commit_reveal.withhold_if_output_even = false }))
 
+(* --- E24: pinned message counts and the bit-complexity law ------- *)
+
+(* The expected-message-count table (IN4150 exemplar style): exact
+   protocol executions at fixed seeds, pinned literally. Regenerate
+   with `dune exec bin/regen_goldens.exe -- --agreement-table` after
+   an intended schedule change, and record why in EXPERIMENTS.md. *)
+let golden_message_counts =
+  [
+    ("brb n=8 benign (closed form)", 119);
+    ("brb n=16 benign (closed form)", 495);
+    ("brb relay g=11 (closed form)", 231);
+    ("phase-king g=9 t=0 fault-free", 90);
+    ("phase-king g=9 t=2 silent", 216);
+    ("phase-king g=9 t=2 equivocate", 270);
+    ("phase-king g=13 t=3 collude-1", 728);
+    ("sampler-ba n=64 t=7 silent", 12958);
+    ("sampler-ba n=64 t=7 collude-1", 14592);
+    ("sampler-ba n=128 t=15 collude-0", 43680);
+    ("brb n=16 f=5 correct sender, byz silent", 375);
+    ("brb n=16 f=5 equivocating sender", 330);
+    ("brb n=16 f=5 forged quorum attempt", 150);
+    ("randstring/flood n=256", 8203726);
+    ("randstring/brb n=256", 15814257);
+  ]
+
+let test_golden_message_counts () =
+  let actual = Experiments.Exp_agreement.message_count_rows () in
+  Alcotest.(check int)
+    "case count" (List.length golden_message_counts) (List.length actual);
+  List.iter2
+    (fun (glabel, gcount) (alabel, acount) ->
+      Alcotest.(check string) "case label" glabel alabel;
+      Alcotest.(check int) glabel gcount acount)
+    golden_message_counts actual
+
+let test_sampler_bits_grow_slower () =
+  (* The King–Saia headline, asserted: as n doubles, sampler-BA's
+     bits per node must grow strictly slower than Phase-King's at
+     every step (the former ~ sqrt(n) log n, the latter ~ n). Both
+     run against their strongest implemented adversary at t = n/8. *)
+  let rng = Prng.Rng.create 4242 in
+  let bits_per_node proto n =
+    let t = max 1 ((n / 8) - if n mod 8 = 0 then 1 else 0) in
+    let byzantine = Array.init n (fun i -> i < t) in
+    Prng.Rng.shuffle rng byzantine;
+    let inputs = Array.init n (fun _ -> Prng.Rng.bool rng) in
+    let bits =
+      match proto with
+      | `Phase_king ->
+          let o =
+            Agreement.Phase_king.run rng ~inputs ~byzantine
+              ~behaviour:Agreement.Phase_king.Equivocate
+          in
+          o.Agreement.Phase_king.messages
+      | `Sampler ->
+          let o =
+            Agreement.Sampler_ba.run rng ~inputs ~byzantine
+              ~behaviour:(Agreement.Sampler_ba.Collude_against true)
+          in
+          o.Agreement.Sampler_ba.bits
+    in
+    float_of_int bits /. float_of_int n
+  in
+  let sizes = [ 32; 64; 128; 256 ] in
+  let pk = List.map (bits_per_node `Phase_king) sizes in
+  let sa = List.map (bits_per_node `Sampler) sizes in
+  let rec ratios = function
+    | a :: (b :: _ as rest) -> (b /. a) :: ratios rest
+    | _ -> []
+  in
+  List.iter2
+    (fun pk_ratio sa_ratio ->
+      Alcotest.(check bool)
+        (Printf.sprintf
+           "sampler bits/node growth %.2fx < phase-king %.2fx per doubling"
+           sa_ratio pk_ratio)
+        true
+        (sa_ratio < pk_ratio))
+    (ratios pk) (ratios sa);
+  (* And the asymptotic gap is not marginal: by n = 256 Phase-King
+     pays at least 3x the sampler's per-node bits. *)
+  let pk_last = List.nth pk (List.length pk - 1) in
+  let sa_last = List.nth sa (List.length sa - 1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "gap at n=256: %.0f vs %.0f bits/node" pk_last sa_last)
+    true
+    (pk_last > 3. *. sa_last)
+
 let prop_agreement_random_faults =
   QCheck.Test.make ~name:"phase king agrees for random fault sets" ~count:60
     QCheck.(pair small_int (int_range 5 15))
@@ -280,6 +368,12 @@ let () =
             test_commit_reveal_recovers_aborters;
           Alcotest.test_case "bias measured and defended" `Slow test_commit_reveal_bias_measured;
           Alcotest.test_case "validation" `Quick test_commit_reveal_validation;
+        ] );
+      ( "e24 golden",
+        [
+          Alcotest.test_case "pinned message counts" `Quick test_golden_message_counts;
+          Alcotest.test_case "sampler bits/node grows slower than phase-king" `Quick
+            test_sampler_bits_grow_slower;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_agreement_random_faults ]);
     ]

@@ -1,0 +1,428 @@
+(* Byzantine Reliable Broadcast: the four properties — validity,
+   no-duplication, integrity, agreement — as laws, checked under
+   benign conditions and under seeded drop/partition fault plans
+   masked by a retry budget. Every qcheck arbitrary and every looped
+   Alcotest check prints the seeds involved, so a failing schedule
+   replays verbatim (fault schedules derive from the plan seed alone;
+   the simulation stream from the sim seed). *)
+
+open Idspace
+
+let pt i = Point.of_u62 (Int64.of_int i)
+
+(* The fault-plan seeds the masked laws sweep (ISSUE: at least 3). *)
+let plan_seeds = [ 3L; 17L; 1337L ]
+
+(* --- The laws, evaluated on one outcome ------------------------- *)
+
+(* [None] = all four properties hold; [Some msg] names the violated
+   law. [expect_total] is set when the environment guarantees
+   delivery between correct processes (benign, or faults inside the
+   retry budget's masking power): validity then requires every
+   correct process to deliver. Without it only the safety faces of
+   the properties are enforced — arbitrary unmasked loss may starve
+   quorums but can never forge them. *)
+let laws ?(expect_total = true) ~byzantine ~sender ~payload
+    (o : Agreement.Brb.outcome) =
+  let n = Array.length byzantine in
+  let correct i = not byzantine.(i) in
+  let violation = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> if !violation = None then violation := Some s) fmt in
+  (* (ii) no duplication: at most one delivery per correct process. *)
+  for i = 0 to n - 1 do
+    if correct i && o.Agreement.Brb.deliveries.(i) > 1 then
+      fail "no-duplication: process %d delivered %d times" i
+        o.Agreement.Brb.deliveries.(i)
+  done;
+  (* (iii) integrity: with a correct sender, a correct process only
+     ever delivers the sender's payload. *)
+  if correct sender then
+    Array.iteri
+      (fun i d ->
+        match d with
+        | Some v when correct i && v <> payload ->
+            fail "integrity: process %d delivered %d, sender sent %d" i v payload
+        | _ -> ())
+      o.Agreement.Brb.delivered;
+  (* (iv) agreement: any two correct deliveries carry the same value,
+     and under total expectations one correct delivery implies all. *)
+  let delivered_values =
+    Array.to_list o.Agreement.Brb.delivered
+    |> List.filteri (fun i _ -> correct i)
+    |> List.filter_map Fun.id
+  in
+  (match delivered_values with
+  | [] -> ()
+  | v :: rest ->
+      List.iter
+        (fun w -> if w <> v then fail "agreement: values %d and %d delivered" v w)
+        rest);
+  let correct_count = Array.fold_left (fun a b -> if b then a else a + 1) 0 byzantine in
+  if delivered_values <> [] && List.length delivered_values < correct_count then
+    if expect_total then
+      fail "agreement (totality): %d of %d correct processes delivered"
+        (List.length delivered_values) correct_count;
+  (* (i) validity: a correct sender's payload reaches every correct
+     process (when the environment lets messages through). *)
+  if correct sender && expect_total then
+    Array.iteri
+      (fun i d ->
+        if correct i && d <> Some payload then
+          fail "validity: process %d got %s" i
+            (match d with None -> "nothing" | Some v -> string_of_int v))
+      o.Agreement.Brb.delivered;
+  !violation
+
+let check_laws ?expect_total ~byzantine ~sender ~payload ~ctx o =
+  match laws ?expect_total ~byzantine ~sender ~payload o with
+  | None -> ()
+  | Some msg -> Alcotest.failf "%s [%s]" msg ctx
+
+let behaviours =
+  [
+    ("silent", Agreement.Brb.Silent);
+    ("random", Agreement.Brb.Random);
+    ("equivocate", Agreement.Brb.Equivocate);
+    ("forge", Agreement.Brb.Forge);
+  ]
+
+(* A standard world: n processes, f = (n-1)/3 Byzantine in shuffled
+   positions, the sender forced to the requested side of the fault
+   line. *)
+let make_world rng ~n ~sender_byz =
+  let f = (n - 1) / 3 in
+  let byzantine = Array.init n (fun i -> i < f) in
+  Prng.Rng.shuffle rng byzantine;
+  (* The sender is drawn from the requested side of the fault line —
+     flipping a slot instead would push the count past f and outside
+     the 3f < n bound the laws assume. *)
+  let candidates =
+    Array.of_seq
+      (Seq.filter
+         (fun i -> byzantine.(i) = sender_byz)
+         (Seq.init n (fun i -> i)))
+  in
+  let sender = candidates.(Prng.Rng.int rng (Array.length candidates)) in
+  (byzantine, sender)
+
+(* --- Benign conditions ------------------------------------------ *)
+
+let test_benign_all_behaviours () =
+  List.iter
+    (fun (name, behaviour) ->
+      List.iter
+        (fun sender_byz ->
+          for seed = 1 to 12 do
+            let rng = Prng.Rng.create (100 + seed) in
+            let n = 4 + Prng.Rng.int rng 29 in
+            let byzantine, sender = make_world rng ~n ~sender_byz in
+            let payload = 1 + Prng.Rng.int rng 1000 in
+            let o =
+              Agreement.Brb.run rng ~n ~sender ~byzantine ~behaviour ~payload
+            in
+            check_laws ~expect_total:(not sender_byz) ~byzantine ~sender ~payload
+              ~ctx:
+                (Printf.sprintf "benign %s sender_byz=%b sim_seed=%d n=%d" name
+                   sender_byz (100 + seed) n)
+              o
+          done)
+        [ false; true ])
+    behaviours
+
+let test_benign_message_count () =
+  (* All-correct run: the closed form (n-1 echo broadcasts + n-1
+     ready broadcasts + the send, each n-wide, minus free local
+     copies) and exactly 3 rounds. *)
+  List.iter
+    (fun n ->
+      let rng = Prng.Rng.create 5 in
+      let o =
+        Agreement.Brb.run rng ~n ~sender:0 ~byzantine:(Array.make n false)
+          ~behaviour:Agreement.Brb.Silent ~payload:9
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "benign messages n=%d" n)
+        (Agreement.Brb.benign_messages ~n)
+        o.Agreement.Brb.messages;
+      Alcotest.(check int) "three rounds" 3 o.Agreement.Brb.rounds;
+      Alcotest.(check int)
+        "bits = messages * message_bits"
+        (o.Agreement.Brb.messages * Agreement.Brb.message_bits)
+        o.Agreement.Brb.bits)
+    [ 4; 8; 16; 31 ]
+
+let test_tolerates_bound () =
+  Alcotest.(check bool) "3f < n ok" true (Agreement.Brb.tolerates ~n:7 ~f:2);
+  Alcotest.(check bool) "3f = n not ok" false (Agreement.Brb.tolerates ~n:6 ~f:2);
+  Alcotest.(check bool) "f = 0 trivially" true (Agreement.Brb.tolerates ~n:1 ~f:0)
+
+(* --- Seeded drop plans, masked by a retry budget ----------------- *)
+
+let masked_conditions ~plan_seed =
+  Sim.Conditions.make
+    ~faults:
+      (Faults.Plan.with_seed (Faults.Plan.uniform ~drop:0.15 ()) plan_seed)
+    ~reliability:
+      (Reliability.Policy.make ~seed:plan_seed ~max_retries:8 ())
+    ()
+
+let test_masked_drops_all_laws () =
+  (* Drop 0.15 per attempt, 8 retries: the chance a transmission
+     exhausts its budget is 0.15^9 ~ 4e-8, so over these fixed seeds
+     the schedule delivers and all four laws hold in full. *)
+  List.iter
+    (fun plan_seed ->
+      List.iter
+        (fun (name, behaviour) ->
+          for seed = 1 to 4 do
+            let rng = Prng.Rng.create (200 + seed) in
+            let n = 7 + Prng.Rng.int rng 20 in
+            let byzantine, sender = make_world rng ~n ~sender_byz:false in
+            let payload = 1 + Prng.Rng.int rng 1000 in
+            let o =
+              Agreement.Brb.run
+                ~conditions:(masked_conditions ~plan_seed)
+                rng ~n ~sender ~byzantine ~behaviour ~payload
+            in
+            check_laws ~byzantine ~sender ~payload
+              ~ctx:
+                (Printf.sprintf "masked drops %s plan_seed=%Ld sim_seed=%d n=%d"
+                   name plan_seed (200 + seed) n)
+              o
+          done)
+        behaviours)
+    plan_seeds
+
+let test_unmasked_drops_lose_messages () =
+  (* Without a retry budget the drops land: the counter must see
+     them, and the laws' safety faces must still hold. *)
+  let rng = Prng.Rng.create 9 in
+  let n = 16 in
+  let byzantine, sender = make_world rng ~n ~sender_byz:false in
+  let conditions =
+    Sim.Conditions.make
+      ~faults:(Faults.Plan.with_seed (Faults.Plan.uniform ~drop:0.3 ()) 42L)
+      ()
+  in
+  let o =
+    Agreement.Brb.run ~conditions rng ~n ~sender ~byzantine
+      ~behaviour:Agreement.Brb.Silent ~payload:3
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "drops observed (%d)" o.Agreement.Brb.dropped)
+    true
+    (o.Agreement.Brb.dropped > 0);
+  check_laws ~expect_total:false ~byzantine ~sender ~payload:3
+    ~ctx:"unmasked drop=0.3 plan_seed=42 sim_seed=9" o
+
+(* --- Partition plans --------------------------------------------- *)
+
+let test_partition_heals_before_ready () =
+  (* Processes 0..2 are cut off for rounds 0-1 (SEND and ECHO lost
+     both ways; retries cannot cross an active cut), healing at
+     round 2. The isolated side still delivers: it catches the READY
+     wave after the heal, and ready amplification at f+1 carries it
+     to the 2f+1 delivery quorum — Bracha's totality argument,
+     observed. The Byzantine contingent sits inside the cut side so
+     the majority side's echo quorum is unaffected. *)
+  List.iter
+    (fun plan_seed ->
+      let n = 16 in
+      let byzantine = Array.make n false in
+      byzantine.(0) <- true;
+      byzantine.(1) <- true;
+      let conditions =
+        Sim.Conditions.make
+          ~faults:
+            (Faults.Plan.with_seed
+               (Faults.Plan.partition ~side_a:[ pt 1; pt 2; pt 3 ] ~from_time:0
+                  ~heal_time:2 ())
+               plan_seed)
+          ()
+      in
+      let rng = Prng.Rng.create 11 in
+      let o =
+        Agreement.Brb.run ~conditions rng ~n ~sender:8 ~byzantine
+          ~behaviour:Agreement.Brb.Forge ~payload:5
+      in
+      check_laws ~byzantine ~sender:8 ~payload:5
+        ~ctx:(Printf.sprintf "healing partition plan_seed=%Ld sim_seed=11" plan_seed)
+        o;
+      Alcotest.(check bool)
+        (Printf.sprintf "cut dropped traffic (%d)" o.Agreement.Brb.dropped)
+        true
+        (o.Agreement.Brb.dropped > 0))
+    plan_seeds
+
+let test_partition_never_heals () =
+  (* A permanent minority cut: the isolated correct processes can
+     never assemble a quorum, but safety — no-duplication, integrity,
+     agreement among those who do deliver — must survive, and the
+     majority side still delivers. *)
+  let n = 16 in
+  let byzantine = Array.make n false in
+  let conditions =
+    Sim.Conditions.make
+      ~faults:
+        (Faults.Plan.with_seed
+           (Faults.Plan.partition ~side_a:[ pt 1; pt 2; pt 3 ] ~from_time:0 ())
+           99L)
+      ()
+  in
+  let rng = Prng.Rng.create 13 in
+  let o =
+    Agreement.Brb.run ~conditions rng ~n ~sender:8 ~byzantine
+      ~behaviour:Agreement.Brb.Silent ~payload:5
+  in
+  check_laws ~expect_total:false ~byzantine ~sender:8 ~payload:5
+    ~ctx:"permanent partition plan_seed=99 sim_seed=13" o;
+  (* The majority side (processes 3..15) delivered... *)
+  for i = 3 to n - 1 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "majority side delivers (process %d)" i)
+      (Some 5) o.Agreement.Brb.delivered.(i)
+  done;
+  (* ...and the severed minority could not. *)
+  for i = 0 to 2 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "severed side starved (process %d)" i)
+      None o.Agreement.Brb.delivered.(i)
+  done
+
+(* --- The zero anchors -------------------------------------------- *)
+
+let test_zero_rate_plan_is_no_plan () =
+  (* A zero-rate plan plus a zero-budget policy must be byte-identical
+     to no conditions at all: same outcome, and the simulation stream
+     left in the same position (the injector draws only from the
+     plan's own stream, and a zero rate short-circuits even that). *)
+  let zero =
+    Sim.Conditions.make
+      ~faults:(Faults.Plan.uniform ())
+      ~reliability:Reliability.Policy.none ()
+  in
+  List.iter
+    (fun (name, behaviour) ->
+      let run conditions =
+        let rng = Prng.Rng.create 31 in
+        let n = 13 in
+        let byzantine, sender = make_world rng ~n ~sender_byz:true in
+        let o = Agreement.Brb.run ~conditions rng ~n ~sender ~byzantine ~behaviour ~payload:8 in
+        (o, Prng.Rng.int rng 1_000_000)
+      in
+      let o_none, tail_none = run Sim.Conditions.none in
+      let o_zero, tail_zero = run zero in
+      Alcotest.(check bool)
+        (Printf.sprintf "outcomes identical (%s)" name)
+        true (o_none = o_zero);
+      Alcotest.(check int)
+        (Printf.sprintf "stream position identical (%s)" name)
+        tail_none tail_zero)
+    behaviours
+
+(* --- qcheck laws ------------------------------------------------- *)
+
+let prop_benign_laws =
+  QCheck.Test.make ~name:"brb laws hold under benign conditions" ~count:80
+    QCheck.(
+      make
+        ~print:(fun (seed, n, sender_byz, b) ->
+          Printf.sprintf "sim_seed=%d n=%d sender_byz=%b behaviour=%d" seed n
+            sender_byz b)
+        Gen.(quad (int_bound 10_000) (int_range 4 32) bool (int_bound 3)))
+    (fun (seed, n, sender_byz, b) ->
+      let rng = Prng.Rng.create (seed + 50_000) in
+      let _, behaviour = List.nth behaviours b in
+      let byzantine, sender = make_world rng ~n ~sender_byz in
+      let payload = 1 + Prng.Rng.int rng 1000 in
+      let o = Agreement.Brb.run rng ~n ~sender ~byzantine ~behaviour ~payload in
+      laws ~expect_total:(not sender_byz) ~byzantine ~sender ~payload o = None)
+
+let prop_safety_under_arbitrary_drops =
+  (* Any drop rate, any plan seed, no retry budget: loss can starve
+     quorums but never forge them, so the safety faces hold for every
+     schedule. *)
+  QCheck.Test.make ~name:"brb safety laws hold under arbitrary unmasked drops"
+    ~count:80
+    QCheck.(
+      make
+        ~print:(fun (seed, plan_seed, drop_pct, b) ->
+          Printf.sprintf "sim_seed=%d plan_seed=%d drop=0.%02d behaviour=%d" seed
+            plan_seed drop_pct b)
+        Gen.(quad (int_bound 10_000) (int_bound 10_000) (int_bound 60) (int_bound 3)))
+    (fun (seed, plan_seed, drop_pct, b) ->
+      let rng = Prng.Rng.create (seed + 60_000) in
+      let n = 7 + Prng.Rng.int rng 20 in
+      let _, behaviour = List.nth behaviours b in
+      let byzantine, sender = make_world rng ~n ~sender_byz:(seed mod 2 = 0) in
+      let payload = 1 + Prng.Rng.int rng 1000 in
+      let conditions =
+        Sim.Conditions.make
+          ~faults:
+            (Faults.Plan.with_seed
+               (Faults.Plan.uniform ~drop:(float_of_int drop_pct /. 100.) ())
+               (Int64.of_int plan_seed))
+          ()
+      in
+      let o =
+        Agreement.Brb.run ~conditions rng ~n ~sender ~byzantine ~behaviour ~payload
+      in
+      laws ~expect_total:false ~byzantine ~sender ~payload o = None)
+
+let prop_masked_drops_full_laws =
+  (* The fixed plan seeds with the masking budget: full four laws,
+     qcheck varying the simulation side. *)
+  QCheck.Test.make ~name:"brb laws hold in full under masked drop plans" ~count:45
+    QCheck.(
+      make
+        ~print:(fun (seed, plan_idx, b) ->
+          Printf.sprintf "sim_seed=%d plan_seed=%Ld behaviour=%d" seed
+            (List.nth plan_seeds (plan_idx mod 3))
+            b)
+        Gen.(triple (int_bound 10_000) (int_bound 2) (int_bound 3)))
+    (fun (seed, plan_idx, b) ->
+      let rng = Prng.Rng.create (seed + 70_000) in
+      let n = 7 + Prng.Rng.int rng 20 in
+      let _, behaviour = List.nth behaviours b in
+      let byzantine, sender = make_world rng ~n ~sender_byz:false in
+      let payload = 1 + Prng.Rng.int rng 1000 in
+      let conditions = masked_conditions ~plan_seed:(List.nth plan_seeds plan_idx) in
+      let o =
+        Agreement.Brb.run ~conditions rng ~n ~sender ~byzantine ~behaviour ~payload
+      in
+      laws ~byzantine ~sender ~payload o = None)
+
+let () =
+  Alcotest.run "brb"
+    [
+      ( "benign",
+        [
+          Alcotest.test_case "four laws, every behaviour" `Quick
+            test_benign_all_behaviours;
+          Alcotest.test_case "closed-form message count" `Quick
+            test_benign_message_count;
+          Alcotest.test_case "fault bound" `Quick test_tolerates_bound;
+        ] );
+      ( "fault plans",
+        [
+          Alcotest.test_case "masked drop plans: full laws" `Quick
+            test_masked_drops_all_laws;
+          Alcotest.test_case "unmasked drops: safety laws" `Quick
+            test_unmasked_drops_lose_messages;
+          Alcotest.test_case "healing partition: totality recovered" `Quick
+            test_partition_heals_before_ready;
+          Alcotest.test_case "permanent partition: safety only" `Quick
+            test_partition_never_heals;
+        ] );
+      ( "anchors",
+        [
+          Alcotest.test_case "zero-rate plan == no plan" `Quick
+            test_zero_rate_plan_is_no_plan;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_benign_laws;
+          QCheck_alcotest.to_alcotest prop_safety_under_arbitrary_drops;
+          QCheck_alcotest.to_alcotest prop_masked_drops_full_laws;
+        ] );
+    ]

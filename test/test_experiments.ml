@@ -58,6 +58,18 @@ let render (spec : Experiments.Registry.spec) =
       | Experiments.Registry.Text run -> run (Prng.Rng.create seed)
       | _ -> Alcotest.fail (spec.Experiments.Registry.id ^ ": no output"))
 
+(* All registry entries rendered up front, fanned over a domain pool:
+   each entry is independent pure work with its own seed-1 stream and
+   runs with jobs:1 internally (a 1-job inner pool is inline, so
+   nesting is safe). Forced lazily by the first golden case, so the
+   coverage test alone never pays for it. *)
+let rendered =
+  lazy
+    (Parallel.Pool.with_pool ~jobs:(Parallel.Pool.default_jobs ()) (fun pool ->
+         Parallel.Pool.map pool
+           (fun spec -> (spec.Experiments.Registry.id, render spec))
+           Experiments.Registry.all))
+
 let golden (spec : Experiments.Registry.spec) () =
   let id = spec.Experiments.Registry.id in
   let want =
@@ -65,7 +77,7 @@ let golden (spec : Experiments.Registry.spec) () =
     | Some h -> h
     | None -> Alcotest.fail (id ^ ": no golden digest checked in")
   in
-  let out = render spec in
+  let out = List.assoc id (Lazy.force rendered) in
   let got = Hashing.Sha256.(to_hex (digest_string out)) in
   if not (String.equal got want) then begin
     Printf.printf

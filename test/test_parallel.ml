@@ -95,7 +95,7 @@ let table_invariant name run () =
 let test_registry_complete () =
   let ids = List.map (fun s -> s.Experiments.Registry.id) Experiments.Registry.all in
   let expected =
-    List.init 24 (fun i -> Printf.sprintf "e%d" i) @ [ "f1" ]
+    List.init 25 (fun i -> Printf.sprintf "e%d" i) @ [ "f1" ]
   in
   Alcotest.(check (list string)) "canonical ids" expected ids;
   Alcotest.(check bool) "find e4" true (Experiments.Registry.find "e4" <> None);
@@ -171,6 +171,9 @@ let () =
           Alcotest.test_case "E23" `Quick
             (table_invariant "e23" (fun ~jobs rng scale ->
                  Experiments.Exp_serve.run_e23 ~jobs rng scale));
+          Alcotest.test_case "E24" `Quick
+            (table_invariant "e24" (fun ~jobs rng scale ->
+                 Experiments.Exp_agreement.run_e24 ~jobs rng scale));
         ] );
       ( "registry",
         [ Alcotest.test_case "canonical list" `Quick test_registry_complete ] );
