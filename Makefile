@@ -1,4 +1,4 @@
-.PHONY: all check check-seeds test bench bench-quick bench-hotpath bench-hotpath-capture bench-serve regen-goldens fmt clean
+.PHONY: all check check-seeds test bench bench-quick bench-hotpath bench-hotpath-capture bench-serve bench-scale regen-goldens fmt clean
 
 all:
 	dune build
@@ -43,6 +43,13 @@ bench-hotpath-capture:
 # rewrites the committed BENCH_serve.json artifact.
 bench-serve:
 	dune exec bin/tinygroups_cli.exe -- serve --scale quick --seed 1 --jobs 1 --out BENCH_serve.json
+
+# The stress scale tier (E25) at n = 2^17..2^20, seed 1, jobs 1;
+# rewrites the committed BENCH_scale.json artifact (peak RSS and
+# wall-clock per n live only there — the table stays deterministic).
+# Budget ~8-10 minutes and ~5.5 GB peak RSS on one core.
+bench-scale:
+	dune exec bin/tinygroups_cli.exe -- scale --scale stress --seed 1 --jobs 1 --out BENCH_scale.json
 
 # Re-bless the golden digest table: run every registry entry at
 # (Quick scale, seed 1, jobs 1) and rewrite test/golden_digests.txt.

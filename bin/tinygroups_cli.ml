@@ -11,7 +11,7 @@ let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
 
 let scale_arg =
-  let doc = "Experiment scale: quick, standard or full." in
+  let doc = "Experiment scale: quick, standard, full or stress." in
   let parse s =
     match Experiments.Scale.of_string s with
     | Some v -> Ok v
@@ -246,8 +246,34 @@ let serve_cmd =
     (Cmd.info "serve" ~doc)
     Term.(const run $ seed_arg $ scale_arg $ jobs_arg $ conditions_term $ out_arg)
 
+let scale_cmd =
+  let doc =
+    "Run the stress scale tier (E25) and optionally write the JSON benchmark \
+     artifact (the committed BENCH_scale.json)."
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"PATH" ~doc:"Write the report as JSON to $(docv).")
+  in
+  let run seed scale jobs out =
+    let report = Experiments.Exp_scale.run ~jobs (Prng.Rng.create seed) scale in
+    Experiments.Table.print (Experiments.Exp_scale.to_table report);
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc (Experiments.Exp_scale.to_json report);
+        close_out oc;
+        Printf.printf "wrote %s\n" path)
+      out
+  in
+  Cmd.v
+    (Cmd.info "scale" ~doc)
+    Term.(const run $ seed_arg $ scale_arg $ jobs_arg $ out_arg)
+
 let all_cmd =
-  let doc = "Run every experiment in the registry (E0-E23 and F1)." in
+  let doc = "Run every experiment in the registry (E0-E25 and F1)." in
   let run seed scale jobs =
     List.iter
       (fun spec -> run_spec spec seed scale jobs)
@@ -262,6 +288,7 @@ let () =
   in
   let info = Cmd.info "tinygroups" ~version:"1.0.0" ~doc in
   let cmds =
-    List.map experiment_cmd Experiments.Registry.all @ [ epochs_cmd; serve_cmd; all_cmd ]
+    List.map experiment_cmd Experiments.Registry.all
+    @ [ epochs_cmd; serve_cmd; scale_cmd; all_cmd ]
   in
   exit (Cmd.eval (Cmd.group info cmds))

@@ -12,12 +12,12 @@ type config =
 let ba_sizes = function
   | Scale.Quick -> [ 32; 64; 128 ]
   | Scale.Standard -> [ 32; 64; 128; 256 ]
-  | Scale.Full -> [ 32; 64; 128; 256; 512 ]
+  | Scale.Full | Scale.Stress -> [ 32; 64; 128; 256; 512 ]
 
 let prop_sizes = function
   | Scale.Quick -> [ 256; 512 ]
   | Scale.Standard -> [ 512; 1024 ]
-  | Scale.Full -> [ 512; 1024; 2048 ]
+  | Scale.Full | Scale.Stress -> [ 512; 1024; 2048 ]
 
 let proto_name = function
   | `Phase_king -> "phase-king"

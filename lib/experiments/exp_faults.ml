@@ -18,7 +18,9 @@ type config = {
 }
 
 let distinct_members g =
-  let seen = Hashtbl.create 1024 in
+  (* Sized for roughly one distinct member per node; [seen] is only
+     probed, never iterated, so capacity cannot affect the output. *)
+  let seen = Hashtbl.create (2 * Tinygroups.Group_graph.n_groups g) in
   let out = ref [] in
   (* Ring iteration order: the crash rows below take the first k
      members in first-seen order, which is digest-relevant. *)
@@ -90,7 +92,12 @@ let default_configs scale =
 let run_e21 ?(jobs = 1) ?(conditions = Sim.Conditions.none) rng scale =
   let { Sim.Conditions.faults; reliability } = conditions in
   let n = match scale with Scale.Quick -> 512 | _ -> 1024 in
-  let searches = match scale with Scale.Quick -> 40 | Scale.Standard -> 120 | Scale.Full -> 300 in
+  let searches =
+    match scale with
+    | Scale.Quick -> 40
+    | Scale.Standard -> 120
+    | Scale.Full | Scale.Stress -> 300
+  in
   let epochs = Scale.epochs scale in
   let epoch_n = Scale.dynamic_n scale in
   let beta = 0.05 in

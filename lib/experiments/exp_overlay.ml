@@ -35,7 +35,10 @@ let run_e0 ?(jobs = 1) rng scale =
   in
   let searches = Scale.searches scale in
   let ns =
-    match scale with Scale.Quick -> [ 1024 ] | Scale.Standard -> [ 2048; 8192 ] | Scale.Full -> [ 4096; 16384 ]
+    match scale with
+    | Scale.Quick -> [ 1024 ]
+    | Scale.Standard -> [ 2048; 8192 ]
+    | Scale.Full | Scale.Stress -> [ 4096; 16384 ]
   in
   (* Each item owns one ring and probes the three constructions over
      it, so the constructions stay comparable within a row block. *)

@@ -31,7 +31,7 @@ let default_drops scale =
   match scale with
   | Scale.Quick -> [ 0.005; 0.05 ]
   | Scale.Standard -> [ 0.005; 0.05; 0.25 ]
-  | Scale.Full -> [ 0.005; 0.02; 0.05; 0.1; 0.25 ]
+  | Scale.Full | Scale.Stress -> [ 0.005; 0.02; 0.05; 0.1; 0.25 ]
 
 let default_budgets scale =
   match scale with Scale.Quick -> [ 0; 1; 4 ] | _ -> [ 0; 1; 2; 4 ]
@@ -50,7 +50,10 @@ let run_e22 ?(jobs = 1) ?(conditions = Sim.Conditions.none) rng scale =
   let { Sim.Conditions.faults; reliability } = conditions in
   let n = match scale with Scale.Quick -> 512 | _ -> 1024 in
   let searches =
-    match scale with Scale.Quick -> 40 | Scale.Standard -> 120 | Scale.Full -> 300
+    match scale with
+    | Scale.Quick -> 40
+    | Scale.Standard -> 120
+    | Scale.Full | Scale.Stress -> 300
   in
   let epochs = Scale.epochs scale in
   let epoch_n = Scale.dynamic_n scale in

@@ -1,0 +1,295 @@
+(* E25: the stress scale tier.
+
+   Builds the tiny-group graph and the classical log n baseline over
+   the same population at the scales where the paper's headline
+   actually bites (log log 2^20 vs log 2^20), churns each ring with a
+   constant-fraction batch (the Guerraoui–Huc–Kermarrec regime,
+   capped — see [churn_k]), and reports the per-node communication
+   cost gap, which must widen with n.
+
+   Determinism split: everything in the rendered table is a pure
+   function of (seed, scale) — group sizes, cost model, churn update
+   counts, and the jobs=1 vs jobs=4 build equality gate. Wall-clock,
+   peak RSS and measured heap words are real measurements and so
+   live only in the JSON report (`make bench-scale` →
+   BENCH_scale.json), never in the digest-checked table. *)
+
+let beta = 0.05
+
+(* Churn batch per n: a constant fraction (1/64) of the ring, capped
+   at 512 events. The cap keeps the batch affordable under
+   [Dynamic.join_many]'s per-newcomer ring replay — the documented
+   O(k*n) digest contract of the join protocol — while still being a
+   multiple of every group's size. *)
+let churn_k n = min 512 (n / 64)
+
+let vmhwm_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+      let rec go () =
+        match input_line ic with
+        | exception End_of_file ->
+            close_in ic;
+            0
+        | line -> (
+            match Scanf.sscanf_opt line "VmHWM: %d kB" (fun x -> x) with
+            | Some v ->
+                close_in ic;
+                v
+            | None -> go ())
+      in
+      go ()
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+(* One scheme's deterministic shape plus its (JSON-only) measured
+   cost. [comm] is the paper's per-node communication unit: every
+   protocol step costs O(|G|^2) messages inside a group, so the mean
+   of |G|^2 over groups is the per-node price of a round. *)
+type side = {
+  mean_g : float;
+  comm : float;
+  red : int;
+  words_per_node : int;  (* measured; JSON only *)
+  build_s : float;  (* measured; JSON only *)
+}
+
+type row = {
+  n : int;
+  k : int;
+  tiny : side;
+  logn : side;
+  gap : float;  (* logn.comm /. tiny.comm *)
+  jobs_match : bool;  (* build_direct ~jobs:1 == ~jobs:4, structurally *)
+  depart_updates : int;
+  join_updates : int;
+  build_j4_s : float;  (* measured; JSON only *)
+  depart_s : float;  (* measured; JSON only *)
+  join_s : float;  (* measured; JSON only *)
+  rss_kb : int;  (* measured; JSON only *)
+}
+
+type report = { scale : Scale.t; rows : row list }
+
+let mean_sq_group_size g =
+  let sum, count =
+    Tinygroups.Group_graph.fold_groups
+      (fun _ grp (acc, c) ->
+        let s = float_of_int (Tinygroups.Group.size grp) in
+        (acc +. (s *. s), c + 1))
+      g (0., 0)
+  in
+  if count = 0 then 0. else sum /. float_of_int count
+
+(* Structural equality of two graphs: same leaders in ring order,
+   identical member arrays per group, same census. This is the gate
+   for the jobs fan-out — at stress n the formation loop is split
+   over domains, and any scheduling leak into the result would show
+   up here. *)
+let graphs_equal a b =
+  let census_eq =
+    Tinygroups.Group_graph.census a = Tinygroups.Group_graph.census b
+  in
+  let la = Tinygroups.Group_graph.leaders a in
+  let lb = Tinygroups.Group_graph.leaders b in
+  census_eq
+  && Array.length la = Array.length lb
+  &&
+  try
+    Array.iteri
+      (fun i w -> if not (Idspace.Point.equal w lb.(i)) then raise Exit)
+      la;
+    Tinygroups.Group_graph.iter_groups
+      (fun w (grp : Tinygroups.Group.t) ->
+        let grp' = Tinygroups.Group_graph.group_of b w in
+        let ma = grp.Tinygroups.Group.members in
+        let mb = grp'.Tinygroups.Group.members in
+        if Array.length ma <> Array.length mb then raise Exit;
+        Array.iteri
+          (fun i m -> if not (Idspace.Point.equal m mb.(i)) then raise Exit)
+          ma)
+      a;
+    true
+  with Exit -> false
+
+let side_of ~n ~build_s g =
+  {
+    mean_g = Tinygroups.Group_graph.mean_group_size g;
+    comm = mean_sq_group_size g;
+    red = (Tinygroups.Group_graph.census g).Tinygroups.Group_graph.red;
+    words_per_node = Obj.reachable_words (Obj.repr g) / max 1 n;
+    build_s;
+  }
+
+let rec fresh_point stream ring =
+  let p = Idspace.Point.random stream in
+  if Idspace.Ring.mem p ring then fresh_point stream ring else p
+
+let run_row stream n =
+  let k = churn_k n in
+  (* The jobs gate needs two builds of the *same* population, so the
+     build stream is copied: jobs must be the only varying input. *)
+  let brng = Prng.Rng.split stream in
+  let (pop, g1), build_j1_s =
+    time (fun () -> Common.build_tiny (Prng.Rng.copy brng) ~jobs:1 ~n ~beta ())
+  in
+  let (_, g4), build_j4_s =
+    time (fun () -> Common.build_tiny (Prng.Rng.copy brng) ~jobs:4 ~n ~beta ())
+  in
+  let jobs_match = graphs_equal g1 g4 in
+  let logn_g, logn_s =
+    time (fun () ->
+        let params = { Tinygroups.Params.default with Tinygroups.Params.beta } in
+        let overlay =
+          Tinygroups.Group_graph.overlay g1
+          (* same ring, same construction; sharing the memo keeps the
+             baseline build from re-warming n neighbour lists *)
+        in
+        Baseline.Logn_groups.build ~params ~population:pop ~overlay
+          ~member_oracle:Common.h1 ())
+  in
+  (* Constant-fraction churn: k leaders depart in one batch, then k
+     fresh IDs join through the (pre-churn) graph pair. *)
+  let victims =
+    Array.to_list (Array.sub (Tinygroups.Group_graph.leaders g1) 0 k)
+  in
+  let (g_dep, dep_cost), depart_s =
+    time (fun () -> Tinygroups.Dynamic.depart_many g1 ~ids:victims)
+  in
+  let old_pair = Tinygroups.Membership.make_old_pair ~failure:`Majority g1 None in
+  let newcomers =
+    List.init k (fun _ ->
+        ( fresh_point stream (Adversary.Population.ring pop),
+          Prng.Rng.bernoulli stream beta ))
+  in
+  let join_metrics = Sim.Metrics.create () in
+  let (_, join_cost), join_s =
+    time (fun () ->
+        Tinygroups.Dynamic.join_many (Prng.Rng.split stream) join_metrics g_dep
+          ~old_pair ~member_oracle:Common.h1 ~ids:newcomers)
+  in
+  {
+    n;
+    k;
+    tiny = side_of ~n ~build_s:build_j1_s g1;
+    logn = side_of ~n ~build_s:logn_s logn_g;
+    gap =
+      (let t = mean_sq_group_size g1 in
+       if t = 0. then 0. else mean_sq_group_size logn_g /. t);
+    jobs_match;
+    depart_updates = dep_cost.Tinygroups.Dynamic.member_updates;
+    join_updates = join_cost.Tinygroups.Dynamic.member_updates;
+    build_j4_s;
+    depart_s;
+    join_s;
+    rss_kb = vmhwm_kb ();
+  }
+
+let run ?(jobs = 1) rng scale =
+  let ns =
+    match scale with
+    | Scale.Stress -> Scale.n_sweep Scale.Stress
+    | Scale.Quick -> [ 4096; 8192 ]
+    | Scale.Standard | Scale.Full -> [ 8192; 16384; 32768 ]
+  in
+  let rows = Common.map_configs rng ~jobs ns (fun n stream -> run_row stream n) in
+  { scale; rows }
+
+let to_table r =
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E25 (scale): tiny vs log n per-node cost across the %s tier \
+            (beta=%.2f, churn batch k=min(512, n/64))"
+           (Scale.to_string r.scale) beta)
+      ~columns:
+        [
+          "n";
+          "|G| tiny";
+          "|G| logn";
+          "msg/node tiny";
+          "msg/node logn";
+          "gap";
+          "red t/l";
+          "k";
+          "dep upd";
+          "join upd";
+          "j1=j4";
+        ]
+  in
+  List.iter
+    (fun row ->
+      Table.add_row table
+        [
+          Table.fint row.n;
+          Table.ffloat ~digits:2 row.tiny.mean_g;
+          Table.ffloat ~digits:2 row.logn.mean_g;
+          Table.ffloat ~digits:1 row.tiny.comm;
+          Table.ffloat ~digits:1 row.logn.comm;
+          Table.ffloat ~digits:2 row.gap;
+          Printf.sprintf "%d/%d" row.tiny.red row.logn.red;
+          Table.fint row.k;
+          Table.fint row.depart_updates;
+          Table.fint row.join_updates;
+          (if row.jobs_match then "yes" else "NO");
+        ]
+    )
+    r.rows;
+  Table.add_note table
+    "msg/node = mean |G|^2 over groups: the per-node cost of one intra-group";
+  Table.add_note table
+    "round (all-to-all verification). gap = logn/tiny; Theta(lnln n) vs";
+  Table.add_note table
+    "Theta(ln n) sizing makes it widen with n (the paper's headline at scale).";
+  Table.add_note table
+    "j1=j4: build_direct ~jobs:1 and ~jobs:4 produced structurally identical";
+  Table.add_note table
+    "graphs over one population (the domain fan-out determinism gate).";
+  Table.add_note table
+    "Wall-clock and peak RSS are measured, not derived: see BENCH_scale.json.";
+  table
+
+let to_json r =
+  let side_json s =
+    Printf.sprintf
+      {|{"mean_group_size": %.4f, "msgs_per_node": %.2f, "red": %d, "heap_words_per_node": %d, "build_wall_s": %.3f}|}
+      s.mean_g s.comm s.red s.words_per_node s.build_s
+  in
+  let row_json row =
+    Printf.sprintf
+      {|    {
+      "n": %d,
+      "churn_k": %d,
+      "tiny": %s,
+      "logn": %s,
+      "comm_gap": %.4f,
+      "jobs_deterministic": %b,
+      "build_jobs4_wall_s": %.3f,
+      "depart": {"member_updates": %d, "wall_s": %.3f},
+      "join": {"member_updates": %d, "wall_s": %.3f},
+      "peak_rss_kb": %d
+    }|}
+      row.n row.k (side_json row.tiny) (side_json row.logn) row.gap
+      row.jobs_match row.build_j4_s row.depart_updates row.depart_s
+      row.join_updates row.join_s row.rss_kb
+  in
+  Printf.sprintf
+    {|{
+  "experiment": "e25",
+  "scale": "%s",
+  "beta": %.2f,
+  "notes": "peak_rss_kb is the process-wide VmHWM sampled after the row completes (monotone across rows; per-n attribution assumes --jobs 1, as make bench-scale runs). heap_words_per_node counts all words reachable from the graph, including the ring/overlay shared between the two schemes.",
+  "rows": [
+%s
+  ]
+}
+|}
+    (Scale.to_string r.scale) beta
+    (String.concat ",\n" (List.map row_json r.rows))
+
+let run_e25 ?(jobs = 1) rng scale = to_table (run ~jobs rng scale)

@@ -43,7 +43,7 @@ let sizing_of = function
         churn = 24;
         transition_w = 5;
       }
-  | Scale.Full ->
+  | Scale.Full | Scale.Stress ->
       {
         n = 2048;
         cohorts = 8;

@@ -1,5 +1,10 @@
 let run_e10 ?(jobs = 1) rng scale =
-  let n = match scale with Scale.Quick -> 2048 | Scale.Standard -> 8192 | Scale.Full -> 16384 in
+  let n =
+    match scale with
+    | Scale.Quick -> 2048
+    | Scale.Standard -> 8192
+    | Scale.Full | Scale.Stress -> 16384
+  in
   let table =
     Table.create
       ~title:

@@ -51,6 +51,8 @@ let all =
       Exp_serve.run_e23;
     faulty "e24" "Agreement sublayer: Phase-King vs sampler-BA vs BRB complexity."
       Exp_agreement.run_e24;
+    table "e25" "Stress scale tier: tiny vs log n cost gap at n up to 2^20."
+      Exp_scale.run_e25;
     { id = "f1"; doc = "Figure 1 rendered as a search trace."; kind = Text Exp_figure1.render };
   ]
 

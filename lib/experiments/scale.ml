@@ -1,26 +1,36 @@
-type t = Quick | Standard | Full
+type t = Quick | Standard | Full | Stress
 
 let of_string = function
   | "quick" -> Some Quick
   | "standard" -> Some Standard
   | "full" -> Some Full
+  | "stress" -> Some Stress
   | _ -> None
 
-let to_string = function Quick -> "quick" | Standard -> "standard" | Full -> "full"
+let to_string = function
+  | Quick -> "quick"
+  | Standard -> "standard"
+  | Full -> "full"
+  | Stress -> "stress"
 
 let n_sweep = function
   | Quick -> [ 512; 1024 ]
   | Standard -> [ 1024; 2048; 4096; 8192 ]
   | Full -> [ 1024; 2048; 4096; 8192; 16384; 32768 ]
+  | Stress -> [ 131072; 262144; 524288; 1048576 ]
 
-let searches = function Quick -> 500 | Standard -> 3000 | Full -> 10_000
+let searches = function Quick -> 500 | Standard -> 3000 | Full -> 10_000 | Stress -> 3000
 
-let epochs = function Quick -> 3 | Standard -> 6 | Full -> 10
+let epochs = function Quick -> 3 | Standard -> 6 | Full -> 10 | Stress -> 10
 
-let dynamic_n = function Quick -> 512 | Standard -> 1024 | Full -> 4096
+let dynamic_n = function Quick -> 512 | Standard -> 1024 | Full -> 4096 | Stress -> 131072
 
-let trials = function Quick -> 1 | Standard -> 3 | Full -> 5
+let trials = function Quick -> 1 | Standard -> 3 | Full -> 5 | Stress -> 1
 
-let cuckoo_n = function Quick -> 1024 | Standard -> 4096 | Full -> 8192
+let cuckoo_n = function Quick -> 1024 | Standard -> 4096 | Full -> 8192 | Stress -> 8192
 
-let cuckoo_rounds = function Quick -> 5_000 | Standard -> 20_000 | Full -> 100_000
+let cuckoo_rounds = function
+  | Quick -> 5_000
+  | Standard -> 20_000
+  | Full -> 100_000
+  | Stress -> 100_000

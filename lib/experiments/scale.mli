@@ -4,9 +4,12 @@
     [Standard] is the default reported in EXPERIMENTS.md, [Full]
     approaches the sizes used by the cited prior work (e.g. [47]'s
     [n = 8192], 10^5 churn events) at the cost of minutes of
-    runtime. *)
+    runtime. [Stress] is the million-ID tier (n = 2^17..2^20) used
+    only by the scale experiment (E25) and `make bench-scale`; other
+    experiments treat it like [Full]-sized inputs where they consult
+    the shared knobs. *)
 
-type t = Quick | Standard | Full
+type t = Quick | Standard | Full | Stress
 
 val of_string : string -> t option
 val to_string : t -> string

@@ -32,6 +32,13 @@ let index_points pts =
   List.iter (fun p -> Hashtbl.replace h (Point.to_u62 p) ()) pts;
   h
 
+(* Disabled injectors never write [crashed_ids] ([enabled_ = false]
+   short-circuits every mutation path), so all of them can share one
+   empty table instead of allocating a degenerate one per call —
+   [disabled] is called once per run at every conditions-free
+   call site, which adds up at the stress tier. *)
+let no_crashed_ids : (int64, crash_state list) Hashtbl.t = Hashtbl.create 1
+
 let disabled () =
   {
     enabled_ = false;
@@ -40,7 +47,7 @@ let disabled () =
     metrics_ = Metrics_core.create ();
     cuts = [];
     crashes = [];
-    crashed_ids = Hashtbl.create 1;
+    crashed_ids = no_crashed_ids;
     wildcard_drop = 0.;
   }
 
@@ -50,7 +57,7 @@ let create ?metrics (plan : Plan.t) =
       (fun c -> { crash = c; crash_seen_active = false; recover_counted = false })
       plan.Plan.crashes
   in
-  let crashed_ids = Hashtbl.create 16 in
+  let crashed_ids = Hashtbl.create (max 16 (List.length crashes)) in
   List.iter
     (fun (s : crash_state) ->
       let k = Point.to_u62 s.crash.Plan.id in

@@ -11,7 +11,7 @@ type t = {
   mutable delivered : int;
 }
 
-let create ?(conditions = Sim.Conditions.none) ?metrics rng ~latency =
+let create ?(conditions = Sim.Conditions.none) ?metrics ?(size = 1024) rng ~latency =
   let injector =
     match conditions.Sim.Conditions.faults with
     | None -> Faults.Injector.disabled ()
@@ -26,7 +26,9 @@ let create ?(conditions = Sim.Conditions.none) ?metrics rng ~latency =
     rng;
     latency;
     engine = Sim.Engine.create ();
-    handlers = Hashtbl.create 1024;
+    (* [handlers] is only probed by key, never iterated; [?size] lets
+       a caller expecting ~n registrations skip the rehash ladder. *)
+    handlers = Hashtbl.create (max 16 size);
     injector;
     tracker;
     sent = 0;

@@ -32,6 +32,7 @@ type t
 val create :
   ?conditions:Sim.Conditions.t ->
   ?metrics:Sim.Metrics.t ->
+  ?size:int ->
   Prng.Rng.t ->
   latency:Sim.Latency.t ->
   t
@@ -39,7 +40,9 @@ val create :
     injection, no retries. [?metrics] is where fault and retry counters
     ({!Sim.Metrics.fault_injected}, {!Sim.Metrics.retry_attempted}
     etc.) accumulate; private tables otherwise (see {!fault_metrics}
-    and {!retry_metrics}). *)
+    and {!retry_metrics}). [?size] (default 1024) hints the expected
+    number of registered handlers; purely a capacity hint, never
+    observable in behaviour. *)
 
 val register : t -> Point.t -> (t -> now:int -> Message.t -> unit) -> unit
 (** Install the handler run at each delivery to this ID.

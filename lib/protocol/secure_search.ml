@@ -38,7 +38,11 @@ let run_search rng g ~latency ~behaviour ~src ~key ?(deadline = 60_000)
     if Ring.cardinal bad_ring = 0 then None
     else Some (Ring.successor_exn bad_ring key)
   in
-  let net = Network.create ?conditions ?metrics (Prng.Rng.split rng) ~latency in
+  let net =
+    Network.create ?conditions ?metrics
+      ~size:(2 * Tinygroups.Group_graph.n_groups g)
+      (Prng.Rng.split rng) ~latency
+  in
   let qid = 1 in
   (* The client is a synthetic address off the ring. *)
   let client = Point.of_u62 0L in
@@ -172,8 +176,11 @@ let run_search rng g ~latency ~behaviour ~src ~key ?(deadline = 60_000)
     in
     Network.register net member handler
   in
-  (* Register every distinct member of every group once. *)
-  let registered = Hashtbl.create 1024 in
+  (* Register every distinct member of every group once. [registered]
+     is only probed (mem/add), never iterated, so sizing it for the
+     ~n distinct members avoids repeated rehashing at large n without
+     any digest exposure. *)
+  let registered = Hashtbl.create (2 * Tinygroups.Group_graph.n_groups g) in
   Tinygroups.Group_graph.iter_groups
     (fun _ (grp : Tinygroups.Group.t) ->
       Array.iter

@@ -11,14 +11,20 @@ type t = {
   broken : (int64, unit) Hashtbl.t;
 }
 
+(* Disabled trackers never write either table (every mutation guards
+   on [active_]), so they can all share the same empty ones rather
+   than allocating degenerate single-bucket tables per call. *)
+let no_failures : (int64, int) Hashtbl.t = Hashtbl.create 1
+let no_broken : (int64, unit) Hashtbl.t = Hashtbl.create 1
+
 let disabled () =
   {
     active_ = false;
     policy_ = Policy.none;
     rng = Prng.Rng.of_int64 0L;
     metrics_ = Metrics_core.create ();
-    failures = Hashtbl.create 1;
-    broken = Hashtbl.create 1;
+    failures = no_failures;
+    broken = no_broken;
   }
 
 let create ?metrics (policy : Policy.t) =

@@ -1,0 +1,48 @@
+(* Append-only series with O(1) amortised push.
+
+   The long-run accumulators (epoch history, per-round churn traces)
+   used to grow by [xs <- xs @ [x]], which copies the whole list per
+   append — O(k^2) over k epochs, the kind of cost that is invisible
+   at k = 10 and fatal at the stress tier's k = 10^4. This buffer is
+   the audited replacement: a doubling array, pushed in arrival order
+   and read back oldest-first, so callers keep the exact observable
+   behaviour (a chronological list) at O(k) total cost. *)
+
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let length t = t.len
+
+let push t x =
+  let cap = Array.length t.data in
+  if t.len = cap then begin
+    let data = Array.make (max 8 (2 * cap)) x in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Series.get: index out of bounds";
+  t.data.(i)
+
+let last t = if t.len = 0 then None else Some t.data.(t.len - 1)
+
+let to_list t =
+  let acc = ref [] in
+  for i = t.len - 1 downto 0 do
+    acc := t.data.(i) :: !acc
+  done;
+  !acc
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun x -> acc := f !acc x) t;
+  !acc

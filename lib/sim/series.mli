@@ -1,0 +1,30 @@
+(** Append-only series with O(1) amortised push.
+
+    The replacement for list-append-in-a-loop accumulators
+    ([xs <- xs @ [x]] is O(k^2) over k appends): a doubling array
+    buffer pushed in arrival order and read back oldest-first.
+    {!Tinygroups.Epoch} keeps its per-epoch census history in one;
+    anything that accumulates a long chronological trace should. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+(** Append one element; amortised O(1), worst-case O(current length)
+    on a doubling step. *)
+
+val get : 'a t -> int -> 'a
+(** [get t i] is the [i]-th pushed element (0 = oldest). Raises
+    [Invalid_argument] out of bounds. *)
+
+val last : 'a t -> 'a option
+
+val to_list : 'a t -> 'a list
+(** Oldest-first, O(length). *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val fold : ('acc -> 'a -> 'acc) -> 'a t -> 'acc -> 'acc

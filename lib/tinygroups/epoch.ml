@@ -48,7 +48,10 @@ type t = {
   mutable g1 : Group_graph.t;
   mutable g2 : Group_graph.t option;
   mutable spam_accepted_ : int;
-  mutable history_ : (int * Group_graph.census) list;
+  history_ : (int * Group_graph.census) Sim.Series.t;
+      (* Chronological push per epoch; O(1) amortised. The seed's
+         [history_ @ [row]] append was O(k^2) over k epochs — fatal
+         at stress-tier epoch counts (see DESIGN.md memory budget). *)
 }
 
 let build_overlay kind ring =
@@ -115,7 +118,10 @@ let init ?(conditions = Sim.Conditions.none) rng config =
     g1;
     g2;
     spam_accepted_ = 0;
-    history_ = [ (0, Group_graph.census g1) ];
+    history_ =
+      (let h = Sim.Series.create () in
+       Sim.Series.push h (0, Group_graph.census g1);
+       h);
   }
 
 (* Build one new group graph over [new_pop], drawing members and
@@ -211,7 +217,7 @@ let advance t =
         t.epoch_ census.Group_graph.total census.Group_graph.good census.Group_graph.weak
         census.Group_graph.hijacked_ census.Group_graph.confused_
         (Sim.Metrics.get t.metrics_ Sim.Metrics.msg_membership));
-  t.history_ <- t.history_ @ [ (t.epoch_, census) ]
+  Sim.Series.push t.history_ (t.epoch_, census)
 
 let epoch t = t.epoch_
 let primary t = t.g1
@@ -219,4 +225,4 @@ let secondary t = t.g2
 let old_pair t = Membership.make_old_pair ~failure:t.config.failure t.g1 t.g2
 let metrics t = t.metrics_
 let spam_accepted_total t = t.spam_accepted_
-let history t = t.history_
+let history t = Sim.Series.to_list t.history_

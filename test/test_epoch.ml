@@ -127,6 +127,27 @@ let test_history_accumulates () =
   let h = Tinygroups.Epoch.history e in
   Alcotest.(check (list int)) "epochs in order" [ 0; 1; 2 ] (List.map fst h)
 
+(* The representation-independence law behind the Series-backed
+   history: whatever [history_] is internally, [Epoch.history] after
+   k transitions must equal the censuses an external observer
+   collected from [Epoch.primary] at epoch 0 and after each advance,
+   in chronological order. This pinned the O(k^2)-append fix as
+   behaviour-preserving. *)
+let prop_history_is_external_census_fold =
+  QCheck.Test.make ~name:"history = externally collected censuses" ~count:10
+    QCheck.(pair (int_range 64 160) (int_range 0 4))
+    (fun (n, k) ->
+      let e = Tinygroups.Epoch.init (rng ()) (Tinygroups.Epoch.default_config ~n) in
+      let observed = ref [ (0, Tinygroups.Group_graph.census (Tinygroups.Epoch.primary e)) ] in
+      for _ = 1 to k do
+        Tinygroups.Epoch.advance e;
+        observed :=
+          ( Tinygroups.Epoch.epoch e,
+            Tinygroups.Group_graph.census (Tinygroups.Epoch.primary e) )
+          :: !observed
+      done;
+      Tinygroups.Epoch.history e = List.rev !observed)
+
 let test_metrics_accumulate () =
   let e = Tinygroups.Epoch.init (rng ()) (Tinygroups.Epoch.default_config ~n:128) in
   Alcotest.(check int) "no construction traffic yet" 0
@@ -168,6 +189,7 @@ let () =
             test_members_come_from_old_population;
           Alcotest.test_case "history" `Quick test_history_accumulates;
           Alcotest.test_case "metrics" `Quick test_metrics_accumulate;
+          QCheck_alcotest.to_alcotest prop_history_is_external_census_fold;
         ] );
       ( "robustness",
         [

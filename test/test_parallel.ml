@@ -95,7 +95,7 @@ let table_invariant name run () =
 let test_registry_complete () =
   let ids = List.map (fun s -> s.Experiments.Registry.id) Experiments.Registry.all in
   let expected =
-    List.init 25 (fun i -> Printf.sprintf "e%d" i) @ [ "f1" ]
+    List.init 26 (fun i -> Printf.sprintf "e%d" i) @ [ "f1" ]
   in
   Alcotest.(check (list string)) "canonical ids" expected ids;
   Alcotest.(check bool) "find e4" true (Experiments.Registry.find "e4" <> None);

@@ -1,0 +1,107 @@
+(* The stress tier (E25): a CI-fast smoke of the n = 2^17 pipeline —
+   one tiny-group build plus a few capped churn batches — asserting
+   completion, sane group shape, and a coarse memory ceiling; plus
+   the deterministic gap-widening claim at quick scale. The full
+   n = 2^17..2^20 sweep lives in `make bench-scale`, not here. *)
+
+let vmhwm_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+      let rec go () =
+        match input_line ic with
+        | exception End_of_file ->
+            close_in ic;
+            0
+        | line -> (
+            match Scanf.sscanf_opt line "VmHWM: %d kB" (fun x -> x) with
+            | Some v ->
+                close_in ic;
+                v
+            | None -> go ())
+      in
+      go ()
+
+let rec fresh_point rng ring =
+  let p = Idspace.Point.random rng in
+  if Idspace.Ring.mem p ring then fresh_point rng ring else p
+
+let test_stress_smoke () =
+  let n = 131072 in
+  let k = 512 in
+  let rounds = 2 in
+  let rng = Prng.Rng.create 1 in
+  let pop, g0 = Experiments.Common.build_tiny (Prng.Rng.split rng) ~n ~beta:0.05 () in
+  Alcotest.(check int) "one group per ID" n (Tinygroups.Group_graph.n_groups g0);
+  let mean = Tinygroups.Group_graph.mean_group_size g0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "lnln-sized groups at 2^17 (|G|=%.2f)" mean)
+    true
+    (mean > 8. && mean < 20.);
+  let old_pair = Tinygroups.Membership.make_old_pair ~failure:`Majority g0 None in
+  let metrics = Sim.Metrics.create () in
+  let g = ref g0 in
+  for _ = 1 to rounds do
+    let victims =
+      Array.to_list (Array.sub (Tinygroups.Group_graph.leaders !g) 0 k)
+    in
+    let g_dep, dep_cost = Tinygroups.Dynamic.depart_many !g ~ids:victims in
+    Alcotest.(check bool) "departures touched members" true
+      (dep_cost.Tinygroups.Dynamic.member_updates > 0);
+    let newcomers =
+      List.init k (fun _ ->
+          ( fresh_point rng (Adversary.Population.ring pop),
+            Prng.Rng.bernoulli rng 0.05 ))
+    in
+    let g_join, join_cost =
+      Tinygroups.Dynamic.join_many (Prng.Rng.split rng) metrics g_dep ~old_pair
+        ~member_oracle:Experiments.Common.h1 ~ids:newcomers
+    in
+    Alcotest.(check bool) "joins formed groups" true
+      (join_cost.Tinygroups.Dynamic.member_updates > 0);
+    Alcotest.(check int) "ring size restored" n
+      (Tinygroups.Group_graph.n_groups g_join);
+    g := g_join
+  done;
+  (* Coarse ceiling: the whole build+churn pipeline at 2^17 must stay
+     far from the super-linear blowups this tier exists to catch.
+     Skipped where /proc is unavailable. *)
+  let rss = vmhwm_kb () in
+  if rss > 0 then
+    Alcotest.(check bool)
+      (Printf.sprintf "peak RSS %d kB under 2 GB" rss)
+      true
+      (rss < 2 * 1024 * 1024)
+
+let test_gap_widens_at_quick () =
+  let r = Experiments.Exp_scale.run ~jobs:1 (Prng.Rng.create 1) Experiments.Scale.Quick in
+  let rows = r.Experiments.Exp_scale.rows in
+  Alcotest.(check bool) "at least two sizes" true (List.length rows >= 2);
+  List.iter
+    (fun (row : Experiments.Exp_scale.row) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs fan-out deterministic at n=%d" row.n)
+        true row.jobs_match;
+      Alcotest.(check bool)
+        (Printf.sprintf "logn costs more at n=%d (gap %.2f)" row.n row.gap)
+        true (row.gap > 1.))
+    rows;
+  let gaps = List.map (fun (row : Experiments.Exp_scale.row) -> row.gap) rows in
+  let rec strictly_increasing = function
+    | a :: (b :: _ as rest) -> a < b && strictly_increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "gap widens with n (%s)"
+       (String.concat " -> " (List.map (Printf.sprintf "%.2f") gaps)))
+    true (strictly_increasing gaps)
+
+let () =
+  Alcotest.run "scale"
+    [
+      ( "stress",
+        [
+          Alcotest.test_case "2^17 build + churn smoke" `Slow test_stress_smoke;
+          Alcotest.test_case "gap widens at quick" `Slow test_gap_widens_at_quick;
+        ] );
+    ]

@@ -156,6 +156,51 @@ let prop_heap_pops_sorted =
       let popped = drain [] in
       popped = List.sort compare entries && List.length popped = List.length entries)
 
+let test_series_basics () =
+  let s = Sim.Series.create () in
+  Alcotest.(check int) "empty" 0 (Sim.Series.length s);
+  Alcotest.(check bool) "no last" true (Sim.Series.last s = None);
+  Alcotest.(check (list int)) "empty list" [] (Sim.Series.to_list s);
+  List.iter (Sim.Series.push s) [ 3; 1; 4; 1; 5 ];
+  Alcotest.(check int) "length" 5 (Sim.Series.length s);
+  Alcotest.(check (list int)) "oldest-first" [ 3; 1; 4; 1; 5 ] (Sim.Series.to_list s);
+  Alcotest.(check int) "get 0" 3 (Sim.Series.get s 0);
+  Alcotest.(check int) "get 4" 5 (Sim.Series.get s 4);
+  Alcotest.(check bool) "last" true (Sim.Series.last s = Some 5);
+  Alcotest.(check int) "fold sums" 14 (Sim.Series.fold (fun a x -> a + x) s 0);
+  Alcotest.check_raises "get out of bounds"
+    (Invalid_argument "Series.get: index out of bounds") (fun () ->
+      ignore (Sim.Series.get s 5))
+
+let prop_series_is_a_list =
+  QCheck.Test.make ~name:"Series.to_list = the pushed list" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let s = Sim.Series.create () in
+      List.iter (Sim.Series.push s) xs;
+      Sim.Series.to_list s = xs && Sim.Series.length s = List.length xs)
+
+(* The regression the stress tier depends on: k appends must cost
+   O(k), not the O(k^2) of the seed's [xs <- xs @ [x]] accumulators.
+   10^5 pushes complete in well under a second when amortised-O(1);
+   the quadratic version needs minutes at this k (10^10 cons cells),
+   so a generous ceiling separates them by orders of magnitude
+   without being flaky on a loaded machine. *)
+let test_series_linear_time () =
+  List.iter
+    (fun k ->
+      let t0 = Unix.gettimeofday () in
+      let s = Sim.Series.create () in
+      for i = 1 to k do
+        Sim.Series.push s i
+      done;
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Alcotest.(check int) (Printf.sprintf "k=%d pushed" k) k (Sim.Series.length s);
+      Alcotest.(check bool)
+        (Printf.sprintf "k=%d in O(k) time (%.3fs)" k elapsed)
+        true (elapsed < 2.))
+    [ 10_000; 100_000 ]
+
 let () =
   Alcotest.run "sim"
     [
@@ -179,5 +224,14 @@ let () =
           Alcotest.test_case "snapshot/diff phases" `Quick test_metrics_snapshot_phases;
           Alcotest.test_case "merge" `Quick test_metrics_merge;
         ] );
-      ("properties", [ QCheck_alcotest.to_alcotest prop_heap_pops_sorted ]);
+      ( "series",
+        [
+          Alcotest.test_case "push/get/to_list" `Quick test_series_basics;
+          Alcotest.test_case "O(k) for k = 10^4, 10^5" `Quick test_series_linear_time;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_heap_pops_sorted;
+          QCheck_alcotest.to_alcotest prop_series_is_a_list;
+        ] );
     ]
