@@ -1,4 +1,4 @@
-.PHONY: all check check-seeds test bench bench-quick bench-hotpath bench-hotpath-capture bench-serve bench-scale regen-goldens fmt clean
+.PHONY: all check check-seeds test bench bench-quick bench-hotpath bench-hotpath-capture bench-serve bench-scale bench-epoch bench-epoch-quick regen-goldens fmt clean
 
 all:
 	dune build
@@ -17,6 +17,10 @@ check-seeds:
 	  dune exec bin/tinygroups_cli.exe -- e21 --scale quick --seed $$seed --jobs 1 > /dev/null || exit 1; \
 	  dune exec bin/tinygroups_cli.exe -- e22 --scale quick --seed $$seed --jobs 1 > /dev/null || exit 1; \
 	  dune exec bin/tinygroups_cli.exe -- e24 --scale quick --seed $$seed --jobs 1 > /dev/null || exit 1; \
+	done
+	@for seed in 1 7 1337; do \
+	  echo "== epoch-transition jobs sweep at seed $$seed =="; \
+	  dune exec bench/epoch.exe -- --determinism-only --scale quick --seed $$seed || exit 1; \
 	done
 	@echo "seed sweep OK"
 
@@ -50,6 +54,18 @@ bench-serve:
 # Budget ~8-10 minutes and ~5.5 GB peak RSS on one core.
 bench-scale:
 	dune exec bin/tinygroups_cli.exe -- scale --scale stress --seed 1 --jobs 1 --out BENCH_scale.json
+
+# The parallel epoch-transition bench: Epoch.advance and
+# Group_graph.build_direct at jobs 1/2/4 per n, determinism asserted
+# on every pair, speedup asserted only when the recorded core count
+# exceeds 1. Rewrites the committed BENCH_epoch.json artifact.
+bench-epoch:
+	dune exec bench/epoch.exe -- --scale stress --seed 1 --out BENCH_epoch.json
+
+# CI variant (~10 s): same assertions at quick scale; the artifact is
+# uploaded by the workflow, not committed.
+bench-epoch-quick:
+	dune exec bench/epoch.exe -- --scale quick --seed 1 --out BENCH_epoch_quick.json
 
 # Re-bless the golden digest table: run every registry entry at
 # (Quick scale, seed 1, jobs 1) and rewrite test/golden_digests.txt.

@@ -17,10 +17,10 @@
 let beta = 0.05
 
 (* Churn batch per n: a constant fraction (1/64) of the ring, capped
-   at 512 events. The cap keeps the batch affordable under
-   [Dynamic.join_many]'s per-newcomer ring replay — the documented
-   O(k*n) digest contract of the join protocol — while still being a
-   multiple of every group's size. *)
+   at 512 events. The cap keeps the batch's routed-search bill
+   affordable (each newcomer still runs its full solicitation and
+   verification protocol) while staying a multiple of every group's
+   size; the overlay side is O(1) rebuilds per batch regardless. *)
 let churn_k n = min 512 (n / 64)
 
 let vmhwm_kb () =
@@ -67,6 +67,9 @@ type row = {
   jobs_match : bool;  (* build_direct ~jobs:1 == ~jobs:4, structurally *)
   depart_updates : int;
   join_updates : int;
+  join_lone_leaders : int;
+      (* newcomers whose every member draw failed ([members = [w]]) *)
+  join_overlay_rebuilds : int;  (* must be exactly 1 per batch *)
   build_j4_s : float;  (* measured; JSON only *)
   depart_s : float;  (* measured; JSON only *)
   join_s : float;  (* measured; JSON only *)
@@ -84,37 +87,6 @@ let mean_sq_group_size g =
       g (0., 0)
   in
   if count = 0 then 0. else sum /. float_of_int count
-
-(* Structural equality of two graphs: same leaders in ring order,
-   identical member arrays per group, same census. This is the gate
-   for the jobs fan-out — at stress n the formation loop is split
-   over domains, and any scheduling leak into the result would show
-   up here. *)
-let graphs_equal a b =
-  let census_eq =
-    Tinygroups.Group_graph.census a = Tinygroups.Group_graph.census b
-  in
-  let la = Tinygroups.Group_graph.leaders a in
-  let lb = Tinygroups.Group_graph.leaders b in
-  census_eq
-  && Array.length la = Array.length lb
-  &&
-  try
-    Array.iteri
-      (fun i w -> if not (Idspace.Point.equal w lb.(i)) then raise Exit)
-      la;
-    Tinygroups.Group_graph.iter_groups
-      (fun w (grp : Tinygroups.Group.t) ->
-        let grp' = Tinygroups.Group_graph.group_of b w in
-        let ma = grp.Tinygroups.Group.members in
-        let mb = grp'.Tinygroups.Group.members in
-        if Array.length ma <> Array.length mb then raise Exit;
-        Array.iteri
-          (fun i m -> if not (Idspace.Point.equal m mb.(i)) then raise Exit)
-          ma)
-      a;
-    true
-  with Exit -> false
 
 let side_of ~n ~build_s g =
   {
@@ -140,7 +112,10 @@ let run_row stream n =
   let (_, g4), build_j4_s =
     time (fun () -> Common.build_tiny (Prng.Rng.copy brng) ~jobs:4 ~n ~beta ())
   in
-  let jobs_match = graphs_equal g1 g4 in
+  (* The jobs fan-out gate: at stress n the formation loop is split
+     over domains, and any scheduling leak into the result would show
+     up in the structural comparison. *)
+  let jobs_match = Tinygroups.Group_graph.equal g1 g4 in
   let logn_g, logn_s =
     time (fun () ->
         let params = { Tinygroups.Params.default with Tinygroups.Params.beta } in
@@ -183,6 +158,8 @@ let run_row stream n =
     jobs_match;
     depart_updates = dep_cost.Tinygroups.Dynamic.member_updates;
     join_updates = join_cost.Tinygroups.Dynamic.member_updates;
+    join_lone_leaders = Sim.Metrics.get join_metrics Sim.Metrics.group_lone_leader;
+    join_overlay_rebuilds = Sim.Metrics.get join_metrics Sim.Metrics.overlay_rebuilds;
     build_j4_s;
     depart_s;
     join_s;
@@ -271,12 +248,13 @@ let to_json r =
       "jobs_deterministic": %b,
       "build_jobs4_wall_s": %.3f,
       "depart": {"member_updates": %d, "wall_s": %.3f},
-      "join": {"member_updates": %d, "wall_s": %.3f},
+      "join": {"member_updates": %d, "wall_s": %.3f, "lone_leaders": %d, "overlay_rebuilds": %d},
       "peak_rss_kb": %d
     }|}
       row.n row.k (side_json row.tiny) (side_json row.logn) row.gap
       row.jobs_match row.build_j4_s row.depart_updates row.depart_s
-      row.join_updates row.join_s row.rss_kb
+      row.join_updates row.join_s row.join_lone_leaders
+      row.join_overlay_rebuilds row.rss_kb
   in
   Printf.sprintf
     {|{

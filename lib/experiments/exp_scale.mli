@@ -28,6 +28,12 @@ type row = {
           produced structurally identical graphs *)
   depart_updates : int;
   join_updates : int;
+  join_lone_leaders : int;
+      (** newcomers whose every member draw failed (lone-leader
+          fallback, surely-not-good groups) *)
+  join_overlay_rebuilds : int;
+      (** overlay reconstructions charged to the join batch — exactly
+          1 by the O(1)-rebuild contract *)
   build_j4_s : float;  (** measured (JSON only) *)
   depart_s : float;  (** measured (JSON only) *)
   join_s : float;  (** measured (JSON only) *)

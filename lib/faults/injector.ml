@@ -19,7 +19,9 @@ type crash_state = {
 type t = {
   enabled_ : bool;
   plan_ : Plan.t;
-  rng : Prng.Rng.t;
+  mutable rng : Prng.Rng.t;
+      (* Mutable so substreams ({!fork}) can be re-keyed per logical
+         actor ({!reseed}) without reallocating the whole record. *)
   metrics_ : Metrics_core.t;
   cuts : cut_state list;
   crashes : crash_state list;
@@ -88,6 +90,64 @@ let create ?metrics (plan : Plan.t) =
 let enabled t = t.enabled_
 let plan t = t.plan_
 let metrics t = t.metrics_
+
+(* -- substreams ----------------------------------------------------
+
+   A fork is a slice-local view for parallel transitions: it shares
+   the immutable plan and the side-index tables but owns its
+   window-observation flags (so domains never race on them) and
+   writes its counters to the slice's metrics. The PRNG is re-keyed
+   per logical actor with {!reseed}, which is what keeps the fault
+   schedule a pure function of (plan seed, actor key) instead of the
+   visit order. Flags are monotone booleans, so {!merge_seen} is an
+   OR — commutative and associative, hence invariant under how the
+   actor space was sliced. *)
+
+let fork t ~metrics =
+  if not t.enabled_ then t
+  else begin
+    let crashes =
+      List.map
+        (fun (s : crash_state) ->
+          { s with crash_seen_active = false; recover_counted = false })
+        t.crashes
+    in
+    let crashed_ids = Hashtbl.create (max 16 (List.length crashes)) in
+    List.iter
+      (fun (s : crash_state) ->
+        let k = Point.to_u62 s.crash.Plan.id in
+        let prev = Option.value ~default:[] (Hashtbl.find_opt crashed_ids k) in
+        Hashtbl.replace crashed_ids k (s :: prev))
+      crashes;
+    {
+      t with
+      rng = Prng.Rng.of_int64 t.plan_.Plan.seed;
+      metrics_ = metrics;
+      cuts =
+        List.map
+          (fun (s : cut_state) ->
+            { s with cut_seen_active = false; heal_counted = false })
+          t.cuts;
+      crashes;
+      crashed_ids;
+    }
+  end
+
+let reseed t ~key =
+  if t.enabled_ then
+    t.rng <- Prng.Rng.of_subkey t.plan_.Plan.seed key
+
+let merge_seen ~into t =
+  if t.enabled_ then begin
+    List.iter2
+      (fun (dst : cut_state) (src : cut_state) ->
+        if src.cut_seen_active then dst.cut_seen_active <- true)
+      into.cuts t.cuts;
+    List.iter2
+      (fun (dst : crash_state) (src : crash_state) ->
+        if src.crash_seen_active then dst.crash_seen_active <- true)
+      into.crashes t.crashes
+  end
 
 (* Liveness queries double as window observations: a query landing
    inside an active window marks the fault as seen, which is what

@@ -75,3 +75,30 @@ val observe_heals : t -> now:int -> unit
 
 val metrics : t -> Metrics_core.t
 (** Where this injector accounts its counters. *)
+
+(** {1 Substreams}
+
+    The parallel epoch transition slices the new ring over domains
+    and gives every slice a {!fork} of the transition's injector:
+    same plan, same (read-only) side-index tables, but slice-local
+    window-observation flags and slice-local counters, so domains
+    share nothing mutable. Within a slice, {!reseed} re-keys the
+    PRNG per logical actor (leader rank), making every actor's fault
+    draws a pure function of (plan seed, actor key) — byte-identical
+    at any domain count by construction. *)
+
+val fork : t -> metrics:Metrics_core.t -> t
+(** Slice-local view: fresh window-observation flags (all unseen),
+    counters into [metrics], PRNG reset to the plan seed (callers
+    {!reseed} per actor). Disabled injectors fork to themselves. *)
+
+val reseed : t -> key:int64 -> unit
+(** Re-key the private stream to
+    [Prng.Rng.of_subkey plan.seed key]. No-op when disabled. *)
+
+val merge_seen : into:t -> t -> unit
+(** OR a fork's window-observation flags back into [into] (normally
+    the fork's parent), entry by entry. Flags are monotone, so the
+    merged result is independent of slicing and merge order; counters
+    are merged separately by the caller
+    ({!Metrics_core.merge}). [into] must come from the same plan. *)

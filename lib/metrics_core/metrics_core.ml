@@ -68,3 +68,5 @@ let kv_route_cache_invalidated = "kv.route_cache_invalidated"
 let msg_agreement = "msg.agreement"
 let ba_bits_sent = "ba.bits_sent"
 let brb_delivered = "brb.delivered"
+let group_lone_leader = "group.lone_leader"
+let overlay_rebuilds = "overlay.rebuilds"

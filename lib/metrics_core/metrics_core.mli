@@ -130,3 +130,16 @@ val ba_bits_sent : string
 val brb_delivered : string
 (** BRB deliver events (application-layer handoffs); at most one per
     correct process per broadcast by the no-duplication property. *)
+
+val group_lone_leader : string
+(** Groups whose leader lost every member solicitation and stands
+    alone (the degenerate [members = \[w\]] fallback in
+    [Epoch.build_next] and the join protocol). A lone-leader group is
+    surely not good, so stress runs watch this the way they watch
+    [fault_suppressed]. *)
+
+val overlay_rebuilds : string
+(** Full overlay reconstructions (fresh neighbour memo over a changed
+    ring). Batched membership changes must pay exactly one per batch
+    — asserted at the unit level for [Dynamic.join_many] /
+    [depart_many]. *)

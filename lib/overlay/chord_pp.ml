@@ -1,5 +1,8 @@
 open Idspace
 
+(* Chord++ shares Chord's linking rule; only routing differs. *)
+let neighbors_of = Chord.neighbors_of
+
 let make ?(salt = 0) ring =
   if Ring.cardinal ring = 0 then invalid_arg "Chord_pp.make: empty ring";
   let base = Chord.make ring in

@@ -1,13 +1,14 @@
 open Idspace
 
+let neighbors_of ring w =
+  let pred = match Ring.predecessor ring w with Some p -> p | None -> w in
+  let succ = match Ring.strict_successor ring w with Some s -> s | None -> w in
+  List.filter (fun u -> not (Point.equal u w)) (List.sort_uniq Point.compare [ pred; succ ])
+
 let make ring =
   let n = Ring.cardinal ring in
   if n = 0 then invalid_arg "Succ_ring.make: empty ring";
-  let neighbors w =
-    let pred = match Ring.predecessor ring w with Some p -> p | None -> w in
-    let succ = match Ring.strict_successor ring w with Some s -> s | None -> w in
-    List.filter (fun u -> not (Point.equal u w)) (List.sort_uniq Point.compare [ pred; succ ])
-  in
+  let neighbors w = neighbors_of ring w in
   let route ~src ~key =
     let resp = Ring.successor_exn ring key in
     let rec walk current acc hops =

@@ -12,6 +12,17 @@ let split t =
 
 let copy t = { gen = Xoshiro.copy t.gen; seeder = Splitmix.copy t.seeder }
 
+(* Keyed (SplitMix-style) substream derivation: a pure function of
+   (base, key), so the stream attached to logical actor [key] does not
+   depend on how many draws -- or substreams -- any other actor
+   consumed. This is what makes rank-keyed fan-outs (the parallel
+   epoch transition, per-newcomer join streams) byte-identical at any
+   domain count: derivation replaces the inherently sequential
+   {!split} chain. The double [mix] decorrelates adjacent keys. *)
+let subkey base key = Splitmix.mix (Int64.logxor base (Splitmix.mix key))
+
+let of_subkey base key = of_int64 (subkey base key)
+
 let bits64 t = Xoshiro.next t.gen
 
 (* Unbiased bounded sampling by rejection on the top bits. *)

@@ -22,6 +22,20 @@ val copy : t -> t
 (** Snapshot of the current state; the copy and original then evolve
     independently. *)
 
+val subkey : int64 -> int64 -> int64
+(** [subkey base key] derives a 64-bit stream key from a base key and
+    an actor index (SplitMix finalizer over both). Pure in
+    [(base, key)]: unlike {!split}, deriving actor [k]'s key is
+    unaffected by how many draws or substreams any other actor
+    consumed, which is what keyed parallel fan-outs (per-leader epoch
+    substreams, per-newcomer join streams) need to stay byte-identical
+    at every domain count. Compose for nested scopes:
+    [subkey (subkey base phase) rank]. *)
+
+val of_subkey : int64 -> int64 -> t
+(** [of_subkey base key] is [of_int64 (subkey base key)]: the derived
+    substream itself. *)
+
 val bits64 : t -> int64
 (** 64 uniform pseudo-random bits. *)
 

@@ -69,3 +69,47 @@ val with_retries : t -> dst:Point.t -> (unit -> bool) -> bool
     fault injector so every try is independently faultable. On an
     inactive tracker this is exactly one draw-free call of
     [attempt]. *)
+
+val consecutive_failures : t -> Point.t -> int
+(** Current consecutive-exhaustion count for [dst] (the circuit
+    breaker's input); 0 when inactive or never exhausted. A fork
+    reads its parent's (frozen) count. Exposed for the merge
+    associativity tests. *)
+
+(** {1 Substreams}
+
+    The parallel epoch transition gives every ring slice a {!fork} of
+    the transition's tracker. During the transition, per-destination
+    circuit state is frozen: {!circuit_open} consults only the
+    parent's tables, so a destination's verdict cannot depend on
+    which slice — i.e. which [jobs] value — processed it. Successes
+    and exhaustions accumulate in slice-local per-destination
+    summaries (the run lengths of the S/E event string), which
+    {!merge_events} folds back into the parent in rank order.
+    Summaries compose associatively, so the merged failure counts,
+    circuit openings, and [retry_circuit_opens] metric are exact and
+    independent of where the slice boundaries fell; openings take
+    effect from the merge on (i.e. next transition). Within a slice,
+    {!reseed} re-keys the jitter PRNG per logical actor, making
+    backoff draws a pure function of (policy seed, actor key). *)
+
+val fork : t -> metrics:Metrics_core.t -> t
+(** Slice-local view: frozen reads of the parent's circuit state,
+    fresh event summaries, counters into [metrics], PRNG reset to the
+    policy seed (callers {!reseed} per actor). Inactive trackers fork
+    to themselves. *)
+
+val reseed : t -> key:int64 -> unit
+(** Re-key the private jitter stream to
+    [Prng.Rng.of_subkey policy.seed key]. No-op when inactive. *)
+
+val merge_events : into:t -> t -> unit
+(** Replay a fork's per-destination summaries into [into] (normally
+    the fork's parent): extend or reset consecutive-failure runs,
+    open circuits that crossed the threshold, and count
+    {!Metrics_core.retry_circuit_opens} for them — openings are
+    accounted only here, where they take effect. Call once per fork,
+    in slice rank order. [retry_acked] / [retry_exhausted] /
+    backoff counters were already accounted into the fork's own
+    metrics and are merged separately by the caller
+    ({!Metrics_core.merge}). *)

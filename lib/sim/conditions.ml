@@ -31,3 +31,21 @@ let activate ?metrics t =
   }
 
 let of_instances ?injector ?tracker () = { injector; tracker }
+
+let fork a ~metrics =
+  {
+    injector = Option.map (fun i -> Faults.Injector.fork i ~metrics) a.injector;
+    tracker = Option.map (fun t -> Reliability.Tracker.fork t ~metrics) a.tracker;
+  }
+
+let reseed a ~key =
+  Option.iter (fun i -> Faults.Injector.reseed i ~key) a.injector;
+  Option.iter (fun t -> Reliability.Tracker.reseed t ~key) a.tracker
+
+let merge ~into a =
+  (match (into.injector, a.injector) with
+  | Some dst, Some src -> Faults.Injector.merge_seen ~into:dst src
+  | _ -> ());
+  match (into.tracker, a.tracker) with
+  | Some dst, Some src -> Reliability.Tracker.merge_events ~into:dst src
+  | _ -> ()

@@ -62,3 +62,26 @@ val of_instances :
 (** Wrap pre-built instances, e.g. ones whose lifetime spans several
     protocol calls (the epoch chain builds its injector once and
     reuses it across all membership traffic). *)
+
+(** {1 Substreams}
+
+    The parallel epoch transition forks one slice-local [active] per
+    domain ({!fork}), re-keys it per logical actor as the slice walks
+    its leaders ({!reseed}), and folds each slice back into the
+    master in rank order ({!merge}) — see [Faults.Injector] and
+    [Reliability.Tracker] for the per-component contracts that make
+    the result independent of the slicing. *)
+
+val fork : active -> metrics:Metrics.t -> active
+(** Component-wise {!Faults.Injector.fork} /
+    {!Reliability.Tracker.fork}; absent components stay [None]. *)
+
+val reseed : active -> key:int64 -> unit
+(** Component-wise {!Faults.Injector.reseed} /
+    {!Reliability.Tracker.reseed}. *)
+
+val merge : into:active -> active -> unit
+(** Component-wise {!Faults.Injector.merge_seen} /
+    {!Reliability.Tracker.merge_events}. Call once per fork, in slice
+    rank order; counters are merged separately
+    ({!Metrics_core.merge}). *)

@@ -37,6 +37,15 @@ let to_list t =
   done;
   !acc
 
+let append dst src =
+  (* Parallel transitions collect slice-local series (confused /
+     suspect leaders per slice) and concatenate them in rank order;
+     concatenation is associative, so the merged trace is independent
+     of the slicing. *)
+  for i = 0 to src.len - 1 do
+    push dst src.data.(i)
+  done
+
 let iter f t =
   for i = 0 to t.len - 1 do
     f t.data.(i)

@@ -22,6 +22,13 @@ val get : 'a t -> int -> 'a
 
 val last : 'a t -> 'a option
 
+val append : 'a t -> 'a t -> unit
+(** [append dst src] pushes every element of [src] onto [dst],
+    oldest-first, leaving [src] untouched. Concatenation is
+    associative, so folding slice-local series back in rank order
+    yields a trace independent of the slicing — the parallel epoch
+    transition relies on this for its confused/suspect logs. *)
+
 val to_list : 'a t -> 'a list
 (** Oldest-first, O(length). *)
 

@@ -12,13 +12,30 @@ type cost = {
   member_updates : int;
 }
 
-(* Rebuild the same overlay construction over a changed ring. *)
+(* Rebuild the same overlay construction over a changed ring. Every
+   call is a full reconstruction (fresh neighbour memo), so batch
+   operations must route exactly one call through here per batch —
+   counted under [overlay.rebuilds] where a metrics table is in
+   scope, and asserted at the unit level. *)
 let rebuild_overlay (ov : Overlay.Overlay_intf.t) ring =
   match ov.Overlay.Overlay_intf.name with
   | "chord" -> Overlay.Chord.make ring
   | "chord++" -> Overlay.Chord_pp.make ring
   | "debruijn" -> Overlay.Debruijn.make ring
   | "succ-ring" -> Overlay.Succ_ring.make ring
+  | other -> invalid_arg ("Dynamic: unknown overlay construction " ^ other)
+
+(* Memo-free neighbour query under the same construction over an
+   arbitrary ring — value-identical to what a rebuilt view would
+   answer, without the O(n) memo allocation. Batched joins query the
+   growing intermediate rings through this, which is what makes the
+   batch O(1) rebuilds instead of O(k). *)
+let neighbors_in (ov : Overlay.Overlay_intf.t) ring w =
+  match ov.Overlay.Overlay_intf.name with
+  | "chord" -> Overlay.Chord.neighbors_of ring w
+  | "chord++" -> Overlay.Chord_pp.neighbors_of ring w
+  | "debruijn" -> Overlay.Debruijn.neighbors_of ring w
+  | "succ-ring" -> Overlay.Succ_ring.neighbors_of ring w
   | other -> invalid_arg ("Dynamic: unknown overlay construction " ^ other)
 
 (* Leaders whose finger/successor linking rule touches [id]'s arc:
@@ -54,32 +71,41 @@ let capture_candidates ring ~id =
 let captured_by g ~id =
   let pop = Group_graph.population g in
   let ring = Ring.add id (Population.ring pop) in
-  let overlay = rebuild_overlay (Group_graph.overlay g) ring in
+  let overlay = Group_graph.overlay g in
   List.filter
     (fun v ->
       Ring.mem v (Population.ring pop)
-      && List.exists (Point.equal id) (overlay.Overlay.Overlay_intf.neighbors v))
+      && List.exists (Point.equal id) (neighbors_in overlay ring v))
     (capture_candidates ring ~id)
 
 let existing_groups g =
   Array.to_list
     (Array.map (fun w -> (w, Group_graph.group_of g w)) (Group_graph.leaders g))
 
-let join rng metrics g ~old_pair ~member_oracle ~id ~bad =
-  let pop = Group_graph.population g in
-  if Ring.mem id (Population.ring pop) then invalid_arg "Dynamic.join: ID already present";
-  let params = Group_graph.params g in
-  let new_pop = if bad then Population.add_bad pop id else Population.add_good pop id in
-  let new_ring = Population.ring new_pop in
-  let new_overlay = rebuild_overlay (Group_graph.overlay g) new_ring in
-  let before = Sim.Metrics.snapshot metrics in
-  let searches = ref 0 in
-  (* 1. Solicit members for the newcomer's group through the old
-     graphs (each solicitation is up to four routed searches: a dual
-     lookup plus the solicited ID's dual verification). *)
+(* One newcomer's join protocol against [ring] (the population plus
+   the batch's earlier newcomers plus [id] itself), verified by the
+   groups already present in [prev_ring]:
+
+   1. solicit members for the newcomer's group through the old graphs
+      (each solicitation is up to four routed searches: a dual lookup
+      plus the solicited ID's dual verification);
+   2. establish the newcomer's neighbour links;
+   3. existing groups that must now link to the newcomer verify the
+      update; a failed verification leaves that group confused.
+
+   The newcomer's stream is keyed on its identity —
+   [of_subkey (bits64 rng) id] with the base drawn at the ID's turn —
+   so a batch and the fold of single joins consume [rng] identically
+   (one base draw per ID, in batch order) and every per-ID draw
+   sequence matches exactly; the join_many ≡ fold law in the test
+   suite holds by construction. All overlay queries go through the
+   memo-free [neighbors_in], so this never rebuilds a view. *)
+let join_one rng metrics ~params ~old_pair ~member_oracle ~overlay ~prev_ring
+    ~ring ~searches ~id =
+  let idrng = Prng.Rng.of_subkey (Prng.Rng.bits64 rng) (Point.to_u62 id) in
   let draws =
     Params.member_draws_estimated params
-      ~ln_ln_estimate:(Estimate.ln_ln_n new_ring id)
+      ~ln_ln_estimate:(Estimate.ln_ln_n ring id)
   in
   let members = ref [] in
   for i = 1 to draws do
@@ -87,36 +113,64 @@ let join rng metrics g ~old_pair ~member_oracle ~id ~bad =
       Point.of_u62 (Hashing.Oracle.query_indexed member_oracle (Point.to_u62 id) i)
     in
     searches := !searches + 4;
-    match Membership.solicit_member (Prng.Rng.split rng) metrics old_pair ~point with
+    match Membership.solicit_member idrng metrics old_pair ~point with
     | Some m -> members := m :: !members
     | None -> ()
   done;
-  let members = if !members = [] then [ id ] else !members in
+  (* A newcomer that lost every member draw leads alone — surely not
+     good; counted like the epoch transition's fallback. *)
+  let members =
+    if !members = [] then begin
+      Sim.Metrics.incr metrics Sim.Metrics.group_lone_leader;
+      [ id ]
+    end
+    else !members
+  in
   let old_member_pop = Group_graph.population Membership.(old_pair.g1) in
   let grp = Group.form params old_member_pop ~leader:id ~members in
-  (* 2. Establish the newcomer's neighbour links. *)
-  let neighbors = new_overlay.Overlay.Overlay_intf.neighbors id in
   let ok =
     List.for_all
       (fun u ->
         searches := !searches + 4;
-        Membership.establish_neighbor (Prng.Rng.split rng) metrics old_pair ~target:u)
-      neighbors
+        Membership.establish_neighbor idrng metrics old_pair ~target:u)
+      (neighbors_in overlay ring id)
   in
-  (* 3. Existing groups that must now link to the newcomer verify the
-     update; a failed verification leaves that group confused. *)
-  let captured = captured_by g ~id in
+  let captured =
+    List.filter
+      (fun v ->
+        Ring.mem v prev_ring
+        && List.exists (Point.equal id) (neighbors_in overlay ring v))
+      (capture_candidates ring ~id)
+  in
   let newly_confused =
     List.filter
       (fun _ ->
         searches := !searches + 4;
-        not (Membership.establish_neighbor (Prng.Rng.split rng) metrics old_pair ~target:id))
+        not (Membership.establish_neighbor idrng metrics old_pair ~target:id))
       captured
+  in
+  (grp, ok, captured, newly_confused)
+
+let join rng metrics g ~old_pair ~member_oracle ~id ~bad =
+  let pop = Group_graph.population g in
+  if Ring.mem id (Population.ring pop) then invalid_arg "Dynamic.join: ID already present";
+  let params = Group_graph.params g in
+  let new_pop = if bad then Population.add_bad pop id else Population.add_good pop id in
+  let new_ring = Population.ring new_pop in
+  let before = Sim.Metrics.snapshot metrics in
+  let searches = ref 0 in
+  let grp, ok, captured, newly_confused =
+    join_one rng metrics ~params ~old_pair ~member_oracle
+      ~overlay:(Group_graph.overlay g) ~prev_ring:(Population.ring pop)
+      ~ring:new_ring ~searches ~id
   in
   let confused =
     (if ok then [] else [ id ]) @ newly_confused @ Group_graph.confused_leaders g
   in
   let groups = (id, grp) :: existing_groups g in
+  (* The single overlay reconstruction of this join. *)
+  Sim.Metrics.incr metrics Sim.Metrics.overlay_rebuilds;
+  let new_overlay = rebuild_overlay (Group_graph.overlay g) new_ring in
   let g' =
     Group_graph.assemble ~params ~population:new_pop ~overlay:new_overlay ~groups
       ~confused:(List.sort_uniq Point.compare confused) ()
@@ -151,71 +205,28 @@ let join_many rng metrics g ~old_pair ~member_oracle ~ids =
   else begin
     let params = Group_graph.params g in
     let overlay0 = Group_graph.overlay g in
-    let old_member_pop = Group_graph.population Membership.(old_pair.g1) in
     let before = Sim.Metrics.snapshot metrics in
     let searches = ref 0 and affected = ref 0 and member_updates = ref 0 in
     let new_groups = ref [] and new_confused = ref [] in
     (* Replay the per-ID protocol exactly as the one-at-a-time fold
        would — the j-th newcomer estimates, links and is verified
-       against the ring holding the first j-1 newcomers, and the PRNG
-       split order per step is identical — but keep only the growing
-       ring: the intermediate populations, overlay memos, group lists
-       and graph assemblies of the fold are never built. Joins never
+       against the ring holding the first j-1 newcomers, with the
+       identity-keyed draw discipline of {!join_one} — but keep only
+       the growing ring: the intermediate populations, group lists and
+       graph assemblies of the fold are never built, and every overlay
+       query goes through the memo-free [neighbors_in]. Joins never
        modify existing groups, so the batch pays one {!Ring.add} per
        newcomer plus a single final population merge, overlay rebuild
-       and assembly. *)
+       and assembly — O(1) rebuilds, like {!depart_many}. *)
     let ring = ref ring0 in
     List.iter
       (fun (id, _bad) ->
         let prev_ring = !ring in
         let new_ring = Ring.add id prev_ring in
         ring := new_ring;
-        let new_overlay = rebuild_overlay overlay0 new_ring in
-        (* 1. Solicit members through the old graphs. *)
-        let draws =
-          Params.member_draws_estimated params
-            ~ln_ln_estimate:(Estimate.ln_ln_n new_ring id)
-        in
-        let members = ref [] in
-        for i = 1 to draws do
-          let point =
-            Point.of_u62 (Hashing.Oracle.query_indexed member_oracle (Point.to_u62 id) i)
-          in
-          searches := !searches + 4;
-          match Membership.solicit_member (Prng.Rng.split rng) metrics old_pair ~point with
-          | Some m -> members := m :: !members
-          | None -> ()
-        done;
-        let members = if !members = [] then [ id ] else !members in
-        let grp = Group.form params old_member_pop ~leader:id ~members in
-        (* 2. Establish the newcomer's neighbour links. *)
-        let neighbors = new_overlay.Overlay.Overlay_intf.neighbors id in
-        let ok =
-          List.for_all
-            (fun u ->
-              searches := !searches + 4;
-              Membership.establish_neighbor (Prng.Rng.split rng) metrics old_pair ~target:u)
-            neighbors
-        in
-        (* 3. Captured groups verify the newcomer link ([captured_by]
-           on the intermediate graph, computed against the shared
-           overlay — neighbour sets are pure in (construction, ring),
-           so the fold's separate rebuild returns the same lists). *)
-        let captured =
-          List.filter
-            (fun v ->
-              Ring.mem v prev_ring
-              && List.exists (Point.equal id) (new_overlay.Overlay.Overlay_intf.neighbors v))
-            (capture_candidates new_ring ~id)
-        in
-        let newly_confused =
-          List.filter
-            (fun _ ->
-              searches := !searches + 4;
-              not
-                (Membership.establish_neighbor (Prng.Rng.split rng) metrics old_pair
-                   ~target:id))
-            captured
+        let grp, ok, captured, newly_confused =
+          join_one rng metrics ~params ~old_pair ~member_oracle ~overlay:overlay0
+            ~prev_ring ~ring:new_ring ~searches ~id
         in
         if not ok then new_confused := id :: !new_confused;
         new_confused := newly_confused @ !new_confused;
@@ -229,6 +240,8 @@ let join_many rng metrics g ~old_pair ~member_oracle ~ids =
         ids
     in
     let new_pop = Population.add_batch pop0 ~good ~bad in
+    (* The single overlay reconstruction of the whole batch. *)
+    Sim.Metrics.incr metrics Sim.Metrics.overlay_rebuilds;
     let new_overlay = rebuild_overlay overlay0 (Population.ring new_pop) in
     let confused =
       List.sort_uniq Point.compare (!new_confused @ Group_graph.confused_leaders g)

@@ -43,8 +43,11 @@ val join :
   bad:bool ->
   Group_graph.t * cost
 (** Admit [id]; requests travel through [old_pair] exactly as in the
-    epoch construction. Raises [Invalid_argument] if [id] is already
-    present. *)
+    epoch construction. The newcomer's searches draw from a stream
+    keyed on its identity ([Prng.Rng.of_subkey] of a base drawn from
+    [rng] at the ID's turn), and the one overlay reconstruction is
+    counted under {!Sim.Metrics.overlay_rebuilds}. Raises
+    [Invalid_argument] if [id] is already present. *)
 
 val join_many :
   Prng.Rng.t ->
@@ -55,13 +58,17 @@ val join_many :
   ids:(Point.t * bool) list ->
   Group_graph.t * cost
 (** Admit a batch of [(id, bad)] newcomers with one merged population
-    pass, one overlay rebuild and one graph assembly. The per-ID
-    protocol (solicitation draws, link establishment, captured-group
-    verification, and their PRNG split order) is replayed exactly as
-    the one-at-a-time fold of {!join} would run it — the j-th
-    newcomer sees a ring holding the first j-1 — so the resulting
-    graph and aggregate cost equal the fold's (pinned by a test).
-    Raises [Invalid_argument] on a present or duplicated ID. *)
+    pass, one overlay rebuild (counted under
+    {!Sim.Metrics.overlay_rebuilds} and asserted to be exactly one
+    per batch) and one graph assembly. The per-ID protocol
+    (solicitation draws, link establishment, captured-group
+    verification, and the identity-keyed draw discipline of {!join})
+    is replayed exactly as the one-at-a-time fold of {!join} would
+    run it — the j-th newcomer sees a ring holding the first j-1,
+    queried through memo-free neighbour functions instead of per-ID
+    overlay reconstructions — so the resulting graph and aggregate
+    cost equal the fold's (pinned by a test). Raises
+    [Invalid_argument] on a present or duplicated ID. *)
 
 val depart : Group_graph.t -> id:Point.t -> Group_graph.t * cost
 (** Remove [id]. Raises [Invalid_argument] if absent. *)

@@ -37,6 +37,14 @@ let default_config ~n =
 type t = {
   config : config;
   rng : Prng.Rng.t;
+  stream_key : int64;
+      (* Base of the transition substream tree: every stream consumed
+         inside [build_next] — search-source draws, fault verdicts,
+         retry jitter — is re-keyed per (epoch, phase, leader rank)
+         from this key, so a leader's draws are a pure function of its
+         identity rather than the visit order. That is what lets the
+         transition fan out over rank slices and stay byte-identical
+         at every [build_jobs]; see DESIGN.md §11. *)
   metrics_ : Sim.Metrics.t;
   inj : Faults.Injector.t;
   rel : Reliability.Tracker.t;
@@ -87,11 +95,9 @@ let init ?(conditions = Sim.Conditions.none) rng config =
     | None -> Reliability.Tracker.disabled ()
     | Some policy -> Reliability.Tracker.create ~metrics:metrics_ policy
   in
+  let stream_key = Prng.Rng.bits64 rng in
   let population = fresh_population rng config in
   let overlay = build_overlay config.overlay (Population.ring population) in
-  (* Only the assumed-correct initial graphs fan out over domains:
-     [build_next] consumes faults/reliability PRNG draws in ring
-     order and must stay sequential to keep results jobs-invariant. *)
   let jobs = max 1 config.build_jobs in
   let g1 =
     Group_graph.build_direct ~jobs ~params:config.params ~population ~overlay
@@ -108,6 +114,7 @@ let init ?(conditions = Sim.Conditions.none) rng config =
   {
     config;
     rng;
+    stream_key;
     metrics_;
     inj;
     rel;
@@ -125,40 +132,84 @@ let init ?(conditions = Sim.Conditions.none) rng config =
   }
 
 (* Build one new group graph over [new_pop], drawing members and
-   neighbour links through the old pair. *)
-let build_next t ~old ~new_pop ~new_overlay ~member_oracle =
+   neighbour links through the old pair.
+
+   The formation loop fans out over [config.build_jobs] contiguous
+   rank slices of the new ring, one domain each. Every slice works
+   against its own {!Sim.Conditions.fork} and metrics table, and
+   every leader re-keys those streams to
+   [subkey (subkey stream_key (2 epoch + phase)) rank] before its
+   first draw — so a leader's searches, fault verdicts and retry
+   jitter are a pure function of (stream key, epoch, phase, rank),
+   independent of the visit order and hence of the slicing. The
+   [phase] salt (0 for the h1 build, 1 for h2) keeps the two builds'
+   fault draws uncorrelated — the q_f^2 redundancy argument needs the
+   two graphs to lose searches independently. Slices merge back in
+   rank order: counters are additive, fault window flags monotone,
+   tracker circuit summaries associative, confused/suspect traces
+   concatenate — every merge is slicing-invariant by construction
+   (DESIGN.md §11), which is what the jobs-equivalence law in
+   test_epoch pins. *)
+let build_next t ~old ~new_pop ~new_overlay ~member_oracle ~phase =
   let params = t.config.params in
   let old_pop = Group_graph.population Membership.(old.g1) in
   let new_ring = Population.ring new_pop in
-  let groups = ref [] in
-  let confused = ref [] in
-  let suspect = ref [] in
-  Ring.iter
-    (fun w ->
+  let n = Ring.cardinal new_ring in
+  let now = t.epoch_ in
+  let phase_base =
+    Prng.Rng.subkey t.stream_key (Int64.of_int ((2 * t.epoch_) + phase))
+  in
+  (* Warm every lazily-built structure the slices read, so the
+     parallel region performs only idempotent value-equal memo writes
+     (overlay neighbour arrays) — never a first Lazy.force or a
+     blue-cache build, which must not race. *)
+  ignore (Lazy.force Membership.(old.bad_ring));
+  ignore (Group_graph.blue_leaders Membership.(old.g1));
+  Option.iter (fun g -> ignore (Group_graph.blue_leaders g)) Membership.(old.g2);
+  let tracker_active = Reliability.Tracker.active t.rel in
+  let run_slice (lo, hi) =
+    let metrics = Sim.Metrics.create () in
+    let conds = Sim.Conditions.fork t.conds ~metrics in
+    let inj =
+      match conds.Sim.Conditions.injector with
+      | Some i -> i
+      | None -> Faults.Injector.disabled ()
+    in
+    let confused = Sim.Series.create () and suspect = Sim.Series.create () in
+    let groups = ref [] in
+    for rank = lo to hi - 1 do
+      let w = Ring.nth new_ring rank in
+      let leader_key = Prng.Rng.subkey phase_base (Int64.of_int rank) in
+      Sim.Conditions.reseed conds ~key:leader_key;
+      let rng = Prng.Rng.of_int64 leader_key in
       let ln_ln_estimate = Estimate.ln_ln_n new_ring w in
       let draws = Params.member_draws_estimated params ~ln_ln_estimate in
       let members = ref [] in
-      let now = t.epoch_ in
       for i = 1 to draws do
         let point =
           Point.of_u62 (Hashing.Oracle.query_indexed member_oracle (Point.to_u62 w) i)
         in
         (* Environmental faults apply per individual search inside
-           the dual protocol (the activated conditions below); a
+           the dual protocol (the slice's forked conditions); a
            member that is crashed right now additionally cannot
            answer the solicitation. *)
-        (match
-           Membership.solicit_member ~conditions:t.conds
-             (Prng.Rng.split t.rng) t.metrics_ old ~point
-         with
-        | Some m when Faults.Injector.crashed t.inj ~now m ->
-            Sim.Metrics.incr t.metrics_ Sim.Metrics.fault_suppressed
+        (match Membership.solicit_member ~conditions:conds rng metrics old ~point with
+        | Some m when Faults.Injector.crashed inj ~now m ->
+            Sim.Metrics.incr metrics Sim.Metrics.fault_suppressed
         | Some m -> members := m :: !members
         | None -> ())
       done;
       (* A group that lost every member draw cannot operate: the
-         leader stands alone and the group is surely not good. *)
-      let members = if !members = [] then [ w ] else !members in
+         leader stands alone and the group is surely not good. The
+         counter gives stress runs the same observability hook as
+         fault_suppressed. *)
+      let members =
+        if !members = [] then begin
+          Sim.Metrics.incr metrics Sim.Metrics.group_lone_leader;
+          [ w ]
+        end
+        else !members
+      in
       let grp = Group.form params old_pop ~leader:w ~members in
       groups := (w, grp) :: !groups;
       (* Neighbour links per the new topology; any failed
@@ -170,27 +221,51 @@ let build_next t ~old ~new_pop ~new_overlay ~member_oracle =
       let ok =
         List.for_all
           (fun u ->
-            (not (Faults.Injector.severed t.inj ~now ~src:(Some w) ~dst:u))
-            && Membership.establish_neighbor ~conditions:t.conds
-                 (Prng.Rng.split t.rng) t.metrics_ old ~target:u)
+            (not (Faults.Injector.severed inj ~now ~src:(Some w) ~dst:u))
+            && Membership.establish_neighbor ~conditions:conds rng metrics old
+                 ~target:u)
           (new_overlay.Overlay.Overlay_intf.neighbors w)
       in
       if not ok then
-        if Reliability.Tracker.active t.rel then suspect := w :: !suspect
-        else confused := w :: !confused)
-    new_ring;
-  Group_graph.assemble ~params ~population:new_pop ~overlay:new_overlay ~groups:!groups
-    ~confused:!confused ~suspect:!suspect ()
+        if tracker_active then Sim.Series.push suspect w
+        else Sim.Series.push confused w
+    done;
+    (!groups, confused, suspect, conds, metrics)
+  in
+  let jobs = max 1 (min t.config.build_jobs n) in
+  let chunk = (n + jobs - 1) / jobs in
+  let slices = List.init jobs (fun i -> (i * chunk, min n ((i + 1) * chunk))) in
+  let pieces =
+    if jobs = 1 then List.map run_slice slices
+    else
+      Parallel.Pool.with_pool ~jobs (fun pool ->
+          Parallel.Pool.map pool run_slice slices)
+  in
+  let groups = ref [] in
+  let confused = Sim.Series.create () and suspect = Sim.Series.create () in
+  List.iter
+    (fun (gs, conf, susp, conds, metrics) ->
+      groups := List.rev_append gs !groups;
+      Sim.Series.append confused conf;
+      Sim.Series.append suspect susp;
+      Sim.Conditions.merge ~into:t.conds conds;
+      Sim.Metrics.merge t.metrics_ metrics)
+    pieces;
+  Group_graph.assemble ~params ~population:new_pop ~overlay:new_overlay
+    ~groups:!groups
+    ~confused:(Sim.Series.to_list confused)
+    ~suspect:(Sim.Series.to_list suspect) ()
 
 let advance t =
   let old = Membership.make_old_pair ~failure:t.config.failure t.g1 t.g2 in
   let new_pop = fresh_population t.rng t.config in
   let new_overlay = build_overlay t.config.overlay (Population.ring new_pop) in
-  let new1 = build_next t ~old ~new_pop ~new_overlay ~member_oracle:t.h1 in
+  let new1 = build_next t ~old ~new_pop ~new_overlay ~member_oracle:t.h1 ~phase:0 in
   let new2 =
     match t.config.mode with
     | Single -> None
-    | Paired -> Some (build_next t ~old ~new_pop ~new_overlay ~member_oracle:t.h2)
+    | Paired ->
+        Some (build_next t ~old ~new_pop ~new_overlay ~member_oracle:t.h2 ~phase:1)
   in
   (* The state-inflation attack: bad IDs spam verification. *)
   if t.config.spam_per_bad > 0 then begin

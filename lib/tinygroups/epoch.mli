@@ -39,12 +39,17 @@ type config = {
           [Theta(n)]; 0 (the default) reproduces the fixed-size
           model. *)
   build_jobs : int;
-      (** Domains for {!Group_graph.build_direct}'s deterministic
-          rank-split when {!init} builds the assumed-correct initial
-          graphs (default 1). Epoch advancement ([build_next]) is
-          always sequential — it consumes fault-injection and
-          reliability PRNG draws in ring order — so results are
-          identical at every [build_jobs]. *)
+      (** Domains for the deterministic rank-split fan-outs (default
+          1): {!Group_graph.build_direct} when {!init} builds the
+          assumed-correct initial graphs, {e and} every epoch
+          transition's formation loop. The transition re-keys all
+          randomness it consumes — search-source draws, fault
+          verdicts, retry jitter — per (epoch, phase, leader rank)
+          from a substream key drawn at {!init}, and folds slice-local
+          fault/reliability state back with slicing-invariant merges,
+          so {!advance} is byte-identical at every [build_jobs]
+          (graphs, metrics, history) — pinned by a qcheck law in the
+          test suite and documented in DESIGN.md §11. *)
 }
 
 val default_config : n:int -> config
@@ -92,7 +97,10 @@ val init : ?conditions:Sim.Conditions.t -> Prng.Rng.t -> config -> t
 
 val advance : t -> unit
 (** Run one epoch: mint a fresh population, construct the new
-    graph(s) through the old ones, retire the old ones. *)
+    graph(s) through the old ones, retire the old ones. The
+    construction loop fans out over [config.build_jobs] domains with
+    a deterministic rank-split; the result does not depend on
+    [build_jobs] (see {!type-config}). *)
 
 val epoch : t -> int
 (** Number of completed [advance] calls. *)

@@ -222,6 +222,37 @@ let assemble ~params ~population ~overlay ~groups ~confused ?(suspect = []) () =
   in
   make ~params ~population ~overlay ~group_by_rank ~confused ~suspect
 
+(* -- structural equality ------------------------------------------- *)
+
+(* Rank-aligned deep comparison: same leaders in rank order, identical
+   member sets, ground-truth labels and health per group, identical
+   confused/suspect bitmaps. This is the gate behind every
+   jobs-invariance assertion — the parallel build and transition paths
+   must produce a graph [equal] to the sequential one. *)
+let equal a b =
+  let n = Array.length a.group_by_rank in
+  n = Array.length b.group_by_rank
+  &&
+  let ok = ref true in
+  let r = ref 0 in
+  while !ok && !r < n do
+    let i = !r in
+    let ga = Array.unsafe_get a.group_by_rank i
+    and gb = Array.unsafe_get b.group_by_rank i in
+    if
+      (not (Point.equal (Ring.nth a.ring i) (Ring.nth b.ring i)))
+      || (not (Point.equal ga.Group.leader gb.Group.leader))
+      || ga.Group.health <> gb.Group.health
+      || ga.Group.bad_members <> gb.Group.bad_members
+      || Array.length ga.Group.members <> Array.length gb.Group.members
+      || (not (Array.for_all2 Point.equal ga.Group.members gb.Group.members))
+      || bit_get a.confused_bits i <> bit_get b.confused_bits i
+      || bit_get a.suspect_bits i <> bit_get b.suspect_bits i
+    then ok := false;
+    incr r
+  done;
+  !ok
+
 (* -- queries ------------------------------------------------------- *)
 
 let group_of t p =

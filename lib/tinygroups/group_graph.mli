@@ -100,6 +100,14 @@ val assemble :
     [?suspect] (default none) lists leaders whose links the
     reliability layer gave up on — degraded, not poisoned. *)
 
+val equal : t -> t -> bool
+(** Structural equality: same leaders in rank order, identical member
+    sets, ground-truth labels and health per group, identical
+    confused/suspect bitmaps. The gate behind every jobs-invariance
+    assertion — the parallel build and transition paths must produce
+    a graph [equal] to the sequential one. Params, population and
+    overlay identity are {e not} compared. *)
+
 val group_of : t -> Point.t -> Group.t
 (** @raise Not_found for a point that is not a leader. *)
 

@@ -166,6 +166,13 @@ let test_join_many_equals_sequential () =
     bcost.Tinygroups.Dynamic.affected_groups;
   Alcotest.(check int) "same membership-update count" s_upd
     bcost.Tinygroups.Dynamic.member_updates;
+  (* The O(1)-rebuild contract: the batch charges exactly one overlay
+     reconstruction however many newcomers it admits, while the fold
+     pays one per join — the whole point of the batched form. *)
+  Alcotest.(check int) "one overlay rebuild per batch" 1
+    (Sim.Metrics.get m_b Sim.Metrics.overlay_rebuilds);
+  Alcotest.(check int) "fold pays one rebuild per join" (List.length ids)
+    (Sim.Metrics.get m_s Sim.Metrics.overlay_rebuilds);
   let present = (Tinygroups.Group_graph.leaders g).(0) in
   Alcotest.check_raises "present ID rejected"
     (Invalid_argument "Dynamic.join: ID already present") (fun () ->

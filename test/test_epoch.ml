@@ -148,6 +148,105 @@ let prop_history_is_external_census_fold =
       done;
       Tinygroups.Epoch.history e = List.rev !observed)
 
+(* The parallel-transition contract (DESIGN.md §11): [advance] is
+   byte-identical at every [build_jobs] — graphs, census history and
+   metrics — because all randomness consumed during a transition is
+   re-keyed per (epoch, phase, leader rank) and slice-local
+   fault/reliability state merges back slicing-invariantly. The law
+   is checked under benign conditions, a drop plan masked by a deep
+   retry budget with circuit breaking (arming the injector and
+   tracker substreams), and a partition cutting real epoch-0 leaders
+   (arming the cut verdict path). *)
+let epoch_state_equal a b =
+  Tinygroups.Group_graph.equal (Tinygroups.Epoch.primary a) (Tinygroups.Epoch.primary b)
+  && (match (Tinygroups.Epoch.secondary a, Tinygroups.Epoch.secondary b) with
+     | None, None -> true
+     | Some ga, Some gb -> Tinygroups.Group_graph.equal ga gb
+     | _ -> false)
+  && Tinygroups.Epoch.history a = Tinygroups.Epoch.history b
+  && Sim.Metrics.snapshot (Tinygroups.Epoch.metrics a)
+     = Sim.Metrics.snapshot (Tinygroups.Epoch.metrics b)
+
+let conditions_for kind ~seed ~n =
+  match kind with
+  | `Benign -> Sim.Conditions.none
+  | `Masked ->
+      Sim.Conditions.make
+        ~faults:(Faults.Plan.with_seed (Faults.Plan.uniform ~drop:0.15 ()) 42L)
+        ~reliability:
+          (Reliability.Policy.make ~seed:42L ~max_retries:8 ~circuit_threshold:4 ())
+        ()
+  | `Partition ->
+      (* Cut a dozen of the actual epoch-0 leaders off: leaders are a
+         pure function of (seed, n) — conditions and build_jobs do
+         not perturb population generation — so the probe init sees
+         the same ring the run under test will. *)
+      let probe =
+        Tinygroups.Epoch.init (Prng.Rng.create seed)
+          (Tinygroups.Epoch.default_config ~n)
+      in
+      let leaders = Tinygroups.Group_graph.leaders (Tinygroups.Epoch.primary probe) in
+      let side_a = Array.to_list (Array.sub leaders 0 (min 12 (Array.length leaders))) in
+      Sim.Conditions.make
+        ~faults:(Faults.Plan.with_seed (Faults.Plan.partition ~side_a ~from_time:0 ()) 42L)
+        ()
+
+let prop_advance_jobs_invariant =
+  QCheck.Test.make ~name:"advance ~jobs:1 == advance ~jobs:4 (state + metrics)"
+    ~count:9
+    QCheck.(
+      triple
+        (oneofl [ 1; 7; 1337 ])
+        (oneofl [ `Benign; `Masked; `Partition ])
+        (int_range 96 160))
+    (fun (seed, kind, n) ->
+      let run jobs =
+        let cfg =
+          { (Tinygroups.Epoch.default_config ~n) with Tinygroups.Epoch.build_jobs = jobs }
+        in
+        let e =
+          Tinygroups.Epoch.init
+            ~conditions:(conditions_for kind ~seed ~n)
+            (Prng.Rng.create seed) cfg
+        in
+        (* Two transitions: both phase salts, and the second runs with
+           tracker circuit state carried over from the first's merge. *)
+        Tinygroups.Epoch.advance e;
+        Tinygroups.Epoch.advance e;
+        e
+      in
+      epoch_state_equal (run 1) (run 4))
+
+let test_lone_leader_metric_counts () =
+  (* Crash the entire old population for the transition window: every
+     solicited member sits in an active crash window, so every leader
+     exhausts its draws and falls back to the lone-leader group —
+     observable as [group.lone_leader], once per group across both
+     new graphs (E25 reports the same counter for join batches).
+     Drops alone cannot trigger the fallback: a fully hijacked lookup
+     still plants a member. *)
+  let probe =
+    Tinygroups.Epoch.init (rng ()) (Tinygroups.Epoch.default_config ~n:64)
+  in
+  let ring =
+    Adversary.Population.ring
+      (Tinygroups.Group_graph.population (Tinygroups.Epoch.primary probe))
+  in
+  let plan =
+    Idspace.Ring.fold
+      (fun id acc ->
+        Faults.Plan.(acc ++ crash_of ~id ~down_from:0 ~recover_at:99 ()))
+      ring Faults.Plan.none
+  in
+  let conds = Sim.Conditions.make ~faults:(Faults.Plan.with_seed plan 42L) () in
+  let e =
+    Tinygroups.Epoch.init ~conditions:conds (rng ())
+      (Tinygroups.Epoch.default_config ~n:64)
+  in
+  Tinygroups.Epoch.advance e;
+  Alcotest.(check int) "every group fell back to its lone leader" 128
+    (Sim.Metrics.get (Tinygroups.Epoch.metrics e) Sim.Metrics.group_lone_leader)
+
 let test_metrics_accumulate () =
   let e = Tinygroups.Epoch.init (rng ()) (Tinygroups.Epoch.default_config ~n:128) in
   Alcotest.(check int) "no construction traffic yet" 0
@@ -190,6 +289,12 @@ let () =
           Alcotest.test_case "history" `Quick test_history_accumulates;
           Alcotest.test_case "metrics" `Quick test_metrics_accumulate;
           QCheck_alcotest.to_alcotest prop_history_is_external_census_fold;
+        ] );
+      ( "parallel transition",
+        [
+          QCheck_alcotest.to_alcotest prop_advance_jobs_invariant;
+          Alcotest.test_case "lone-leader fallback metric" `Quick
+            test_lone_leader_metric_counts;
         ] );
       ( "robustness",
         [

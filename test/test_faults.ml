@@ -120,6 +120,43 @@ let test_observe_heals_counts_once () =
   Faults.Injector.observe_heals inj ~now:60;
   Alcotest.(check int) "each heal counted once" 2 (healed ())
 
+(* The parallel epoch transition gives every slice a fork of the
+   transition's injector. Window observations made inside a fork are
+   slice-local until [merge_seen] ORs them back into the parent —
+   after which the parent's [observe_heals] may count the heal, once,
+   exactly as if the observation had been made on the parent
+   directly. The OR is idempotent, so merging many forks that all saw
+   the same window still heals it once — the slicing cannot change
+   the heal count. *)
+let test_fork_merge_seen_heal_counting () =
+  let plan =
+    Faults.Plan.(
+      with_seed
+        (crash_of ~id:(pt 2) ~down_from:0 ~recover_at:5 ())
+        3L)
+  in
+  let inj = Faults.Injector.create plan in
+  let healed () =
+    Sim.Metrics.found (Sim.Metrics.snapshot (Faults.Injector.metrics inj))
+      Sim.Metrics.fault_healed
+  in
+  let f1 = Faults.Injector.fork inj ~metrics:(Sim.Metrics.create ()) in
+  let f2 = Faults.Injector.fork inj ~metrics:(Sim.Metrics.create ()) in
+  (* Both slices witness the active crash window. *)
+  Alcotest.(check bool) "fork sees the crash" true
+    (Faults.Injector.crashed f1 ~now:2 (pt 2));
+  Alcotest.(check bool) "other fork sees it too" true
+    (Faults.Injector.crashed f2 ~now:2 (pt 2));
+  (* Unmerged, the parent observed nothing: no heal to count. *)
+  Faults.Injector.observe_heals inj ~now:7;
+  Alcotest.(check int) "unmerged observation heals nothing" 0 (healed ());
+  Faults.Injector.merge_seen ~into:inj f1;
+  Faults.Injector.merge_seen ~into:inj f2;
+  Faults.Injector.observe_heals inj ~now:7;
+  Alcotest.(check int) "merged observation heals once" 1 (healed ());
+  Faults.Injector.observe_heals inj ~now:8;
+  Alcotest.(check int) "still once" 1 (healed ())
+
 (* Regression: heals used to be counted for faults whose active
    window nothing ever entered — a clock that jumps straight past the
    window "healed" an outage no query witnessed. Only a fault
@@ -354,6 +391,8 @@ let () =
           Alcotest.test_case "two-sided cut vs unknown sender" `Quick
             test_two_sided_cut_blocks_unknown_sender;
           Alcotest.test_case "heals counted once" `Quick test_observe_heals_counts_once;
+          Alcotest.test_case "fork/merge_seen heal counting" `Quick
+            test_fork_merge_seen_heal_counting;
           Alcotest.test_case "unobserved fault never heals" `Quick
             test_unobserved_fault_never_heals;
         ] );

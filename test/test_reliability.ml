@@ -246,6 +246,113 @@ let test_e22_jobs_invariant () =
   in
   Alcotest.(check string) "E22: jobs=4 = jobs=1" (render 1) (render 4)
 
+(* --- Substream merge algebra -------------------------------------- *)
+
+(* The parallel epoch transition splits one tracker's event stream
+   over slices (forks) and folds the per-destination S/E run-length
+   summaries back with [merge_events]. Jobs-invariance rests on the
+   fold being independent of where the slice boundaries fell — which
+   is exactly: for every event string and every way of cutting it,
+   fork-apply-merge must leave the master with the same
+   consecutive-failure counts, circuit verdicts, and circuit-open
+   metric as applying the events to the master directly. *)
+
+let apply_events tr dsts events =
+  List.iter
+    (fun (di, ev) ->
+      let dst = List.nth dsts di in
+      match ev with
+      | `S -> Reliability.Tracker.record_success tr dst
+      | `E -> Reliability.Tracker.record_exhausted tr dst)
+    events
+
+(* The reference semantics: the events applied to the master
+   directly, no forking. *)
+let run_direct ~circuit dsts events =
+  let metrics = Metrics_core.create () in
+  let master = Reliability.Tracker.create ~metrics (policy ~circuit 2) in
+  apply_events master dsts events;
+  master
+
+(* Cut [events] at [cuts] (sorted positions), fork one slice per
+   segment, apply, merge back in segment order. *)
+let run_sliced ~circuit dsts events cuts =
+  let metrics = Metrics_core.create () in
+  let master = Reliability.Tracker.create ~metrics (policy ~circuit 2) in
+  let rec segments lo = function
+    | [] -> [ (lo, List.length events) ]
+    | c :: rest -> (lo, c) :: segments c rest
+  in
+  List.iter
+    (fun (lo, hi) ->
+      let slice_metrics = Metrics_core.create () in
+      let f = Reliability.Tracker.fork master ~metrics:slice_metrics in
+      apply_events f dsts
+        (List.filteri (fun i _ -> i >= lo && i < hi) events);
+      Reliability.Tracker.merge_events ~into:master f;
+      Metrics_core.merge metrics slice_metrics)
+    (segments 0 cuts);
+  master
+
+let tracker_state dsts tr =
+  ( List.map (Reliability.Tracker.consecutive_failures tr) dsts,
+    List.map (Reliability.Tracker.circuit_open tr) dsts,
+    Metrics_core.found
+      (Metrics_core.snapshot (Reliability.Tracker.metrics tr))
+      Metrics_core.retry_circuit_opens )
+
+let test_merge_matches_direct () =
+  let dsts = [ pt 10; pt 20 ] in
+  (* Interleaved runs over two destinations, crossing the threshold
+     (3) in the middle of a would-be slice for dst 0 and exactly at a
+     boundary for dst 1. *)
+  let events =
+    [
+      (0, `E); (1, `E); (0, `E); (0, `S); (1, `E); (0, `E); (1, `E);
+      (0, `E); (0, `E); (1, `S); (1, `E);
+    ]
+  in
+  let expect = tracker_state dsts (run_direct ~circuit:3 dsts events) in
+  List.iter
+    (fun cuts ->
+      let got = tracker_state dsts (run_sliced ~circuit:3 dsts events cuts) in
+      Alcotest.(check (triple (list int) (list bool) int))
+        (Printf.sprintf "cut at [%s] = direct"
+           (String.concat ";" (List.map string_of_int cuts)))
+        expect got)
+    [ []; [ 1 ]; [ 3 ]; [ 5 ]; [ 3; 7 ]; [ 1; 2; 3 ]; [ 2; 4; 6; 8; 10 ] ]
+
+let prop_merge_boundary_invariant =
+  let open QCheck in
+  let event = map (fun (d, s) -> (d, (if s then `S else `E))) (pair (int_bound 2) bool) in
+  Test.make ~count:200 ~name:"fork/merge invariant under slice boundaries"
+    (pair (list_of_size Gen.(int_range 1 24) event) (small_list (int_range 1 23)))
+    (fun (events, raw_cuts) ->
+      let dsts = [ pt 10; pt 20; pt 30 ] in
+      let n = List.length events in
+      let cuts =
+        List.sort_uniq compare (List.filter (fun c -> c < n) raw_cuts)
+      in
+      tracker_state dsts (run_direct ~circuit:3 dsts events)
+      = tracker_state dsts (run_sliced ~circuit:3 dsts events cuts))
+
+let test_fork_reads_frozen_circuit () =
+  (* A circuit opened inside a slice must not be visible until the
+     merge: verdicts during a transition depend only on the state at
+     its start, never on slice boundaries. *)
+  let master = Reliability.Tracker.create (policy ~circuit:2 1) in
+  let f = Reliability.Tracker.fork master ~metrics:(Metrics_core.create ()) in
+  Reliability.Tracker.record_exhausted f (pt 5);
+  Reliability.Tracker.record_exhausted f (pt 5);
+  Reliability.Tracker.record_exhausted f (pt 5);
+  Alcotest.(check bool) "open not visible inside the slice" false
+    (Reliability.Tracker.circuit_open f (pt 5));
+  Reliability.Tracker.merge_events ~into:master f;
+  Alcotest.(check bool) "open after the merge" true
+    (Reliability.Tracker.circuit_open master (pt 5));
+  Alcotest.(check int) "run length merged" 3
+    (Reliability.Tracker.consecutive_failures master (pt 5))
+
 let () =
   Alcotest.run "reliability"
     [
@@ -275,5 +382,12 @@ let () =
           Alcotest.test_case "budget recovers deliveries" `Quick
             test_budget_recovers_deliveries;
           Alcotest.test_case "E22 jobs invariance" `Slow test_e22_jobs_invariant;
+        ] );
+      ( "substream merge",
+        [
+          Alcotest.test_case "sliced = direct" `Quick test_merge_matches_direct;
+          QCheck_alcotest.to_alcotest prop_merge_boundary_invariant;
+          Alcotest.test_case "circuit frozen until merge" `Quick
+            test_fork_reads_frozen_circuit;
         ] );
     ]

@@ -201,6 +201,37 @@ let test_series_linear_time () =
         true (elapsed < 2.))
     [ 10_000; 100_000 ]
 
+(* [append] is list concatenation on the underlying traces, and
+   concatenation is associative — the property the parallel epoch
+   transition leans on when it folds slice-local confused/suspect
+   series back in rank order: any regrouping of the slices yields the
+   same trace. *)
+let prop_series_append_assoc =
+  QCheck.Test.make ~name:"Series.append is associative concatenation" ~count:200
+    QCheck.(triple (list int) (list int) (list int))
+    (fun (xs, ys, zs) ->
+      let series l =
+        let s = Sim.Series.create () in
+        List.iter (Sim.Series.push s) l;
+        s
+      in
+      (* (xs @ ys) @ zs via append *)
+      let left = series xs in
+      Sim.Series.append left (series ys);
+      Sim.Series.append left (series zs);
+      (* xs @ (ys @ zs) via append *)
+      let rhs = series ys in
+      Sim.Series.append rhs (series zs);
+      let right = series xs in
+      Sim.Series.append right rhs;
+      (* and the source must be left untouched *)
+      let src = series ys in
+      let dst = series xs in
+      Sim.Series.append dst src;
+      Sim.Series.to_list left = xs @ ys @ zs
+      && Sim.Series.to_list right = xs @ ys @ zs
+      && Sim.Series.to_list src = ys)
+
 let () =
   Alcotest.run "sim"
     [
@@ -233,5 +264,6 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_heap_pops_sorted;
           QCheck_alcotest.to_alcotest prop_series_is_a_list;
+          QCheck_alcotest.to_alcotest prop_series_append_assoc;
         ] );
     ]
