@@ -1,4 +1,4 @@
-.PHONY: all check check-seeds test bench bench-quick bench-hotpath bench-hotpath-capture bench-serve bench-scale bench-epoch bench-epoch-quick regen-goldens fmt clean
+.PHONY: all check check-seeds test bench bench-quick bench-hotpath bench-hotpath-capture bench-serve bench-scale bench-epoch bench-epoch-quick bench-pow bench-pow-quick regen-goldens fmt clean
 
 all:
 	dune build
@@ -6,17 +6,19 @@ all:
 check: check-seeds
 
 # The full test suite plus a seed sweep of the fault-injection
-# experiments: E21/E22, their fault-free anchor E19, and the
-# agreement sublayer E24 at three distinct seeds, so seed-dependent
-# regressions (not just seed-1 goldens) surface before a commit.
+# experiments: E21/E22, their fault-free anchor E19, the agreement
+# sublayer E24, and the PoW controller sweep E26 at three distinct
+# seeds, so seed-dependent regressions (not just seed-1 goldens)
+# surface before a commit.
 check-seeds:
 	dune build && dune runtest
 	@for seed in 1 7 1337; do \
-	  echo "== seed sweep: e19/e21/e22/e24 at seed $$seed =="; \
+	  echo "== seed sweep: e19/e21/e22/e24/e26 at seed $$seed =="; \
 	  dune exec bin/tinygroups_cli.exe -- e19 --scale quick --seed $$seed --jobs 1 > /dev/null || exit 1; \
 	  dune exec bin/tinygroups_cli.exe -- e21 --scale quick --seed $$seed --jobs 1 > /dev/null || exit 1; \
 	  dune exec bin/tinygroups_cli.exe -- e22 --scale quick --seed $$seed --jobs 1 > /dev/null || exit 1; \
 	  dune exec bin/tinygroups_cli.exe -- e24 --scale quick --seed $$seed --jobs 1 > /dev/null || exit 1; \
+	  dune exec bin/tinygroups_cli.exe -- e26 --scale quick --seed $$seed --jobs 1 > /dev/null || exit 1; \
 	done
 	@for seed in 1 7 1337; do \
 	  echo "== epoch-transition jobs sweep at seed $$seed =="; \
@@ -66,6 +68,18 @@ bench-epoch:
 # uploaded by the workflow, not committed.
 bench-epoch-quick:
 	dune exec bench/epoch.exe -- --scale quick --seed 1 --out BENCH_epoch_quick.json
+
+# The PoW difficulty-controller sweep (E26) at standard scale, seed 1,
+# jobs 1; rewrites the committed BENCH_pow.json artifact (wall-clock
+# per cell lives only there — the table and every spend ledger stay
+# deterministic). Budget ~45 s on one core.
+bench-pow:
+	dune exec bin/tinygroups_cli.exe -- pow --scale standard --seed 1 --jobs 1 --out BENCH_pow.json
+
+# CI variant (~4 s): quick scale; the artifact is uploaded by the
+# workflow, not committed.
+bench-pow-quick:
+	dune exec bin/tinygroups_cli.exe -- pow --scale quick --seed 1 --jobs 1 --out BENCH_pow_quick.json
 
 # Re-bless the golden digest table: run every registry entry at
 # (Quick scale, seed 1, jobs 1) and rewrite test/golden_digests.txt.

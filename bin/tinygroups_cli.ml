@@ -272,8 +272,128 @@ let scale_cmd =
     (Cmd.info "scale" ~doc)
     Term.(const run $ seed_arg $ scale_arg $ jobs_arg $ out_arg)
 
+let pow_cmd =
+  let doc =
+    "Run the PoW difficulty-controller sweep (E26) with tunable controller and \
+     adversary knobs, and optionally write the JSON benchmark artifact (the \
+     committed BENCH_pow.json)."
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"PATH" ~doc:"Write the report as JSON to $(docv).")
+  in
+  let floor_shift_arg =
+    Arg.(
+      value
+      & opt (some nonneg_int_conv) None
+      & info [ "pow-floor-shift" ] ~docv:"S"
+          ~doc:"Competitive floor: prices never drop below (T/2) / 2^$(docv).")
+  in
+  let ceiling_arg =
+    Arg.(
+      value
+      & opt (some nonneg_int_conv) None
+      & info [ "pow-ceiling" ] ~docv:"C"
+          ~doc:"Competitive cap: prices never exceed $(docv) x T/2.")
+  in
+  let subrounds_arg =
+    Arg.(
+      value
+      & opt (some nonneg_int_conv) None
+      & info [ "pow-subrounds" ] ~docv:"R"
+          ~doc:"Re-pricing rounds per admission window.")
+  in
+  let slack_arg =
+    Arg.(
+      value
+      & opt (some probability_conv) None
+      & info [ "pow-slack" ] ~docv:"F"
+          ~doc:
+            "Un-ticketed admission capacity per window, as a fraction of the \
+             good population.")
+  in
+  let burst_period_arg =
+    Arg.(
+      value
+      & opt (some nonneg_int_conv) None
+      & info [ "pow-burst-period" ] ~docv:"P"
+          ~doc:"Bursty schedule: cycle length in epochs.")
+  in
+  let burst_active_arg =
+    Arg.(
+      value
+      & opt (some nonneg_int_conv) None
+      & info [ "pow-burst-active" ] ~docv:"A"
+          ~doc:"Bursty schedule: active epochs per cycle.")
+  in
+  let stockpile_arg =
+    Arg.(
+      value
+      & opt (some nonneg_int_conv) None
+      & info [ "pow-stockpile" ] ~docv:"K"
+          ~doc:
+            "Bursty schedule: savings multiplier on the per-epoch budget \
+             (Lemma 11 admits up to 3).")
+  in
+  let probe_num_arg =
+    Arg.(
+      value
+      & opt (some nonneg_int_conv) None
+      & info [ "pow-probe-num" ] ~docv:"NUM"
+          ~doc:
+            "Probing schedule: buy only while price <= NUM/DEN of the fixed \
+             T/2 (numerator).")
+  in
+  let probe_den_arg =
+    Arg.(
+      value
+      & opt (some nonneg_int_conv) None
+      & info [ "pow-probe-den" ] ~docv:"DEN"
+          ~doc:"Probing schedule: denominator of the price threshold.")
+  in
+  let run seed scale jobs out floor_shift ceiling subrounds slack burst_period
+      burst_active stockpile probe_num probe_den =
+    let k = Experiments.Exp_pow_epochs.default_knobs scale in
+    let upd v f = Option.fold ~none:Fun.id ~some:f v in
+    let k =
+      k
+      |> upd floor_shift (fun v k -> { k with Experiments.Exp_pow_epochs.floor_shift = v })
+      |> upd ceiling (fun v k -> { k with Experiments.Exp_pow_epochs.ceiling_factor = v })
+      |> upd subrounds (fun v k -> { k with Experiments.Exp_pow_epochs.subrounds = v })
+      |> upd slack (fun v k -> { k with Experiments.Exp_pow_epochs.admission_slack = v })
+      |> upd burst_period (fun v k -> { k with Experiments.Exp_pow_epochs.burst_period = v })
+      |> upd burst_active (fun v k -> { k with Experiments.Exp_pow_epochs.burst_active = v })
+      |> upd stockpile (fun v k -> { k with Experiments.Exp_pow_epochs.stockpile = v })
+      |> upd probe_num (fun v k -> { k with Experiments.Exp_pow_epochs.probe_num = v })
+      |> upd probe_den (fun v k -> { k with Experiments.Exp_pow_epochs.probe_den = v })
+    in
+    match
+      Experiments.Exp_pow_epochs.run ~jobs ~knobs:k (Prng.Rng.create seed) scale
+    with
+    | report ->
+        Experiments.Table.print (Experiments.Exp_pow_epochs.to_table report);
+        Option.iter
+          (fun path ->
+            let oc = open_out path in
+            output_string oc (Experiments.Exp_pow_epochs.to_json report);
+            close_out oc;
+            Printf.printf "wrote %s\n" path)
+          out;
+        Ok ()
+    | exception Invalid_argument msg -> Error (`Msg msg)
+  in
+  Cmd.v
+    (Cmd.info "pow" ~doc)
+    Term.(
+      term_result
+        (const run $ seed_arg $ scale_arg $ jobs_arg $ out_arg $ floor_shift_arg
+       $ ceiling_arg $ subrounds_arg $ slack_arg $ burst_period_arg
+       $ burst_active_arg $ stockpile_arg $ probe_num_arg $ probe_den_arg))
+
 let all_cmd =
-  let doc = "Run every experiment in the registry (E0-E25 and F1)." in
+  let doc = "Run every experiment in the registry (E0-E26 and F1)." in
   let run seed scale jobs =
     List.iter
       (fun spec -> run_spec spec seed scale jobs)
@@ -289,6 +409,6 @@ let () =
   let info = Cmd.info "tinygroups" ~version:"1.0.0" ~doc in
   let cmds =
     List.map experiment_cmd Experiments.Registry.all
-    @ [ epochs_cmd; serve_cmd; scale_cmd; all_cmd ]
+    @ [ epochs_cmd; serve_cmd; scale_cmd; pow_cmd; all_cmd ]
   in
   exit (Cmd.eval (Cmd.group info cmds))

@@ -1,0 +1,41 @@
+type t =
+  | Steady
+  | Bursty of { period : int; active : int; stockpile : int }
+  | Probing of { num : int; den : int }
+
+let steady = Steady
+
+let bursty ?(stockpile = 1) ~period ~active () =
+  if period < 1 then invalid_arg "Join_schedule.bursty: period must be >= 1";
+  if active < 1 || active > period then
+    invalid_arg "Join_schedule.bursty: need 1 <= active <= period";
+  if stockpile < 1 then
+    invalid_arg "Join_schedule.bursty: stockpile must be >= 1";
+  Bursty { period; active; stockpile }
+
+let probing ~num ~den =
+  if num < 0 || den < 1 then
+    invalid_arg "Join_schedule.probing: need num >= 0 and den >= 1";
+  Probing { num; den }
+
+let epoch_budget t ~epoch ~rate =
+  if epoch < 0 || rate < 0 then
+    invalid_arg "Join_schedule.epoch_budget: negative epoch or rate";
+  match t with
+  | Steady | Probing _ -> rate
+  | Bursty { period; active; stockpile } ->
+      if epoch mod period < active then rate * stockpile else 0
+
+let spends_at t ~fixed ~price =
+  match t with
+  | Steady | Bursty _ -> true
+  | Probing { num; den } -> price * den <= num * fixed
+
+let label = function
+  | Steady -> "steady"
+  | Bursty { period; active; stockpile } ->
+      if stockpile = 1 then Printf.sprintf "bursty(%d/%d)" active period
+      else Printf.sprintf "bursty(%d/%d,x%d)" active period stockpile
+  | Probing { num; den } -> Printf.sprintf "probing(%d/%d)" num den
+
+let pp fmt t = Format.pp_print_string fmt (label t)

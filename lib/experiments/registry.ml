@@ -53,6 +53,8 @@ let all =
       Exp_agreement.run_e24;
     table "e25" "Stress scale tier: tiny vs log n cost gap at n up to 2^20."
       Exp_scale.run_e25;
+    table "e26" "PoW difficulty controllers vs adversarial join schedules."
+      Exp_pow_epochs.run_e26;
     { id = "f1"; doc = "Figure 1 rendered as a search trace."; kind = Text Exp_figure1.render };
   ]
 

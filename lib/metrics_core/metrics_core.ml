@@ -62,6 +62,9 @@ let msg_routing = "msg.routing"
 let msg_membership = "msg.membership"
 let msg_propagation = "msg.propagation"
 let pow_hash_evals = "pow.hash_evals"
+let pow_good_evals = "pow.good_evals"
+let pow_bad_evals = "pow.bad_evals"
+let pow_bad_admitted = "pow.bad_admitted"
 let kv_route_cache_hit = "kv.route_cache_hit"
 let kv_route_cache_miss = "kv.route_cache_miss"
 let kv_route_cache_invalidated = "kv.route_cache_invalidated"

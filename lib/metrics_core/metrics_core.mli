@@ -105,6 +105,19 @@ val msg_propagation : string
 val pow_hash_evals : string
 (** Hash evaluations spent on proof-of-work puzzles (§IV-A). *)
 
+val pow_good_evals : string
+(** Hash evaluations charged to {e good} participants by a PoW
+    difficulty controller ([Pow.Controller]): the quantity the
+    resource-competitive line of work (GMCom/ToGCom) minimises. *)
+
+val pow_bad_evals : string
+(** Hash evaluations the adversary paid for identifiers a difficulty
+    controller actually admitted (its entrance-cost bill). *)
+
+val pow_bad_admitted : string
+(** Adversarial identifiers admitted through controller-gated join
+    admission (the realised side of Lemma 11's count bound). *)
+
 val kv_route_cache_hit : string
 (** Store operations whose home group was resolved from the
     epoch-indexed route cache, skipping the secure-routing walk. *)

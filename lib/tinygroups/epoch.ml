@@ -9,6 +9,11 @@ type mode = Paired | Single
 
 type overlay_kind = Chord | Debruijn
 
+type pow_control = {
+  controller : Pow.Controller.config;
+  schedule : Join_schedule.t;
+}
+
 type config = {
   params : Params.t;
   n : int;
@@ -19,6 +24,7 @@ type config = {
   spam_per_bad : int;
   size_drift : float;
   build_jobs : int;
+  pow : pow_control option;
 }
 
 let default_config ~n =
@@ -32,6 +38,7 @@ let default_config ~n =
     spam_per_bad = 0;
     size_drift = 0.;
     build_jobs = 1;
+    pow = None;
   }
 
 type t = {
@@ -56,6 +63,8 @@ type t = {
   mutable g1 : Group_graph.t;
   mutable g2 : Group_graph.t option;
   mutable spam_accepted_ : int;
+  pow_state : (Pow.Controller.t * Join_schedule.t) option;
+  mutable pow_last : Pow.Controller.window option;
   history_ : (int * Group_graph.census) Sim.Series.t;
       (* Chronological push per epoch; O(1) amortised. The seed's
          [history_ @ [row]] append was O(k^2) over k epochs — fatal
@@ -80,6 +89,51 @@ let fresh_population rng config =
   Population.generate (Prng.Rng.split rng) ~n ~beta:config.params.Params.beta
     ~strategy:config.placement
 
+(* PoW-gated population minting. With a controller armed, each
+   epoch's adversarial head-count is no longer the [ceil (beta n)] of
+   the closed-form model but whatever the admission window actually
+   let through at the going entrance price, while the good side stays
+   at the baseline composition's good count. Spends land in the
+   metrics table; the population itself is generated with the exact
+   admitted bad count (the [-0.49] nudge makes [Population.generate]'s
+   [ceil] land on [bad] exactly). The [pow = None] default never
+   reaches any of this and consumes no extra PRNG draws — that is the
+   digest-neutrality contract (DESIGN.md §12). *)
+
+let pow_good_count config =
+  config.n
+  - int_of_float (ceil (config.params.Params.beta *. float_of_int config.n))
+
+let pow_run_window ~metrics ~config (ctrl, sched) ~window_epoch =
+  let good = pow_good_count config in
+  let epoch_steps = config.params.Params.epoch_steps in
+  let rate =
+    Pow.Budget.adversary_budget ~beta:config.params.Params.beta ~n:good
+      ~epoch_steps
+  in
+  let bad_budget = Join_schedule.epoch_budget sched ~epoch:window_epoch ~rate in
+  let fixed = Pow.Controller.fixed_difficulty ctrl in
+  let w =
+    Pow.Controller.run_window ctrl ~good ~bad_budget
+      ~spends_at:(fun ~price -> Join_schedule.spends_at sched ~fixed ~price)
+      ()
+  in
+  Sim.Metrics.add metrics Sim.Metrics.pow_hash_evals
+    Pow.Controller.(w.good_spend + w.bad_spend);
+  Sim.Metrics.add metrics Sim.Metrics.pow_good_evals w.Pow.Controller.good_spend;
+  Sim.Metrics.add metrics Sim.Metrics.pow_bad_evals w.Pow.Controller.bad_spend;
+  Sim.Metrics.add metrics Sim.Metrics.pow_bad_admitted
+    w.Pow.Controller.admitted_bad;
+  w
+
+let pow_population rng ~good ~bad ~placement =
+  let total = good + bad in
+  let beta =
+    if bad = 0 then 0.
+    else (float_of_int bad -. 0.49) /. float_of_int total
+  in
+  Population.generate (Prng.Rng.split rng) ~n:total ~beta ~strategy:placement
+
 let init ?(conditions = Sim.Conditions.none) rng config =
   let system_key = "tinygroups-repro" in
   let h1 = Hashing.Oracle.make ~system_key ~label:"h1" in
@@ -96,7 +150,23 @@ let init ?(conditions = Sim.Conditions.none) rng config =
     | Some policy -> Reliability.Tracker.create ~metrics:metrics_ policy
   in
   let stream_key = Prng.Rng.bits64 rng in
-  let population = fresh_population rng config in
+  let pow_state =
+    Option.map
+      (fun pc ->
+        (Pow.Controller.create pc.controller ~n:(pow_good_count config),
+         pc.schedule))
+      config.pow
+  in
+  let pow_last = ref None in
+  let population =
+    match pow_state with
+    | None -> fresh_population rng config
+    | Some st ->
+        let w = pow_run_window ~metrics:metrics_ ~config st ~window_epoch:0 in
+        pow_last := Some w;
+        pow_population rng ~good:(pow_good_count config)
+          ~bad:w.Pow.Controller.admitted_bad ~placement:config.placement
+  in
   let overlay = build_overlay config.overlay (Population.ring population) in
   let jobs = max 1 config.build_jobs in
   let g1 =
@@ -125,6 +195,8 @@ let init ?(conditions = Sim.Conditions.none) rng config =
     g1;
     g2;
     spam_accepted_ = 0;
+    pow_state;
+    pow_last = !pow_last;
     history_ =
       (let h = Sim.Series.create () in
        Sim.Series.push h (0, Group_graph.census g1);
@@ -258,7 +330,18 @@ let build_next t ~old ~new_pop ~new_overlay ~member_oracle ~phase =
 
 let advance t =
   let old = Membership.make_old_pair ~failure:t.config.failure t.g1 t.g2 in
-  let new_pop = fresh_population t.rng t.config in
+  let new_pop =
+    match t.pow_state with
+    | None -> fresh_population t.rng t.config
+    | Some st ->
+        let w =
+          pow_run_window ~metrics:t.metrics_ ~config:t.config st
+            ~window_epoch:(t.epoch_ + 1)
+        in
+        t.pow_last <- Some w;
+        pow_population t.rng ~good:(pow_good_count t.config)
+          ~bad:w.Pow.Controller.admitted_bad ~placement:t.config.placement
+  in
   let new_overlay = build_overlay t.config.overlay (Population.ring new_pop) in
   let new1 = build_next t ~old ~new_pop ~new_overlay ~member_oracle:t.h1 ~phase:0 in
   let new2 =
@@ -300,4 +383,6 @@ let secondary t = t.g2
 let old_pair t = Membership.make_old_pair ~failure:t.config.failure t.g1 t.g2
 let metrics t = t.metrics_
 let spam_accepted_total t = t.spam_accepted_
+let pow_last_window t = t.pow_last
+let pow_controller t = Option.map fst t.pow_state
 let history t = Sim.Series.to_list t.history_

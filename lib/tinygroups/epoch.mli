@@ -20,6 +20,24 @@ type mode = Paired | Single
 
 type overlay_kind = Chord | Debruijn
 
+type pow_control = {
+  controller : Pow.Controller.config;
+      (** Which difficulty regime gates admission —
+          {!Pow.Controller.fixed} reproduces the paper's constant-τ
+          epochs in head-count (Lemma 11), {!Pow.Controller.competitive}
+          re-prices per admission sub-round. *)
+  schedule : Join_schedule.t;
+      (** The adversary's join strategy: when it has budget and at
+          what prices it deigns to spend it. *)
+}
+(** Arms PoW-gated population minting: each epoch's adversarial
+    head-count becomes whatever the controller's admission window let
+    through at the going entrance price (good IDs stay at the
+    baseline composition's good count; [size_drift] is ignored on
+    this path). Spends and admits land in {!metrics} under the
+    [pow.*] counters; the admission arithmetic is deterministic and
+    PRNG-free, so runs differ only through the minted head-counts. *)
+
 type config = {
   params : Params.t;
   n : int;
@@ -50,6 +68,13 @@ type config = {
           so {!advance} is byte-identical at every [build_jobs]
           (graphs, metrics, history) — pinned by a qcheck law in the
           test suite and documented in DESIGN.md §11. *)
+  pow : pow_control option;
+      (** [None] (the default) keeps the closed-form [ceil (beta n)]
+          adversary of §I-C and consumes no extra randomness — every
+          digest of a [pow = None] run is byte-identical to the
+          pre-controller code (the neutrality contract of
+          DESIGN.md §12). [Some _] replaces the per-epoch bad
+          head-count with controller-gated admission. *)
 }
 
 val default_config : n:int -> config
@@ -118,6 +143,15 @@ val metrics : t -> Sim.Metrics.t
 
 val spam_accepted_total : t -> int
 (** Bogus requests that victims erroneously accepted so far. *)
+
+val pow_last_window : t -> Pow.Controller.window option
+(** The admission window that minted the {e current} population —
+    window 0 right after {!init}, window [epoch t] thereafter.
+    [None] iff [config.pow] is [None]. *)
+
+val pow_controller : t -> Pow.Controller.t option
+(** The live controller (cumulative ledgers, current price), when one
+    is armed. *)
 
 val history : t -> (int * Group_graph.census) list
 (** Census of the primary graph after each epoch, oldest first

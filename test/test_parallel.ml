@@ -95,7 +95,7 @@ let table_invariant name run () =
 let test_registry_complete () =
   let ids = List.map (fun s -> s.Experiments.Registry.id) Experiments.Registry.all in
   let expected =
-    List.init 26 (fun i -> Printf.sprintf "e%d" i) @ [ "f1" ]
+    List.init 27 (fun i -> Printf.sprintf "e%d" i) @ [ "f1" ]
   in
   Alcotest.(check (list string)) "canonical ids" expected ids;
   Alcotest.(check bool) "find e4" true (Experiments.Registry.find "e4" <> None);
@@ -174,6 +174,9 @@ let () =
           Alcotest.test_case "E24" `Quick
             (table_invariant "e24" (fun ~jobs rng scale ->
                  Experiments.Exp_agreement.run_e24 ~jobs rng scale));
+          Alcotest.test_case "E26" `Quick
+            (table_invariant "e26" (fun ~jobs rng scale ->
+                 Experiments.Exp_pow_epochs.run_e26 ~jobs rng scale));
         ] );
       ( "registry",
         [ Alcotest.test_case "canonical list" `Quick test_registry_complete ] );

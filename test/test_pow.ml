@@ -180,6 +180,193 @@ let test_pre_computation_expires () =
   in
   Alcotest.(check int) "all expired after the string rotates" 0 (List.length usable_later)
 
+(* --- Difficulty controllers (DESIGN.md §12) --- *)
+
+let test_controller_fixed_window () =
+  let t = Pow.Controller.create (Pow.Controller.fixed ~epoch_steps:4096) ~n:16 in
+  let fixed = Pow.Controller.fixed_difficulty t in
+  Alcotest.(check int) "T/2" (Pow.Budget.good_id_budget ~epoch_steps:4096) fixed;
+  Alcotest.(check int) "floor = fixed for Fixed" fixed (Pow.Controller.floor_difficulty t);
+  let w = Pow.Controller.run_window t ~good:16 ~bad_budget:((5 * fixed) + 7) () in
+  Alcotest.(check int) "price never moves (open)" fixed w.Pow.Controller.opening_price;
+  Alcotest.(check int) "price never moves (close)" fixed w.Pow.Controller.closing_price;
+  Alcotest.(check int) "Lemma 11 head-count: budget / (T/2)" 5
+    w.Pow.Controller.admitted_bad;
+  Alcotest.(check int) "good bill n x T/2" (16 * fixed) w.Pow.Controller.good_spend;
+  Alcotest.(check int) "bad pays per admit" (5 * fixed) w.Pow.Controller.bad_spend;
+  Alcotest.(check int) "change below one fee declined" 7
+    w.Pow.Controller.declined_spend;
+  Alcotest.(check int) "ledgers accumulate" (16 * fixed)
+    (Pow.Controller.cumulative_good_spend t);
+  Alcotest.(check int) "one window" 1 (Pow.Controller.windows t)
+
+let test_controller_competitive_quiet_floor () =
+  (* Zero adversary: the price decays from the conservative T/2 cold
+     start to the floor within the first window and stays there. *)
+  let t =
+    Pow.Controller.create (Pow.Controller.competitive ~epoch_steps:4096 ()) ~n:64
+  in
+  let floor = Pow.Controller.floor_difficulty t in
+  Alcotest.(check int) "floor = T/2 / 2^4" (2048 / 16) floor;
+  let w1 = Pow.Controller.run_window t ~good:64 ~bad_budget:0 () in
+  Alcotest.(check int) "cold start at the fixed price" 2048
+    w1.Pow.Controller.opening_price;
+  Alcotest.(check int) "first quiet window closes at the floor" floor
+    w1.Pow.Controller.closing_price;
+  let w2 = Pow.Controller.run_window t ~good:64 ~bad_budget:0 () in
+  Alcotest.(check int) "and opens there next window" floor
+    w2.Pow.Controller.opening_price;
+  Alcotest.(check int) "steady-state bill n x floor" (64 * floor)
+    w2.Pow.Controller.good_spend;
+  Alcotest.(check int) "nothing admitted from nothing" 0
+    (w1.Pow.Controller.admitted_bad + w2.Pow.Controller.admitted_bad)
+
+let test_controller_admission_cap () =
+  (* However large the stockpile, a window admits at most the previous
+     window's bad count plus the newcomer slack (the GMCom throttle). *)
+  let cfg = Pow.Controller.competitive ~epoch_steps:4096 () in
+  let n = 256 in
+  let t = Pow.Controller.create cfg ~n in
+  let slack_cap =
+    (* subrounds x per-round share of ceil(admission_slack x n) *)
+    let total = int_of_float (ceil (cfg.Pow.Controller.admission_slack *. float_of_int n)) in
+    let per_round = (total + cfg.Pow.Controller.subrounds - 1) / cfg.Pow.Controller.subrounds in
+    cfg.Pow.Controller.subrounds * per_round
+  in
+  let w1 = Pow.Controller.run_window t ~good:n ~bad_budget:100_000_000 () in
+  Alcotest.(check bool)
+    (Printf.sprintf "window 1 admits %d <= slack cap %d"
+       w1.Pow.Controller.admitted_bad slack_cap)
+    true
+    (w1.Pow.Controller.admitted_bad <= slack_cap);
+  let w2 = Pow.Controller.run_window t ~good:n ~bad_budget:100_000_000 () in
+  Alcotest.(check bool)
+    (Printf.sprintf "window 2 admits %d <= tickets %d + slack cap %d"
+       w2.Pow.Controller.admitted_bad w1.Pow.Controller.admitted_bad slack_cap)
+    true
+    (w2.Pow.Controller.admitted_bad
+    <= w1.Pow.Controller.admitted_bad + slack_cap);
+  Alcotest.(check bool) "flood drives the close to the ceiling" true
+    (w2.Pow.Controller.closing_price
+    = cfg.Pow.Controller.ceiling_factor * Pow.Controller.fixed_difficulty t)
+
+let test_controller_validate_rejects () =
+  Alcotest.check_raises "subrounds 0"
+    (Invalid_argument "Controller: subrounds must be >= 1") (fun () ->
+      ignore (Pow.Controller.competitive ~subrounds:0 ~epoch_steps:4096 ()))
+
+let prop_competitive_never_outspends_fixed =
+  (* The resource-competitive contract, quiet case: with no adversary
+     the competitive good ledger is bounded by the fixed ledger at
+     every window prefix (prices only fall or hold when joins do not
+     exceed the expected rate). *)
+  QCheck.Test.make ~name:"quiet competitive spend <= fixed spend at every prefix"
+    ~count:60
+    QCheck.(
+      quad (int_range 4 64) (int_range 0 6) (int_range 1 8) (int_range 1 6))
+    (fun (n, floor_shift, subrounds, windows) ->
+      let comp =
+        Pow.Controller.create
+          (Pow.Controller.competitive ~floor_shift ~subrounds ~epoch_steps:4096 ())
+          ~n
+      in
+      let fx = Pow.Controller.create (Pow.Controller.fixed ~epoch_steps:4096) ~n in
+      let ok = ref true in
+      (* Quiet rounds halve the price, so reaching the floor takes
+         ceil(floor_shift / subrounds) windows — run at least that
+         many on top of the random count so the tail assertion is
+         well-posed for every knob draw. *)
+      let windows = max windows ((floor_shift / subrounds) + 1) in
+      for _ = 1 to windows do
+        ignore (Pow.Controller.run_window comp ~good:n ~bad_budget:0 ());
+        ignore (Pow.Controller.run_window fx ~good:n ~bad_budget:0 ());
+        if
+          Pow.Controller.cumulative_good_spend comp
+          > Pow.Controller.cumulative_good_spend fx
+        then ok := false
+      done;
+      (* And the quiet tail converges to the floor. *)
+      !ok && Pow.Controller.difficulty comp = Pow.Controller.floor_difficulty comp)
+
+(* --- Join schedules --- *)
+
+let test_join_schedule_budgets () =
+  let rate = 1000 in
+  let open Adversary.Join_schedule in
+  Alcotest.(check int) "steady spends the rate" rate
+    (epoch_budget steady ~epoch:3 ~rate);
+  let b = bursty ~stockpile:3 ~period:10 ~active:1 () in
+  Alcotest.(check int) "burst epoch spends the stockpile" (3 * rate)
+    (epoch_budget b ~epoch:10 ~rate);
+  Alcotest.(check int) "quiet epoch spends nothing" 0
+    (epoch_budget b ~epoch:5 ~rate);
+  Alcotest.(check int) "probing budgets like steady" rate
+    (epoch_budget (probing ~num:1 ~den:4) ~epoch:0 ~rate)
+
+let test_join_schedule_spends_at () =
+  let open Adversary.Join_schedule in
+  let fixed = 2048 in
+  Alcotest.(check bool) "steady buys at any price" true
+    (spends_at steady ~fixed ~price:(100 * fixed));
+  let p = probing ~num:1 ~den:4 in
+  Alcotest.(check bool) "probing buys at fixed/4" true
+    (spends_at p ~fixed ~price:(fixed / 4));
+  Alcotest.(check bool) "probing refuses above fixed/4" false
+    (spends_at p ~fixed ~price:((fixed / 4) + 1))
+
+let test_join_schedule_labels () =
+  let open Adversary.Join_schedule in
+  Alcotest.(check string) "steady" "steady" (label steady);
+  Alcotest.(check string) "bursty" "bursty(1/10)"
+    (label (bursty ~period:10 ~active:1 ()));
+  Alcotest.(check string) "bursty stockpiled" "bursty(1/10,x3)"
+    (label (bursty ~stockpile:3 ~period:10 ~active:1 ()));
+  Alcotest.(check string) "probing" "probing(1/4)" (label (probing ~num:1 ~den:4));
+  Alcotest.check_raises "active > period rejected"
+    (Invalid_argument "Join_schedule.bursty: need 1 <= active <= period")
+    (fun () -> ignore (bursty ~period:3 ~active:4 ()))
+
+(* --- E26 acceptance (ISSUE, PR 10): pinned at quick scale, seed 1 --- *)
+
+let test_e26_acceptance () =
+  let r = Experiments.Exp_pow_epochs.run (Prng.Rng.create 1) Experiments.Scale.Quick in
+  let get ~controller ~strategy_label =
+    match
+      Experiments.Exp_pow_epochs.find_row r ~controller ~strategy_label ~beta:0.125
+    with
+    | Some row -> row
+    | None -> Alcotest.fail ("missing E26 row: " ^ strategy_label)
+  in
+  let open Experiments.Exp_pow_epochs in
+  let fs = get ~controller:`Fixed ~strategy_label:"steady" in
+  let cs = get ~controller:`Competitive ~strategy_label:"steady" in
+  let fb = get ~controller:`Fixed ~strategy_label:"bursty(1/10)" in
+  let cb = get ~controller:`Competitive ~strategy_label:"bursty(1/10)" in
+  Alcotest.(check (float 1e-9)) "fixed rows are the 1.0 reference" 1.0 fs.vs_fixed;
+  (* Steady beta = 1/8: competitive good spend within a constant
+     factor (3x) of the paper's fixed bill. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "steady: competitive %d <= 3 x fixed %d" cs.good_evals
+       fs.good_evals)
+    true
+    (cs.good_evals <= 3 * fs.good_evals);
+  (* 10%-duty-cycle burst: competitive at least 3x cheaper. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "burst: fixed %d >= 3 x competitive %d" fb.good_evals
+       cb.good_evals)
+    true
+    (fb.good_evals >= 3 * cb.good_evals);
+  Alcotest.(check bool) "burst chain closes back at the floor" true
+    cb.closing_floor;
+  (* Epoch-chain survival is equal across controllers. *)
+  List.iter
+    (fun (name, row) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s survived (min success %.2f)" name row.min_success)
+        true row.survived)
+    [ ("fixed/steady", fs); ("competitive/steady", cs);
+      ("fixed/bursty", fb); ("competitive/bursty", cb) ]
+
 let prop_credentials_verify =
   QCheck.Test.make ~name:"every minted credential verifies" ~count:20
     QCheck.small_int (fun seed ->
@@ -219,5 +406,29 @@ let () =
           Alcotest.test_case "two hashes defeat targeting" `Slow test_two_hash_defeats_targeting;
           Alcotest.test_case "pre-computation expires" `Quick test_pre_computation_expires;
         ] );
-      ("properties", [ QCheck_alcotest.to_alcotest prop_credentials_verify ]);
+      ( "controller",
+        [
+          Alcotest.test_case "fixed window arithmetic" `Quick
+            test_controller_fixed_window;
+          Alcotest.test_case "quiet competitive finds the floor" `Quick
+            test_controller_competitive_quiet_floor;
+          Alcotest.test_case "flood bounded by the admission cap" `Quick
+            test_controller_admission_cap;
+          Alcotest.test_case "validate rejects bad knobs" `Quick
+            test_controller_validate_rejects;
+        ] );
+      ( "schedule",
+        [
+          Alcotest.test_case "epoch budgets" `Quick test_join_schedule_budgets;
+          Alcotest.test_case "price titration" `Quick test_join_schedule_spends_at;
+          Alcotest.test_case "labels and validation" `Quick
+            test_join_schedule_labels;
+        ] );
+      ( "e26-acceptance",
+        [ Alcotest.test_case "competitive vs fixed (ISSUE PR 10)" `Slow test_e26_acceptance ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_credentials_verify;
+          QCheck_alcotest.to_alcotest prop_competitive_never_outspends_fixed;
+        ] );
     ]
